@@ -1,0 +1,194 @@
+//! Subset construction: NFA → DFA.
+//!
+//! The DFA is the automaton of Fig 1b: its states are sets of NFA states, the
+//! empty set plays the role of the paper's state 0 (elements not mentioned in
+//! any query) and self-loops on every symbol fall out naturally. A DFA state
+//! is *accepting for sub-query q* when its subset contains q's accepting NFA
+//! state; the transducer construction turns entry into such a state into an
+//! output symbol.
+
+use crate::nfa::Nfa;
+use ppt_xmlstream::Symbol;
+use std::collections::HashMap;
+
+/// Deterministic finite automaton over the interned symbol alphabet.
+#[derive(Debug, Clone)]
+pub struct Dfa {
+    /// Number of DFA states.
+    pub num_states: u32,
+    /// The start state (the subset `{NFA root}`).
+    pub initial: u32,
+    /// Dense transition table: `delta[state as usize * num_symbols + symbol]`.
+    pub delta: Vec<u32>,
+    /// Number of symbols (table stride).
+    pub num_symbols: usize,
+    /// Sub-queries matched upon *entering* each state (sorted, deduplicated).
+    pub matches: Vec<Vec<u32>>,
+}
+
+impl Dfa {
+    /// Runs the subset construction over `nfa`.
+    pub fn from_nfa(nfa: &Nfa) -> Dfa {
+        let num_symbols = nfa.symbols.len();
+        let mut subsets: Vec<Vec<u32>> = Vec::new();
+        let mut index: HashMap<Vec<u32>, u32> = HashMap::new();
+        let mut delta: Vec<u32> = Vec::new();
+        let mut matches: Vec<Vec<u32>> = Vec::new();
+
+        let add_subset = |subset: Vec<u32>,
+                              subsets: &mut Vec<Vec<u32>>,
+                              index: &mut HashMap<Vec<u32>, u32>,
+                              matches: &mut Vec<Vec<u32>>|
+         -> u32 {
+            if let Some(&id) = index.get(&subset) {
+                return id;
+            }
+            let id = subsets.len() as u32;
+            let mut accepted: Vec<u32> = subset.iter().flat_map(|&s| nfa.accepted(s)).collect();
+            accepted.sort_unstable();
+            accepted.dedup();
+            index.insert(subset.clone(), id);
+            subsets.push(subset);
+            matches.push(accepted);
+            id
+        };
+
+        let initial = add_subset(vec![0], &mut subsets, &mut index, &mut matches);
+        let mut work = 0usize;
+        while work < subsets.len() {
+            let subset = subsets[work].clone();
+            for sym_idx in 0..num_symbols {
+                let sym = Symbol(sym_idx as u32);
+                let is_element = nfa.is_element_symbol(sym);
+                let mut next: Vec<u32> = subset
+                    .iter()
+                    .flat_map(|&s| nfa.moves(s, sym, is_element))
+                    .collect();
+                next.sort_unstable();
+                next.dedup();
+                let next_id = add_subset(next, &mut subsets, &mut index, &mut matches);
+                delta.push(next_id);
+            }
+            work += 1;
+        }
+
+        // `delta` was filled in discovery order which equals state id order.
+        debug_assert_eq!(delta.len(), subsets.len() * num_symbols);
+        Dfa { num_states: subsets.len() as u32, initial, delta, num_symbols, matches }
+    }
+
+    /// The successor of `state` on `sym`.
+    #[inline]
+    pub fn step(&self, state: u32, sym: Symbol) -> u32 {
+        self.delta[state as usize * self.num_symbols + sym.index()]
+    }
+
+    /// Sub-queries matched when entering `state`.
+    #[inline]
+    pub fn state_matches(&self, state: u32) -> &[u32] {
+        &self.matches[state as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nfa::Nfa;
+    use ppt_xmlstream::OTHER_SYMBOL;
+    use ppt_xpath::compile_queries;
+
+    fn build(queries: &[&str]) -> (Nfa, Dfa) {
+        let nfa = Nfa::from_plan(&compile_queries(queries).unwrap());
+        let dfa = Dfa::from_nfa(&nfa);
+        (nfa, dfa)
+    }
+
+    #[test]
+    fn fig1b_shape_for_a_b_c() {
+        // The paper's Fig 1b DFA for /a/b/c has 5 states: the query chain
+        // 1->2->3->4 plus the sink state 0.
+        let (nfa, dfa) = build(&["/a/b/c"]);
+        assert_eq!(dfa.num_states, 5);
+        let a = nfa.symbols.lookup(b"a");
+        let b = nfa.symbols.lookup(b"b");
+        let c = nfa.symbols.lookup(b"c");
+
+        let s1 = dfa.initial;
+        let s2 = dfa.step(s1, a);
+        let s3 = dfa.step(s2, b);
+        let s4 = dfa.step(s3, c);
+        assert_ne!(s2, s1);
+        assert_ne!(s3, s2);
+        assert_ne!(s4, s3);
+        assert_eq!(dfa.state_matches(s4), &[0]);
+        assert!(dfa.state_matches(s1).is_empty());
+        assert!(dfa.state_matches(s2).is_empty());
+
+        // Any off-path symbol leads to the sink, which self-loops.
+        let sink = dfa.step(s1, b);
+        assert_eq!(dfa.step(sink, a), sink);
+        assert_eq!(dfa.step(sink, b), sink);
+        assert_eq!(dfa.step(sink, c), sink);
+        assert_eq!(dfa.step(sink, OTHER_SYMBOL), sink);
+        // Off-path transitions from query states also go to the sink.
+        assert_eq!(dfa.step(s2, a), sink);
+        assert_eq!(dfa.step(s4, c), sink);
+    }
+
+    #[test]
+    fn descendant_query_matches_at_any_depth() {
+        let (nfa, dfa) = build(&["//k"]);
+        let k = nfa.symbols.lookup(b"k");
+        let mut state = dfa.initial;
+        // Descend through unrelated elements, then k must still match.
+        for _ in 0..5 {
+            state = dfa.step(state, OTHER_SYMBOL);
+        }
+        let k_state = dfa.step(state, k);
+        assert_eq!(dfa.state_matches(k_state), &[0]);
+        // And k directly below the root matches too.
+        let k_state2 = dfa.step(dfa.initial, k);
+        assert_eq!(dfa.state_matches(k_state2), &[0]);
+    }
+
+    #[test]
+    fn multiple_subqueries_share_the_dfa() {
+        let (nfa, dfa) = build(&["/a/b", "/a/c", "//b"]);
+        let a = nfa.symbols.lookup(b"a");
+        let b = nfa.symbols.lookup(b"b");
+        let c = nfa.symbols.lookup(b"c");
+        let after_a = dfa.step(dfa.initial, a);
+        let after_ab = dfa.step(after_a, b);
+        // /a/b (sub-query 0) and //b (sub-query 2) both match here.
+        assert_eq!(dfa.state_matches(after_ab), &[0, 2]);
+        let after_ac = dfa.step(after_a, c);
+        assert_eq!(dfa.state_matches(after_ac), &[1]);
+    }
+
+    #[test]
+    fn wildcard_step_matches_any_element_but_not_other_queries_tags() {
+        let (nfa, dfa) = build(&["/a/*/c"]);
+        let a = nfa.symbols.lookup(b"a");
+        let c = nfa.symbols.lookup(b"c");
+        let s = dfa.step(dfa.initial, a);
+        let via_other = dfa.step(s, OTHER_SYMBOL);
+        let done = dfa.step(via_other, c);
+        assert_eq!(dfa.state_matches(done), &[0]);
+        // The wildcard also accepts elements that happen to be named like
+        // query tags.
+        let via_c = dfa.step(s, c);
+        let done2 = dfa.step(via_c, c);
+        assert_eq!(dfa.state_matches(done2), &[0]);
+    }
+
+    #[test]
+    fn table_is_total() {
+        let (_, dfa) = build(&["/a/b/c", "//k", "/x/*/y"]);
+        for s in 0..dfa.num_states {
+            for sym in 0..dfa.num_symbols {
+                let next = dfa.delta[s as usize * dfa.num_symbols + sym];
+                assert!(next < dfa.num_states);
+            }
+        }
+    }
+}

@@ -1,0 +1,280 @@
+//! In-order (sequential) execution of the pushdown transducer.
+//!
+//! This is the classic streaming-automaton evaluation (§2.2): one thread, one
+//! pass, constant state. It serves three purposes in this workspace:
+//!
+//! * it is the semantic *reference* the out-of-order PP-Transducer is tested
+//!   against (their match sets must be identical);
+//! * it is the "PPT (1 thread)" configuration of Fig 11;
+//! * its transition count is the denominator of the §3.3 convergence-overhead
+//!   metric (out-of-order transitions ÷ in-order transitions).
+
+use crate::transducer::{StateId, SubQueryId, Transducer};
+use ppt_xmlstream::{Lexer, XmlEvent};
+
+/// One match of a basic sub-query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Match {
+    /// Byte offset of the opening tag (or attribute/text) that completed the
+    /// match. Offsets are relative to the buffer that was processed; callers
+    /// processing chunks rebase them to document-absolute offsets.
+    pub pos: usize,
+    /// Depth of the matched element (root element = 1).
+    pub depth: u32,
+    /// The sub-query that matched.
+    pub subquery: SubQueryId,
+}
+
+/// Counters collected during sequential execution.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SequentialStats {
+    /// Number of transducer transitions performed (push + pop + synthetic).
+    pub transitions: u64,
+    /// Number of tag events consumed.
+    pub tag_events: u64,
+    /// Maximum stack depth reached.
+    pub max_depth: u32,
+}
+
+/// Runs the transducer sequentially over `data`, returning every sub-query
+/// match in document order.
+pub fn run_sequential(t: &Transducer, data: &[u8]) -> Vec<Match> {
+    run_sequential_with_stats(t, data).0
+}
+
+/// Runs the transducer sequentially and also returns execution counters.
+pub fn run_sequential_with_stats(t: &Transducer, data: &[u8]) -> (Vec<Match>, SequentialStats) {
+    let mut matches = Vec::new();
+    let mut stats = SequentialStats::default();
+    let mut state: StateId = t.initial();
+    let mut stack: Vec<StateId> = Vec::with_capacity(64);
+
+    fn handle_open(
+        t: &Transducer,
+        sym: ppt_xmlstream::Symbol,
+        pos: usize,
+        state: &mut StateId,
+        stack: &mut Vec<StateId>,
+        matches: &mut Vec<Match>,
+        stats: &mut SequentialStats,
+    ) {
+        let next = t.step(*state, sym);
+        stack.push(*state);
+        *state = next;
+        stats.transitions += 1;
+        stats.tag_events += 1;
+        stats.max_depth = stats.max_depth.max(stack.len() as u32);
+        for &q in t.output(next) {
+            matches.push(Match { pos, depth: stack.len() as u32, subquery: q });
+        }
+    }
+
+    if t.needs_full_events() {
+        for ev in Lexer::new(data) {
+            match ev {
+                XmlEvent::Open { name, pos } => {
+                    handle_open(
+                        t,
+                        t.classify_name(name),
+                        pos,
+                        &mut state,
+                        &mut stack,
+                        &mut matches,
+                        &mut stats,
+                    );
+                }
+                XmlEvent::Close { .. } => {
+                    if let Some(prev) = stack.pop() {
+                        state = prev;
+                    }
+                    stats.transitions += 1;
+                    stats.tag_events += 1;
+                }
+                XmlEvent::Attr { name, pos, .. } => {
+                    if let Some(sym) = t.classify_attr(name) {
+                        // An attribute behaves like an immediately-closed
+                        // child element: the state is probed but not changed.
+                        let next = t.step(state, sym);
+                        stats.transitions += 2;
+                        for &q in t.output(next) {
+                            matches.push(Match {
+                                pos,
+                                depth: stack.len() as u32 + 1,
+                                subquery: q,
+                            });
+                        }
+                    }
+                }
+                XmlEvent::Text { text, pos } => {
+                    let trimmed = trim_ws(text);
+                    if trimmed.is_empty() {
+                        continue;
+                    }
+                    if let Some(sym) = t.classify_text(trimmed) {
+                        let next = t.step(state, sym);
+                        stats.transitions += 2;
+                        for &q in t.output(next) {
+                            matches.push(Match {
+                                pos,
+                                depth: stack.len() as u32 + 1,
+                                subquery: q,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+    } else {
+        for ev in Lexer::tags_only(data) {
+            match ev {
+                XmlEvent::Open { name, pos } => {
+                    handle_open(
+                        t,
+                        t.classify_name(name),
+                        pos,
+                        &mut state,
+                        &mut stack,
+                        &mut matches,
+                        &mut stats,
+                    );
+                }
+                XmlEvent::Close { .. } => {
+                    if let Some(prev) = stack.pop() {
+                        state = prev;
+                    }
+                    stats.transitions += 1;
+                    stats.tag_events += 1;
+                }
+                _ => unreachable!("tags_only lexer emits only tag events"),
+            }
+        }
+    }
+    (matches, stats)
+}
+
+/// Trims ASCII whitespace from both ends of a byte slice.
+pub fn trim_ws(mut s: &[u8]) -> &[u8] {
+    while let [first, rest @ ..] = s {
+        if first.is_ascii_whitespace() {
+            s = rest;
+        } else {
+            break;
+        }
+    }
+    while let [rest @ .., last] = s {
+        if last.is_ascii_whitespace() {
+            s = rest;
+        } else {
+            break;
+        }
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PAPER_DOC: &[u8] = b"<a><b><d></d></b><b><c></c></b></a>";
+
+    #[test]
+    fn paper_example_matches_once() {
+        // Fig 1a + /a/b/c: exactly one match (the <c> on line 6).
+        let t = Transducer::from_queries(&["/a/b/c"]).unwrap();
+        let m = run_sequential(&t, PAPER_DOC);
+        assert_eq!(m.len(), 1);
+        assert_eq!(m[0].subquery, 0);
+        assert_eq!(m[0].depth, 3);
+        assert_eq!(&PAPER_DOC[m[0].pos..m[0].pos + 3], b"<c>");
+    }
+
+    #[test]
+    fn descendant_queries_match_recursively() {
+        let t = Transducer::from_queries(&["//b"]).unwrap();
+        let m = run_sequential(&t, b"<a><b><b></b></b><c><b/></c></a>");
+        assert_eq!(m.len(), 3);
+        assert_eq!(m.iter().map(|x| x.depth).collect::<Vec<_>>(), vec![2, 3, 3]);
+    }
+
+    #[test]
+    fn multiple_subqueries_report_their_own_ids() {
+        let t = Transducer::from_queries(&["/a/b", "/a/c", "//d"]).unwrap();
+        let m = run_sequential(&t, b"<a><b><d/></b><c/><d/></a>");
+        let by_query = |q: u32| m.iter().filter(|x| x.subquery == q).count();
+        assert_eq!(by_query(0), 1);
+        assert_eq!(by_query(1), 1);
+        assert_eq!(by_query(2), 2);
+    }
+
+    #[test]
+    fn matches_are_reported_in_document_order() {
+        let t = Transducer::from_queries(&["//x"]).unwrap();
+        let m = run_sequential(&t, b"<a><x/><b><x/></b><x/></a>");
+        let positions: Vec<usize> = m.iter().map(|x| x.pos).collect();
+        let mut sorted = positions.clone();
+        sorted.sort_unstable();
+        assert_eq!(positions, sorted);
+    }
+
+    #[test]
+    fn recursive_elements_twitter_style() {
+        // A status containing a retweeted status: //status/coordinates must
+        // match both levels.
+        let t = Transducer::from_queries(&["//status/coordinates"]).unwrap();
+        let xml = b"<stream><status><coordinates/><retweeted_status><status><coordinates/></status></retweeted_status></status></stream>";
+        let m = run_sequential(&t, xml);
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn attribute_query_matches() {
+        let t = Transducer::from_queries(&["/a/b/@id"]).unwrap();
+        let m = run_sequential(&t, br#"<a><b id="1"/><b x="2"/><c id="3"/></a>"#);
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn text_query_matches_exact_content() {
+        let t = Transducer::from_queries(&["/a/b/text(hello)"]).unwrap();
+        let m = run_sequential(&t, b"<a><b>hello</b><b>world</b><b> hello </b></a>");
+        assert_eq!(m.len(), 2, "whitespace around text is trimmed");
+    }
+
+    #[test]
+    fn stats_count_tag_events_and_depth() {
+        let t = Transducer::from_queries(&["/a/b/c"]).unwrap();
+        let (_, stats) = run_sequential_with_stats(&t, PAPER_DOC);
+        assert_eq!(stats.tag_events, 10);
+        assert_eq!(stats.transitions, 10);
+        assert_eq!(stats.max_depth, 3);
+    }
+
+    #[test]
+    fn malformed_chunk_does_not_panic() {
+        let t = Transducer::from_queries(&["/a/b"]).unwrap();
+        // More closes than opens, then new opens.
+        let m = run_sequential(&t, b"</x></y><a><b/></a>");
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn empty_input_has_no_matches() {
+        let t = Transducer::from_queries(&["/a"]).unwrap();
+        assert!(run_sequential(&t, b"").is_empty());
+    }
+
+    #[test]
+    fn trim_ws_works() {
+        assert_eq!(trim_ws(b"  x  "), b"x");
+        assert_eq!(trim_ws(b"x"), b"x");
+        assert_eq!(trim_ws(b"   "), b"");
+        assert_eq!(trim_ws(b""), b"");
+    }
+
+    #[test]
+    fn wildcard_query_counts_every_child() {
+        let t = Transducer::from_queries(&["/a/*"]).unwrap();
+        let m = run_sequential(&t, b"<a><x/><y/><z><w/></z></a>");
+        assert_eq!(m.len(), 3, "only direct children of the root");
+    }
+}

@@ -1,0 +1,30 @@
+//! XPath automata: NFA construction, DFA subset construction and the
+//! pushdown transducer.
+//!
+//! This crate implements §2.2 and §3.1 of the paper:
+//!
+//! 1. [`nfa`] — a non-deterministic finite automaton is built from the basic
+//!    sub-queries of a [`ppt_xpath::QueryPlan`] (one chain per sub-query,
+//!    descendant steps introduce skip states with wildcard self-loops).
+//! 2. [`dfa`] — the NFA is determinised by subset construction. DFA states
+//!    whose subsets contain accepting NFA states are labelled with the
+//!    sub-queries they match; state `0`-style sink behaviour (Fig 1b) falls
+//!    out of the empty subset.
+//! 3. [`transducer`] — the DFA is lifted to a deterministic pushdown
+//!    transducer in nested-word form: every opening tag pushes the current
+//!    state and performs a DFA transition, every closing tag pops and returns
+//!    to the popped state, and transitions into accepting states emit the
+//!    matched sub-query identifiers on the output tape.
+//! 4. [`exec`] — in-order (sequential) execution of the transducer over a
+//!    byte stream; the semantic reference that the out-of-order
+//!    PP-Transducer in `ppt-core` is differentially tested against.
+
+pub mod dfa;
+pub mod exec;
+pub mod nfa;
+pub mod transducer;
+
+pub use dfa::Dfa;
+pub use exec::{run_sequential, run_sequential_with_stats, Match, SequentialStats};
+pub use nfa::Nfa;
+pub use transducer::{StateId, SubQueryId, Transducer};

@@ -1,0 +1,258 @@
+//! Non-deterministic finite automaton built from basic sub-queries.
+//!
+//! The construction follows Green et al. (§2.2): every sub-query contributes a
+//! chain of states starting from the shared root state. A child step adds a
+//! single labelled edge; a descendant step adds a *skip* state with a
+//! wildcard self-loop so that any number of intermediate elements may be
+//! traversed before the step's test matches.
+
+use ppt_xmlstream::{Symbol, SymbolTable};
+use ppt_xpath::{BasicAxis, BasicTest, QueryPlan};
+use std::collections::HashMap;
+
+/// Edge label: a concrete symbol or "any element".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Label {
+    /// Matches exactly one interned symbol.
+    Symbol(Symbol),
+    /// Matches every *element* symbol (wildcard steps and descendant skips).
+    /// Synthetic attribute/text symbols are not matched by `Any`.
+    AnyElement,
+}
+
+/// One NFA transition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NfaEdge {
+    /// Source state.
+    pub from: u32,
+    /// Edge label.
+    pub label: Label,
+    /// Destination state.
+    pub to: u32,
+}
+
+/// The query NFA.
+#[derive(Debug, Clone)]
+pub struct Nfa {
+    /// Number of states; state `0` is the shared root-context state.
+    pub num_states: u32,
+    /// All edges.
+    pub edges: Vec<NfaEdge>,
+    /// Accepting states: `accepts[i] = (state, sub-query id)`.
+    pub accepts: Vec<(u32, u32)>,
+    /// Symbol table for every name, attribute and text test in the plan.
+    pub symbols: SymbolTable,
+    /// Symbols that stand for attribute tests, keyed by attribute name.
+    pub attr_symbols: HashMap<Vec<u8>, Symbol>,
+    /// Symbols that stand for `text(S)` tests, keyed by the exact string `S`.
+    pub text_symbols: HashMap<Vec<u8>, Symbol>,
+    /// Per symbol: `true` when the symbol denotes a real element name (or the
+    /// catch-all), `false` for synthetic attribute/text symbols.
+    pub element_symbol: Vec<bool>,
+}
+
+impl Nfa {
+    /// Builds the NFA for every sub-query in `plan`.
+    pub fn from_plan(plan: &QueryPlan) -> Nfa {
+        let mut symbols = SymbolTable::new();
+        let mut attr_symbols = HashMap::new();
+        let mut text_symbols = HashMap::new();
+        let mut element_symbol = vec![true]; // OTHER_SYMBOL is an element symbol
+
+        let intern_element = |symbols: &mut SymbolTable,
+                                  element_symbol: &mut Vec<bool>,
+                                  name: &str|
+         -> Symbol {
+            let before = symbols.len();
+            let sym = symbols.intern(name.as_bytes());
+            if symbols.len() > before {
+                element_symbol.push(true);
+            }
+            sym
+        };
+
+        // First pass: intern all symbols so that the table is stable.
+        for sq in &plan.subqueries {
+            for step in &sq.steps {
+                match &step.test {
+                    BasicTest::Name(n) => {
+                        intern_element(&mut symbols, &mut element_symbol, n);
+                    }
+                    BasicTest::Wildcard => {}
+                    BasicTest::Attribute(n) => {
+                        let key = format!("@{n}");
+                        let before = symbols.len();
+                        let sym = symbols.intern(key.as_bytes());
+                        if symbols.len() > before {
+                            element_symbol.push(false);
+                        }
+                        attr_symbols.insert(n.as_bytes().to_vec(), sym);
+                    }
+                    BasicTest::Text(s) => {
+                        let key = format!("text={s}");
+                        let before = symbols.len();
+                        let sym = symbols.intern(key.as_bytes());
+                        if symbols.len() > before {
+                            element_symbol.push(false);
+                        }
+                        text_symbols.insert(s.as_bytes().to_vec(), sym);
+                    }
+                }
+            }
+        }
+
+        let mut nfa = Nfa {
+            num_states: 1,
+            edges: Vec::new(),
+            accepts: Vec::new(),
+            symbols,
+            attr_symbols,
+            text_symbols,
+            element_symbol,
+        };
+
+        for (qid, sq) in plan.subqueries.iter().enumerate() {
+            let mut current = 0u32; // shared root-context state
+            for step in &sq.steps {
+                let label = match &step.test {
+                    BasicTest::Name(n) => Label::Symbol(nfa.symbols.lookup(n.as_bytes())),
+                    BasicTest::Wildcard => Label::AnyElement,
+                    BasicTest::Attribute(n) => {
+                        Label::Symbol(nfa.attr_symbols[n.as_bytes()])
+                    }
+                    BasicTest::Text(s) => Label::Symbol(nfa.text_symbols[s.as_bytes()]),
+                };
+                let next = nfa.new_state();
+                match step.axis {
+                    BasicAxis::Child => {
+                        nfa.edges.push(NfaEdge { from: current, label, to: next });
+                    }
+                    BasicAxis::Descendant => {
+                        // current --any--> skip --any--> skip
+                        //        \--label--> next   skip --label--> next
+                        let skip = nfa.new_state();
+                        nfa.edges.push(NfaEdge { from: current, label: Label::AnyElement, to: skip });
+                        nfa.edges.push(NfaEdge { from: skip, label: Label::AnyElement, to: skip });
+                        nfa.edges.push(NfaEdge { from: skip, label, to: next });
+                        nfa.edges.push(NfaEdge { from: current, label, to: next });
+                    }
+                }
+                current = next;
+            }
+            nfa.accepts.push((current, qid as u32));
+        }
+        nfa
+    }
+
+    fn new_state(&mut self) -> u32 {
+        let s = self.num_states;
+        self.num_states += 1;
+        s
+    }
+
+    /// States reachable from `state` on input `sym` (`is_element` controls
+    /// whether wildcard edges apply).
+    pub fn moves(&self, state: u32, sym: Symbol, is_element: bool) -> Vec<u32> {
+        let mut out = Vec::new();
+        for e in &self.edges {
+            if e.from != state {
+                continue;
+            }
+            let fires = match e.label {
+                Label::Symbol(s) => s == sym,
+                Label::AnyElement => is_element,
+            };
+            if fires && !out.contains(&e.to) {
+                out.push(e.to);
+            }
+        }
+        out
+    }
+
+    /// Sub-queries accepted at `state`.
+    pub fn accepted(&self, state: u32) -> Vec<u32> {
+        self.accepts
+            .iter()
+            .filter(|(s, _)| *s == state)
+            .map(|(_, q)| *q)
+            .collect()
+    }
+
+    /// `true` when `sym` denotes an element name (or the catch-all) rather
+    /// than a synthetic attribute/text symbol.
+    pub fn is_element_symbol(&self, sym: Symbol) -> bool {
+        self.element_symbol.get(sym.index()).copied().unwrap_or(true)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppt_xpath::compile_queries;
+
+    fn build(queries: &[&str]) -> Nfa {
+        Nfa::from_plan(&compile_queries(queries).unwrap())
+    }
+
+    #[test]
+    fn child_chain_has_one_state_per_step() {
+        let nfa = build(&["/a/b/c"]);
+        // root + 3 chain states
+        assert_eq!(nfa.num_states, 4);
+        assert_eq!(nfa.edges.len(), 3);
+        assert_eq!(nfa.accepts, vec![(3, 0)]);
+    }
+
+    #[test]
+    fn descendant_steps_add_skip_states() {
+        let nfa = build(&["//a"]);
+        // root + next + skip
+        assert_eq!(nfa.num_states, 3);
+        // any->skip, skip->skip, skip-a->next, root-a->next
+        assert_eq!(nfa.edges.len(), 4);
+    }
+
+    #[test]
+    fn moves_respect_labels_and_wildcards() {
+        let nfa = build(&["//a"]);
+        let a = nfa.symbols.lookup(b"a");
+        let other = ppt_xmlstream::OTHER_SYMBOL;
+        let from_root_on_a = nfa.moves(0, a, true);
+        assert!(from_root_on_a.len() >= 2, "both the skip state and the accept state");
+        let from_root_on_other = nfa.moves(0, other, true);
+        assert_eq!(from_root_on_other.len(), 1, "only the skip state");
+    }
+
+    #[test]
+    fn accepting_states_map_to_subqueries() {
+        let nfa = build(&["/a/b", "/a/c"]);
+        assert_eq!(nfa.accepts.len(), 2);
+        let accepted: Vec<u32> = nfa.accepts.iter().map(|(_, q)| *q).collect();
+        assert_eq!(accepted, vec![0, 1]);
+    }
+
+    #[test]
+    fn attribute_and_text_tests_get_synthetic_symbols() {
+        let nfa = build(&["/a/@id", "/a/text(hello)"]);
+        assert_eq!(nfa.attr_symbols.len(), 1);
+        assert_eq!(nfa.text_symbols.len(), 1);
+        let attr_sym = nfa.attr_symbols[&b"id".to_vec()];
+        assert!(!nfa.is_element_symbol(attr_sym));
+        // Wildcard edges must not fire on synthetic symbols.
+        let wc = build(&["/a/*", "/a/@id"]);
+        let attr_sym = wc.attr_symbols[&b"id".to_vec()];
+        let from_a_context = wc.moves(1, attr_sym, false);
+        // Only the explicit @id edge (if the context is right), never the
+        // wildcard edge of /a/*.
+        for s in from_a_context {
+            assert!(wc.accepted(s).iter().all(|q| *q == 1));
+        }
+    }
+
+    #[test]
+    fn shared_symbols_are_interned_once() {
+        let nfa = build(&["/a/b", "/b/a"]);
+        // OTHER + a + b
+        assert_eq!(nfa.symbols.len(), 3);
+    }
+}

@@ -1,0 +1,294 @@
+//! The deterministic pushdown transducer (§2.2, §3.1).
+//!
+//! The transducer is the 6-tuple (Σ, Γ, ∆, Q, q₀, δ) of §3.1, derived from the
+//! DFA by subset construction:
+//!
+//! * Σ — opening/closing tags over the interned symbol alphabet;
+//! * Γ — the states themselves (every push transition pushes the *current*
+//!   state, every pop transition returns to the popped state);
+//! * ∆ — one output symbol per basic sub-query; a transition that enters an
+//!   accepting DFA state emits the identifiers of the sub-queries accepted
+//!   there;
+//! * δ — `δpush(q, c) = DFA.step(q, c)` for opening tags,
+//!   `δpop(q, c, z) = z` for closing tags, defined only when
+//!   `DFA.step(z, c) = q` (the nested-word discipline: you can only pop back
+//!   into a state you could have come from).
+//!
+//! The inverse index [`Transducer::pop_sources`] materialises exactly that
+//! domain — it is what `funknown` of the PP-Transducer enumerates when a pop
+//! happens with an unknown stack (§4.1).
+
+use crate::dfa::Dfa;
+use crate::nfa::Nfa;
+use ppt_xmlstream::{Symbol, SymbolTable, OTHER_SYMBOL};
+use ppt_xpath::{compile_queries, QueryPlan, XPathError};
+use std::collections::HashMap;
+
+/// Identifier of a transducer state.
+pub type StateId = u32;
+/// Identifier of a basic sub-query (index into the [`QueryPlan`]'s
+/// sub-queries; also the transducer's output alphabet ∆).
+pub type SubQueryId = u32;
+
+/// A compiled deterministic pushdown transducer shared (immutably) by every
+/// worker thread.
+#[derive(Debug, Clone)]
+pub struct Transducer {
+    symbols: SymbolTable,
+    num_symbols: usize,
+    num_states: u32,
+    initial: StateId,
+    /// Dense push-transition table `[state * num_symbols + symbol]`.
+    delta: Vec<StateId>,
+    /// Output symbols emitted when entering each state.
+    matches: Vec<Vec<SubQueryId>>,
+    /// `pop_sources[q * num_symbols + c]` = all states `z` with
+    /// `delta(z, c) == q`, i.e. the stack symbols that may legally be popped
+    /// while in state `q` under closing tag `c`.
+    pop_sources: Vec<Vec<StateId>>,
+    attr_symbols: HashMap<Vec<u8>, Symbol>,
+    text_symbols: HashMap<Vec<u8>, Symbol>,
+    element_symbol: Vec<bool>,
+}
+
+impl Transducer {
+    /// Compiles a transducer straight from query strings (convenience
+    /// wrapper around [`compile_queries`] + [`Transducer::from_plan`]).
+    pub fn from_queries<S: AsRef<str>>(queries: &[S]) -> Result<Transducer, XPathError> {
+        Ok(Self::from_plan(&compile_queries(queries)?))
+    }
+
+    /// Compiles the transducer for every basic sub-query of `plan`.
+    pub fn from_plan(plan: &QueryPlan) -> Transducer {
+        let nfa = Nfa::from_plan(plan);
+        let dfa = Dfa::from_nfa(&nfa);
+        let num_symbols = dfa.num_symbols;
+        let num_states = dfa.num_states;
+
+        let mut pop_sources = vec![Vec::new(); num_states as usize * num_symbols];
+        for z in 0..num_states {
+            for sym in 0..num_symbols {
+                let q = dfa.delta[z as usize * num_symbols + sym];
+                pop_sources[q as usize * num_symbols + sym].push(z);
+            }
+        }
+
+        Transducer {
+            symbols: nfa.symbols,
+            num_symbols,
+            num_states,
+            initial: dfa.initial,
+            delta: dfa.delta,
+            matches: dfa.matches,
+            pop_sources,
+            attr_symbols: nfa.attr_symbols,
+            text_symbols: nfa.text_symbols,
+            element_symbol: nfa.element_symbol,
+        }
+    }
+
+    /// The initial state q₀.
+    #[inline]
+    pub fn initial(&self) -> StateId {
+        self.initial
+    }
+
+    /// Number of states |Q|.
+    #[inline]
+    pub fn num_states(&self) -> u32 {
+        self.num_states
+    }
+
+    /// Number of input symbols |Σ| (including the catch-all).
+    #[inline]
+    pub fn num_symbols(&self) -> usize {
+        self.num_symbols
+    }
+
+    /// The push transition δpush: the state entered from `state` on an
+    /// opening tag carrying `sym` (the caller pushes `state` onto the stack).
+    #[inline]
+    pub fn step(&self, state: StateId, sym: Symbol) -> StateId {
+        self.delta[state as usize * self.num_symbols + sym.index()]
+    }
+
+    /// Output symbols (sub-query ids) emitted when *entering* `state`.
+    #[inline]
+    pub fn output(&self, state: StateId) -> &[SubQueryId] {
+        &self.matches[state as usize]
+    }
+
+    /// All stack symbols `z` for which `δpop(state, sym, z)` is defined, i.e.
+    /// every state that transitions into `state` on `sym`. This is the fan-out
+    /// set considered by `funknown` (§4.1) when the stack is exhausted.
+    #[inline]
+    pub fn pop_sources(&self, state: StateId, sym: Symbol) -> &[StateId] {
+        &self.pop_sources[state as usize * self.num_symbols + sym.index()]
+    }
+
+    /// Maps an element name to its symbol ([`OTHER_SYMBOL`] when no query
+    /// mentions it).
+    #[inline]
+    pub fn classify_name(&self, name: &[u8]) -> Symbol {
+        self.symbols.lookup(name)
+    }
+
+    /// Maps an attribute name to its synthetic symbol, if any query tests it.
+    #[inline]
+    pub fn classify_attr(&self, name: &[u8]) -> Option<Symbol> {
+        self.attr_symbols.get(name).copied()
+    }
+
+    /// Maps exact text content to its synthetic symbol, if any query tests it.
+    #[inline]
+    pub fn classify_text(&self, text: &[u8]) -> Option<Symbol> {
+        if self.text_symbols.is_empty() {
+            return None;
+        }
+        self.text_symbols.get(text).copied()
+    }
+
+    /// `true` when at least one sub-query tests attributes or text, so the
+    /// runtime must lex full events instead of tags only.
+    pub fn needs_full_events(&self) -> bool {
+        !self.attr_symbols.is_empty() || !self.text_symbols.is_empty()
+    }
+
+    /// `true` when `sym` denotes an element (or the catch-all).
+    #[inline]
+    pub fn is_element_symbol(&self, sym: Symbol) -> bool {
+        self.element_symbol.get(sym.index()).copied().unwrap_or(true)
+    }
+
+    /// The symbol table (shared, read-only at run time).
+    pub fn symbols(&self) -> &SymbolTable {
+        &self.symbols
+    }
+
+    /// Approximate size in bytes of the shared transition tables — the
+    /// "largest data structures" of §5.2, used by the Fig 9 working-set
+    /// proxy and by the Fig 14 discussion of transition-table cache misses.
+    pub fn table_bytes(&self) -> usize {
+        self.delta.len() * std::mem::size_of::<StateId>()
+            + self
+                .pop_sources
+                .iter()
+                .map(|v| v.len() * std::mem::size_of::<StateId>())
+                .sum::<usize>()
+            + self
+                .matches
+                .iter()
+                .map(|v| v.len() * std::mem::size_of::<SubQueryId>())
+                .sum::<usize>()
+    }
+
+    /// The catch-all symbol (exposed for tests and the datasets crate).
+    pub fn other_symbol(&self) -> Symbol {
+        OTHER_SYMBOL
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper_transducer() -> Transducer {
+        Transducer::from_queries(&["/a/b/c"]).unwrap()
+    }
+
+    #[test]
+    fn running_example_push_transitions() {
+        // Fig 3: state 1 --a--> 2 --b--> 3 --c--> 4 (with output), everything
+        // else goes to state 0.
+        let t = paper_transducer();
+        let a = t.classify_name(b"a");
+        let b = t.classify_name(b"b");
+        let c = t.classify_name(b"c");
+        let s1 = t.initial();
+        let s2 = t.step(s1, a);
+        let s3 = t.step(s2, b);
+        let s4 = t.step(s3, c);
+        assert!(t.output(s4).contains(&0));
+        assert!(t.output(s1).is_empty());
+        assert!(t.output(s2).is_empty());
+        assert!(t.output(s3).is_empty());
+        let sink = t.step(s1, c);
+        assert_eq!(t.step(sink, a), sink);
+        assert_eq!(t.num_states(), 5);
+    }
+
+    #[test]
+    fn pop_sources_match_the_worked_example() {
+        // §4.1 example: "The only states with pop transitions under the </a>
+        // closing tag are States 0 and 2; … State 2 can only move into State 1
+        // under a pop transition whereas State 0 can move into States 0, 2, 3
+        // and 4."
+        let t = paper_transducer();
+        let a = t.classify_name(b"a");
+        let s1 = t.initial();
+        let s2 = t.step(s1, a);
+        // The sink (paper state 0).
+        let b = t.classify_name(b"b");
+        let sink = t.step(s1, b);
+
+        // State 2 under </a>: only state 1 can be popped.
+        assert_eq!(t.pop_sources(s2, a), &[s1]);
+        // The sink under </a>: the four states whose a-transition leads to the
+        // sink (all states except state 1).
+        let mut from_sink: Vec<StateId> = t.pop_sources(sink, a).to_vec();
+        from_sink.sort_unstable();
+        let mut expected: Vec<StateId> = (0..t.num_states()).filter(|&s| s != s1).collect();
+        expected.sort_unstable();
+        assert_eq!(from_sink, expected);
+        // Every other state has no pop transition under </a>.
+        for s in 0..t.num_states() {
+            if s != s2 && s != sink {
+                assert!(t.pop_sources(s, a).is_empty(), "state {s} must have no </a> pop");
+            }
+        }
+    }
+
+    #[test]
+    fn pop_sources_cover_every_push() {
+        let t = Transducer::from_queries(&["/a/b/c", "//k", "/a//d"]).unwrap();
+        for z in 0..t.num_states() {
+            for sym in 0..t.num_symbols() {
+                let q = t.step(z, Symbol(sym as u32));
+                assert!(
+                    t.pop_sources(q, Symbol(sym as u32)).contains(&z),
+                    "push {z} --{sym}--> {q} must be invertible"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn classify_name_falls_back_to_other() {
+        let t = paper_transducer();
+        assert_eq!(t.classify_name(b"zzz"), OTHER_SYMBOL);
+        assert_ne!(t.classify_name(b"a"), OTHER_SYMBOL);
+    }
+
+    #[test]
+    fn attribute_and_text_classification() {
+        let t = Transducer::from_queries(&["/a/@id", "/a/text(xyz)"]).unwrap();
+        assert!(t.needs_full_events());
+        assert!(t.classify_attr(b"id").is_some());
+        assert!(t.classify_attr(b"other").is_none());
+        assert!(t.classify_text(b"xyz").is_some());
+        assert!(t.classify_text(b"nope").is_none());
+        let plain = paper_transducer();
+        assert!(!plain.needs_full_events());
+        assert!(plain.classify_attr(b"id").is_none());
+        assert!(plain.classify_text(b"xyz").is_none());
+    }
+
+    #[test]
+    fn table_bytes_is_positive_and_grows_with_queries() {
+        let small = Transducer::from_queries(&["/a/b"]).unwrap();
+        let large =
+            Transducer::from_queries(&["/a/b/c/d", "//x//y//z", "/p/q/r/s/t", "/m/n/o"]).unwrap();
+        assert!(small.table_bytes() > 0);
+        assert!(large.table_bytes() > small.table_bytes());
+    }
+}

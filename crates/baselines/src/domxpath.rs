@@ -1,0 +1,275 @@
+//! A complete XPath evaluator over the in-memory [`Document`] tree.
+//!
+//! This evaluator supports the full AST of `ppt-xpath` — child, descendant,
+//! `parent::` and `ancestor::` axes, wildcards, attributes, `text()` tests and
+//! arbitrarily nested boolean predicates — evaluated directly with standard
+//! tree-walking semantics. It is used by the DOM baseline ("PugiXML-like"),
+//! by the indexed baseline for predicate verification, and by the integration
+//! tests as the semantic oracle the PP-Transducer must agree with.
+
+use ppt_xmlstream::{Document, NodeId};
+use ppt_xpath::{Axis, NodeTest, Path, Predicate, Query, Step};
+
+/// Evaluates an absolute query against a document, returning the matching
+/// element nodes in document order (deduplicated).
+pub fn eval_query(doc: &Document, query: &Query) -> Vec<NodeId> {
+    // The virtual context of an absolute path is "above" the root element:
+    // the first step selects the root (or, for a descendant first step, any
+    // element).
+    let mut context: Vec<NodeId> = vec![];
+    let mut first = true;
+    let mut nodes: Vec<NodeId> = Vec::new();
+    for (i, step) in query.path.steps.iter().enumerate() {
+        nodes = if first {
+            first = false;
+            initial_step(doc, step)
+        } else {
+            apply_step(doc, &context, step)
+        };
+        nodes = apply_predicate(doc, nodes, step);
+        if i + 1 < query.path.len() && nodes.is_empty() {
+            return Vec::new();
+        }
+        context = nodes.clone();
+    }
+    dedup_document_order(nodes)
+}
+
+/// Convenience: number of matches of `query`.
+pub fn count_query(doc: &Document, query: &Query) -> usize {
+    eval_query(doc, query).len()
+}
+
+fn initial_step(doc: &Document, step: &Step) -> Vec<NodeId> {
+    let root = doc.root();
+    match step.axis {
+        Axis::Child => {
+            if element_test_matches(doc, root, &step.test) {
+                vec![root]
+            } else {
+                Vec::new()
+            }
+        }
+        Axis::Descendant => {
+            let mut out = Vec::new();
+            if element_test_matches(doc, root, &step.test) {
+                out.push(root);
+            }
+            out.extend(
+                doc.descendants(root)
+                    .into_iter()
+                    .filter(|&n| element_test_matches(doc, n, &step.test)),
+            );
+            out
+        }
+        Axis::Parent | Axis::Ancestor => Vec::new(),
+    }
+}
+
+fn apply_step(doc: &Document, context: &[NodeId], step: &Step) -> Vec<NodeId> {
+    // Attribute and text() tests select attribute/text nodes of the element
+    // reached by the axis; we report the owning element as the match (the
+    // same convention the transducer runtime uses for its synthetic
+    // attribute/text symbols).
+    if matches!(step.test, NodeTest::Attribute(_) | NodeTest::Text(_)) {
+        let candidates: Vec<NodeId> = match step.axis {
+            Axis::Child | Axis::Parent => context.to_vec(),
+            Axis::Descendant => context
+                .iter()
+                .flat_map(|&n| std::iter::once(n).chain(doc.descendants(n)))
+                .collect(),
+            Axis::Ancestor => {
+                let mut out = Vec::new();
+                for &n in context {
+                    let mut cur = doc.node(n).parent;
+                    while let Some(p) = cur {
+                        out.push(p);
+                        cur = doc.node(p).parent;
+                    }
+                }
+                out
+            }
+        };
+        return candidates
+            .into_iter()
+            .filter(|&n| element_test_matches(doc, n, &step.test))
+            .collect();
+    }
+    let mut out = Vec::new();
+    for &node in context {
+        match step.axis {
+            Axis::Child => {
+                for &c in doc.children(node) {
+                    if element_test_matches(doc, c, &step.test) {
+                        out.push(c);
+                    }
+                }
+            }
+            Axis::Descendant => {
+                for d in doc.descendants(node) {
+                    if element_test_matches(doc, d, &step.test) {
+                        out.push(d);
+                    }
+                }
+            }
+            Axis::Parent => {
+                if let Some(p) = doc.node(node).parent {
+                    if element_test_matches(doc, p, &step.test) {
+                        out.push(p);
+                    }
+                }
+            }
+            Axis::Ancestor => {
+                let mut cur = doc.node(node).parent;
+                while let Some(p) = cur {
+                    if element_test_matches(doc, p, &step.test) {
+                        out.push(p);
+                    }
+                    cur = doc.node(p).parent;
+                }
+            }
+        }
+    }
+    out
+}
+
+fn apply_predicate(doc: &Document, nodes: Vec<NodeId>, step: &Step) -> Vec<NodeId> {
+    match &step.predicate {
+        None => nodes,
+        Some(pred) => nodes
+            .into_iter()
+            .filter(|&n| eval_predicate(doc, n, pred))
+            .collect(),
+    }
+}
+
+fn eval_predicate(doc: &Document, node: NodeId, pred: &Predicate) -> bool {
+    match pred {
+        Predicate::Path(path) => !eval_relative(doc, node, path).is_empty(),
+        Predicate::And(a, b) => eval_predicate(doc, node, a) && eval_predicate(doc, node, b),
+        Predicate::Or(a, b) => eval_predicate(doc, node, a) || eval_predicate(doc, node, b),
+        Predicate::Not(a) => !eval_predicate(doc, node, a),
+    }
+}
+
+/// Evaluates a relative path from a context node (used for predicates).
+fn eval_relative(doc: &Document, node: NodeId, path: &Path) -> Vec<NodeId> {
+    let mut context = vec![node];
+    for step in &path.steps {
+        context = apply_step(doc, &context, step);
+        context = apply_predicate(doc, context, step);
+        if context.is_empty() {
+            return context;
+        }
+    }
+    context
+}
+
+fn element_test_matches(doc: &Document, node: NodeId, test: &NodeTest) -> bool {
+    match test {
+        NodeTest::Name(n) => doc.name(node) == n.as_bytes(),
+        NodeTest::Wildcard => true,
+        NodeTest::Attribute(a) => doc
+            .node(node)
+            .attrs
+            .iter()
+            .any(|(k, _)| k.as_slice() == a.as_bytes()),
+        NodeTest::Text(s) => {
+            let text = &doc.node(node).text;
+            trim(text) == s.as_bytes()
+        }
+    }
+}
+
+fn trim(mut s: &[u8]) -> &[u8] {
+    while s.first().is_some_and(|b| b.is_ascii_whitespace()) {
+        s = &s[1..];
+    }
+    while s.last().is_some_and(|b| b.is_ascii_whitespace()) {
+        s = &s[..s.len() - 1];
+    }
+    s
+}
+
+fn dedup_document_order(mut nodes: Vec<NodeId>) -> Vec<NodeId> {
+    nodes.sort_by_key(|n| n.0);
+    nodes.dedup();
+    nodes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppt_xpath::parse_query;
+
+    fn count(xml: &[u8], query: &str) -> usize {
+        let doc = Document::parse(xml).unwrap();
+        count_query(&doc, &parse_query(query).unwrap())
+    }
+
+    #[test]
+    fn child_and_descendant_paths() {
+        let xml = b"<a><b><c/></b><b><c/><c/></b><d><c/></d></a>";
+        assert_eq!(count(xml, "/a/b/c"), 3);
+        assert_eq!(count(xml, "//c"), 4);
+        assert_eq!(count(xml, "/a//c"), 4);
+        assert_eq!(count(xml, "/a/d/c"), 1);
+        assert_eq!(count(xml, "/x"), 0);
+    }
+
+    #[test]
+    fn wildcards_attributes_and_text() {
+        let xml = br#"<a><b id="1">hello</b><c>world</c></a>"#;
+        assert_eq!(count(xml, "/a/*"), 2);
+        assert_eq!(count(xml, "/a/b/@id"), 1);
+        assert_eq!(count(xml, "/a/c/@id"), 0);
+        assert_eq!(count(xml, "/a/b/text(hello)"), 1);
+        assert_eq!(count(xml, "/a/b/text(world)"), 0);
+        assert_eq!(count(xml, "/a/text(hello)"), 0, "the text sits below b, not directly below a");
+        assert_eq!(count(xml, "//@id"), 1);
+    }
+
+    #[test]
+    fn text_test_in_a_predicate() {
+        let xml = b"<a><b>hello</b><b>world</b></a>";
+        let doc = Document::parse(xml).unwrap();
+        let q = parse_query("/a/b[text(hello)]").unwrap();
+        assert_eq!(eval_query(&doc, &q).len(), 1);
+    }
+
+    #[test]
+    fn predicates() {
+        let xml = b"<s><p><x/><n/></p><p><n/></p><p><x/><y/><n/></p></s>";
+        assert_eq!(count(xml, "/s/p[x]/n"), 2);
+        assert_eq!(count(xml, "/s/p[x and y]/n"), 1);
+        assert_eq!(count(xml, "/s/p[x or y]/n"), 2);
+        assert_eq!(count(xml, "/s/p[not(x)]/n"), 1);
+        assert_eq!(count(xml, "/s/p[descendant::x]/n"), 2);
+    }
+
+    #[test]
+    fn parent_and_ancestor_axes() {
+        let xml = b"<s><r><sa><item><name/></item></sa><eu><item><name/></item></eu></r></s>";
+        assert_eq!(count(xml, "/s/r/*/item[parent::sa]/name"), 1);
+        assert_eq!(count(xml, "/s/r/*/item[parent::sa or parent::eu]/name"), 2);
+        let xml2 = b"<r><li><p><k/></p><t><k/></t></li><li><t><x/></t><k/></li></r>";
+        assert_eq!(count(xml2, "//k/ancestor::li/t/k"), 1);
+        assert_eq!(count(xml2, "//k/ancestor::li"), 2);
+    }
+
+    #[test]
+    fn nested_elements_are_handled() {
+        let xml = b"<a><p><x/><n/><p><n/></p></p></a>";
+        assert_eq!(count(xml, "//p[x]/n"), 1);
+        assert_eq!(count(xml, "//p/n"), 2);
+        assert_eq!(count(xml, "//p//n"), 2);
+    }
+
+    #[test]
+    fn results_are_deduplicated() {
+        // //a//c could reach the same c through multiple a ancestors.
+        let xml = b"<a><a><c/></a></a>";
+        assert_eq!(count(xml, "//a//c"), 1);
+        assert_eq!(count(xml, "//a"), 2);
+    }
+}

@@ -1,0 +1,166 @@
+//! "PugiXML-like" baseline: well-formed-fragment splitting, a DOM tree per
+//! fragment, and tree-walking XPath evaluation.
+//!
+//! This engine represents the strongest conventional competitor in the
+//! paper's evaluation (Fig 7): excellent single-thread speed, but its
+//! throughput plateaus at higher core counts because (i) the well-formed
+//! split is sequential and (ii) building a DOM per fragment moves far more
+//! memory per input byte than the PP-Transducer's constant-size state
+//! mappings (the effect Fig 9 shows as falling IPC).
+
+use crate::domxpath::count_query;
+use crate::fragment_stream::fragment_parallel;
+use crate::result::BaselineResult;
+use ppt_xmlstream::Document;
+use ppt_xpath::{parse_query, Query, XPathError};
+use std::time::Instant;
+
+/// Fragment + DOM + XPath baseline.
+#[derive(Debug, Clone)]
+pub struct FragmentDomEngine {
+    queries: Vec<Query>,
+    fragment_size: usize,
+}
+
+impl FragmentDomEngine {
+    /// Parses the query set.
+    pub fn new<S: AsRef<str>>(queries: &[S]) -> Result<Self, XPathError> {
+        let queries: Result<Vec<Query>, XPathError> =
+            queries.iter().map(|q| parse_query(q.as_ref())).collect();
+        Ok(FragmentDomEngine {
+            queries: queries?,
+            fragment_size: crate::fragment_stream::DEFAULT_FRAGMENT_SIZE,
+        })
+    }
+
+    /// Sets the target fragment size in bytes.
+    pub fn fragment_size(mut self, bytes: usize) -> Self {
+        self.fragment_size = bytes.max(1);
+        self
+    }
+
+    /// Evaluates the query set over a whole document without splitting
+    /// (single DOM, single thread). This is both the "PugiXML (not split)"
+    /// configuration of Fig 11 and the exact-semantics oracle used by the
+    /// integration tests.
+    pub fn run_whole_document(&self, data: &[u8]) -> Result<BaselineResult, ppt_xmlstream::XmlError> {
+        let start = Instant::now();
+        let doc = Document::parse(data)?;
+        let parse_time = start.elapsed();
+        let query_start = Instant::now();
+        let match_counts: Vec<usize> =
+            self.queries.iter().map(|q| count_query(&doc, q)).collect();
+        Ok(BaselineResult {
+            match_counts,
+            split_time: parse_time,
+            query_time: query_start.elapsed(),
+            total_time: start.elapsed(),
+            bytes: data.len(),
+            threads: 1,
+            idle_fraction: 0.0,
+            working_set_bytes: doc.heap_bytes(),
+        })
+    }
+
+    /// Processes `data` with `threads` workers, one DOM per fragment.
+    pub fn run(&self, data: &[u8], threads: usize) -> BaselineResult {
+        let start = Instant::now();
+        let queries = &self.queries;
+        let (split, per_fragment, split_time, query_time, idle) =
+            fragment_parallel(data, self.fragment_size, threads, |split, range| {
+                // Re-create a well-formed document for the fragment by
+                // wrapping it in the original root tags (fragments are
+                // sequences of complete depth-1 children).
+                let mut wrapped =
+                    Vec::with_capacity(split.content_start + range.len() + (data.len() - split.content_end));
+                wrapped.extend_from_slice(&data[..split.content_start]);
+                wrapped.extend_from_slice(&data[range.clone()]);
+                wrapped.extend_from_slice(&data[split.content_end..]);
+                match Document::parse(&wrapped) {
+                    Ok(doc) => {
+                        let counts: Vec<usize> =
+                            queries.iter().map(|q| count_query(&doc, q)).collect();
+                        (counts, doc.heap_bytes())
+                    }
+                    Err(_) => (vec![0; queries.len()], 0),
+                }
+            });
+
+        // Per-fragment counts add up; matches on the root element itself would
+        // be double-counted per fragment, so they are corrected afterwards.
+        let fragments = split.fragments.len().max(1);
+        let mut match_counts = vec![0usize; self.queries.len()];
+        let mut working_set = 0usize;
+        for (counts, bytes) in &per_fragment {
+            working_set = working_set.max(*bytes);
+            for (i, c) in counts.iter().enumerate() {
+                match_counts[i] += c;
+            }
+        }
+        for (i, query) in self.queries.iter().enumerate() {
+            if query_targets_root(query) && !per_fragment.is_empty() {
+                // The root element was counted once per fragment; keep one.
+                match_counts[i] = match_counts[i].saturating_sub(fragments - 1);
+            }
+        }
+
+        BaselineResult {
+            match_counts,
+            split_time,
+            query_time,
+            total_time: start.elapsed(),
+            bytes: data.len(),
+            threads,
+            idle_fraction: idle,
+            working_set_bytes: working_set,
+        }
+    }
+}
+
+/// `true` when the query's result set is the root element itself (a one-step
+/// child-axis query), which fragment wrapping would otherwise double count.
+fn query_targets_root(query: &Query) -> bool {
+    query.path.len() == 1 && query.path.steps[0].axis == ppt_xpath::Axis::Child
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc() -> Vec<u8> {
+        let mut s = String::from("<a>");
+        for i in 0..30 {
+            s.push_str(&format!("<b><d>t{i}</d></b><b><c/><c/></b>"));
+        }
+        s.push_str("</a>");
+        s.into_bytes()
+    }
+
+    #[test]
+    fn dom_baseline_matches_ppt_on_fragmented_run() {
+        let queries = ["/a/b/c", "//d", "/a/b[d]", "/a"];
+        let data = doc();
+        let engine = FragmentDomEngine::new(&queries).unwrap().fragment_size(64);
+        let ppt = ppt_core::Engine::from_queries(&queries).unwrap();
+        let b = engine.run(&data, 3);
+        let p = ppt.run(&data);
+        let ppt_counts: Vec<usize> = (0..queries.len()).map(|i| p.match_count(i)).collect();
+        assert_eq!(b.match_counts, ppt_counts);
+    }
+
+    #[test]
+    fn whole_document_mode_is_the_oracle() {
+        let queries = ["/a/b/c", "//c", "/a/b[d]"];
+        let data = doc();
+        let engine = FragmentDomEngine::new(&queries).unwrap();
+        let whole = engine.run_whole_document(&data).unwrap();
+        assert_eq!(whole.match_counts, vec![60, 60, 30]);
+        assert!(whole.working_set_bytes > data.len() / 2, "a DOM is much bigger than the input");
+    }
+
+    #[test]
+    fn malformed_input_is_an_error_in_whole_document_mode() {
+        let engine = FragmentDomEngine::new(&["/a"]).unwrap();
+        assert!(engine.run_whole_document(b"<a><b></a>").is_err());
+    }
+}

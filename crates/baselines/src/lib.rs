@@ -1,0 +1,34 @@
+//! Baseline XML query engines — the comparison points of the paper's
+//! evaluation (§5, "Comparison to other approaches").
+//!
+//! Every baseline is built from scratch on the same substrates as the
+//! PP-Transducer (the `ppt-xmlstream` lexer/DOM and the `ppt-automaton`
+//! transducer) so that the comparison measures *strategies*, not codebases:
+//!
+//! | Engine | Models | Strategy |
+//! |--------|--------|----------|
+//! | [`SequentialStreamEngine`] | XMLTK / MxQuery (single-threaded) | one in-order transducer pass |
+//! | [`FragmentStreamEngine`] | "XMLTK (split)" | sequential well-formed-fragment split, parallel in-order transducers |
+//! | [`FragmentSaxEngine`] | Expat + transducer | as above, but materialising SAX events through a shared allocator |
+//! | [`FragmentDomEngine`] | PugiXML + XPath | sequential split, parallel DOM build + tree-walk XPath |
+//! | [`IndexedEngine`] | MonetDB / Sedna | sequential load + index build, then index-assisted queries |
+//!
+//! The [`domxpath`] module contains a complete XPath evaluator over the
+//! in-memory document tree (including predicates and reverse axes); besides
+//! powering the DOM and indexed baselines it doubles as the semantic oracle
+//! for the integration test-suite.
+
+pub mod domxpath;
+pub mod fragment_dom;
+pub mod fragment_sax;
+pub mod fragment_stream;
+pub mod indexed;
+pub mod result;
+pub mod sequential;
+
+pub use fragment_dom::FragmentDomEngine;
+pub use fragment_sax::FragmentSaxEngine;
+pub use fragment_stream::FragmentStreamEngine;
+pub use indexed::IndexedEngine;
+pub use result::BaselineResult;
+pub use sequential::SequentialStreamEngine;

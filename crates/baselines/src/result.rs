@@ -1,0 +1,61 @@
+//! Common result type reported by every baseline engine.
+
+use std::time::Duration;
+
+/// What a baseline engine reports after a run. The fields mirror the
+/// quantities the paper's figures need: per-phase times (split vs. query vs.
+/// load), match counts for correctness checks, idle time for Fig 20 and a
+/// working-set estimate for the Fig 9 proxy.
+#[derive(Debug, Clone, Default)]
+pub struct BaselineResult {
+    /// Result matches per user query.
+    pub match_counts: Vec<usize>,
+    /// Time spent in the sequential splitting / loading phase.
+    pub split_time: Duration,
+    /// Time spent in the parallel (or single-threaded) query phase.
+    pub query_time: Duration,
+    /// End-to-end wall-clock time.
+    pub total_time: Duration,
+    /// Bytes processed.
+    pub bytes: usize,
+    /// Number of worker threads used.
+    pub threads: usize,
+    /// Fraction of the query phase the workers spent idle (0.0–1.0).
+    pub idle_fraction: f64,
+    /// Peak per-worker heap footprint estimate in bytes.
+    pub working_set_bytes: usize,
+}
+
+impl BaselineResult {
+    /// Throughput in MB/s over the total time.
+    pub fn throughput_mbs(&self) -> f64 {
+        let secs = self.total_time.as_secs_f64();
+        if secs == 0.0 {
+            return 0.0;
+        }
+        self.bytes as f64 / 1_000_000.0 / secs
+    }
+
+    /// Total matches across all queries.
+    pub fn total_matches(&self) -> usize {
+        self.match_counts.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn throughput_and_totals() {
+        let r = BaselineResult {
+            match_counts: vec![2, 3],
+            bytes: 5_000_000,
+            total_time: Duration::from_millis(50),
+            ..Default::default()
+        };
+        assert_eq!(r.total_matches(), 5);
+        assert!((r.throughput_mbs() - 100.0).abs() < 1e-9);
+        assert_eq!(BaselineResult::default().throughput_mbs(), 0.0);
+    }
+}

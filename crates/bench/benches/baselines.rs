@@ -1,0 +1,44 @@
+//! PP-Transducer vs. the baseline engines on the same workload (the
+//! comparison behind Figs 7 and 11).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use ppt_baselines::{FragmentDomEngine, FragmentSaxEngine, FragmentStreamEngine, SequentialStreamEngine};
+use ppt_bench::workloads;
+use ppt_core::{Engine, EngineConfig};
+use ppt_datasets::random_treebank_queries;
+
+fn bench_baselines(c: &mut Criterion) {
+    let data = workloads::treebank(1 << 20);
+    let queries = random_treebank_queries(5, 4, 7);
+    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let fragment = 128 * 1024;
+
+    let mut group = c.benchmark_group("baselines");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(4));
+    group.throughput(Throughput::Bytes(data.len() as u64));
+
+    let ppt = Engine::with_config(
+        &queries,
+        EngineConfig { chunk_size: fragment, threads: Some(threads), ..EngineConfig::default() },
+    )
+    .unwrap();
+    group.bench_function("ppt", |b| b.iter(|| ppt.run(&data)));
+
+    let dom = FragmentDomEngine::new(&queries).unwrap().fragment_size(fragment);
+    group.bench_function("fragment_dom", |b| b.iter(|| dom.run(&data, threads)));
+
+    let sax = FragmentSaxEngine::new(&queries).unwrap().fragment_size(fragment);
+    group.bench_function("fragment_sax", |b| b.iter(|| sax.run(&data, threads)));
+
+    let stream = FragmentStreamEngine::new(&queries).unwrap().fragment_size(fragment);
+    group.bench_function("fragment_stream", |b| b.iter(|| stream.run(&data, threads)));
+
+    let seq = SequentialStreamEngine::new(&queries).unwrap();
+    group.bench_function("sequential_stream", |b| b.iter(|| seq.run(&data)));
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_baselines);
+criterion_main!(benches);

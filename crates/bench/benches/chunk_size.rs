@@ -1,0 +1,30 @@
+//! Chunk-size ablation (Fig 16): how the target chunk size affects the
+//! end-to-end execution time.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ppt_bench::workloads;
+use ppt_core::{Engine, EngineConfig};
+use ppt_datasets::random_treebank_queries;
+
+fn bench_chunk_sizes(c: &mut Criterion) {
+    let data = workloads::treebank(2 << 20);
+    let queries = random_treebank_queries(5, 4, 7);
+    let mut group = c.benchmark_group("chunk_size");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(4));
+    group.throughput(Throughput::Bytes(data.len() as u64));
+    for chunk_kb in [16usize, 64, 256, 1024, 4096] {
+        let engine = Engine::with_config(
+            &queries,
+            EngineConfig { chunk_size: chunk_kb * 1024, ..EngineConfig::default() },
+        )
+        .unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(chunk_kb), &engine, |b, engine| {
+            b.iter(|| engine.run(&data))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_chunk_sizes);
+criterion_main!(benches);

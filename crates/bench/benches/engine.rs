@@ -1,0 +1,44 @@
+//! End-to-end engine throughput on each dataset family (the headline numbers
+//! behind Figs 7, 8 and 11).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ppt_bench::workloads;
+use ppt_core::{Engine, EngineConfig};
+use ppt_datasets::{random_treebank_queries, twitter_query, xpathmark_queries};
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let cases: Vec<(&str, Vec<u8>, Vec<String>)> = vec![
+        (
+            "xmark_a1_a3",
+            workloads::xmark(2 << 20),
+            xpathmark_queries().iter().take(3).map(|(_, q)| q.to_string()).collect(),
+        ),
+        (
+            "treebank_5rules",
+            workloads::treebank(2 << 20),
+            random_treebank_queries(5, 4, 7),
+        ),
+        ("twitter_coords", workloads::twitter(2 << 20), vec![twitter_query().to_string()]),
+    ];
+    let mut group = c.benchmark_group("engine");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(5));
+    for (name, data, queries) in &cases {
+        group.throughput(Throughput::Bytes(data.len() as u64));
+        let engine = Engine::with_config(
+            queries,
+            EngineConfig { chunk_size: 256 * 1024, ..EngineConfig::default() },
+        )
+        .unwrap();
+        group.bench_with_input(BenchmarkId::new("parallel", *name), data, |b, data| {
+            b.iter(|| engine.run(data))
+        });
+        group.bench_with_input(BenchmarkId::new("sequential", *name), data, |b, data| {
+            b.iter(|| engine.run_sequential(data))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_end_to_end);
+criterion_main!(benches);

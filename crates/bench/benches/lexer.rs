@@ -1,0 +1,29 @@
+//! Lexer throughput: the cost of turning bytes into tag events, which bounds
+//! every engine in the workspace.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ppt_bench::workloads;
+use ppt_xmlstream::Lexer;
+
+fn bench_lexer(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lexer");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    for (name, data) in [
+        ("xmark", workloads::xmark(2 << 20)),
+        ("treebank", workloads::treebank(2 << 20)),
+        ("twitter", workloads::twitter(2 << 20)),
+    ] {
+        group.throughput(Throughput::Bytes(data.len() as u64));
+        group.bench_with_input(BenchmarkId::new("tags_only", name), &data, |b, data| {
+            b.iter(|| Lexer::tags_only(data).count())
+        });
+        group.bench_with_input(BenchmarkId::new("full_events", name), &data, |b, data| {
+            b.iter(|| Lexer::new(data).count())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_lexer);
+criterion_main!(benches);

@@ -1,0 +1,114 @@
+//! `repro` — regenerate every table and figure of the paper's evaluation.
+//!
+//! ```text
+//! cargo run -p ppt-bench --release --bin repro -- <experiment> [options]
+//!
+//! experiments: table1 table2 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14
+//!              fig15 fig16 fig18 fig20 overhead all list
+//!
+//! options:
+//!   --scale-mb <f64>    target dataset size in MB (default 8)
+//!   --threads <usize>   maximum worker threads to sweep (default: available cores)
+//!   --chunk-kb <usize>  PP-Transducer chunk size in kB (default 1024)
+//!   --json              additionally print each table as JSON
+//! ```
+
+use ppt_bench::experiments::{all_experiments, ExpConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        usage();
+        std::process::exit(1);
+    }
+
+    let mut experiment = String::new();
+    let mut cfg = ExpConfig::default();
+    let mut json = false;
+
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale-mb" => {
+                i += 1;
+                let mb: f64 = args.get(i).and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--scale-mb needs a number");
+                    std::process::exit(2);
+                });
+                cfg.dataset_bytes = (mb * 1_000_000.0) as usize;
+            }
+            "--threads" => {
+                i += 1;
+                cfg.max_threads = args.get(i).and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--threads needs an integer");
+                    std::process::exit(2);
+                });
+            }
+            "--chunk-kb" => {
+                i += 1;
+                let kb: usize = args.get(i).and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--chunk-kb needs an integer");
+                    std::process::exit(2);
+                });
+                cfg.chunk_size = kb * 1024;
+            }
+            "--json" => json = true,
+            "--help" | "-h" => {
+                usage();
+                return;
+            }
+            other if experiment.is_empty() && !other.starts_with("--") => {
+                experiment = other.to_string();
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                usage();
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    if experiment.is_empty() || experiment == "list" {
+        println!("available experiments:");
+        for (id, _) in all_experiments() {
+            println!("  {id}");
+        }
+        println!("  all");
+        return;
+    }
+
+    let experiments = all_experiments();
+    let selected: Vec<&(&str, fn(&ExpConfig) -> ppt_bench::Table)> = if experiment == "all" {
+        experiments.iter().collect()
+    } else {
+        let found: Vec<_> = experiments.iter().filter(|(id, _)| *id == experiment).collect();
+        if found.is_empty() {
+            eprintln!("unknown experiment `{experiment}`; use `list` to see the available ones");
+            std::process::exit(2);
+        }
+        found
+    };
+
+    println!(
+        "# PP-Transducer reproduction harness — scale {:.1} MB, up to {} threads, {} kB chunks\n",
+        cfg.dataset_bytes as f64 / 1_000_000.0,
+        cfg.max_threads,
+        cfg.chunk_size / 1024
+    );
+    for (id, f) in selected {
+        let start = std::time::Instant::now();
+        let table = f(&cfg);
+        println!("{}", table.render());
+        if json {
+            println!("{}", table.to_json());
+        }
+        println!("[{} completed in {:.1}s]\n", id, start.elapsed().as_secs_f64());
+    }
+}
+
+fn usage() {
+    println!(
+        "usage: repro <experiment|all|list> [--scale-mb N] [--threads N] [--chunk-kb N] [--json]"
+    );
+}

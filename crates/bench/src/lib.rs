@@ -1,0 +1,14 @@
+//! Benchmark harness support library.
+//!
+//! The `repro` binary (one subcommand per table/figure of the paper's
+//! evaluation section) and the Criterion micro-benchmarks share the helpers in
+//! this crate: dataset construction at a configurable scale
+//! ([`workloads`]), the experiment implementations ([`experiments`]) and a
+//! small plain-text/JSON table reporter ([`report`]).
+
+pub mod experiments;
+pub mod report;
+pub mod workloads;
+
+pub use experiments::ExpConfig;
+pub use report::Table;

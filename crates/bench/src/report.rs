@@ -1,0 +1,133 @@
+//! Plain-text (and optional JSON) table output for the experiment harness.
+
+use serde::Serialize;
+
+/// One experiment result table: a title, column headers and string rows.
+#[derive(Debug, Clone, Serialize, Default)]
+pub struct Table {
+    /// Table/figure identifier and description.
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Rows (already formatted).
+    pub rows: Vec<Vec<String>>,
+    /// Free-form notes printed below the table (substitutions, caveats).
+    pub notes: Vec<String>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(title: &str, headers: &[&str]) -> Table {
+        Table {
+            title: title.to_string(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    pub fn row(&mut self, cells: Vec<String>) {
+        self.rows.push(cells);
+    }
+
+    /// Appends a note.
+    pub fn note(&mut self, note: &str) {
+        self.notes.push(note.to_string());
+    }
+
+    /// Renders the table as aligned plain text.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                if i >= widths.len() {
+                    widths.push(cell.len());
+                } else {
+                    widths[i] = widths[i].max(cell.len());
+                }
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("== {} ==\n", self.title));
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:<width$}", c, width = widths.get(i).copied().unwrap_or(c.len())))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        for note in &self.notes {
+            out.push_str(&format!("note: {note}\n"));
+        }
+        out
+    }
+
+    /// Renders the table as a JSON object.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("table serialises")
+    }
+}
+
+/// Formats a float with a sensible number of digits for throughput-style
+/// values.
+pub fn fmt_f64(v: f64) -> String {
+    if v >= 100.0 {
+        format!("{v:.0}")
+    } else if v >= 1.0 {
+        format!("{v:.1}")
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+/// Formats a duration in seconds.
+pub fn fmt_secs(d: std::time::Duration) -> String {
+    let s = d.as_secs_f64();
+    if s >= 1.0 {
+        format!("{s:.2}s")
+    } else {
+        format!("{:.1}ms", s * 1000.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut t = Table::new("Test", &["name", "value"]);
+        t.row(vec!["short".into(), "1".into()]);
+        t.row(vec!["much longer name".into(), "2".into()]);
+        t.note("a note");
+        let text = t.render();
+        assert!(text.contains("== Test =="));
+        assert!(text.contains("much longer name"));
+        assert!(text.contains("note: a note"));
+        let json = t.to_json();
+        assert!(json.contains("\"rows\""));
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(fmt_f64(1234.7), "1235");
+        assert_eq!(fmt_f64(12.34), "12.3");
+        assert_eq!(fmt_f64(0.1234), "0.123");
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(fmt_secs(std::time::Duration::from_millis(1500)), "1.50s");
+        assert_eq!(fmt_secs(std::time::Duration::from_millis(5)), "5.0ms");
+    }
+}

@@ -1,0 +1,130 @@
+//! Dataset and query-set construction at a configurable scale, shared by the
+//! `repro` harness and the Criterion benchmarks.
+
+use ppt_datasets::{SkewConfig, SkewMode, SynthConfig, TreebankConfig, TwitterConfig, XmarkConfig};
+
+/// Generates the XMark-lite dataset at roughly `bytes` bytes.
+pub fn xmark(bytes: usize) -> Vec<u8> {
+    XmarkConfig::with_target_size(bytes).generate()
+}
+
+/// Generates the Treebank-like dataset at roughly `bytes` bytes.
+pub fn treebank(bytes: usize) -> Vec<u8> {
+    TreebankConfig::with_target_size(bytes).generate()
+}
+
+/// Generates the Twitter-like dataset at roughly `bytes` bytes.
+pub fn twitter(bytes: usize) -> Vec<u8> {
+    TwitterConfig::with_target_size(bytes).generate()
+}
+
+/// Generates a `Synth(depth, branch)` dataset at roughly `bytes` bytes.
+pub fn synth(depth: usize, branch: usize, bytes: usize) -> Vec<u8> {
+    SynthConfig::with_target_size(depth, branch, bytes).generate()
+}
+
+/// Generates a skewed Treebank-tag dataset: `items` items whose size follows
+/// a log-normal distribution with the given scale factor.
+pub fn skew(mode: SkewMode, scale: f64, items: usize) -> Vec<u8> {
+    SkewConfig { items, scale, mode, seed: 42 }.generate()
+}
+
+/// The thread counts swept by the scaling experiments: 1, 2, 4, … up to
+/// `max` (always including `max` itself).
+pub fn thread_counts(max: usize) -> Vec<usize> {
+    let max = max.max(1);
+    let mut counts = Vec::new();
+    let mut t = 1;
+    while t < max {
+        counts.push(t);
+        t *= 2;
+    }
+    counts.push(max);
+    counts.dedup();
+    counts
+}
+
+/// Query sets of different sizes over the Twitter schema, used by Fig 11's
+/// 1 / 10 / 100 query configurations. The first query is always the paper's
+/// coordinate filter; further queries are distinct combinations of path
+/// prefixes, leaf elements and simple predicates.
+pub fn twitter_query_set(count: usize) -> Vec<String> {
+    let status_leaves = ["id", "text", "source", "created_at", "retweet_count"];
+    let user_leaves = ["id", "name", "screen_name", "followers_count", "location"];
+    let predicates = [
+        "",
+        "[coordinates]",
+        "[user]",
+        "[retweet_count]",
+        "[source]",
+        "[text]",
+        "[created_at]",
+    ];
+    let prefixes: [(&str, &[&str]); 6] = [
+        ("//status", &status_leaves),
+        ("//status/user", &user_leaves),
+        ("//retweeted_status/status", &status_leaves),
+        ("//retweeted_status/status/user", &user_leaves),
+        ("/statuses/status", &status_leaves),
+        ("/statuses/status/user", &user_leaves),
+    ];
+    let mut queries = vec![ppt_datasets::twitter_query().to_string()];
+    'outer: for pred in predicates {
+        for (prefix, leaves) in prefixes {
+            // Predicates only make sense on the status element, not on user.
+            if !pred.is_empty() && prefix.ends_with("user") {
+                continue;
+            }
+            for leaf in leaves {
+                let q = if pred.is_empty() {
+                    format!("{prefix}/{leaf}")
+                } else {
+                    // Attach the predicate to the last status step.
+                    format!("{prefix}{pred}/{leaf}")
+                };
+                if !queries.contains(&q) {
+                    queries.push(q);
+                }
+                if queries.len() >= count.max(1) {
+                    break 'outer;
+                }
+            }
+        }
+    }
+    queries.truncate(count.max(1));
+    queries
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thread_count_sweeps() {
+        assert_eq!(thread_counts(1), vec![1]);
+        assert_eq!(thread_counts(4), vec![1, 2, 4]);
+        assert_eq!(thread_counts(6), vec![1, 2, 4, 6]);
+        assert_eq!(thread_counts(16), vec![1, 2, 4, 8, 16]);
+    }
+
+    #[test]
+    fn twitter_query_sets_scale() {
+        assert_eq!(twitter_query_set(1).len(), 1);
+        let ten = twitter_query_set(10);
+        assert_eq!(ten.len(), 10);
+        // All parse.
+        assert!(ppt_xpath::compile_queries(&ten).is_ok());
+        let hundred = twitter_query_set(100);
+        assert_eq!(hundred.len(), 100);
+        assert!(ppt_xpath::compile_queries(&hundred).is_ok());
+    }
+
+    #[test]
+    fn generators_produce_data() {
+        assert!(!xmark(50_000).is_empty());
+        assert!(!treebank(50_000).is_empty());
+        assert!(!twitter(50_000).is_empty());
+        assert!(!synth(5, 3, 50_000).is_empty());
+        assert!(!skew(SkewMode::Text, 1.0, 100).is_empty());
+    }
+}

@@ -1,0 +1,381 @@
+//! The public façade: compile a query set once, run it over XML bytes or
+//! readers.
+//!
+//! ```
+//! use ppt_core::engine::Engine;
+//!
+//! let engine = Engine::builder()
+//!     .add_query("/a/b/c")
+//!     .unwrap()
+//!     .add_query("//d")
+//!     .unwrap()
+//!     .build()
+//!     .unwrap();
+//! let result = engine.run(b"<a><b><d></d></b><b><c></c></b></a>");
+//! assert_eq!(result.match_count(0), 1);
+//! assert_eq!(result.match_count(1), 1);
+//! ```
+
+use crate::chunk::EngineKind;
+use crate::filter::apply_filters;
+pub use crate::filter::QueryMatch;
+use crate::parallel::{run_parallel, ParallelConfig, StreamProcessor};
+use crate::stats::RunStats;
+use ppt_automaton::Transducer;
+use ppt_xpath::{compile_queries, QueryPlan, XPathError};
+use std::io::Read;
+use std::time::Instant;
+
+/// Runtime configuration of an [`Engine`].
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Target chunk size in bytes for the split phase (default 1 MiB; the
+    /// paper's prototype defaults to 10 MB, Fig 16 shows anything ≥ 1 MB
+    /// behaves the same).
+    pub chunk_size: usize,
+    /// Number of worker threads (`None` = rayon's default, usually the number
+    /// of logical cores).
+    pub threads: Option<usize>,
+    /// Per-chunk engine: the double tree (default) or the naive mapping.
+    pub engine: EngineKind,
+    /// Resolve element end offsets. Forced on when any query carries a
+    /// predicate filter.
+    pub resolve_spans: bool,
+    /// Window size used by [`Engine::run_reader`] (default 16 MiB).
+    pub window_size: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            chunk_size: 1 << 20,
+            threads: None,
+            engine: EngineKind::Tree,
+            resolve_spans: true,
+            window_size: 16 << 20,
+        }
+    }
+}
+
+/// Builder for [`Engine`].
+#[derive(Debug, Default)]
+pub struct EngineBuilder {
+    queries: Vec<String>,
+    config: EngineConfig,
+}
+
+impl EngineBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> EngineBuilder {
+        EngineBuilder { queries: Vec::new(), config: EngineConfig::default() }
+    }
+
+    /// Adds one XPath query; the query is parsed eagerly so errors surface
+    /// immediately.
+    pub fn add_query(mut self, query: &str) -> Result<EngineBuilder, XPathError> {
+        ppt_xpath::parse_query(query)?;
+        self.queries.push(query.to_string());
+        Ok(self)
+    }
+
+    /// Adds several queries at once.
+    pub fn add_queries<S: AsRef<str>>(mut self, queries: &[S]) -> Result<EngineBuilder, XPathError> {
+        for q in queries {
+            ppt_xpath::parse_query(q.as_ref())?;
+            self.queries.push(q.as_ref().to_string());
+        }
+        Ok(self)
+    }
+
+    /// Sets the target chunk size in bytes.
+    pub fn chunk_size(mut self, bytes: usize) -> EngineBuilder {
+        self.config.chunk_size = bytes.max(1);
+        self
+    }
+
+    /// Sets the number of worker threads.
+    pub fn threads(mut self, threads: usize) -> EngineBuilder {
+        self.config.threads = Some(threads.max(1));
+        self
+    }
+
+    /// Selects the per-chunk engine.
+    pub fn engine_kind(mut self, kind: EngineKind) -> EngineBuilder {
+        self.config.engine = kind;
+        self
+    }
+
+    /// Enables or disables element-span resolution (forced on for predicated
+    /// queries).
+    pub fn resolve_spans(mut self, enable: bool) -> EngineBuilder {
+        self.config.resolve_spans = enable;
+        self
+    }
+
+    /// Sets the window size used for streaming readers.
+    pub fn window_size(mut self, bytes: usize) -> EngineBuilder {
+        self.config.window_size = bytes.max(4096);
+        self
+    }
+
+    /// Compiles the query set into an [`Engine`].
+    pub fn build(self) -> Result<Engine, XPathError> {
+        Engine::with_config(&self.queries, self.config)
+    }
+}
+
+/// A compiled PP-Transducer engine, cheap to share across runs.
+#[derive(Debug, Clone)]
+pub struct Engine {
+    plan: QueryPlan,
+    transducer: Transducer,
+    config: EngineConfig,
+}
+
+impl Engine {
+    /// Starts building an engine.
+    pub fn builder() -> EngineBuilder {
+        EngineBuilder::new()
+    }
+
+    /// Compiles an engine from query strings with the default configuration.
+    pub fn from_queries<S: AsRef<str>>(queries: &[S]) -> Result<Engine, XPathError> {
+        Engine::with_config(queries, EngineConfig::default())
+    }
+
+    /// Compiles an engine from query strings with an explicit configuration.
+    pub fn with_config<S: AsRef<str>>(
+        queries: &[S],
+        mut config: EngineConfig,
+    ) -> Result<Engine, XPathError> {
+        let plan = compile_queries(queries)?;
+        // Predicate filtering needs element spans.
+        if plan.queries.iter().any(|q| q.filter.is_some()) {
+            config.resolve_spans = true;
+        }
+        let transducer = Transducer::from_plan(&plan);
+        Ok(Engine { plan, transducer, config })
+    }
+
+    /// The compiled query plan.
+    pub fn plan(&self) -> &QueryPlan {
+        &self.plan
+    }
+
+    /// The compiled pushdown transducer.
+    pub fn transducer(&self) -> &Transducer {
+        &self.transducer
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    fn parallel_config(&self) -> ParallelConfig {
+        ParallelConfig {
+            chunk_size: self.config.chunk_size,
+            threads: self.config.threads,
+            engine: self.config.engine,
+            resolve_spans: self.config.resolve_spans,
+        }
+    }
+
+    /// Runs the engine over an in-memory byte slice using the parallel
+    /// pipeline (split → parallel → join → filter).
+    pub fn run(&self, data: &[u8]) -> QueryResult {
+        let (matches, stats) = run_parallel(&self.transducer, data, self.parallel_config());
+        self.finish(matches, stats)
+    }
+
+    /// Runs the engine strictly in order on a single thread (one chunk, one
+    /// execution path). This is the "PPT (1 thread)" configuration of Fig 11
+    /// and the semantic reference for differential tests.
+    pub fn run_sequential(&self, data: &[u8]) -> QueryResult {
+        let config = ParallelConfig {
+            chunk_size: data.len().max(1),
+            threads: Some(1),
+            engine: self.config.engine,
+            resolve_spans: self.config.resolve_spans,
+        };
+        let (matches, stats) = run_parallel(&self.transducer, data, config);
+        self.finish(matches, stats)
+    }
+
+    /// Runs the engine over a reader, processing the stream window-by-window
+    /// with bounded memory. Windows are cut at tag boundaries so chunks never
+    /// straddle a window.
+    pub fn run_reader<R: Read>(&self, mut reader: R) -> std::io::Result<QueryResult> {
+        let window_size = self.config.window_size;
+        let mut proc = StreamProcessor::new(&self.transducer, self.parallel_config());
+        let mut buf: Vec<u8> = Vec::with_capacity(window_size + 4096);
+        let mut chunk = vec![0u8; 64 * 1024];
+        loop {
+            let n = reader.read(&mut chunk)?;
+            if n == 0 {
+                break;
+            }
+            buf.extend_from_slice(&chunk[..n]);
+            if buf.len() >= window_size {
+                // Cut at the last '<' so no tag straddles the window boundary.
+                let cut = buf.iter().rposition(|&b| b == b'<').unwrap_or(buf.len());
+                let cut = if cut == 0 { buf.len() } else { cut };
+                proc.feed(&buf[..cut]);
+                buf.drain(..cut);
+            }
+        }
+        if !buf.is_empty() {
+            proc.feed(&buf);
+        }
+        let (matches, stats) = proc.finish();
+        Ok(self.finish(matches, stats))
+    }
+
+    fn finish(&self, matches: Vec<crate::parallel::ResolvedMatch>, mut stats: RunStats) -> QueryResult {
+        let filter_start = Instant::now();
+        let outcome = apply_filters(&self.plan, &matches);
+        stats.timings.filter = filter_start.elapsed();
+        stats.timings.total += stats.timings.filter;
+        QueryResult {
+            query_matches: outcome.matches,
+            submatch_counts: outcome.submatch_counts,
+            subquery_match_total: matches.len(),
+            stats,
+        }
+    }
+}
+
+/// The result of one engine run.
+#[derive(Debug, Clone, Default)]
+pub struct QueryResult {
+    /// Matches per user query, in the order queries were added.
+    pub query_matches: Vec<Vec<QueryMatch>>,
+    /// Total basic sub-query matches attributed to each query before
+    /// filtering (Table 2's "# sub-matches").
+    pub submatch_counts: Vec<usize>,
+    /// Total basic sub-query matches across the whole run.
+    pub subquery_match_total: usize,
+    /// Execution statistics.
+    pub stats: RunStats,
+}
+
+impl QueryResult {
+    /// Number of result matches for query `q`.
+    pub fn match_count(&self, q: usize) -> usize {
+        self.query_matches.get(q).map(|m| m.len()).unwrap_or(0)
+    }
+
+    /// The matches of query `q`.
+    pub fn matches(&self, q: usize) -> &[QueryMatch] {
+        self.query_matches.get(q).map(|m| m.as_slice()).unwrap_or(&[])
+    }
+
+    /// Total number of result matches across all queries.
+    pub fn total_matches(&self) -> usize {
+        self.query_matches.iter().map(|m| m.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DOC: &[u8] = b"<a><b><d></d></b><b><c></c></b></a>";
+
+    #[test]
+    fn builder_and_run() {
+        let engine = Engine::builder()
+            .add_query("/a/b/c")
+            .unwrap()
+            .add_query("//d")
+            .unwrap()
+            .chunk_size(8)
+            .threads(2)
+            .build()
+            .unwrap();
+        let result = engine.run(DOC);
+        assert_eq!(result.match_count(0), 1);
+        assert_eq!(result.match_count(1), 1);
+        assert_eq!(result.total_matches(), 2);
+        // The /a/b/c match's span covers exactly "<c></c>".
+        let m = result.matches(0)[0];
+        assert_eq!(&DOC[m.start..m.end], b"<c></c>");
+    }
+
+    #[test]
+    fn invalid_queries_fail_at_build_time() {
+        assert!(Engine::builder().add_query("a/b").is_err());
+        assert!(Engine::from_queries(&["/a[b"]).is_err());
+        assert!(Engine::from_queries(&["/a/parent::b"]).is_err());
+    }
+
+    #[test]
+    fn parallel_and_sequential_agree() {
+        let engine = Engine::builder()
+            .add_queries(&["/a/b/c", "//b", "/a/b[d]"])
+            .unwrap()
+            .chunk_size(4)
+            .threads(3)
+            .build()
+            .unwrap();
+        let par = engine.run(DOC);
+        let seq = engine.run_sequential(DOC);
+        assert_eq!(par.query_matches, seq.query_matches);
+        assert_eq!(par.submatch_counts, seq.submatch_counts);
+    }
+
+    #[test]
+    fn reader_api_matches_in_memory_run() {
+        let engine = Engine::builder()
+            .add_queries(&["/a/b/c", "//d"])
+            .unwrap()
+            .chunk_size(4)
+            .window_size(4096)
+            .build()
+            .unwrap();
+        let from_slice = engine.run(DOC);
+        let from_reader = engine.run_reader(std::io::Cursor::new(DOC.to_vec())).unwrap();
+        assert_eq!(from_slice.query_matches, from_reader.query_matches);
+    }
+
+    #[test]
+    fn predicated_queries_force_span_resolution() {
+        let engine = Engine::builder()
+            .add_query("/a/b[d]")
+            .unwrap()
+            .resolve_spans(false)
+            .build()
+            .unwrap();
+        assert!(engine.config().resolve_spans);
+        let result = engine.run(DOC);
+        assert_eq!(result.match_count(0), 1);
+    }
+
+    #[test]
+    fn stats_are_populated() {
+        let engine = Engine::builder()
+            .add_query("//b")
+            .unwrap()
+            .chunk_size(6)
+            .threads(2)
+            .build()
+            .unwrap();
+        let result = engine.run(DOC);
+        let s = &result.stats;
+        assert_eq!(s.bytes, DOC.len());
+        assert!(s.chunks >= 2);
+        assert_eq!(s.threads, 2);
+        assert!(s.tag_events > 0);
+        assert!(s.overhead_factor() >= 1.0);
+        assert_eq!(result.subquery_match_total, 2);
+    }
+
+    #[test]
+    fn empty_document() {
+        let engine = Engine::from_queries(&["/a"]).unwrap();
+        let result = engine.run(b"");
+        assert_eq!(result.total_matches(), 0);
+        let result = engine.run_reader(std::io::empty()).unwrap();
+        assert_eq!(result.total_matches(), 0);
+    }
+}

@@ -1,0 +1,244 @@
+//! Unification of mappings (§4.1, Alg 2).
+//!
+//! Two map entries unify when (i) the finishing state of the first equals the
+//! starting state of the second and (ii) the stacks are consistent: the
+//! symbols the second chunk popped from its pre-existing stack must be exactly
+//! the symbols the first chunk left on top of its finishing stack (rule 4,
+//! applied recursively). When one side runs out first, the leftover carries
+//! through to the unified entry (rules 1–3). Outputs concatenate in document
+//! order. Pairs that cannot be unified are discarded (rule 5).
+
+use crate::mapping::{MapEntry, Mapping};
+
+/// Attempts to unify two entries, `first` describing the earlier part of the
+/// stream and `second` the later part. Returns `None` when the pair cannot be
+/// unified (rule 5).
+pub fn unify_entries(first: &MapEntry, second: &MapEntry) -> Option<MapEntry> {
+    // Condition (i): the first entry must finish in the state the second
+    // started from.
+    if first.finish_state != second.start_state {
+        return None;
+    }
+    // Condition (ii) / rule 4: the second chunk pops symbols from the top of
+    // the first chunk's leftover stack. `second.start_stack[0]` is the first
+    // symbol it popped, which must be the top (= last element) of
+    // `first.finish_stack`, and so on.
+    let mut remaining_finish = first.finish_stack.clone();
+    let mut consumed = 0usize;
+    while consumed < second.start_stack.len() {
+        match remaining_finish.pop() {
+            Some(top) => {
+                if top != second.start_stack[consumed] {
+                    return None; // mismatching stack symbol
+                }
+                consumed += 1;
+            }
+            None => break, // the first chunk's stack is exhausted (rule 3)
+        }
+    }
+
+    // Whatever the second chunk popped beyond the first chunk's pushes came
+    // from before the first chunk: it extends the unified starting stack.
+    let mut start_stack = first.start_stack.clone();
+    start_stack.extend_from_slice(&second.start_stack[consumed..]);
+
+    // The unified finishing stack: the second chunk's pushes on top of the
+    // first chunk's surviving pushes.
+    let mut finish_stack = remaining_finish;
+    finish_stack.extend_from_slice(&second.finish_stack);
+
+    let mut outputs = first.outputs.clone();
+    outputs.extend_from_slice(&second.outputs);
+
+    Some(MapEntry {
+        start_state: first.start_state,
+        start_stack,
+        finish_state: second.finish_state,
+        finish_stack,
+        outputs,
+    })
+}
+
+/// Unifies two mappings: the cross product of entries, keeping successful
+/// unifications (`J` of §4.1).
+pub fn unify_mappings(first: &Mapping, second: &Mapping) -> Mapping {
+    let mut entries = Vec::new();
+    for a in &first.entries {
+        for b in &second.entries {
+            if let Some(e) = unify_entries(a, b) {
+                entries.push(e);
+            }
+        }
+    }
+    Mapping { entries }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapping::{ChunkMatch, Mapping};
+    use ppt_automaton::Transducer;
+    use ppt_xmlstream::Symbol;
+
+    fn entry(
+        qs: u32,
+        zs: &[u32],
+        qf: u32,
+        zf: &[u32],
+        outs: usize,
+    ) -> MapEntry {
+        MapEntry {
+            start_state: qs,
+            start_stack: zs.to_vec(),
+            finish_state: qf,
+            finish_stack: zf.to_vec(),
+            outputs: (0..outs)
+                .map(|i| ChunkMatch { pos: i, end: usize::MAX, rel_depth: 1, subquery: 0 })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn rule1_no_stacks() {
+        // j((qs, zs, q, ε, o1), (q, ε, qf, zf, o2)) with empty stacks.
+        let a = entry(1, &[], 2, &[], 1);
+        let b = entry(2, &[], 3, &[], 2);
+        let u = unify_entries(&a, &b).unwrap();
+        assert_eq!(u.start_state, 1);
+        assert_eq!(u.finish_state, 3);
+        assert!(u.start_stack.is_empty() && u.finish_stack.is_empty());
+        assert_eq!(u.outputs.len(), 3);
+    }
+
+    #[test]
+    fn rule2_first_entry_keeps_its_finish_stack() {
+        // First chunk left [7, 8] on the stack (8 on top); second chunk never
+        // touched it.
+        let a = entry(1, &[], 2, &[7, 8], 0);
+        let b = entry(2, &[], 3, &[9], 0);
+        let u = unify_entries(&a, &b).unwrap();
+        assert_eq!(u.finish_stack, vec![7, 8, 9], "second chunk's pushes sit on top");
+        assert!(u.start_stack.is_empty());
+    }
+
+    #[test]
+    fn rule3_second_entry_extends_the_start_stack() {
+        // The second chunk popped deeper than the first chunk pushed.
+        let a = entry(1, &[5], 2, &[], 0);
+        let b = entry(2, &[6, 7], 3, &[], 0);
+        let u = unify_entries(&a, &b).unwrap();
+        assert_eq!(u.start_stack, vec![5, 6, 7]);
+        assert!(u.finish_stack.is_empty());
+    }
+
+    #[test]
+    fn rule4_common_symbols_cancel() {
+        // First chunk pushed [3, 4] (4 on top); second chunk popped 4 then 3
+        // and then one more unknown symbol 9.
+        let a = entry(1, &[], 2, &[3, 4], 0);
+        let b = entry(2, &[4, 3, 9], 5, &[6], 0);
+        let u = unify_entries(&a, &b).unwrap();
+        assert_eq!(u.start_stack, vec![9]);
+        assert_eq!(u.finish_stack, vec![6]);
+        assert_eq!(u.finish_state, 5);
+    }
+
+    #[test]
+    fn rule5_failures() {
+        // Mismatching states.
+        assert!(unify_entries(&entry(1, &[], 2, &[], 0), &entry(3, &[], 4, &[], 0)).is_none());
+        // Mismatching stack symbols: first pushed 3 on top but second popped 4.
+        assert!(unify_entries(&entry(1, &[], 2, &[3], 0), &entry(2, &[4], 5, &[], 0)).is_none());
+    }
+
+    #[test]
+    fn outputs_concatenate_in_order() {
+        let mut a = entry(1, &[], 2, &[], 0);
+        a.outputs.push(ChunkMatch { pos: 10, end: usize::MAX, rel_depth: 1, subquery: 0 });
+        let mut b = entry(2, &[], 3, &[], 0);
+        b.outputs.push(ChunkMatch { pos: 20, end: usize::MAX, rel_depth: 1, subquery: 1 });
+        let u = unify_entries(&a, &b).unwrap();
+        assert_eq!(u.outputs.iter().map(|m| m.pos).collect::<Vec<_>>(), vec![10, 20]);
+    }
+
+    #[test]
+    fn paper_worked_example_m1_joined_with_m5() {
+        // Reproduces the end of §4.1: joining M1 with M5 yields the single
+        // entry {(1, ε) → (1, ε, 1)} — the document matches /a/b/c once.
+        let t = Transducer::from_queries(&["/a/b/c"]).unwrap();
+        let sym = |n: &str| -> Symbol { t.classify_name(n.as_bytes()) };
+        let chunk1 = b"<a><b><d></d></b>";
+        let chunk2 = b"<b><c></c></b></a>";
+
+        let mut m1 = Mapping::initial(&t);
+        let mut depth = 0i64;
+        for ev in ppt_xmlstream::Lexer::tags_only(chunk1) {
+            match ev {
+                ppt_xmlstream::XmlEvent::Open { name, pos } => {
+                    depth += 1;
+                    m1.step_open(&t, sym(std::str::from_utf8(name).unwrap()), pos, depth);
+                }
+                ppt_xmlstream::XmlEvent::Close { name, .. } => {
+                    depth -= 1;
+                    m1.step_close(&t, sym(std::str::from_utf8(name).unwrap()));
+                }
+                _ => {}
+            }
+        }
+        let mut m5 = Mapping::identity(&t);
+        for ev in ppt_xmlstream::Lexer::tags_only(chunk2) {
+            match ev {
+                ppt_xmlstream::XmlEvent::Open { name, pos } => {
+                    m5.step_open(&t, sym(std::str::from_utf8(name).unwrap()), pos, 0);
+                }
+                ppt_xmlstream::XmlEvent::Close { name, .. } => {
+                    m5.step_close(&t, sym(std::str::from_utf8(name).unwrap()));
+                }
+                _ => {}
+            }
+        }
+
+        let joined = unify_mappings(&m1, &m5);
+        assert_eq!(joined.len(), 1, "exactly one execution path is consistent");
+        let e = &joined.entries[0];
+        assert_eq!(e.start_state, t.initial());
+        assert_eq!(e.finish_state, t.initial());
+        assert!(e.start_stack.is_empty() && e.finish_stack.is_empty());
+        assert_eq!(e.outputs.len(), 1, "the single /a/b/c match survives the join");
+    }
+
+    #[test]
+    fn unify_mappings_is_associative_on_the_example() {
+        // Splitting <a><b/><b><c/></b></a> at two different points and joining
+        // in either association order yields the same final mapping.
+        let t = Transducer::from_queries(&["/a/b/c"]).unwrap();
+        let doc = b"<a><b></b><b><c></c></b></a>";
+        let run = |bytes: &[u8], first: bool| -> Mapping {
+            let mut m = if first { Mapping::initial(&t) } else { Mapping::identity(&t) };
+            for ev in ppt_xmlstream::Lexer::tags_only(bytes) {
+                match ev {
+                    ppt_xmlstream::XmlEvent::Open { name, pos } => {
+                        m.step_open(&t, t.classify_name(name), pos, 0);
+                    }
+                    ppt_xmlstream::XmlEvent::Close { name, .. } => {
+                        m.step_close(&t, t.classify_name(name));
+                    }
+                    _ => {}
+                }
+            }
+            m
+        };
+        // Chunk boundaries fall on '<' positions, as the split phase
+        // guarantees.
+        let a = run(&doc[..6], true);
+        let b = run(&doc[6..13], false);
+        let c = run(&doc[13..], false);
+        let mut left = unify_mappings(&unify_mappings(&a, &b), &c);
+        let mut right = unify_mappings(&a, &unify_mappings(&b, &c));
+        left.normalise();
+        right.normalise();
+        assert_eq!(left, right);
+        assert_eq!(left.len(), 1);
+        assert_eq!(left.entries[0].outputs.len(), 1);
+    }
+}

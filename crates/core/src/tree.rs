@@ -1,0 +1,501 @@
+//! The double-tree representation of a mapping (§4.2, Algs 3–6, Figs 5/6).
+//!
+//! A naive mapping engine performs one transition per entry per input symbol,
+//! i.e. work proportional to the number of possible starting states. The key
+//! observation of §4.2 is that the per-symbol transition function depends only
+//! on the *finishing* state and the topmost symbol of the *finishing* stack,
+//! so all entries that share a finishing state can be processed at once.
+//!
+//! The structure is two trees joined at their leaves:
+//!
+//! * the **finish tree**: its first level holds the distinct finishing states;
+//!   deeper levels hold finishing-stack symbols (level 2 = top of stack);
+//! * the **start tree**: its first level holds starting states; deeper levels
+//!   hold starting-stack symbols in consumption order.
+//!
+//! Every root-to-root path is one map entry. Because all entries consume the
+//! same event sequence, their stacks always have equal length, so all start
+//! leaves sit at the same depth and every finish node either links directly to
+//! start leaves (empty finish stack) or has children (non-empty stack), never
+//! both.
+//!
+//! Per input symbol the engine touches only the first level of the finish
+//! tree: `fpush` inserts a node directly below a first-level node, `fpop`
+//! promotes a child to the first level (or fans out through `funknown` when
+//! the stack is empty), and `add_node` merges nodes that end up with the same
+//! state so redundant computation is never repeated.
+
+use crate::mapping::{ChunkMatch, MapEntry, Mapping};
+use ppt_automaton::{StateId, SubQueryId, Transducer};
+use ppt_xmlstream::Symbol;
+
+#[derive(Debug, Clone)]
+struct StartNode {
+    /// Starting state (first level) or consumed stack symbol (deeper levels).
+    symbol: StateId,
+    /// Parent start node (towards the start root); `None` for first-level
+    /// nodes.
+    parent: Option<usize>,
+    /// Matches recorded while this node was a leaf.
+    matches: Vec<ChunkMatch>,
+}
+
+#[derive(Debug, Clone)]
+struct FinishNode {
+    /// Finishing state (first level) or pushed stack symbol (deeper levels).
+    state: StateId,
+    /// Children: deeper stack symbols (level 2 = top of the stack).
+    children: Vec<usize>,
+    /// Start-tree leaves whose entry's finish path ends at this node.
+    start_leaves: Vec<usize>,
+}
+
+/// The double tree. One instance processes one chunk.
+#[derive(Debug, Clone)]
+pub struct DoubleTree {
+    start_nodes: Vec<StartNode>,
+    finish_nodes: Vec<FinishNode>,
+    /// Current first level of the finish tree (children of the finish root).
+    level1: Vec<usize>,
+    /// Total number of `f` applications performed (per first-level node and
+    /// per `funknown` fan-out) — the work measure compared against sequential
+    /// transitions for the §3.3 overhead figure.
+    pub transitions: u64,
+    /// Peak number of first-level finish nodes observed.
+    pub peak_level1: usize,
+}
+
+impl DoubleTree {
+    /// Tree for the first chunk of the stream: the single entry
+    /// `(q₀, ε) → (q₀, ε, ε)`.
+    pub fn initial(t: &Transducer) -> DoubleTree {
+        let mut tree = DoubleTree::empty();
+        tree.add_identity(t.initial());
+        tree
+    }
+
+    /// Tree for an out-of-order chunk: one identity entry per state.
+    pub fn identity(t: &Transducer) -> DoubleTree {
+        let mut tree = DoubleTree::empty();
+        for q in 0..t.num_states() {
+            tree.add_identity(q);
+        }
+        tree
+    }
+
+    fn empty() -> DoubleTree {
+        DoubleTree {
+            start_nodes: Vec::new(),
+            finish_nodes: Vec::new(),
+            level1: Vec::new(),
+            transitions: 0,
+            peak_level1: 0,
+        }
+    }
+
+    fn add_identity(&mut self, q: StateId) {
+        let s = self.start_nodes.len();
+        self.start_nodes.push(StartNode { symbol: q, parent: None, matches: Vec::new() });
+        let f = self.finish_nodes.len();
+        self.finish_nodes.push(FinishNode { state: q, children: Vec::new(), start_leaves: vec![s] });
+        self.level1.push(f);
+        self.peak_level1 = self.peak_level1.max(self.level1.len());
+    }
+
+    /// Number of first-level finish nodes (= distinct finishing states).
+    pub fn distinct_finish_states(&self) -> usize {
+        self.level1.len()
+    }
+
+    /// Records `m` on every start leaf reachable below finish node `node`.
+    fn record_match(&mut self, node: usize, m: ChunkMatch) {
+        let mut leaves: Vec<usize> = Vec::new();
+        let mut stack = vec![node];
+        while let Some(n) = stack.pop() {
+            leaves.extend_from_slice(&self.finish_nodes[n].start_leaves);
+            stack.extend_from_slice(&self.finish_nodes[n].children);
+        }
+        for leaf in leaves {
+            self.start_nodes[leaf].matches.push(m);
+        }
+    }
+
+    /// Alg 3: inserts `node` into the new first level, merging with an
+    /// existing node of the same state (recursively merging children and
+    /// concatenating start-leaf lists).
+    fn add_node(&mut self, node: usize, new_level1: &mut Vec<usize>) {
+        if let Some(&existing) = new_level1
+            .iter()
+            .find(|&&n| self.finish_nodes[n].state == self.finish_nodes[node].state)
+        {
+            self.merge_into(node, existing);
+        } else {
+            new_level1.push(node);
+        }
+    }
+
+    /// Merges finish node `src` into `dst` (same state), recursively.
+    fn merge_into(&mut self, src: usize, dst: usize) {
+        let src_leaves = std::mem::take(&mut self.finish_nodes[src].start_leaves);
+        self.finish_nodes[dst].start_leaves.extend(src_leaves);
+        let src_children = std::mem::take(&mut self.finish_nodes[src].children);
+        for ch in src_children {
+            let ch_state = self.finish_nodes[ch].state;
+            if let Some(&existing) = self.finish_nodes[dst]
+                .children
+                .iter()
+                .find(|&&c| self.finish_nodes[c].state == ch_state)
+            {
+                self.merge_into(ch, existing);
+            } else {
+                self.finish_nodes[dst].children.push(ch);
+            }
+        }
+    }
+
+    /// Processes an opening tag (`fpush`, Alg 5) for every first-level node.
+    pub fn step_open(&mut self, t: &Transducer, sym: Symbol, pos: usize, rel_depth: i64) {
+        let old_level1 = std::mem::take(&mut self.level1);
+        let mut new_level1 = Vec::with_capacity(old_level1.len());
+        for node in old_level1 {
+            self.transitions += 1;
+            let state = self.finish_nodes[node].state;
+            let next = t.step(state, sym);
+            // The pushed-symbol node takes over the node's children and direct
+            // start leaves; the first-level node then represents the new
+            // finishing state with the pushed symbol as its only child.
+            let pushed = self.finish_nodes.len();
+            let children = std::mem::take(&mut self.finish_nodes[node].children);
+            let start_leaves = std::mem::take(&mut self.finish_nodes[node].start_leaves);
+            self.finish_nodes.push(FinishNode { state, children, start_leaves });
+            self.finish_nodes[node].state = next;
+            self.finish_nodes[node].children = vec![pushed];
+
+            for &q in t.output(next) {
+                self.record_match(node, ChunkMatch { pos, end: usize::MAX, rel_depth, subquery: q });
+            }
+            self.add_node(node, &mut new_level1);
+        }
+        self.level1 = new_level1;
+        self.peak_level1 = self.peak_level1.max(self.level1.len());
+    }
+
+    /// Processes a closing tag (`fpop`/`funknown`, Alg 6) for every
+    /// first-level node.
+    pub fn step_close(&mut self, t: &Transducer, sym: Symbol) {
+        let old_level1 = std::mem::take(&mut self.level1);
+        let mut new_level1 = Vec::with_capacity(old_level1.len());
+        for node in old_level1 {
+            let state = self.finish_nodes[node].state;
+            let sources = t.pop_sources(state, sym).to_vec();
+            if self.finish_nodes[node].children.is_empty() {
+                self.transitions += sources.len().max(1) as u64;
+                // funknown: fan out over every legally poppable symbol; each
+                // start leaf grows a child recording the newly-assumed symbol.
+                let leaves = std::mem::take(&mut self.finish_nodes[node].start_leaves);
+                for &p in &sources {
+                    let mut new_leaves = Vec::with_capacity(leaves.len());
+                    for &s in &leaves {
+                        let ns = self.start_nodes.len();
+                        self.start_nodes.push(StartNode {
+                            symbol: p,
+                            parent: Some(s),
+                            matches: Vec::new(),
+                        });
+                        new_leaves.push(ns);
+                    }
+                    let nf = self.finish_nodes.len();
+                    self.finish_nodes.push(FinishNode {
+                        state: p,
+                        children: Vec::new(),
+                        start_leaves: new_leaves,
+                    });
+                    self.add_node(nf, &mut new_level1);
+                }
+                // Entries whose state admits no pop under `sym` are discarded
+                // (their start leaves simply become unreachable).
+            } else {
+                // fpop: promote the child holding the popped symbol; children
+                // holding symbols that cannot be popped here are impossible
+                // execution paths and are discarded.
+                let children = std::mem::take(&mut self.finish_nodes[node].children);
+                self.transitions += children.len() as u64;
+                for ch in children {
+                    let z = self.finish_nodes[ch].state;
+                    if sources.contains(&z) {
+                        // δpop(state, sym, z) = z: the child's state already
+                        // equals the post-pop state, so no update is needed.
+                        self.add_node(ch, &mut new_level1);
+                    }
+                }
+            }
+        }
+        self.level1 = new_level1;
+        self.peak_level1 = self.peak_level1.max(self.level1.len());
+    }
+
+    /// Probe transition for synthetic attribute/text symbols: records outputs
+    /// without modifying the tree.
+    pub fn step_probe(&mut self, t: &Transducer, sym: Symbol, pos: usize, rel_depth: i64) {
+        let level1 = self.level1.clone();
+        for node in level1 {
+            self.transitions += 1;
+            let state = self.finish_nodes[node].state;
+            let next = t.step(state, sym);
+            let outputs: Vec<SubQueryId> = t.output(next).to_vec();
+            for q in outputs {
+                self.record_match(node, ChunkMatch { pos, end: usize::MAX, rel_depth, subquery: q });
+            }
+        }
+    }
+
+    /// Extracts the mapping represented by the tree (used for the join phase
+    /// and for differential testing against the naive engine).
+    pub fn extract(&self) -> Mapping {
+        let mut entries = Vec::new();
+        for &top in &self.level1 {
+            let mut stack_path = Vec::new();
+            self.extract_rec(top, top, &mut stack_path, &mut entries);
+        }
+        Mapping { entries }
+    }
+
+    fn extract_rec(
+        &self,
+        node: usize,
+        level1: usize,
+        stack_path: &mut Vec<StateId>,
+        entries: &mut Vec<MapEntry>,
+    ) {
+        let fnode = &self.finish_nodes[node];
+        for &leaf in &fnode.start_leaves {
+            // Walk the start tree upwards: the leaf is the last consumed stack
+            // symbol, the first-level ancestor is the starting state.
+            let mut upward: Vec<usize> = Vec::new();
+            let mut cur = Some(leaf);
+            while let Some(i) = cur {
+                upward.push(i);
+                cur = self.start_nodes[i].parent;
+            }
+            let start_state = self.start_nodes[*upward.last().expect("non-empty path")].symbol;
+            let start_stack: Vec<StateId> = upward
+                .iter()
+                .rev()
+                .skip(1) // drop the first-level node (the starting state)
+                .map(|&i| self.start_nodes[i].symbol)
+                .collect();
+            let mut outputs = Vec::new();
+            for &i in upward.iter().rev() {
+                outputs.extend_from_slice(&self.start_nodes[i].matches);
+            }
+            // `stack_path` holds the finish stack from the top of the stack
+            // (level 2) down to `node`; the MapEntry convention wants the top
+            // at the end of the vector.
+            let finish_stack: Vec<StateId> = stack_path.iter().rev().copied().collect();
+            entries.push(MapEntry {
+                start_state,
+                start_stack,
+                finish_state: self.finish_nodes[level1].state,
+                finish_stack,
+                outputs,
+            });
+        }
+        for &ch in &fnode.children {
+            stack_path.push(self.finish_nodes[ch].state);
+            self.extract_rec(ch, level1, stack_path, entries);
+            stack_path.pop();
+        }
+    }
+
+    /// Approximate heap footprint of the per-chunk tree in bytes. Per §5.2 the
+    /// thread-local trees are small enough to stay cache-resident; this is the
+    /// quantity the Fig 9 working-set proxy reports for the PP-Transducer.
+    pub fn heap_bytes(&self) -> usize {
+        self.start_nodes.capacity() * std::mem::size_of::<StartNode>()
+            + self.finish_nodes.capacity() * std::mem::size_of::<FinishNode>()
+            + self
+                .start_nodes
+                .iter()
+                .map(|n| n.matches.capacity() * std::mem::size_of::<ChunkMatch>())
+                .sum::<usize>()
+            + self
+                .finish_nodes
+                .iter()
+                .map(|n| {
+                    n.children.capacity() * std::mem::size_of::<usize>()
+                        + n.start_leaves.capacity() * std::mem::size_of::<usize>()
+                })
+                .sum::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppt_xmlstream::{Lexer, XmlEvent};
+
+    fn paper() -> Transducer {
+        Transducer::from_queries(&["/a/b/c"]).unwrap()
+    }
+
+    /// Runs both engines over the same bytes and compares the extracted
+    /// mappings structurally.
+    fn run_both(t: &Transducer, bytes: &[u8], first: bool) -> (Mapping, Mapping) {
+        let mut naive = if first { Mapping::initial(t) } else { Mapping::identity(t) };
+        let mut tree = if first { DoubleTree::initial(t) } else { DoubleTree::identity(t) };
+        let mut depth = 0i64;
+        for ev in Lexer::tags_only(bytes) {
+            match ev {
+                XmlEvent::Open { name, pos } => {
+                    depth += 1;
+                    let sym = t.classify_name(name);
+                    naive.step_open(t, sym, pos, depth);
+                    tree.step_open(t, sym, pos, depth);
+                }
+                XmlEvent::Close { name, .. } => {
+                    depth -= 1;
+                    let sym = t.classify_name(name);
+                    naive.step_close(t, sym);
+                    tree.step_close(t, sym);
+                }
+                _ => {}
+            }
+        }
+        let mut extracted = tree.extract();
+        naive.normalise();
+        extracted.normalise();
+        (naive, extracted)
+    }
+
+    #[test]
+    fn tree_matches_naive_on_first_chunk() {
+        let t = paper();
+        let (naive, tree) = run_both(&t, b"<a><b><d></d></b>", true);
+        assert_eq!(naive, tree);
+        assert_eq!(tree.len(), 1);
+    }
+
+    #[test]
+    fn tree_matches_naive_on_out_of_order_chunk() {
+        let t = paper();
+        let (naive, tree) = run_both(&t, b"<b><c></c></b></a>", false);
+        assert_eq!(naive, tree);
+        assert_eq!(tree.len(), 5, "M5 has five entries");
+    }
+
+    #[test]
+    fn tree_matches_naive_on_malformed_chunks() {
+        let t = Transducer::from_queries(&["/a/b/c", "//k", "/a//d"]).unwrap();
+        let chunks: &[&[u8]] = &[
+            b"</x></y><a><k/>",
+            b"<b><c></c></b></a><a>",
+            b"</q></q></q>",
+            b"<a><b>",
+            b"",
+        ];
+        for chunk in chunks {
+            let (naive, tree) = run_both(&t, chunk, false);
+            assert_eq!(naive, tree, "divergence on chunk {:?}", String::from_utf8_lossy(chunk));
+        }
+    }
+
+    #[test]
+    fn tree_performs_fewer_transitions_than_naive_entry_work() {
+        // The whole point of the tree (§4.2): per-symbol work is proportional
+        // to the number of distinct finishing states, not the number of
+        // entries.
+        let t = Transducer::from_queries(&["/a/b/c/d/e", "//k//m", "/x/y"]).unwrap();
+        let mut doc = Vec::new();
+        for _ in 0..50 {
+            doc.extend_from_slice(b"<a><b><c><d><e></e></d></c></b><k><m></m></k></a>");
+        }
+        let mut naive = Mapping::identity(&t);
+        let mut tree = DoubleTree::identity(&t);
+        let mut naive_transitions = 0u64;
+        for ev in Lexer::tags_only(&doc) {
+            match ev {
+                XmlEvent::Open { name, pos } => {
+                    let sym = t.classify_name(name);
+                    naive_transitions += naive.step_open(&t, sym, pos, 0);
+                    tree.step_open(&t, sym, pos, 0);
+                }
+                XmlEvent::Close { name, .. } => {
+                    let sym = t.classify_name(name);
+                    naive_transitions += naive.step_close(&t, sym);
+                    tree.step_close(&t, sym);
+                }
+                _ => {}
+            }
+        }
+        assert!(
+            tree.transitions < naive_transitions,
+            "tree ({}) must do less work than naive ({})",
+            tree.transitions,
+            naive_transitions
+        );
+        // And they still agree.
+        let mut a = naive.clone();
+        let mut b = tree.extract();
+        a.normalise();
+        b.normalise();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn matches_are_attributed_to_the_right_start_states() {
+        let t = paper();
+        let (_, tree) = run_both(&t, b"<b><c></c></b></a>", false);
+        // Only the entry that started in the state "after /a/b was opened"
+        // carries the /a/b/c match.
+        let with_output: Vec<&MapEntry> =
+            tree.entries.iter().filter(|e| !e.outputs.is_empty()).collect();
+        assert_eq!(with_output.len(), 1);
+        let a = t.classify_name(b"a");
+        let s2 = t.step(t.initial(), a);
+        assert_eq!(with_output[0].start_state, s2);
+    }
+
+    #[test]
+    fn peak_level1_tracks_convergence() {
+        let t = paper();
+        let mut tree = DoubleTree::identity(&t);
+        assert_eq!(tree.distinct_finish_states(), t.num_states() as usize);
+        tree.step_open(&t, t.classify_name(b"zzz"), 0, 1);
+        assert_eq!(tree.distinct_finish_states(), 1, "everything converges on the sink");
+        assert_eq!(tree.peak_level1, t.num_states() as usize);
+    }
+
+    #[test]
+    fn probe_does_not_change_structure() {
+        let t = Transducer::from_queries(&["/a/@id"]).unwrap();
+        let mut tree = DoubleTree::initial(&t);
+        tree.step_open(&t, t.classify_name(b"a"), 0, 1);
+        let before = tree.extract();
+        let sym = t.classify_attr(b"id").unwrap();
+        tree.step_probe(&t, sym, 3, 2);
+        let after = tree.extract();
+        assert_eq!(before.len(), after.len());
+        assert_eq!(after.entries[0].outputs.len(), 1);
+        assert_eq!(before.entries[0].finish_stack, after.entries[0].finish_stack);
+    }
+
+    #[test]
+    fn heap_bytes_is_small_and_bounded() {
+        let t = Transducer::from_queries(&["/a/b/c", "//k"]).unwrap();
+        let mut doc = Vec::new();
+        for _ in 0..200 {
+            doc.extend_from_slice(b"<a><b><c/></b><k/></a>");
+        }
+        let mut tree = DoubleTree::identity(&t);
+        for ev in Lexer::tags_only(&doc) {
+            match ev {
+                XmlEvent::Open { name, pos } => tree.step_open(&t, t.classify_name(name), pos, 0),
+                XmlEvent::Close { name, .. } => tree.step_close(&t, t.classify_name(name)),
+                _ => {}
+            }
+        }
+        // The tree stays small even after processing many elements (matches
+        // accumulate, structure does not).
+        assert!(tree.heap_bytes() < 1 << 20, "tree should stay well under 1 MiB");
+    }
+}

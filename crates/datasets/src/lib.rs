@@ -1,0 +1,40 @@
+//! Synthetic XML dataset generators and the XPathMark query workload.
+//!
+//! The paper's evaluation (§5) uses four data families; real copies of those
+//! datasets are not redistributable (and the Twitter capture never was), so
+//! this crate generates deterministic synthetic datasets with the same
+//! *structural* properties — the quantities Table 1 reports (tag count, depth,
+//! branching) and the schema shapes the queries rely on:
+//!
+//! * [`xmark`] — an auction-site document following the abbreviated XMark
+//!   schema used by the paper's Table 2 queries (`/s/cs/c/a/d/t/k`, …);
+//! * [`treebank`] — deep, recursive linguistic parse trees (high depth, low
+//!   branching), the schema that favours convergence;
+//! * [`twitter`] — a shallow, wide stream of `status` elements with recursive
+//!   `retweeted_status` nesting;
+//! * [`synth`] — the `Synth(d,b)` family with controllable depth and
+//!   branching factor (Fig 15);
+//! * [`skew`] — Treebank-tag documents whose item sizes follow a log-normal
+//!   distribution with an adjustable scale factor (Figs 17/18 and 20).
+//!
+//! [`stats`] computes Table 1-style statistics for any generated document and
+//! [`queries`] provides the XPathMark A/B query set, the Twitter filter query
+//! and the random Treebank query generator used by Fig 14.
+
+pub mod queries;
+pub mod skew;
+pub mod stats;
+pub mod synth;
+pub mod treebank;
+pub mod twitter;
+pub mod xmark;
+
+pub use queries::{
+    random_treebank_queries, twitter_query, xpathmark_queries, xpathmark_queries_strs,
+};
+pub use skew::{SkewConfig, SkewMode};
+pub use stats::{dataset_stats, DatasetStats};
+pub use synth::SynthConfig;
+pub use treebank::TreebankConfig;
+pub use twitter::TwitterConfig;
+pub use xmark::XmarkConfig;

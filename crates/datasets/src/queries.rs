@@ -1,0 +1,144 @@
+//! Query workloads: the XPathMark A/B set of Table 2, the Twitter filter
+//! query, and the random Treebank query generator used by Fig 14.
+
+use crate::treebank::TREEBANK_TAGS;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The XPathMark queries used by the paper (Table 2), written against the
+/// abbreviated XMark-lite schema: the whole A set plus B1 and B2.
+pub fn xpathmark_queries() -> Vec<(&'static str, &'static str)> {
+    vec![
+        ("A1", "/s/cs/c/a/d/t/k"),
+        ("A2", "//c//k"),
+        ("A3", "/s/cs/c//k"),
+        ("A4", "/s/cs/c[a/d/t/k]/d"),
+        ("A5", "/s/cs/c[descendant::k]/d"),
+        ("A6", "/s/ps/p[pr/g and pr/age]/n"),
+        ("A7", "/s/ps/p[ph or h]/n"),
+        ("A8", "/s/ps/p[a and (ph or h) and (cc or pr)]/n"),
+        ("B1", "/s/r/*/item[parent::sa or parent::na]/name"),
+        ("B2", "//k/ancestor::li/t/k"),
+    ]
+}
+
+/// The query strings of [`xpathmark_queries`], in order.
+pub fn xpathmark_queries_strs() -> Vec<&'static str> {
+    xpathmark_queries().into_iter().map(|(_, q)| q).collect()
+}
+
+/// Table 2's expected number of sub-queries per XPathMark query, used to
+/// verify the rewriter reproduces the paper's decomposition.
+pub fn xpathmark_expected_subqueries() -> Vec<(&'static str, usize)> {
+    vec![
+        ("A1", 1),
+        ("A2", 1),
+        ("A3", 1),
+        ("A4", 3),
+        ("A5", 3),
+        ("A6", 4),
+        ("A7", 4),
+        ("A8", 7),
+        ("B1", 2),
+        ("B2", 3),
+    ]
+}
+
+/// The streaming query used on the Twitter dataset: tweets carrying embedded
+/// coordinates (§5, "Datasets").
+pub fn twitter_query() -> &'static str {
+    "//status/coordinates/coordinates"
+}
+
+/// Generates `count` random Treebank queries of the form `//a/b/c/d` with
+/// `length` steps each, drawing tags from the Treebank vocabulary (§5,
+/// "XPath queries": "random queries of the form //a/b/c/d, in which each tag
+/// is one of the elements in the descriptive part of the tree").
+pub fn random_treebank_queries(count: usize, length: usize, seed: u64) -> Vec<String> {
+    // Tags that actually nest in the generated data, so a reasonable share of
+    // the random queries produce matches.
+    const PHRASE: &[&str] = &["np", "vp", "pp", "sbar", "adjp", "advp"];
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count)
+        .map(|_| {
+            let mut q = String::new();
+            for step in 0..length.max(1) {
+                let last = step + 1 == length.max(1);
+                let tag = if last {
+                    // Final step: any tag (often a word-level leaf).
+                    TREEBANK_TAGS[rng.gen_range(0..TREEBANK_TAGS.len())]
+                } else {
+                    PHRASE[rng.gen_range(0..PHRASE.len())]
+                };
+                if step == 0 {
+                    q.push_str("//");
+                } else {
+                    q.push('/');
+                }
+                q.push_str(tag);
+            }
+            q
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppt_xpath::compile_queries;
+
+    #[test]
+    fn xpathmark_set_is_complete_and_ordered() {
+        let q = xpathmark_queries();
+        assert_eq!(q.len(), 10);
+        assert_eq!(q[0].0, "A1");
+        assert_eq!(q[9].0, "B2");
+        assert_eq!(xpathmark_queries_strs().len(), 10);
+    }
+
+    #[test]
+    fn subquery_counts_match_table_2() {
+        let plan = compile_queries(&xpathmark_queries_strs()).unwrap();
+        for (i, (id, expected)) in xpathmark_expected_subqueries().iter().enumerate() {
+            assert_eq!(
+                plan.queries[i].subquery_count(),
+                *expected,
+                "sub-query count for {id}"
+            );
+        }
+    }
+
+    #[test]
+    fn twitter_query_compiles() {
+        assert!(compile_queries(&[twitter_query()]).is_ok());
+    }
+
+    #[test]
+    fn random_queries_have_the_requested_shape() {
+        let queries = random_treebank_queries(50, 4, 1);
+        assert_eq!(queries.len(), 50);
+        for q in &queries {
+            assert!(q.starts_with("//"));
+            assert_eq!(q.matches('/').count(), 5, "4 steps: //a/b/c/d");
+        }
+        // Deterministic for a given seed, different across seeds.
+        assert_eq!(queries, random_treebank_queries(50, 4, 1));
+        assert_ne!(queries, random_treebank_queries(50, 4, 2));
+        // All compile.
+        assert!(compile_queries(&queries).is_ok());
+    }
+
+    #[test]
+    fn some_random_queries_match_generated_treebank_data() {
+        let data = crate::TreebankConfig { sentences: 300, max_depth: 14, seed: 1 }.generate();
+        let queries = random_treebank_queries(20, 4, 3);
+        let engine = ppt_core::Engine::from_queries(&queries).unwrap();
+        let result = engine.run(&data);
+        let matching_queries =
+            (0..queries.len()).filter(|&i| result.match_count(i) > 0).count();
+        assert!(
+            matching_queries >= 3,
+            "expected several random queries to match, got {matching_queries}"
+        );
+    }
+}

@@ -1,0 +1,170 @@
+//! Skewed datasets: Treebank-tag documents whose per-item size follows a
+//! log-normal distribution with an adjustable scale factor (§5.3, Figs 17/18
+//! and 20).
+//!
+//! Increasing the scale factor produces a heavier tail of very large items.
+//! Large items are what hurt well-formed-fragment splitting (a fragment can
+//! never be smaller than one item), while the PP-Transducer's arbitrary chunk
+//! boundaries are unaffected — the contrast those figures show.
+
+use crate::treebank::TREEBANK_TAGS;
+use ppt_xmlstream::XmlWriter;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Which dimension of the item grows with the log-normal draw.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SkewMode {
+    /// Grow the number of nested/branching tags per item (Fig 17/18 (a)).
+    Tags,
+    /// Grow the size of the text between tags (Fig 17/18 (b)).
+    Text,
+}
+
+/// Configuration of the skewed generator.
+#[derive(Debug, Clone)]
+pub struct SkewConfig {
+    /// Number of items under the root.
+    pub items: usize,
+    /// Scale factor σ of the log-normal size distribution (the x-axis of
+    /// Figs 17/18 and 20). 0 gives uniform items.
+    pub scale: f64,
+    /// Which dimension grows.
+    pub mode: SkewMode,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SkewConfig {
+    fn default() -> Self {
+        SkewConfig { items: 2000, scale: 1.0, mode: SkewMode::Tags, seed: 42 }
+    }
+}
+
+impl SkewConfig {
+    /// Generates the document.
+    pub fn generate(&self) -> Vec<u8> {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut w = XmlWriter::with_capacity(self.items * 200);
+        w.open("file");
+        for _ in 0..self.items {
+            let factor = log_normal(&mut rng, self.scale);
+            match self.mode {
+                SkewMode::Tags => self.tag_item(&mut w, &mut rng, factor),
+                SkewMode::Text => self.text_item(&mut w, &mut rng, factor),
+            }
+        }
+        w.finish()
+    }
+
+    /// An item whose subtree size scales with `factor`.
+    fn tag_item(&self, w: &mut XmlWriter, rng: &mut StdRng, factor: f64) {
+        w.open("item");
+        let tags = (4.0 * factor).ceil().max(1.0) as usize;
+        let mut open = 0usize;
+        for i in 0..tags {
+            let tag = TREEBANK_TAGS[rng.gen_range(0..TREEBANK_TAGS.len())];
+            // Alternate between descending and emitting leaves so the subtree
+            // grows both deeper and broader with the factor.
+            if i % 3 == 0 && open < 24 {
+                w.open(tag);
+                open += 1;
+            } else {
+                w.leaf(tag, "w");
+            }
+        }
+        for _ in 0..open {
+            w.close();
+        }
+        w.close();
+    }
+
+    /// An item whose text content scales with `factor`.
+    fn text_item(&self, w: &mut XmlWriter, rng: &mut StdRng, factor: f64) {
+        w.open("item");
+        let tag = TREEBANK_TAGS[rng.gen_range(0..TREEBANK_TAGS.len())];
+        w.open(tag);
+        let words = (8.0 * factor).ceil().max(1.0) as usize;
+        for i in 0..words {
+            if i > 0 {
+                w.text(" ");
+            }
+            w.text(WORDS[(i + rng.gen_range(0..WORDS.len())) % WORDS.len()]);
+        }
+        w.close();
+        w.close();
+    }
+}
+
+const WORDS: &[&str] = &[
+    "market", "shares", "company", "rose", "fell", "quarterly", "profit", "sharply", "analysts",
+    "trading",
+];
+
+/// Draws from a log-normal distribution with median 1 and scale `sigma`,
+/// using a Box–Muller transform (no external distribution crates needed).
+fn log_normal(rng: &mut StdRng, sigma: f64) -> f64 {
+    if sigma <= 0.0 {
+        return 1.0;
+    }
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+    (sigma * z).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppt_xmlstream::fragment::split_well_formed;
+    use ppt_xmlstream::Document;
+
+    #[test]
+    fn generated_documents_are_well_formed() {
+        for mode in [SkewMode::Tags, SkewMode::Text] {
+            for scale in [0.0, 0.5, 1.5, 2.5] {
+                let data = SkewConfig { items: 200, scale, mode, seed: 1 }.generate();
+                Document::parse(&data).expect("well-formed");
+            }
+        }
+    }
+
+    #[test]
+    fn higher_scale_produces_larger_largest_items() {
+        let small = SkewConfig { items: 500, scale: 0.5, mode: SkewMode::Text, seed: 2 }.generate();
+        let large = SkewConfig { items: 500, scale: 2.5, mode: SkewMode::Text, seed: 2 }.generate();
+        let s_small = split_well_formed(&small, 512);
+        let s_large = split_well_formed(&large, 512);
+        assert!(
+            s_large.largest_item > s_small.largest_item,
+            "largest item must grow with the scale factor ({} vs {})",
+            s_large.largest_item,
+            s_small.largest_item
+        );
+    }
+
+    #[test]
+    fn tag_mode_increases_tag_density_not_text() {
+        let tags = SkewConfig { items: 300, scale: 1.5, mode: SkewMode::Tags, seed: 3 }.generate();
+        let text = SkewConfig { items: 300, scale: 1.5, mode: SkewMode::Text, seed: 3 }.generate();
+        let count = |d: &[u8]| d.iter().filter(|&&b| b == b'<').count() as f64 / d.len() as f64;
+        assert!(count(&tags) > count(&text), "tag mode must have higher tag density");
+    }
+
+    #[test]
+    fn zero_scale_gives_uniform_items() {
+        let data = SkewConfig { items: 100, scale: 0.0, mode: SkewMode::Tags, seed: 4 }.generate();
+        let split = split_well_formed(&data, 1);
+        // All items identical in size (give or take tag-name length).
+        let sizes: Vec<usize> = split.fragments.iter().map(|f| f.len()).collect();
+        let min = *sizes.iter().min().unwrap();
+        let max = *sizes.iter().max().unwrap();
+        assert!(max - min < 40, "min {min} max {max}");
+    }
+
+    #[test]
+    fn deterministic_output() {
+        let cfg = SkewConfig { items: 50, scale: 1.0, mode: SkewMode::Tags, seed: 7 };
+        assert_eq!(cfg.generate(), cfg.generate());
+    }
+}

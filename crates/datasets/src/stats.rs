@@ -1,0 +1,113 @@
+//! Table 1-style dataset statistics, computed by streaming over the document.
+
+use ppt_xmlstream::{Lexer, XmlEvent};
+
+/// Structural statistics of an XML document (the columns of Table 1).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DatasetStats {
+    /// Total number of element tags (opening tags).
+    pub tags: u64,
+    /// Maximum element depth (root = 1).
+    pub max_depth: u32,
+    /// Mean element depth.
+    pub avg_depth: f64,
+    /// Mean number of children over elements that have at least one child.
+    pub avg_branch: f64,
+    /// Total size in bytes.
+    pub bytes: usize,
+}
+
+/// Computes [`DatasetStats`] for `data` in a single streaming pass.
+pub fn dataset_stats(data: &[u8]) -> DatasetStats {
+    let mut tags: u64 = 0;
+    let mut depth: u32 = 0;
+    let mut max_depth: u32 = 0;
+    let mut depth_sum: u64 = 0;
+    // children[d] = number of children seen so far of the element currently
+    // open at depth d.
+    let mut children: Vec<u64> = Vec::new();
+    let mut parents: u64 = 0;
+    let mut child_sum: u64 = 0;
+
+    for ev in Lexer::tags_only(data) {
+        match ev {
+            XmlEvent::Open { .. } => {
+                if depth > 0 {
+                    if let Some(c) = children.get_mut(depth as usize - 1) {
+                        *c += 1;
+                    }
+                }
+                depth += 1;
+                tags += 1;
+                depth_sum += depth as u64;
+                max_depth = max_depth.max(depth);
+                if children.len() < depth as usize {
+                    children.push(0);
+                } else {
+                    children[depth as usize - 1] = 0;
+                }
+            }
+            XmlEvent::Close { .. } => {
+                if depth > 0 {
+                    let c = children.get(depth as usize - 1).copied().unwrap_or(0);
+                    if c > 0 {
+                        parents += 1;
+                        child_sum += c;
+                    }
+                    depth -= 1;
+                }
+            }
+            _ => {}
+        }
+    }
+
+    DatasetStats {
+        tags,
+        max_depth,
+        avg_depth: if tags == 0 { 0.0 } else { depth_sum as f64 / tags as f64 },
+        avg_branch: if parents == 0 { 0.0 } else { child_sum as f64 / parents as f64 },
+        bytes: data.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flat_document() {
+        // <a> with 4 children: depths 1,2,2,2,2; one parent with 4 children.
+        let s = dataset_stats(b"<a><b/><b/><b/><b/></a>");
+        assert_eq!(s.tags, 5);
+        assert_eq!(s.max_depth, 2);
+        assert!((s.avg_depth - 9.0 / 5.0).abs() < 1e-9);
+        assert!((s.avg_branch - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deep_document() {
+        let s = dataset_stats(b"<a><b><c><d></d></c></b></a>");
+        assert_eq!(s.tags, 4);
+        assert_eq!(s.max_depth, 4);
+        assert!((s.avg_depth - 2.5).abs() < 1e-9);
+        assert!((s.avg_branch - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_document() {
+        let s = dataset_stats(b"");
+        assert_eq!(s.tags, 0);
+        assert_eq!(s.max_depth, 0);
+        assert_eq!(s.avg_depth, 0.0);
+        assert_eq!(s.avg_branch, 0.0);
+    }
+
+    #[test]
+    fn mixed_depths_and_reused_levels() {
+        let s = dataset_stats(b"<a><b><c/></b><b/><b><c/><c/></b></a>");
+        assert_eq!(s.tags, 7);
+        assert_eq!(s.max_depth, 3);
+        // Parents: a (3 children), first b (1), third b (2) => avg 2.0.
+        assert!((s.avg_branch - 2.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,107 @@
+//! `Synth(d,b)`: synthetic documents with a controllable tree depth and
+//! branching factor, built from the Treebank tag vocabulary (§5, Fig 15).
+
+use crate::treebank::TREEBANK_TAGS;
+use ppt_xmlstream::XmlWriter;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration of the `Synth(d,b)` generator.
+#[derive(Debug, Clone)]
+pub struct SynthConfig {
+    /// Target tree depth `d` (each record subtree reaches exactly this depth
+    /// below the root).
+    pub depth: usize,
+    /// Branching factor `b` (inner nodes have exactly this many children).
+    pub branch: usize,
+    /// Number of record subtrees under the root.
+    pub records: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SynthConfig {
+    fn default() -> Self {
+        SynthConfig { depth: 6, branch: 3, records: 100, seed: 42 }
+    }
+}
+
+impl SynthConfig {
+    /// Picks a record count so the output is roughly `target_bytes` long for
+    /// the given depth/branch.
+    pub fn with_target_size(depth: usize, branch: usize, target_bytes: usize) -> SynthConfig {
+        // Each record has roughly branch^(depth-1) leaf elements of ~18 bytes
+        // plus inner elements of ~9 bytes.
+        let leaves = (branch as f64).powi(depth.saturating_sub(1) as i32);
+        let record_bytes = leaves * 18.0 + leaves * 9.0;
+        let records = ((target_bytes as f64 / record_bytes).ceil() as usize).max(1);
+        SynthConfig { depth, branch, records, seed: 42 }
+    }
+
+    /// Generates the document.
+    pub fn generate(&self) -> Vec<u8> {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut w = XmlWriter::new();
+        w.open("root");
+        for _ in 0..self.records {
+            self.node(&mut w, &mut rng, self.depth.max(1));
+        }
+        w.finish()
+    }
+
+    fn node(&self, w: &mut XmlWriter, rng: &mut StdRng, remaining: usize) {
+        let tag = TREEBANK_TAGS[rng.gen_range(0..TREEBANK_TAGS.len())];
+        if remaining <= 1 {
+            w.leaf(tag, "x");
+            return;
+        }
+        w.open(tag);
+        for _ in 0..self.branch.max(1) {
+            self.node(w, rng, remaining - 1);
+        }
+        w.close();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::dataset_stats;
+    use ppt_xmlstream::Document;
+
+    #[test]
+    fn depth_and_branch_are_respected() {
+        for (d, b) in [(4usize, 3usize), (6, 4), (8, 2)] {
+            let data = SynthConfig { depth: d, branch: b, records: 20, seed: 1 }.generate();
+            Document::parse(&data).expect("well-formed");
+            let s = dataset_stats(&data);
+            // Root (depth 1) + record subtrees of depth d.
+            assert_eq!(s.max_depth as usize, d + 1, "depth for Synth({d},{b})");
+            // Inner nodes have exactly b children; the root has `records`.
+            assert!(
+                (s.avg_branch - b as f64).abs() < 1.5,
+                "branch for Synth({d},{b}) was {}",
+                s.avg_branch
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_output() {
+        let cfg = SynthConfig { depth: 5, branch: 3, records: 10, seed: 4 };
+        assert_eq!(cfg.generate(), cfg.generate());
+    }
+
+    #[test]
+    fn target_size_is_roughly_respected() {
+        let data = SynthConfig::with_target_size(6, 3, 200_000).generate();
+        assert!(data.len() > 60_000 && data.len() < 600_000, "got {}", data.len());
+    }
+
+    #[test]
+    fn deeper_trees_have_larger_average_depth() {
+        let shallow = dataset_stats(&SynthConfig { depth: 4, branch: 3, records: 30, seed: 2 }.generate());
+        let deep = dataset_stats(&SynthConfig { depth: 9, branch: 3, records: 3, seed: 2 }.generate());
+        assert!(deep.avg_depth > shallow.avg_depth);
+    }
+}

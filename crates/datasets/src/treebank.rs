@@ -1,0 +1,170 @@
+//! Treebank-like generator: deep, narrow linguistic parse trees.
+//!
+//! The real Treebank dataset (Penn Treebank encoded as XML) has a root with a
+//! very large number of direct children (one per sentence), a maximum depth of
+//! 37 and an average depth of ~7.9 with a low branching factor (~2.3) —
+//! Table 1. The generator reproduces that shape: every sentence is a
+//! recursive constituent tree over a fixed grammar-like tag vocabulary, with
+//! depth drawn so the averages land in the same region.
+
+use ppt_xmlstream::XmlWriter;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The tag vocabulary (Penn Treebank phrase and part-of-speech labels,
+/// lower-cased to keep the generated XML uniform).
+pub const TREEBANK_TAGS: &[&str] = &[
+    "s", "np", "vp", "pp", "sbar", "adjp", "advp", "dt", "nn", "nns", "vb", "vbd", "vbz", "jj",
+    "in", "cc", "prp", "rb", "to", "md",
+];
+
+/// Phrase-level tags that may contain further constituents.
+const PHRASE_TAGS: &[&str] = &["np", "vp", "pp", "sbar", "adjp", "advp"];
+/// Word-level tags (leaves).
+const WORD_TAGS: &[&str] = &["dt", "nn", "nns", "vb", "vbd", "vbz", "jj", "in", "cc", "prp", "rb", "to", "md"];
+
+const WORDS: &[&str] = &[
+    "the", "a", "market", "shares", "company", "rose", "fell", "said", "quarterly", "profit",
+    "in", "and", "it", "sharply", "to", "would", "analysts", "trading", "new", "york",
+];
+
+/// Configuration of the Treebank-like generator.
+#[derive(Debug, Clone)]
+pub struct TreebankConfig {
+    /// Number of sentence trees under the root.
+    pub sentences: usize,
+    /// Maximum constituent depth below a sentence (the real dataset reaches
+    /// 37 in total; the default reproduces that order).
+    pub max_depth: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for TreebankConfig {
+    fn default() -> Self {
+        TreebankConfig { sentences: 2000, max_depth: 30, seed: 42 }
+    }
+}
+
+impl TreebankConfig {
+    /// Scales the sentence count so the output is roughly `target_bytes`.
+    pub fn with_target_size(target_bytes: usize) -> TreebankConfig {
+        // ~550 bytes per sentence on average with the default settings.
+        TreebankConfig { sentences: (target_bytes / 550).max(1), max_depth: 30, seed: 42 }
+    }
+
+    /// Generates the document.
+    pub fn generate(&self) -> Vec<u8> {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut w = XmlWriter::with_capacity(self.sentences * 550);
+        w.open("file");
+        for _ in 0..self.sentences {
+            w.open("s");
+            // Most sentences are moderately deep; a small fraction reach the
+            // configured maximum, reproducing Treebank's max-depth tail.
+            let depth_budget = if rng.gen_bool(0.05) {
+                rng.gen_range(14..=self.max_depth.max(15))
+            } else {
+                rng.gen_range(4..=10)
+            };
+            // Bounding the node count per sentence keeps the document size
+            // proportional to the sentence count regardless of depth.
+            let mut nodes_left: i64 = 45;
+            self.constituent(&mut w, &mut rng, depth_budget, &mut nodes_left);
+            // Most sentences have a second top-level constituent, giving the
+            // sentence element a branching factor around 2.
+            if rng.gen_bool(0.8) {
+                let mut nodes_left: i64 = 10;
+                self.constituent(&mut w, &mut rng, 3, &mut nodes_left);
+            }
+            w.close();
+        }
+        w.finish()
+    }
+
+    fn constituent(
+        &self,
+        w: &mut XmlWriter,
+        rng: &mut StdRng,
+        depth_budget: usize,
+        nodes_left: &mut i64,
+    ) {
+        *nodes_left -= 1;
+        if depth_budget <= 1 || *nodes_left <= 0 {
+            let tag = WORD_TAGS[rng.gen_range(0..WORD_TAGS.len())];
+            w.leaf(tag, WORDS[rng.gen_range(0..WORDS.len())]);
+            return;
+        }
+        let tag = PHRASE_TAGS[rng.gen_range(0..PHRASE_TAGS.len())];
+        w.open(tag);
+        // Low branching factor: usually 2 children, sometimes 1 or 3.
+        let children = match rng.gen_range(0..10) {
+            0 => 1,
+            1 | 2 => 3,
+            _ => 2,
+        };
+        for i in 0..children {
+            // The first child carries the depth; siblings stay shallow, which
+            // produces the deep-and-narrow Treebank shape without exponential
+            // blow-up.
+            if i == 0 || rng.gen_bool(0.3) {
+                self.constituent(w, rng, depth_budget - 1, nodes_left);
+            } else {
+                *nodes_left -= 1;
+                let tag = WORD_TAGS[rng.gen_range(0..WORD_TAGS.len())];
+                w.leaf(tag, WORDS[rng.gen_range(0..WORDS.len())]);
+            }
+        }
+        w.close();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::dataset_stats;
+    use ppt_xmlstream::Document;
+
+    #[test]
+    fn generated_document_is_well_formed_and_deterministic() {
+        let cfg = TreebankConfig { sentences: 50, max_depth: 20, seed: 5 };
+        let data = cfg.generate();
+        Document::parse(&data).expect("well-formed");
+        assert_eq!(data, cfg.generate());
+    }
+
+    #[test]
+    fn shape_is_deep_and_narrow_like_treebank() {
+        let data = TreebankConfig { sentences: 500, max_depth: 30, seed: 1 }.generate();
+        let s = dataset_stats(&data);
+        assert!(s.max_depth >= 15, "max depth {}", s.max_depth);
+        assert!(s.avg_depth > 5.0 && s.avg_depth < 12.0, "avg depth {}", s.avg_depth);
+        assert!(s.avg_branch > 1.5 && s.avg_branch < 3.5, "avg branch {}", s.avg_branch);
+    }
+
+    #[test]
+    fn root_has_many_direct_children() {
+        let data = TreebankConfig { sentences: 200, max_depth: 12, seed: 2 }.generate();
+        let doc = Document::parse(&data).unwrap();
+        assert_eq!(doc.children(doc.root()).len(), 200);
+    }
+
+    #[test]
+    fn target_size_is_roughly_respected() {
+        let data = TreebankConfig::with_target_size(300_000).generate();
+        assert!(data.len() > 100_000 && data.len() < 900_000, "got {}", data.len());
+    }
+
+    #[test]
+    fn tags_are_drawn_from_the_published_vocabulary() {
+        let data = TreebankConfig { sentences: 30, max_depth: 10, seed: 3 }.generate();
+        let doc = Document::parse(&data).unwrap();
+        for id in doc.ids() {
+            let name = String::from_utf8_lossy(doc.name(id)).into_owned();
+            assert!(
+                name == "file" || TREEBANK_TAGS.contains(&name.as_str()),
+                "unexpected tag {name}"
+            );
+        }
+    }
+}

@@ -1,0 +1,148 @@
+//! Twitter-like stream generator: a shallow, wide document of `status`
+//! elements in the style of the (retired) Twitter XML format.
+//!
+//! The paper's Twitter capture is shallow (average depth ~4, branching ~16)
+//! but contains recursion: a `status` may embed a complete
+//! `retweeted_status`. Queries of the form
+//! `//status/coordinates/coordinates` select geotagged tweets.
+
+use ppt_xmlstream::XmlWriter;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration of the Twitter-like generator.
+#[derive(Debug, Clone)]
+pub struct TwitterConfig {
+    /// Number of top-level `status` elements.
+    pub statuses: usize,
+    /// Probability that a status embeds a retweeted status.
+    pub retweet_probability: f64,
+    /// Probability that a status carries coordinates.
+    pub coordinates_probability: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for TwitterConfig {
+    fn default() -> Self {
+        TwitterConfig {
+            statuses: 10_000,
+            retweet_probability: 0.25,
+            coordinates_probability: 0.15,
+            seed: 42,
+        }
+    }
+}
+
+impl TwitterConfig {
+    /// Scales the status count so the output is roughly `target_bytes`.
+    pub fn with_target_size(target_bytes: usize) -> TwitterConfig {
+        // ~600 bytes per status with the default probabilities.
+        TwitterConfig { statuses: (target_bytes / 600).max(1), ..TwitterConfig::default() }
+    }
+
+    /// Generates the stream document.
+    pub fn generate(&self) -> Vec<u8> {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut w = XmlWriter::with_capacity(self.statuses * 600);
+        w.open("statuses");
+        for i in 0..self.statuses {
+            self.status(&mut w, &mut rng, i, true);
+        }
+        w.finish()
+    }
+
+    fn status(&self, w: &mut XmlWriter, rng: &mut StdRng, id: usize, allow_retweet: bool) {
+        w.open("status");
+        w.leaf("created_at", "Fri Jun 14 12:00:00 +0000 2013");
+        w.leaf("id", &format!("{}", 340_000_000_000 + id as u64));
+        w.leaf("text", TEXTS[rng.gen_range(0..TEXTS.len())]);
+        w.leaf("source", "web");
+        w.open("user");
+        w.leaf("id", &format!("{}", 10_000 + id));
+        w.leaf("name", &format!("user {id}"));
+        w.leaf("screen_name", &format!("user_{id}"));
+        w.leaf("followers_count", &format!("{}", rng.gen_range(0..5000)));
+        w.leaf("location", LOCATIONS[rng.gen_range(0..LOCATIONS.len())]);
+        w.close();
+        if rng.gen_bool(self.coordinates_probability) {
+            w.open("coordinates");
+            w.open("coordinates");
+            w.leaf("longitude", &format!("{:.5}", rng.gen_range(-180.0..180.0)));
+            w.leaf("latitude", &format!("{:.5}", rng.gen_range(-90.0..90.0)));
+            w.close();
+            w.close();
+        }
+        w.leaf("retweet_count", &format!("{}", rng.gen_range(0..100)));
+        if allow_retweet && rng.gen_bool(self.retweet_probability) {
+            w.open("retweeted_status");
+            self.status(w, rng, id + 1_000_000, false);
+            w.close();
+        }
+        w.close();
+    }
+}
+
+const TEXTS: &[&str] = &[
+    "just published the results of our latest experiment",
+    "heading to the conference this weekend",
+    "the new release is out, give it a try",
+    "what a match that was last night",
+    "coffee first, then the rest of the day",
+    "reading an interesting paper about stream processing",
+];
+
+const LOCATIONS: &[&str] = &["London", "New York", "Tokyo", "Berlin", "Lagos", "Sydney", ""];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::dataset_stats;
+    use ppt_xmlstream::Document;
+
+    #[test]
+    fn generated_stream_is_well_formed_and_deterministic() {
+        let cfg = TwitterConfig { statuses: 100, ..Default::default() };
+        let data = cfg.generate();
+        Document::parse(&data).expect("well-formed");
+        assert_eq!(data, cfg.generate());
+    }
+
+    #[test]
+    fn shape_is_shallow_and_wide() {
+        let data = TwitterConfig { statuses: 500, ..Default::default() }.generate();
+        let s = dataset_stats(&data);
+        assert!(s.max_depth <= 10, "max depth {}", s.max_depth);
+        assert!(s.avg_depth < 5.0, "avg depth {}", s.avg_depth);
+        assert!(s.avg_branch > 4.0, "avg branch {}", s.avg_branch);
+    }
+
+    #[test]
+    fn coordinate_query_finds_geotagged_tweets() {
+        let cfg = TwitterConfig {
+            statuses: 400,
+            coordinates_probability: 0.2,
+            retweet_probability: 0.3,
+            seed: 9,
+        };
+        let data = cfg.generate();
+        let engine = ppt_core::Engine::from_queries(&[crate::queries::twitter_query()]).unwrap();
+        let result = engine.run(&data);
+        let n = result.match_count(0);
+        assert!(n > 0, "no geotagged tweets generated");
+        // Roughly coordinates_probability of all statuses (incl. retweets).
+        assert!(n >= 40 && n <= 160, "unexpected count {n}");
+    }
+
+    #[test]
+    fn retweets_nest_complete_statuses() {
+        let data = TwitterConfig {
+            statuses: 200,
+            retweet_probability: 0.5,
+            ..Default::default()
+        }
+        .generate();
+        let engine = ppt_core::Engine::from_queries(&["//retweeted_status/status/user"]).unwrap();
+        assert!(engine.run(&data).match_count(0) > 50);
+    }
+}

@@ -1,0 +1,286 @@
+//! A compact in-memory document tree.
+//!
+//! This DOM exists to support the baseline engines: the "PugiXML-like"
+//! fragment+DOM engine parses each well-formed fragment into one of these
+//! trees and evaluates XPath over it, and the DBMS-like indexed engine builds
+//! its element index from the same structure. It intentionally allocates a
+//! node per element — that per-element memory traffic is precisely the effect
+//! the paper's Fig 9 attributes PugiXML's scaling plateau to.
+
+use crate::error::XmlError;
+use crate::lexer::Lexer;
+use crate::XmlEvent;
+
+/// Index of a node inside a [`Document`] arena.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    #[inline]
+    fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// One element node.
+#[derive(Debug, Clone)]
+pub struct Node {
+    /// Element name.
+    pub name: Vec<u8>,
+    /// Parent node, `None` for the root.
+    pub parent: Option<NodeId>,
+    /// Child elements in document order.
+    pub children: Vec<NodeId>,
+    /// Concatenated character data directly below this element.
+    pub text: Vec<u8>,
+    /// Attributes in document order.
+    pub attrs: Vec<(Vec<u8>, Vec<u8>)>,
+    /// Byte offset of the element's opening `<` in the source buffer.
+    pub start: usize,
+    /// Byte offset just past the element's closing tag.
+    pub end: usize,
+}
+
+/// An XML document parsed into an arena of element nodes.
+#[derive(Debug, Clone)]
+pub struct Document {
+    nodes: Vec<Node>,
+    root: Option<NodeId>,
+}
+
+impl Document {
+    /// Parses `data` into a document tree.
+    ///
+    /// Unlike the lexer, the DOM builder requires well-formed input: every
+    /// element must be properly nested and closed, and there must be exactly
+    /// one root element.
+    pub fn parse(data: &[u8]) -> Result<Document, XmlError> {
+        let mut doc = Document { nodes: Vec::new(), root: None };
+        let mut stack: Vec<NodeId> = Vec::new();
+        for ev in Lexer::new(data) {
+            match ev {
+                XmlEvent::Open { name, pos } => {
+                    let id = NodeId(doc.nodes.len() as u32);
+                    let parent = stack.last().copied();
+                    doc.nodes.push(Node {
+                        name: name.to_vec(),
+                        parent,
+                        children: Vec::new(),
+                        text: Vec::new(),
+                        attrs: Vec::new(),
+                        start: pos,
+                        end: pos,
+                    });
+                    match parent {
+                        Some(p) => doc.nodes[p.index()].children.push(id),
+                        None => {
+                            if doc.root.is_some() {
+                                return Err(XmlError::TextOutsideRoot { pos });
+                            }
+                            doc.root = Some(id);
+                        }
+                    }
+                    stack.push(id);
+                }
+                XmlEvent::Close { name, pos } => {
+                    let id = stack.pop().ok_or_else(|| XmlError::MismatchedClose {
+                        pos,
+                        expected: String::new(),
+                        found: String::from_utf8_lossy(name).into_owned(),
+                    })?;
+                    let node = &mut doc.nodes[id.index()];
+                    if node.name != name {
+                        return Err(XmlError::MismatchedClose {
+                            pos,
+                            expected: String::from_utf8_lossy(&node.name).into_owned(),
+                            found: String::from_utf8_lossy(name).into_owned(),
+                        });
+                    }
+                    let rel = data[pos..].iter().position(|&b| b == b'>').unwrap_or(0);
+                    node.end = pos + rel + 1;
+                }
+                XmlEvent::Attr { name, value, .. } => {
+                    if let Some(&id) = stack.last() {
+                        doc.nodes[id.index()].attrs.push((name.to_vec(), value.to_vec()));
+                    }
+                }
+                XmlEvent::Text { text, .. } => {
+                    if let Some(&id) = stack.last() {
+                        doc.nodes[id.index()].text.extend_from_slice(text);
+                    }
+                }
+            }
+        }
+        if !stack.is_empty() {
+            return Err(XmlError::UnclosedElements { open: stack.len() });
+        }
+        if doc.root.is_none() {
+            return Err(XmlError::EmptyDocument);
+        }
+        Ok(doc)
+    }
+
+    /// The root element.
+    pub fn root(&self) -> NodeId {
+        self.root.expect("parse() guarantees a root")
+    }
+
+    /// Borrow a node.
+    #[inline]
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.index()]
+    }
+
+    /// Total number of element nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// `true` when the document holds no elements (never true for a parsed
+    /// document).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Iterator over all node ids in document order.
+    pub fn ids(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.nodes.len() as u32).map(NodeId)
+    }
+
+    /// Children of `id` in document order.
+    pub fn children(&self, id: NodeId) -> &[NodeId] {
+        &self.nodes[id.index()].children
+    }
+
+    /// Name of node `id`.
+    pub fn name(&self, id: NodeId) -> &[u8] {
+        &self.nodes[id.index()].name
+    }
+
+    /// Depth of node `id` (root = 1, matching the dataset statistics of
+    /// Table 1).
+    pub fn depth(&self, id: NodeId) -> usize {
+        let mut d = 1;
+        let mut cur = id;
+        while let Some(p) = self.nodes[cur.index()].parent {
+            d += 1;
+            cur = p;
+        }
+        d
+    }
+
+    /// Descendant node ids of `id` (excluding `id`), document order.
+    pub fn descendants(&self, id: NodeId) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        let mut stack: Vec<NodeId> = self.children(id).iter().rev().copied().collect();
+        while let Some(n) = stack.pop() {
+            out.push(n);
+            for &c in self.children(n).iter().rev() {
+                stack.push(c);
+            }
+        }
+        out
+    }
+
+    /// Approximate heap footprint of the tree in bytes. Used by the Fig 9
+    /// working-set proxy: the DOM baseline's per-thread data grows with the
+    /// fragment size, whereas the PP-Transducer's per-thread state does not.
+    pub fn heap_bytes(&self) -> usize {
+        let mut total = self.nodes.capacity() * std::mem::size_of::<Node>();
+        for n in &self.nodes {
+            total += n.name.capacity()
+                + n.text.capacity()
+                + n.children.capacity() * std::mem::size_of::<NodeId>()
+                + n.attrs.iter().map(|(k, v)| k.capacity() + v.capacity()).sum::<usize>();
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_builds_expected_tree() {
+        let doc = Document::parse(b"<a><b><d/></b><b><c/></b></a>").unwrap();
+        assert_eq!(doc.len(), 5);
+        let root = doc.root();
+        assert_eq!(doc.name(root), b"a");
+        assert_eq!(doc.children(root).len(), 2);
+        let b0 = doc.children(root)[0];
+        assert_eq!(doc.name(b0), b"b");
+        assert_eq!(doc.name(doc.children(b0)[0]), b"d");
+    }
+
+    #[test]
+    fn text_and_attrs_are_attached() {
+        let doc = Document::parse(br#"<a id="1">hello<b>world</b></a>"#).unwrap();
+        let root = doc.root();
+        assert_eq!(doc.node(root).attrs, vec![(b"id".to_vec(), b"1".to_vec())]);
+        assert_eq!(doc.node(root).text, b"hello");
+        let b = doc.children(root)[0];
+        assert_eq!(doc.node(b).text, b"world");
+    }
+
+    #[test]
+    fn depth_and_descendants() {
+        let doc = Document::parse(b"<a><b><c><d/></c></b></a>").unwrap();
+        let root = doc.root();
+        let all = doc.descendants(root);
+        assert_eq!(all.len(), 3);
+        let deepest = *all.last().unwrap();
+        assert_eq!(doc.name(deepest), b"d");
+        assert_eq!(doc.depth(deepest), 4);
+        assert_eq!(doc.depth(root), 1);
+    }
+
+    #[test]
+    fn spans_cover_elements() {
+        let data = b"<a><b>x</b></a>";
+        let doc = Document::parse(data).unwrap();
+        let root = doc.root();
+        assert_eq!(doc.node(root).start, 0);
+        assert_eq!(doc.node(root).end, data.len());
+        let b = doc.children(root)[0];
+        assert_eq!(&data[doc.node(b).start..doc.node(b).end], b"<b>x</b>");
+    }
+
+    #[test]
+    fn mismatched_close_is_an_error() {
+        assert!(matches!(
+            Document::parse(b"<a><b></c></a>"),
+            Err(XmlError::MismatchedClose { .. })
+        ));
+    }
+
+    #[test]
+    fn unclosed_elements_are_an_error() {
+        assert!(matches!(
+            Document::parse(b"<a><b>"),
+            Err(XmlError::UnclosedElements { open: 2 })
+        ));
+    }
+
+    #[test]
+    fn empty_document_is_an_error() {
+        assert!(matches!(Document::parse(b"   "), Err(XmlError::EmptyDocument)));
+    }
+
+    #[test]
+    fn multiple_roots_are_an_error() {
+        assert!(Document::parse(b"<a></a><b></b>").is_err());
+    }
+
+    #[test]
+    fn heap_bytes_grows_with_document() {
+        let small = Document::parse(b"<a><b/></a>").unwrap();
+        let mut big_src = String::from("<a>");
+        for i in 0..100 {
+            big_src.push_str(&format!("<item{i}>text goes here</item{i}>"));
+        }
+        big_src.push_str("</a>");
+        let big = Document::parse(big_src.as_bytes()).unwrap();
+        assert!(big.heap_bytes() > small.heap_bytes());
+    }
+}

@@ -1,0 +1,84 @@
+//! Error type shared by the XML substrate.
+
+use std::fmt;
+
+/// Errors produced while lexing or building documents.
+///
+/// The lexer is deliberately forgiving: out-of-order chunk processing means a
+/// chunk may legitimately begin or end in the middle of an element, so most
+/// structural "problems" are not errors at the lexer level. Errors are
+/// reserved for byte sequences that cannot be part of any well-formed
+/// document, and for the DOM builder which does require well-formed input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum XmlError {
+    /// A tag was opened (`<`) but the input ended before it was closed.
+    UnterminatedTag { pos: usize },
+    /// A closing tag did not match the element that was open.
+    MismatchedClose { pos: usize, expected: String, found: String },
+    /// The document ended while elements were still open.
+    UnclosedElements { open: usize },
+    /// Text content appeared outside of the root element where it is not
+    /// allowed (DOM builder only).
+    TextOutsideRoot { pos: usize },
+    /// The document contained no root element.
+    EmptyDocument,
+    /// A tag name was empty (`<>` or `</>`).
+    EmptyTagName { pos: usize },
+}
+
+impl fmt::Display for XmlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            XmlError::UnterminatedTag { pos } => {
+                write!(f, "unterminated tag starting at byte {pos}")
+            }
+            XmlError::MismatchedClose { pos, expected, found } => write!(
+                f,
+                "mismatched closing tag at byte {pos}: expected </{expected}>, found </{found}>"
+            ),
+            XmlError::UnclosedElements { open } => {
+                write!(f, "document ended with {open} unclosed element(s)")
+            }
+            XmlError::TextOutsideRoot { pos } => {
+                write!(f, "text content outside the root element at byte {pos}")
+            }
+            XmlError::EmptyDocument => write!(f, "document contains no root element"),
+            XmlError::EmptyTagName { pos } => write!(f, "empty tag name at byte {pos}"),
+        }
+    }
+}
+
+impl std::error::Error for XmlError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_are_readable() {
+        let e = XmlError::UnterminatedTag { pos: 12 };
+        assert!(e.to_string().contains("12"));
+        let e = XmlError::MismatchedClose {
+            pos: 3,
+            expected: "a".into(),
+            found: "b".into(),
+        };
+        assert!(e.to_string().contains("</a>"));
+        assert!(e.to_string().contains("</b>"));
+        let e = XmlError::UnclosedElements { open: 2 };
+        assert!(e.to_string().contains('2'));
+        assert!(XmlError::EmptyDocument.to_string().contains("no root"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(
+            XmlError::EmptyTagName { pos: 1 },
+            XmlError::EmptyTagName { pos: 1 }
+        );
+        assert_ne!(
+            XmlError::EmptyTagName { pos: 1 },
+            XmlError::EmptyTagName { pos: 2 }
+        );
+    }
+}

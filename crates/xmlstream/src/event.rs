@@ -1,0 +1,88 @@
+//! The event model shared by every engine in the workspace.
+//!
+//! The lexer produces a flat stream of [`XmlEvent`]s. The pushdown transducer
+//! consumes only `Open`/`Close` events (tag events are the input alphabet Σ of
+//! the automaton, §2.2); the DOM builder and the predicate filter additionally
+//! use `Text` and `Attr` events.
+
+/// One lexical event of an XML byte stream.
+///
+/// Events borrow from the underlying input buffer; `pos` is the byte offset of
+/// the event within *that buffer* (for chunked processing the caller rebases
+/// the offset by the chunk's starting offset to obtain a document-absolute
+/// position).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum XmlEvent<'a> {
+    /// An opening tag `<name ...>`. `pos` is the offset of the `<`.
+    Open { name: &'a [u8], pos: usize },
+    /// A closing tag `</name>` (also emitted for the implicit close of a
+    /// self-closing tag `<name/>`). `pos` is the offset of the `<` (for a
+    /// self-closing tag, the offset of the original `<`).
+    Close { name: &'a [u8], pos: usize },
+    /// An attribute `name="value"` belonging to the most recent `Open` event.
+    Attr { name: &'a [u8], value: &'a [u8], pos: usize },
+    /// Character data between tags. Pure-whitespace runs are still reported;
+    /// callers that do not care simply skip them.
+    Text { text: &'a [u8], pos: usize },
+}
+
+impl<'a> XmlEvent<'a> {
+    /// Byte offset of the event in the buffer it was lexed from.
+    #[inline]
+    pub fn pos(&self) -> usize {
+        match *self {
+            XmlEvent::Open { pos, .. }
+            | XmlEvent::Close { pos, .. }
+            | XmlEvent::Attr { pos, .. }
+            | XmlEvent::Text { pos, .. } => pos,
+        }
+    }
+
+    /// `true` for `Open` events.
+    #[inline]
+    pub fn is_open(&self) -> bool {
+        matches!(self, XmlEvent::Open { .. })
+    }
+
+    /// `true` for `Close` events.
+    #[inline]
+    pub fn is_close(&self) -> bool {
+        matches!(self, XmlEvent::Close { .. })
+    }
+
+    /// The tag name for `Open`/`Close`/`Attr` events, `None` for text.
+    #[inline]
+    pub fn name(&self) -> Option<&'a [u8]> {
+        match *self {
+            XmlEvent::Open { name, .. }
+            | XmlEvent::Close { name, .. }
+            | XmlEvent::Attr { name, .. } => Some(name),
+            XmlEvent::Text { .. } => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        let open = XmlEvent::Open { name: b"a", pos: 3 };
+        assert!(open.is_open());
+        assert!(!open.is_close());
+        assert_eq!(open.pos(), 3);
+        assert_eq!(open.name(), Some(&b"a"[..]));
+
+        let close = XmlEvent::Close { name: b"a", pos: 9 };
+        assert!(close.is_close());
+        assert_eq!(close.pos(), 9);
+
+        let text = XmlEvent::Text { text: b"hi", pos: 5 };
+        assert_eq!(text.name(), None);
+        assert_eq!(text.pos(), 5);
+
+        let attr = XmlEvent::Attr { name: b"id", value: b"1", pos: 4 };
+        assert_eq!(attr.name(), Some(&b"id"[..]));
+    }
+}

@@ -1,0 +1,210 @@
+//! Well-formed fragment splitting — the strategy used by the baseline engines.
+//!
+//! Prior parallel XML processors (§2.1, §5 "Comparison to other approaches")
+//! split the stream into *well-formed fragments*: sequences of complete
+//! elements that can be parsed independently. Finding those boundaries
+//! requires a sequential scan that tracks element nesting, which is exactly
+//! the sequential bottleneck the PP-Transducer avoids. This module implements
+//! that splitter so the baselines can be compared head-to-head, and reports
+//! how many bytes the sequential scan had to inspect.
+
+use crate::lexer::Lexer;
+use crate::XmlEvent;
+use std::ops::Range;
+
+/// Result of splitting a document into well-formed fragments.
+#[derive(Debug, Clone)]
+pub struct FragmentSplit {
+    /// Name of the root element (fragments are its children).
+    pub root_name: Vec<u8>,
+    /// Byte offset of the first byte after the root's opening tag.
+    pub content_start: usize,
+    /// Byte offset of the root's closing tag.
+    pub content_end: usize,
+    /// Fragments: each range covers one or more *complete* depth-1 child
+    /// elements of the root.
+    pub fragments: Vec<Range<usize>>,
+    /// Number of bytes the sequential scan inspected to find the boundaries
+    /// (for well-formed splitting this is the whole content region, because
+    /// nesting must be tracked from the start).
+    pub scanned_bytes: usize,
+    /// Size in bytes of the largest single depth-1 child (large items force
+    /// large fragments, the effect explored by Figs 17/18 and 20).
+    pub largest_item: usize,
+}
+
+impl FragmentSplit {
+    /// Total number of fragments.
+    pub fn len(&self) -> usize {
+        self.fragments.len()
+    }
+
+    /// `true` when the document had no depth-1 children.
+    pub fn is_empty(&self) -> bool {
+        self.fragments.is_empty()
+    }
+}
+
+/// Splits `data` into well-formed fragments of roughly `target_size` bytes.
+///
+/// The scan walks tag events sequentially, tracking nesting depth; a fragment
+/// boundary may only be placed between two depth-1 children of the root.
+/// Fragments therefore never break an element apart, but they can be much
+/// larger than `target_size` when individual items are large — this is the
+/// skew effect the paper measures in Figs 17/18/20.
+pub fn split_well_formed(data: &[u8], target_size: usize) -> FragmentSplit {
+    let target = target_size.max(1);
+    let mut root_name: Vec<u8> = Vec::new();
+    let mut content_start = 0usize;
+    let mut content_end = data.len();
+    let mut fragments: Vec<Range<usize>> = Vec::new();
+    let mut largest_item = 0usize;
+
+    let mut depth = 0usize;
+    let mut frag_start: Option<usize> = None;
+    let mut item_start = 0usize;
+    let mut last_item_end = 0usize;
+
+    for ev in Lexer::tags_only(data) {
+        match ev {
+            XmlEvent::Open { name, pos } => {
+                if depth == 0 {
+                    root_name = name.to_vec();
+                    // Content starts after the root opening tag: find its '>'.
+                    let rel = data[pos..].iter().position(|&b| b == b'>').unwrap_or(0);
+                    content_start = pos + rel + 1;
+                } else if depth == 1 {
+                    item_start = pos;
+                    if frag_start.is_none() {
+                        frag_start = Some(pos);
+                    }
+                }
+                depth += 1;
+            }
+            XmlEvent::Close { pos, .. } => {
+                depth = depth.saturating_sub(1);
+                if depth == 1 {
+                    // A depth-1 child just closed.
+                    let rel = data[pos..].iter().position(|&b| b == b'>').unwrap_or(0);
+                    let item_end = pos + rel + 1;
+                    last_item_end = item_end;
+                    largest_item = largest_item.max(item_end - item_start);
+                    if let Some(start) = frag_start {
+                        if item_end - start >= target {
+                            fragments.push(start..item_end);
+                            frag_start = None;
+                        }
+                    }
+                } else if depth == 0 {
+                    content_end = pos;
+                }
+            }
+            _ => {}
+        }
+    }
+    if let Some(start) = frag_start {
+        if last_item_end > start {
+            fragments.push(start..last_item_end);
+        }
+    }
+    FragmentSplit {
+        root_name,
+        content_start,
+        content_end,
+        fragments,
+        scanned_bytes: data.len(),
+        largest_item,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc() -> Vec<u8> {
+        let mut s = String::from("<root>");
+        for i in 0..20 {
+            s.push_str(&format!("<item><name>n{i}</name><desc>text {i}</desc></item>"));
+        }
+        s.push_str("</root>");
+        s.into_bytes()
+    }
+
+    #[test]
+    fn fragments_are_well_formed() {
+        let data = doc();
+        let split = split_well_formed(&data, 100);
+        assert!(!split.is_empty());
+        for frag in &split.fragments {
+            let bytes = &data[frag.clone()];
+            let mut depth = 0i64;
+            for ev in Lexer::tags_only(bytes) {
+                match ev {
+                    XmlEvent::Open { .. } => depth += 1,
+                    XmlEvent::Close { .. } => depth -= 1,
+                    _ => {}
+                }
+                assert!(depth >= 0, "fragment must never close more than it opened");
+            }
+            assert_eq!(depth, 0, "fragment must be balanced");
+        }
+    }
+
+    #[test]
+    fn fragments_cover_all_items_exactly_once() {
+        let data = doc();
+        let split = split_well_formed(&data, 80);
+        let mut item_count = 0;
+        for frag in &split.fragments {
+            let bytes = &data[frag.clone()];
+            item_count += Lexer::tags_only(bytes)
+                .filter(|e| matches!(e, XmlEvent::Open { name, .. } if *name == b"item"))
+                .count();
+        }
+        assert_eq!(item_count, 20);
+        for w in split.fragments.windows(2) {
+            assert!(w[0].end <= w[1].start, "fragments must not overlap");
+        }
+    }
+
+    #[test]
+    fn root_name_and_content_bounds_are_detected() {
+        let data = doc();
+        let split = split_well_formed(&data, 100);
+        assert_eq!(split.root_name, b"root");
+        assert_eq!(&data[..split.content_start], b"<root>");
+        assert!(data[split.content_end..].starts_with(b"</root>"));
+    }
+
+    #[test]
+    fn single_huge_item_forces_single_fragment() {
+        let mut s = String::from("<root><big>");
+        s.push_str(&"x".repeat(500));
+        s.push_str("</big></root>");
+        let data = s.into_bytes();
+        let split = split_well_formed(&data, 50);
+        assert_eq!(split.fragments.len(), 1);
+        assert!(split.largest_item >= 500);
+    }
+
+    #[test]
+    fn empty_root_has_no_fragments() {
+        let split = split_well_formed(b"<root></root>", 10);
+        assert!(split.is_empty());
+        assert_eq!(split.root_name, b"root");
+    }
+
+    #[test]
+    fn scanned_bytes_equals_whole_input() {
+        let data = doc();
+        let split = split_well_formed(&data, 100);
+        assert_eq!(split.scanned_bytes, data.len());
+    }
+
+    #[test]
+    fn large_target_yields_one_fragment() {
+        let data = doc();
+        let split = split_well_formed(&data, usize::MAX / 2);
+        assert_eq!(split.fragments.len(), 1);
+    }
+}

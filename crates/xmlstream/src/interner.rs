@@ -1,0 +1,138 @@
+//! Tag-name interning.
+//!
+//! The automaton's input alphabet Σ is the set of tag names that appear in the
+//! query set plus a single catch-all symbol for "any other element" (state 0's
+//! self-loop alphabet in Fig 1b). Interning happens once at query-compile time;
+//! at run time the lexer performs a read-only lookup per tag, so the table is
+//! shared freely between worker threads (it is one of the "largest data
+//! structures … shared between threads" that §5.2 credits for the good cache
+//! behaviour).
+
+use std::collections::HashMap;
+
+/// A dense integer identifier for a tag name known to the query set.
+///
+/// Symbol `0` is reserved for [`OTHER_SYMBOL`], the catch-all for names that do
+/// not occur in any query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Symbol(pub u32);
+
+/// The catch-all symbol assigned to every tag name that no query mentions.
+pub const OTHER_SYMBOL: Symbol = Symbol(0);
+
+impl Symbol {
+    /// Index usable for dense per-symbol tables.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Bidirectional map between tag names and [`Symbol`]s.
+///
+/// Construction interns names (query compile time); lookups never allocate and
+/// unknown names resolve to [`OTHER_SYMBOL`].
+#[derive(Debug, Clone, Default)]
+pub struct SymbolTable {
+    by_name: HashMap<Vec<u8>, Symbol>,
+    names: Vec<Vec<u8>>,
+}
+
+impl SymbolTable {
+    /// Creates a table containing only [`OTHER_SYMBOL`].
+    pub fn new() -> Self {
+        SymbolTable {
+            by_name: HashMap::new(),
+            names: vec![b"*other*".to_vec()],
+        }
+    }
+
+    /// Interns `name`, returning its symbol (existing or freshly assigned).
+    pub fn intern(&mut self, name: &[u8]) -> Symbol {
+        if let Some(&sym) = self.by_name.get(name) {
+            return sym;
+        }
+        let sym = Symbol(self.names.len() as u32);
+        self.names.push(name.to_vec());
+        self.by_name.insert(name.to_vec(), sym);
+        sym
+    }
+
+    /// Looks up `name`, returning [`OTHER_SYMBOL`] if it was never interned.
+    #[inline]
+    pub fn lookup(&self, name: &[u8]) -> Symbol {
+        self.by_name.get(name).copied().unwrap_or(OTHER_SYMBOL)
+    }
+
+    /// Returns the name interned for `sym` (the placeholder name for
+    /// [`OTHER_SYMBOL`]).
+    pub fn name(&self, sym: Symbol) -> &[u8] {
+        &self.names[sym.index()]
+    }
+
+    /// Number of symbols including the catch-all.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// `true` when only the catch-all symbol exists.
+    pub fn is_empty(&self) -> bool {
+        self.names.len() == 1
+    }
+
+    /// Iterates over `(symbol, name)` pairs, excluding the catch-all.
+    pub fn iter(&self) -> impl Iterator<Item = (Symbol, &[u8])> {
+        self.names
+            .iter()
+            .enumerate()
+            .skip(1)
+            .map(|(i, n)| (Symbol(i as u32), n.as_slice()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut t = SymbolTable::new();
+        let a = t.intern(b"a");
+        let b = t.intern(b"b");
+        assert_ne!(a, b);
+        assert_eq!(t.intern(b"a"), a);
+        assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn unknown_names_map_to_other() {
+        let mut t = SymbolTable::new();
+        t.intern(b"known");
+        assert_eq!(t.lookup(b"unknown"), OTHER_SYMBOL);
+        assert_ne!(t.lookup(b"known"), OTHER_SYMBOL);
+    }
+
+    #[test]
+    fn names_round_trip() {
+        let mut t = SymbolTable::new();
+        let s = t.intern(b"keyword");
+        assert_eq!(t.name(s), b"keyword");
+        assert_eq!(t.name(OTHER_SYMBOL), b"*other*");
+    }
+
+    #[test]
+    fn iter_skips_catch_all() {
+        let mut t = SymbolTable::new();
+        t.intern(b"x");
+        t.intern(b"y");
+        let collected: Vec<_> = t.iter().map(|(_, n)| n.to_vec()).collect();
+        assert_eq!(collected, vec![b"x".to_vec(), b"y".to_vec()]);
+    }
+
+    #[test]
+    fn empty_table() {
+        let t = SymbolTable::new();
+        assert!(t.is_empty());
+        assert_eq!(t.len(), 1);
+    }
+}

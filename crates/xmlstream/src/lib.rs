@@ -1,0 +1,43 @@
+//! XML byte-stream substrate for the PP-Transducer system.
+//!
+//! This crate provides everything the query engines need to look at raw XML
+//! bytes:
+//!
+//! * [`event`] — the tag/text/attribute event model shared by every engine.
+//! * [`lexer`] — a resumable, allocation-free lexer that turns a byte slice
+//!   into a stream of events. It is the paper's "first transducer" (§3.1): the
+//!   component that converts the XML byte stream into open/close tag events.
+//! * [`interner`] — a small symbol table mapping tag names to dense integer
+//!   symbols, shared between the query compiler and the runtime.
+//! * [`split`] — the *arbitrary-byte* chunk splitter used by the
+//!   PP-Transducer (split at a target size, then skip to the next `<`).
+//! * [`fragment`] — the *well-formed fragment* splitter used by all the
+//!   baseline engines (and identified by the paper as their sequential
+//!   bottleneck).
+//! * [`dom`] — a compact in-memory document tree used by the DOM baseline
+//!   (the "PugiXML-like" engine) and by the indexed DBMS-like baseline.
+//! * [`writer`] — an escaping XML writer used by the synthetic dataset
+//!   generators.
+//!
+//! The lexer intentionally mirrors the limitation stated in §5 of the paper:
+//! a chunk is assumed to start at a `<` that begins a tag, so documents with
+//! comments or CDATA sections spanning chunk boundaries are out of scope. The
+//! sequential lexer used on whole documents does skip comments, processing
+//! instructions, DOCTYPE declarations and CDATA sections.
+
+pub mod dom;
+pub mod error;
+pub mod event;
+pub mod fragment;
+pub mod interner;
+pub mod lexer;
+pub mod split;
+pub mod writer;
+
+pub use dom::{Document, NodeId};
+pub use error::XmlError;
+pub use event::XmlEvent;
+pub use interner::{Symbol, SymbolTable, OTHER_SYMBOL};
+pub use lexer::{Lexer, LexerConfig};
+pub use split::{split_chunks, Chunk};
+pub use writer::XmlWriter;

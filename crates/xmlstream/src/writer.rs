@@ -1,0 +1,200 @@
+//! An escaping XML writer used by the synthetic dataset generators.
+//!
+//! The generators in `ppt-datasets` produce multi-megabyte documents; the
+//! writer therefore appends into a reusable byte buffer and avoids per-element
+//! allocations beyond that buffer.
+
+/// Streaming XML writer with element-stack tracking and text escaping.
+#[derive(Debug, Default)]
+pub struct XmlWriter {
+    buf: Vec<u8>,
+    stack: Vec<Vec<u8>>,
+}
+
+impl XmlWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        XmlWriter::default()
+    }
+
+    /// Creates a writer with a pre-allocated buffer of `capacity` bytes.
+    pub fn with_capacity(capacity: usize) -> Self {
+        XmlWriter { buf: Vec::with_capacity(capacity), stack: Vec::new() }
+    }
+
+    /// Opens an element.
+    pub fn open(&mut self, name: &str) {
+        self.buf.push(b'<');
+        self.buf.extend_from_slice(name.as_bytes());
+        self.buf.push(b'>');
+        self.stack.push(name.as_bytes().to_vec());
+    }
+
+    /// Opens an element with attributes (values are escaped).
+    pub fn open_with_attrs(&mut self, name: &str, attrs: &[(&str, &str)]) {
+        self.buf.push(b'<');
+        self.buf.extend_from_slice(name.as_bytes());
+        for (k, v) in attrs {
+            self.buf.push(b' ');
+            self.buf.extend_from_slice(k.as_bytes());
+            self.buf.extend_from_slice(b"=\"");
+            escape_into(v.as_bytes(), &mut self.buf);
+            self.buf.push(b'"');
+        }
+        self.buf.push(b'>');
+        self.stack.push(name.as_bytes().to_vec());
+    }
+
+    /// Writes an empty element `<name/>`.
+    pub fn empty(&mut self, name: &str) {
+        self.buf.push(b'<');
+        self.buf.extend_from_slice(name.as_bytes());
+        self.buf.extend_from_slice(b"/>");
+    }
+
+    /// Writes escaped character data.
+    pub fn text(&mut self, text: &str) {
+        escape_into(text.as_bytes(), &mut self.buf);
+    }
+
+    /// Writes a complete `<name>text</name>` element.
+    pub fn leaf(&mut self, name: &str, text: &str) {
+        self.open(name);
+        self.text(text);
+        self.close();
+    }
+
+    /// Closes the most recently opened element.
+    ///
+    /// # Panics
+    /// Panics if no element is open — a generator bug, not a data error.
+    pub fn close(&mut self) {
+        let name = self.stack.pop().expect("close() without a matching open()");
+        self.buf.extend_from_slice(b"</");
+        self.buf.extend_from_slice(&name);
+        self.buf.push(b'>');
+    }
+
+    /// Closes every element still open.
+    pub fn close_all(&mut self) {
+        while !self.stack.is_empty() {
+            self.close();
+        }
+    }
+
+    /// Current nesting depth.
+    pub fn depth(&self) -> usize {
+        self.stack.len()
+    }
+
+    /// Number of bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// `true` when nothing has been written yet.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Finishes the document, closing any open elements, and returns the
+    /// buffer.
+    pub fn finish(mut self) -> Vec<u8> {
+        self.close_all();
+        self.buf
+    }
+
+    /// Borrows the bytes written so far.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+/// Escapes `&`, `<` and `>` (and `"` for attribute values) into `out`.
+fn escape_into(text: &[u8], out: &mut Vec<u8>) {
+    for &b in text {
+        match b {
+            b'&' => out.extend_from_slice(b"&amp;"),
+            b'<' => out.extend_from_slice(b"&lt;"),
+            b'>' => out.extend_from_slice(b"&gt;"),
+            b'"' => out.extend_from_slice(b"&quot;"),
+            _ => out.push(b),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dom::Document;
+
+    #[test]
+    fn writes_nested_elements() {
+        let mut w = XmlWriter::new();
+        w.open("a");
+        w.open("b");
+        w.text("hi");
+        w.close();
+        w.empty("c");
+        let out = w.finish();
+        assert_eq!(out, b"<a><b>hi</b><c/></a>");
+    }
+
+    #[test]
+    fn attributes_are_written_and_escaped() {
+        let mut w = XmlWriter::new();
+        w.open_with_attrs("a", &[("id", "x\"y"), ("n", "1")]);
+        let out = w.finish();
+        assert_eq!(out, br#"<a id="x&quot;y" n="1"></a>"#);
+    }
+
+    #[test]
+    fn text_is_escaped() {
+        let mut w = XmlWriter::new();
+        w.open("t");
+        w.text("a < b & c > d");
+        let out = w.finish();
+        assert_eq!(out, b"<t>a &lt; b &amp; c &gt; d</t>");
+    }
+
+    #[test]
+    fn finish_closes_open_elements() {
+        let mut w = XmlWriter::new();
+        w.open("a");
+        w.open("b");
+        w.open("c");
+        assert_eq!(w.depth(), 3);
+        let out = w.finish();
+        assert_eq!(out, b"<a><b><c></c></b></a>");
+    }
+
+    #[test]
+    fn leaf_shorthand() {
+        let mut w = XmlWriter::new();
+        w.open("root");
+        w.leaf("name", "bob");
+        let out = w.finish();
+        assert_eq!(out, b"<root><name>bob</name></root>");
+    }
+
+    #[test]
+    fn generated_output_round_trips_through_the_dom() {
+        let mut w = XmlWriter::new();
+        w.open("site");
+        for i in 0..10 {
+            w.open("person");
+            w.leaf("name", &format!("person {i} <&>"));
+            w.close();
+        }
+        let out = w.finish();
+        let doc = Document::parse(&out).expect("writer output must be well-formed");
+        assert_eq!(doc.children(doc.root()).len(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "close() without a matching open()")]
+    fn close_without_open_panics() {
+        let mut w = XmlWriter::new();
+        w.close();
+    }
+}

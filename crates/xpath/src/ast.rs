@@ -1,0 +1,211 @@
+//! Abstract syntax for the supported XPath subset.
+//!
+//! The grammar (extending §2.2 of the paper with the constructs needed for the
+//! XPathMark workload) is, informally:
+//!
+//! ```text
+//! Query     ::= Path
+//! Path      ::= ( '/' | '//' ) Step ( ( '/' | '//' ) Step )*
+//! Step      ::= AxisName? NodeTest Predicate?
+//! AxisName  ::= 'parent::' | 'ancestor::' | 'descendant::'     (child is implicit)
+//! NodeTest  ::= Name | '*' | '@' Name | 'text(' String ')'
+//! Predicate ::= '[' OrExpr ']'
+//! OrExpr    ::= AndExpr ( 'or' AndExpr )*
+//! AndExpr   ::= Unary   ( 'and' Unary )*
+//! Unary     ::= 'not' '(' OrExpr ')' | '(' OrExpr ')' | RelPath
+//! RelPath   ::= Step ( ( '/' | '//' ) Step )*                  (relative, no predicates)
+//! ```
+
+use std::fmt;
+
+/// Navigation axis of a [`Step`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Axis {
+    /// `/name` — direct children.
+    Child,
+    /// `//name` or `descendant::name` — any descendant.
+    Descendant,
+    /// `parent::name` — only supported inside predicates (rewritten away).
+    Parent,
+    /// `ancestor::name` — only supported as a location step in the B2 form
+    /// (rewritten away).
+    Ancestor,
+}
+
+/// Node test of a [`Step`].
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum NodeTest {
+    /// An element name.
+    Name(String),
+    /// `*` — any element.
+    Wildcard,
+    /// `@name` — an attribute of the context element.
+    Attribute(String),
+    /// `text(S)` — character data equal to `S` (the paper's `text(S)` test).
+    Text(String),
+}
+
+impl fmt::Display for NodeTest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NodeTest::Name(n) => write!(f, "{n}"),
+            NodeTest::Wildcard => write!(f, "*"),
+            NodeTest::Attribute(n) => write!(f, "@{n}"),
+            NodeTest::Text(s) => write!(f, "text({s})"),
+        }
+    }
+}
+
+/// Boolean predicate attached to a step.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Predicate {
+    /// Existence of a relative path below (or, for `parent::`, above) the
+    /// context element.
+    Path(Path),
+    /// Conjunction.
+    And(Box<Predicate>, Box<Predicate>),
+    /// Disjunction.
+    Or(Box<Predicate>, Box<Predicate>),
+    /// Negation (supported as an extension; not used by XPathMark A/B).
+    Not(Box<Predicate>),
+}
+
+impl Predicate {
+    /// Iterates over the leaf paths of the predicate tree.
+    pub fn leaves(&self) -> Vec<&Path> {
+        let mut out = Vec::new();
+        self.collect_leaves(&mut out);
+        out
+    }
+
+    fn collect_leaves<'a>(&'a self, out: &mut Vec<&'a Path>) {
+        match self {
+            Predicate::Path(p) => out.push(p),
+            Predicate::And(a, b) | Predicate::Or(a, b) => {
+                a.collect_leaves(out);
+                b.collect_leaves(out);
+            }
+            Predicate::Not(a) => a.collect_leaves(out),
+        }
+    }
+}
+
+/// One location step.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Step {
+    /// Navigation axis.
+    pub axis: Axis,
+    /// What the step selects.
+    pub test: NodeTest,
+    /// Optional predicate.
+    pub predicate: Option<Predicate>,
+}
+
+impl Step {
+    /// A plain child step selecting `name` (test helper / builder).
+    pub fn child(name: &str) -> Step {
+        Step { axis: Axis::Child, test: NodeTest::Name(name.to_string()), predicate: None }
+    }
+
+    /// A plain descendant step selecting `name`.
+    pub fn descendant(name: &str) -> Step {
+        Step { axis: Axis::Descendant, test: NodeTest::Name(name.to_string()), predicate: None }
+    }
+}
+
+/// A sequence of steps. Absolute paths start from the document root; relative
+/// paths (inside predicates) start from the context element.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Path {
+    /// The steps in order.
+    pub steps: Vec<Step>,
+}
+
+impl Path {
+    /// Creates a path from steps.
+    pub fn new(steps: Vec<Step>) -> Self {
+        Path { steps }
+    }
+
+    /// `true` when the path has no steps.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// Number of steps.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// `true` if any step carries a predicate.
+    pub fn has_predicates(&self) -> bool {
+        self.steps.iter().any(|s| s.predicate.is_some())
+    }
+
+    /// `true` if any step uses a reverse axis (`parent::` / `ancestor::`).
+    pub fn has_reverse_axes(&self) -> bool {
+        self.steps
+            .iter()
+            .any(|s| matches!(s.axis, Axis::Parent | Axis::Ancestor))
+    }
+}
+
+/// A parsed user query: the path plus its original source text (kept for
+/// diagnostics and reporting).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Query {
+    /// The parsed path.
+    pub path: Path,
+    /// The original query string.
+    pub source: String,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn predicate_leaves_are_collected_in_order() {
+        let leaf = |n: &str| Predicate::Path(Path::new(vec![Step::child(n)]));
+        let pred = Predicate::And(
+            Box::new(leaf("a")),
+            Box::new(Predicate::Or(Box::new(leaf("b")), Box::new(leaf("c")))),
+        );
+        let names: Vec<String> = pred
+            .leaves()
+            .iter()
+            .map(|p| match &p.steps[0].test {
+                NodeTest::Name(n) => n.clone(),
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(names, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn path_flags() {
+        let plain = Path::new(vec![Step::child("a"), Step::descendant("b")]);
+        assert!(!plain.has_predicates());
+        assert!(!plain.has_reverse_axes());
+
+        let mut with_pred = plain.clone();
+        with_pred.steps[0].predicate =
+            Some(Predicate::Path(Path::new(vec![Step::child("x")])));
+        assert!(with_pred.has_predicates());
+
+        let reverse = Path::new(vec![Step {
+            axis: Axis::Parent,
+            test: NodeTest::Name("p".into()),
+            predicate: None,
+        }]);
+        assert!(reverse.has_reverse_axes());
+    }
+
+    #[test]
+    fn node_test_display() {
+        assert_eq!(NodeTest::Name("a".into()).to_string(), "a");
+        assert_eq!(NodeTest::Wildcard.to_string(), "*");
+        assert_eq!(NodeTest::Attribute("id".into()).to_string(), "@id");
+        assert_eq!(NodeTest::Text("x".into()).to_string(), "text(x)");
+    }
+}

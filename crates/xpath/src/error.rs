@@ -1,0 +1,45 @@
+//! Errors produced while parsing or rewriting XPath queries.
+
+use std::fmt;
+
+/// Parse or rewrite failure for an XPath query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum XPathError {
+    /// The query text could not be tokenised or parsed.
+    Parse { query: String, pos: usize, message: String },
+    /// The query parsed but uses a construct outside the supported subset
+    /// (even after rewriting).
+    Unsupported { query: String, message: String },
+    /// An empty query string was supplied.
+    Empty,
+}
+
+impl fmt::Display for XPathError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            XPathError::Parse { query, pos, message } => {
+                write!(f, "cannot parse XPath query `{query}` at offset {pos}: {message}")
+            }
+            XPathError::Unsupported { query, message } => {
+                write!(f, "XPath query `{query}` is not supported: {message}")
+            }
+            XPathError::Empty => write!(f, "empty XPath query"),
+        }
+    }
+}
+
+impl std::error::Error for XPathError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_contains_query_and_reason() {
+        let e = XPathError::Parse { query: "/a[".into(), pos: 3, message: "unclosed predicate".into() };
+        let s = e.to_string();
+        assert!(s.contains("/a["));
+        assert!(s.contains("unclosed predicate"));
+        assert!(XPathError::Empty.to_string().contains("empty"));
+    }
+}

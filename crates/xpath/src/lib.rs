@@ -1,0 +1,35 @@
+//! The XPath subset understood by the PP-Transducer system, its parser, and
+//! the query-rewriting pass.
+//!
+//! The pushdown transducer natively supports only *basic* queries
+//! (§2.2): child (`/`) and descendant (`//`) axes over element name tests,
+//! wildcards, attributes and `text()` — no predicates, no reverse axes.
+//! Richer queries are supported by rewriting (§3.2 phase iv):
+//!
+//! * a query with a predicate, such as `/a[b]/c`, is decomposed into the
+//!   *basic* sub-queries `/a`, `/a/b` and `/a/c`; the filter phase later keeps
+//!   only the `/a/c` matches whose enclosing `/a` occurrence satisfies the
+//!   predicate;
+//! * `parent::x` predicates are rewritten into alternative forward paths
+//!   (XPathMark B1);
+//! * `ancestor::x` location steps are rewritten into a descendant query
+//!   anchored at the ancestor plus an existence predicate (XPathMark B2,
+//!   following Olteanu's "XPath: Looking Forward" rewriting).
+//!
+//! The output of this crate is a [`QueryPlan`]: a deduplicated list of basic
+//! sub-queries (what the automaton is built from) plus, for every user query,
+//! which sub-queries produce its results and which boolean filter must hold.
+
+pub mod ast;
+pub mod error;
+pub mod parser;
+pub mod plan;
+pub mod rewrite;
+
+pub use ast::{Axis, NodeTest, Path, Predicate, Query, Step};
+pub use error::XPathError;
+pub use parser::parse_query;
+pub use plan::{
+    BasicAxis, BasicStep, BasicTest, CompiledQuery, FilterSpec, PredicateExpr, QueryPlan, SubQuery,
+};
+pub use rewrite::compile_queries;

@@ -1,0 +1,429 @@
+//! Recursive-descent parser for the supported XPath subset.
+
+use crate::ast::{Axis, NodeTest, Path, Predicate, Query, Step};
+use crate::error::XPathError;
+
+/// Parses one XPath query string.
+///
+/// # Examples
+///
+/// ```
+/// use ppt_xpath::parse_query;
+/// let q = parse_query("/s/cs/c[a/d/t/k]/d").unwrap();
+/// assert_eq!(q.path.len(), 4);
+/// assert!(q.path.has_predicates());
+/// ```
+pub fn parse_query(src: &str) -> Result<Query, XPathError> {
+    let trimmed = src.trim();
+    if trimmed.is_empty() {
+        return Err(XPathError::Empty);
+    }
+    let mut p = Parser { src: trimmed, bytes: trimmed.as_bytes(), pos: 0 };
+    let path = p.parse_absolute_path()?;
+    p.skip_ws();
+    if !p.at_end() {
+        return Err(p.err("unexpected trailing input"));
+    }
+    Ok(Query { path, source: trimmed.to_string() })
+}
+
+struct Parser<'a> {
+    src: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, message: &str) -> XPathError {
+        XPathError::Parse { query: self.src.to_string(), pos: self.pos, message: message.to_string() }
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.bytes.len()
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while self.peek().is_some_and(|b| b.is_ascii_whitespace()) {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, b: u8) -> bool {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn starts_with(&self, s: &str) -> bool {
+        self.bytes[self.pos..].starts_with(s.as_bytes())
+    }
+
+    fn eat_str(&mut self, s: &str) -> bool {
+        if self.starts_with(s) {
+            self.pos += s.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Consumes a separator (`/` or `//`) and returns the implied axis.
+    fn parse_separator(&mut self) -> Option<Axis> {
+        if self.eat_str("//") {
+            Some(Axis::Descendant)
+        } else if self.eat(b'/') {
+            Some(Axis::Child)
+        } else {
+            None
+        }
+    }
+
+    fn parse_name(&mut self) -> Result<String, XPathError> {
+        let start = self.pos;
+        while self.peek().is_some_and(|b| {
+            b.is_ascii_alphanumeric() || b == b'_' || b == b'-' || b == b'.' || b == b':'
+        }) {
+            // Stop before an axis separator `::` — names themselves may
+            // contain a single ':' (namespaces) but not '::'.
+            if self.bytes[self.pos] == b':' && self.bytes.get(self.pos + 1) == Some(&b':') {
+                break;
+            }
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return Err(self.err("expected a name"));
+        }
+        Ok(self.src[start..self.pos].to_string())
+    }
+
+    /// Parses an optional explicit axis prefix (`parent::`, `ancestor::`,
+    /// `descendant::`, `child::`), returning the axis it denotes.
+    fn parse_axis_prefix(&mut self, default: Axis) -> Axis {
+        for (name, axis) in [
+            ("parent::", Axis::Parent),
+            ("ancestor::", Axis::Ancestor),
+            ("descendant-or-self::", Axis::Descendant),
+            ("descendant::", Axis::Descendant),
+            ("child::", Axis::Child),
+        ] {
+            if self.eat_str(name) {
+                return axis;
+            }
+        }
+        default
+    }
+
+    fn parse_node_test(&mut self) -> Result<NodeTest, XPathError> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'*') => {
+                self.pos += 1;
+                Ok(NodeTest::Wildcard)
+            }
+            Some(b'@') => {
+                self.pos += 1;
+                Ok(NodeTest::Attribute(self.parse_name()?))
+            }
+            Some(_) => {
+                if self.starts_with("text(") {
+                    self.pos += "text(".len();
+                    let start = self.pos;
+                    while self.peek().is_some_and(|b| b != b')') {
+                        self.pos += 1;
+                    }
+                    if !self.eat(b')') {
+                        return Err(self.err("unterminated text() test"));
+                    }
+                    let content = self.src[start..self.pos - 1].trim();
+                    let content = content.trim_matches(|c| c == '"' || c == '\'');
+                    return Ok(NodeTest::Text(content.to_string()));
+                }
+                if self.starts_with(".") && !self.starts_with("..") {
+                    // `.` appears in rewritten forms like `.//k`; treat a lone
+                    // dot as selecting the context node, which as a node test
+                    // we model as a wildcard "self" — callers normalise it.
+                    self.pos += 1;
+                    return Ok(NodeTest::Wildcard);
+                }
+                Ok(NodeTest::Name(self.parse_name()?))
+            }
+            None => Err(self.err("expected a node test")),
+        }
+    }
+
+    fn parse_step(&mut self, sep_axis: Axis, allow_predicate: bool) -> Result<Step, XPathError> {
+        let axis = self.parse_axis_prefix(sep_axis);
+        let test = self.parse_node_test()?;
+        let mut predicate = None;
+        self.skip_ws();
+        if self.peek() == Some(b'[') {
+            if !allow_predicate {
+                return Err(self.err("nested predicates are not supported"));
+            }
+            self.pos += 1;
+            let pred = self.parse_or_expr()?;
+            self.skip_ws();
+            if !self.eat(b']') {
+                return Err(self.err("unclosed predicate, expected `]`"));
+            }
+            predicate = Some(pred);
+        }
+        Ok(Step { axis, test, predicate })
+    }
+
+    fn parse_absolute_path(&mut self) -> Result<Path, XPathError> {
+        self.skip_ws();
+        let mut steps = Vec::new();
+        let first_sep = self
+            .parse_separator()
+            .ok_or_else(|| self.err("query must start with `/` or `//`"))?;
+        steps.push(self.parse_step(first_sep, true)?);
+        loop {
+            self.skip_ws();
+            match self.parse_separator() {
+                Some(axis) => steps.push(self.parse_step(axis, true)?),
+                None => break,
+            }
+        }
+        Ok(Path::new(steps))
+    }
+
+    /// Parses a relative path inside a predicate (no nested predicates).
+    fn parse_relative_path(&mut self) -> Result<Path, XPathError> {
+        self.skip_ws();
+        let mut steps = Vec::new();
+        // Leading `.//x` / `//x` / implicit child.
+        let first_axis = if self.eat_str(".//") || self.eat_str("//") {
+            Axis::Descendant
+        } else {
+            let _ = self.eat(b'.') && self.eat(b'/');
+            Axis::Child
+        };
+        steps.push(self.parse_step(first_axis, false)?);
+        loop {
+            if self.eat_str("//") {
+                steps.push(self.parse_step(Axis::Descendant, false)?);
+            } else if self.peek() == Some(b'/') {
+                self.pos += 1;
+                steps.push(self.parse_step(Axis::Child, false)?);
+            } else {
+                break;
+            }
+        }
+        Ok(Path::new(steps))
+    }
+
+    fn parse_or_expr(&mut self) -> Result<Predicate, XPathError> {
+        let mut left = self.parse_and_expr()?;
+        loop {
+            self.skip_ws();
+            if self.keyword("or") {
+                let right = self.parse_and_expr()?;
+                left = Predicate::Or(Box::new(left), Box::new(right));
+            } else {
+                return Ok(left);
+            }
+        }
+    }
+
+    fn parse_and_expr(&mut self) -> Result<Predicate, XPathError> {
+        let mut left = self.parse_unary()?;
+        loop {
+            self.skip_ws();
+            if self.keyword("and") {
+                let right = self.parse_unary()?;
+                left = Predicate::And(Box::new(left), Box::new(right));
+            } else {
+                return Ok(left);
+            }
+        }
+    }
+
+    /// Consumes the keyword `kw` only when it is followed by a non-name byte
+    /// (so a path step named `order` is not mistaken for `or`).
+    fn keyword(&mut self, kw: &str) -> bool {
+        if !self.starts_with(kw) {
+            return false;
+        }
+        let after = self.bytes.get(self.pos + kw.len()).copied();
+        let boundary = match after {
+            None => true,
+            Some(b) => !(b.is_ascii_alphanumeric() || b == b'_' || b == b'-'),
+        };
+        if boundary {
+            self.pos += kw.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn parse_unary(&mut self) -> Result<Predicate, XPathError> {
+        self.skip_ws();
+        if self.keyword("not") {
+            self.skip_ws();
+            if !self.eat(b'(') {
+                return Err(self.err("expected `(` after not"));
+            }
+            let inner = self.parse_or_expr()?;
+            self.skip_ws();
+            if !self.eat(b')') {
+                return Err(self.err("unclosed `not(`"));
+            }
+            return Ok(Predicate::Not(Box::new(inner)));
+        }
+        if self.eat(b'(') {
+            let inner = self.parse_or_expr()?;
+            self.skip_ws();
+            if !self.eat(b')') {
+                return Err(self.err("unclosed `(` in predicate"));
+            }
+            return Ok(inner);
+        }
+        Ok(Predicate::Path(self.parse_relative_path()?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{Axis, NodeTest};
+
+    fn names(path: &Path) -> Vec<String> {
+        path.steps.iter().map(|s| s.test.to_string()).collect()
+    }
+
+    #[test]
+    fn simple_child_path() {
+        let q = parse_query("/a/b/c").unwrap();
+        assert_eq!(names(&q.path), vec!["a", "b", "c"]);
+        assert!(q.path.steps.iter().all(|s| s.axis == Axis::Child));
+    }
+
+    #[test]
+    fn descendant_axes() {
+        let q = parse_query("//c//k").unwrap();
+        assert_eq!(q.path.steps[0].axis, Axis::Descendant);
+        assert_eq!(q.path.steps[1].axis, Axis::Descendant);
+        let q = parse_query("/s/cs/c//k").unwrap();
+        assert_eq!(q.path.steps[3].axis, Axis::Descendant);
+        assert_eq!(q.path.steps[2].axis, Axis::Child);
+    }
+
+    #[test]
+    fn wildcard_and_attribute_and_text_tests() {
+        let q = parse_query("/s/r/*/item/@id").unwrap();
+        assert_eq!(q.path.steps[2].test, NodeTest::Wildcard);
+        assert_eq!(q.path.steps[4].test, NodeTest::Attribute("id".into()));
+        let q = parse_query("/a/text(hello)").unwrap();
+        assert_eq!(q.path.steps[1].test, NodeTest::Text("hello".into()));
+        let q = parse_query("/a/text('quoted')").unwrap();
+        assert_eq!(q.path.steps[1].test, NodeTest::Text("quoted".into()));
+    }
+
+    #[test]
+    fn predicate_with_relative_path() {
+        let q = parse_query("/s/cs/c[a/d/t/k]/d").unwrap();
+        let pred = q.path.steps[2].predicate.as_ref().unwrap();
+        match pred {
+            Predicate::Path(p) => assert_eq!(names(p), vec!["a", "d", "t", "k"]),
+            _ => panic!("expected a single path predicate"),
+        }
+    }
+
+    #[test]
+    fn predicate_with_descendant_axis() {
+        let q = parse_query("/s/cs/c[descendant::k]/d").unwrap();
+        match q.path.steps[2].predicate.as_ref().unwrap() {
+            Predicate::Path(p) => {
+                assert_eq!(p.steps.len(), 1);
+                assert_eq!(p.steps[0].axis, Axis::Descendant);
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn boolean_predicates() {
+        let q = parse_query("/s/ps/p[pr/g and pr/age]/n").unwrap();
+        assert!(matches!(q.path.steps[2].predicate, Some(Predicate::And(_, _))));
+        let q = parse_query("/s/ps/p[ph or h]/n").unwrap();
+        assert!(matches!(q.path.steps[2].predicate, Some(Predicate::Or(_, _))));
+    }
+
+    #[test]
+    fn nested_boolean_predicate_a8() {
+        let q = parse_query("/s/ps/p[a and (ph or h) and (cc or pr)]/n").unwrap();
+        let pred = q.path.steps[2].predicate.as_ref().unwrap();
+        assert_eq!(pred.leaves().len(), 5);
+    }
+
+    #[test]
+    fn parent_axis_in_predicate() {
+        let q = parse_query("/s/r/*/item[parent::sa or parent::na]/name").unwrap();
+        let pred = q.path.steps[3].predicate.as_ref().unwrap();
+        let leaves = pred.leaves();
+        assert_eq!(leaves.len(), 2);
+        assert_eq!(leaves[0].steps[0].axis, Axis::Parent);
+        assert_eq!(leaves[1].steps[0].axis, Axis::Parent);
+    }
+
+    #[test]
+    fn ancestor_axis_as_location_step() {
+        let q = parse_query("//k/ancestor::li/t/k").unwrap();
+        assert_eq!(q.path.steps[1].axis, Axis::Ancestor);
+        assert_eq!(q.path.steps[1].test, NodeTest::Name("li".into()));
+        assert_eq!(q.path.len(), 4);
+    }
+
+    #[test]
+    fn keyword_is_not_confused_with_names() {
+        // Element names starting with `or`/`and` must not terminate the
+        // predicate expression.
+        let q = parse_query("/a[order and android]/b").unwrap();
+        let pred = q.path.steps[0].predicate.as_ref().unwrap();
+        let leaves = pred.leaves();
+        assert_eq!(leaves.len(), 2);
+        assert_eq!(leaves[0].steps[0].test, NodeTest::Name("order".into()));
+        assert_eq!(leaves[1].steps[0].test, NodeTest::Name("android".into()));
+    }
+
+    #[test]
+    fn not_predicate() {
+        let q = parse_query("/a[not(b)]/c").unwrap();
+        assert!(matches!(q.path.steps[0].predicate, Some(Predicate::Not(_))));
+    }
+
+    #[test]
+    fn errors() {
+        assert!(matches!(parse_query(""), Err(XPathError::Empty)));
+        assert!(matches!(parse_query("   "), Err(XPathError::Empty)));
+        assert!(parse_query("a/b").is_err(), "must start with /");
+        assert!(parse_query("/a[b").is_err(), "unclosed predicate");
+        assert!(parse_query("/a]").is_err(), "trailing junk");
+        assert!(parse_query("/").is_err(), "missing node test");
+        assert!(parse_query("/a[not(b]").is_err(), "unclosed not(");
+        assert!(parse_query("/a[(b or c]").is_err(), "unclosed paren");
+    }
+
+    #[test]
+    fn whitespace_is_tolerated() {
+        let q = parse_query("  /s/ps/p[ ph or h ]/n  ").unwrap();
+        assert_eq!(q.path.len(), 4);
+        assert_eq!(q.source, "/s/ps/p[ ph or h ]/n");
+    }
+
+    #[test]
+    fn twitter_query_parses() {
+        let q = parse_query("//status/coordinates/coordinates").unwrap();
+        assert_eq!(q.path.steps[0].axis, Axis::Descendant);
+        assert_eq!(names(&q.path), vec!["status", "coordinates", "coordinates"]);
+    }
+}

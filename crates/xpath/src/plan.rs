@@ -1,0 +1,283 @@
+//! The compiled form of a query set: basic sub-queries plus per-query filter
+//! specifications.
+//!
+//! A [`QueryPlan`] is what the automaton crate consumes: its `subqueries` are
+//! the basic (predicate-free, forward-axis-only) paths the transducer matches
+//! natively, and each [`CompiledQuery`] records how the matches of those
+//! sub-queries are recombined into the user's original query during the
+//! filter phase (§3.2 phase iv).
+
+use std::fmt;
+
+/// Forward axis of a basic step (the only axes the transducer supports
+/// natively).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BasicAxis {
+    /// Direct child.
+    Child,
+    /// Any descendant.
+    Descendant,
+}
+
+/// Node test of a basic step.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum BasicTest {
+    /// Element name.
+    Name(String),
+    /// Any element.
+    Wildcard,
+    /// Attribute of the context element (matched against attribute events).
+    Attribute(String),
+    /// Character data equal to the string.
+    Text(String),
+}
+
+impl fmt::Display for BasicTest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BasicTest::Name(n) => write!(f, "{n}"),
+            BasicTest::Wildcard => write!(f, "*"),
+            BasicTest::Attribute(n) => write!(f, "@{n}"),
+            BasicTest::Text(s) => write!(f, "text({s})"),
+        }
+    }
+}
+
+/// One step of a basic sub-query.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct BasicStep {
+    /// Child or descendant.
+    pub axis: BasicAxis,
+    /// What the step selects.
+    pub test: BasicTest,
+}
+
+impl BasicStep {
+    /// Builder for a child step on an element name.
+    pub fn child(name: &str) -> Self {
+        BasicStep { axis: BasicAxis::Child, test: BasicTest::Name(name.into()) }
+    }
+
+    /// Builder for a descendant step on an element name.
+    pub fn descendant(name: &str) -> Self {
+        BasicStep { axis: BasicAxis::Descendant, test: BasicTest::Name(name.into()) }
+    }
+}
+
+/// A basic sub-query: forward axes only, no predicates. This is the query
+/// form of §2.2's grammar `P ::= /N | //N | P P`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct SubQuery {
+    /// Steps in order.
+    pub steps: Vec<BasicStep>,
+}
+
+impl SubQuery {
+    /// Creates a sub-query from steps.
+    pub fn new(steps: Vec<BasicStep>) -> Self {
+        SubQuery { steps }
+    }
+
+    /// Number of steps (the "rule length" of Fig 14).
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// `true` when the sub-query has no steps.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+}
+
+impl fmt::Display for SubQuery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for step in &self.steps {
+            match step.axis {
+                BasicAxis::Child => write!(f, "/")?,
+                BasicAxis::Descendant => write!(f, "//")?,
+            }
+            write!(f, "{}", step.test)?;
+        }
+        Ok(())
+    }
+}
+
+/// Boolean expression over sub-query indices, evaluated per anchor-element
+/// occurrence during the filter phase.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PredicateExpr {
+    /// "this anchor occurrence contains at least one match of sub-query `i`".
+    Sub(usize),
+    /// Conjunction.
+    And(Box<PredicateExpr>, Box<PredicateExpr>),
+    /// Disjunction.
+    Or(Box<PredicateExpr>, Box<PredicateExpr>),
+    /// Negation.
+    Not(Box<PredicateExpr>),
+}
+
+impl PredicateExpr {
+    /// Evaluates the expression given a membership test for sub-query
+    /// indices.
+    pub fn eval(&self, has: &impl Fn(usize) -> bool) -> bool {
+        match self {
+            PredicateExpr::Sub(i) => has(*i),
+            PredicateExpr::And(a, b) => a.eval(has) && b.eval(has),
+            PredicateExpr::Or(a, b) => a.eval(has) || b.eval(has),
+            PredicateExpr::Not(a) => !a.eval(has),
+        }
+    }
+
+    /// All sub-query indices referenced by the expression.
+    pub fn subqueries(&self) -> Vec<usize> {
+        let mut out = Vec::new();
+        self.collect(&mut out);
+        out
+    }
+
+    fn collect(&self, out: &mut Vec<usize>) {
+        match self {
+            PredicateExpr::Sub(i) => out.push(*i),
+            PredicateExpr::And(a, b) | PredicateExpr::Or(a, b) => {
+                a.collect(out);
+                b.collect(out);
+            }
+            PredicateExpr::Not(a) => a.collect(out),
+        }
+    }
+}
+
+/// Filter specification for a rewritten predicate query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FilterSpec {
+    /// Sub-query matching the *anchor* element (the element the predicate is
+    /// attached to, e.g. `/s/cs/c` for `/s/cs/c[a/d/t/k]/d`).
+    pub anchor: usize,
+    /// Predicate to evaluate for every anchor occurrence.
+    pub predicate: PredicateExpr,
+}
+
+/// One user query after rewriting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompiledQuery {
+    /// The original query text.
+    pub source: String,
+    /// Sub-queries whose matches are this query's results (their union, for
+    /// queries rewritten into alternative paths such as XPathMark B1).
+    pub result_subqueries: Vec<usize>,
+    /// Optional predicate filter.
+    pub filter: Option<FilterSpec>,
+    /// Every distinct sub-query attributed to this query (anchor + predicates
+    /// + results). This is the "# sub-queries" column of Table 2.
+    pub all_subqueries: Vec<usize>,
+}
+
+impl CompiledQuery {
+    /// Number of distinct sub-queries this query was rewritten into
+    /// (Table 2's "# sub-queries" column; 1 for queries run unchanged).
+    pub fn subquery_count(&self) -> usize {
+        self.all_subqueries.len()
+    }
+
+    /// `true` when the query needed rewriting (predicates or reverse axes).
+    pub fn is_rewritten(&self) -> bool {
+        self.filter.is_some() || self.all_subqueries.len() > 1
+    }
+}
+
+/// The compiled query set: deduplicated basic sub-queries plus per-query
+/// recombination information.
+#[derive(Debug, Clone, Default)]
+pub struct QueryPlan {
+    /// One entry per user query, in input order.
+    pub queries: Vec<CompiledQuery>,
+    /// Deduplicated basic sub-queries across all queries. Sub-query indices
+    /// everywhere else refer to this list.
+    pub subqueries: Vec<SubQuery>,
+}
+
+impl QueryPlan {
+    /// Adds `sq` to the plan, returning its index (existing or new).
+    pub fn add_subquery(&mut self, sq: SubQuery) -> usize {
+        if let Some(i) = self.subqueries.iter().position(|s| *s == sq) {
+            return i;
+        }
+        self.subqueries.push(sq);
+        self.subqueries.len() - 1
+    }
+
+    /// Number of user queries.
+    pub fn query_count(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// Number of distinct basic sub-queries.
+    pub fn subquery_count(&self) -> usize {
+        self.subqueries.len()
+    }
+
+    /// All element names mentioned by any sub-query (used to build the symbol
+    /// table of the automaton).
+    pub fn element_names(&self) -> Vec<&str> {
+        let mut names: Vec<&str> = Vec::new();
+        for sq in &self.subqueries {
+            for step in &sq.steps {
+                if let BasicTest::Name(n) = &step.test {
+                    if !names.contains(&n.as_str()) {
+                        names.push(n);
+                    }
+                }
+            }
+        }
+        names
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn subquery_display() {
+        let sq = SubQuery::new(vec![
+            BasicStep::child("a"),
+            BasicStep::descendant("b"),
+            BasicStep { axis: BasicAxis::Child, test: BasicTest::Wildcard },
+        ]);
+        assert_eq!(sq.to_string(), "/a//b/*");
+    }
+
+    #[test]
+    fn plan_deduplicates_subqueries() {
+        let mut plan = QueryPlan::default();
+        let a = plan.add_subquery(SubQuery::new(vec![BasicStep::child("a")]));
+        let b = plan.add_subquery(SubQuery::new(vec![BasicStep::child("b")]));
+        let a2 = plan.add_subquery(SubQuery::new(vec![BasicStep::child("a")]));
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(plan.subquery_count(), 2);
+    }
+
+    #[test]
+    fn predicate_expr_eval() {
+        use PredicateExpr::*;
+        // a and (b or c)
+        let e = And(Box::new(Sub(0)), Box::new(Or(Box::new(Sub(1)), Box::new(Sub(2)))));
+        assert!(e.eval(&|i| i == 0 || i == 1));
+        assert!(e.eval(&|i| i == 0 || i == 2));
+        assert!(!e.eval(&|i| i == 1 || i == 2));
+        assert!(!e.eval(&|_| false));
+        assert_eq!(e.subqueries(), vec![0, 1, 2]);
+        let n = Not(Box::new(Sub(3)));
+        assert!(n.eval(&|_| false));
+        assert!(!n.eval(&|i| i == 3));
+    }
+
+    #[test]
+    fn element_names_are_collected_once() {
+        let mut plan = QueryPlan::default();
+        plan.add_subquery(SubQuery::new(vec![BasicStep::child("a"), BasicStep::child("b")]));
+        plan.add_subquery(SubQuery::new(vec![BasicStep::descendant("b"), BasicStep::child("c")]));
+        assert_eq!(plan.element_names(), vec!["a", "b", "c"]);
+    }
+}

@@ -1,0 +1,517 @@
+//! Query rewriting: decomposing rich queries into basic sub-queries.
+//!
+//! Implements §3.2 phase (iv) of the paper plus the reverse-axis rewriting
+//! used for the XPathMark B queries (§2.2, following Olteanu's rewrite rules):
+//!
+//! * **Predicate decomposition** — `/a[b]/c` becomes the anchor sub-query
+//!   `/a`, the predicate sub-query `/a/b` and the result sub-query `/a/c`.
+//!   Boolean predicate structure (`and`/`or`/`not`) is preserved in a
+//!   [`PredicateExpr`] evaluated per anchor occurrence by the filter phase.
+//! * **`parent::` predicates** — `/s/r/*/item[parent::sa or parent::na]/name`
+//!   becomes the union of `/s/r/sa/item/name` and `/s/r/na/item/name`.
+//! * **`ancestor::` location steps** — `//k/ancestor::li/t/k` becomes the
+//!   anchor `//li`, the existence predicate `//li//k` and the result
+//!   `//li/t/k`.
+
+use crate::ast::{Axis, NodeTest, Predicate, Query, Step};
+use crate::error::XPathError;
+use crate::parser::parse_query;
+use crate::plan::{
+    BasicAxis, BasicStep, BasicTest, CompiledQuery, FilterSpec, PredicateExpr, QueryPlan, SubQuery,
+};
+
+/// Parses and rewrites a set of query strings into a single [`QueryPlan`].
+///
+/// # Examples
+///
+/// ```
+/// use ppt_xpath::compile_queries;
+/// let plan = compile_queries(&["/s/cs/c[a/d/t/k]/d", "//c//k"]).unwrap();
+/// assert_eq!(plan.queries[0].subquery_count(), 3);
+/// assert_eq!(plan.queries[1].subquery_count(), 1);
+/// ```
+pub fn compile_queries<S: AsRef<str>>(queries: &[S]) -> Result<QueryPlan, XPathError> {
+    let parsed: Result<Vec<Query>, XPathError> =
+        queries.iter().map(|q| parse_query(q.as_ref())).collect();
+    compile_parsed(&parsed?)
+}
+
+/// Rewrites already-parsed queries into a [`QueryPlan`].
+pub fn compile_parsed(queries: &[Query]) -> Result<QueryPlan, XPathError> {
+    let mut plan = QueryPlan::default();
+    for q in queries {
+        let compiled = compile_one(&mut plan, q)?;
+        plan.queries.push(compiled);
+    }
+    Ok(plan)
+}
+
+fn unsupported(q: &Query, message: &str) -> XPathError {
+    XPathError::Unsupported { query: q.source.clone(), message: message.to_string() }
+}
+
+fn compile_one(plan: &mut QueryPlan, q: &Query) -> Result<CompiledQuery, XPathError> {
+    if q.path.is_empty() {
+        return Err(XPathError::Empty);
+    }
+    if let Some(pos) = q.path.steps.iter().position(|s| s.axis == Axis::Ancestor) {
+        return compile_ancestor(plan, q, pos);
+    }
+    if q.path.steps.iter().any(|s| s.axis == Axis::Parent) {
+        return Err(unsupported(q, "parent:: is only supported inside predicates"));
+    }
+    let predicated: Vec<usize> = q
+        .path
+        .steps
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| s.predicate.is_some())
+        .map(|(i, _)| i)
+        .collect();
+    match predicated.len() {
+        0 => compile_plain(plan, q),
+        1 => compile_predicated(plan, q, predicated[0]),
+        _ => Err(unsupported(q, "at most one step may carry a predicate")),
+    }
+}
+
+/// Converts an AST step into a basic step; rejects reverse axes.
+fn basic_step(q: &Query, step: &Step) -> Result<BasicStep, XPathError> {
+    let axis = match step.axis {
+        Axis::Child => BasicAxis::Child,
+        Axis::Descendant => BasicAxis::Descendant,
+        Axis::Parent | Axis::Ancestor => {
+            return Err(unsupported(q, "reverse axis in a position that cannot be rewritten"))
+        }
+    };
+    let test = match &step.test {
+        NodeTest::Name(n) => BasicTest::Name(n.clone()),
+        NodeTest::Wildcard => BasicTest::Wildcard,
+        NodeTest::Attribute(n) => BasicTest::Attribute(n.clone()),
+        NodeTest::Text(s) => BasicTest::Text(s.clone()),
+    };
+    Ok(BasicStep { axis, test })
+}
+
+fn basic_steps(q: &Query, steps: &[Step]) -> Result<Vec<BasicStep>, XPathError> {
+    steps.iter().map(|s| basic_step(q, s)).collect()
+}
+
+fn push_unique(v: &mut Vec<usize>, x: usize) {
+    if !v.contains(&x) {
+        v.push(x);
+    }
+}
+
+/// A query that is already basic: one sub-query, no filter.
+fn compile_plain(plan: &mut QueryPlan, q: &Query) -> Result<CompiledQuery, XPathError> {
+    let steps = basic_steps(q, &q.path.steps)?;
+    let idx = plan.add_subquery(SubQuery::new(steps));
+    Ok(CompiledQuery {
+        source: q.source.clone(),
+        result_subqueries: vec![idx],
+        filter: None,
+        all_subqueries: vec![idx],
+    })
+}
+
+/// Rewrites a query whose step `pi` carries a predicate.
+fn compile_predicated(
+    plan: &mut QueryPlan,
+    q: &Query,
+    pi: usize,
+) -> Result<CompiledQuery, XPathError> {
+    let pred = q.path.steps[pi].predicate.clone().expect("step pi carries a predicate");
+    let leaves = pred.leaves();
+    let all_parent_leaves = !leaves.is_empty()
+        && leaves
+            .iter()
+            .all(|p| p.steps.len() == 1 && p.steps[0].axis == Axis::Parent);
+    if all_parent_leaves {
+        return compile_parent_predicate(plan, q, pi, &pred);
+    }
+    if leaves.iter().any(|p| p.has_reverse_axes()) {
+        return Err(unsupported(
+            q,
+            "predicates may not mix parent:: with forward paths, and ancestor:: is not allowed inside predicates",
+        ));
+    }
+
+    // Anchor: the path up to and including the predicated step (predicate
+    // stripped).
+    let anchor_steps = basic_steps(q, &q.path.steps[..=pi])?;
+    let anchor = plan.add_subquery(SubQuery::new(anchor_steps.clone()));
+
+    // Predicate expression: one sub-query per leaf path, prefixed by the
+    // anchor path.
+    let expr = build_predicate_expr(plan, q, &anchor_steps, &pred)?;
+
+    // Result: the full path with the predicate stripped.
+    let mut result_steps = anchor_steps;
+    result_steps.extend(basic_steps(q, &q.path.steps[pi + 1..])?);
+    let result = plan.add_subquery(SubQuery::new(result_steps));
+
+    let mut all = vec![anchor];
+    for s in expr.subqueries() {
+        push_unique(&mut all, s);
+    }
+    push_unique(&mut all, result);
+
+    Ok(CompiledQuery {
+        source: q.source.clone(),
+        result_subqueries: vec![result],
+        filter: Some(FilterSpec { anchor, predicate: expr }),
+        all_subqueries: all,
+    })
+}
+
+fn build_predicate_expr(
+    plan: &mut QueryPlan,
+    q: &Query,
+    anchor_steps: &[BasicStep],
+    pred: &Predicate,
+) -> Result<PredicateExpr, XPathError> {
+    Ok(match pred {
+        Predicate::Path(p) => {
+            if p.has_predicates() {
+                return Err(unsupported(q, "nested predicates are not supported"));
+            }
+            let mut steps = anchor_steps.to_vec();
+            steps.extend(basic_steps(q, &p.steps)?);
+            PredicateExpr::Sub(plan.add_subquery(SubQuery::new(steps)))
+        }
+        Predicate::And(a, b) => PredicateExpr::And(
+            Box::new(build_predicate_expr(plan, q, anchor_steps, a)?),
+            Box::new(build_predicate_expr(plan, q, anchor_steps, b)?),
+        ),
+        Predicate::Or(a, b) => PredicateExpr::Or(
+            Box::new(build_predicate_expr(plan, q, anchor_steps, a)?),
+            Box::new(build_predicate_expr(plan, q, anchor_steps, b)?),
+        ),
+        Predicate::Not(a) => {
+            PredicateExpr::Not(Box::new(build_predicate_expr(plan, q, anchor_steps, a)?))
+        }
+    })
+}
+
+/// Rewrites `.../X/step[parent::A or parent::B]/...` into one alternative
+/// forward path per named parent (XPathMark B1).
+fn compile_parent_predicate(
+    plan: &mut QueryPlan,
+    q: &Query,
+    pi: usize,
+    pred: &Predicate,
+) -> Result<CompiledQuery, XPathError> {
+    if pi == 0 {
+        return Err(unsupported(q, "parent:: predicate on the first step cannot be rewritten"));
+    }
+    if !matches!(pred, Predicate::Path(_)) && !is_pure_disjunction(pred) {
+        return Err(unsupported(
+            q,
+            "parent:: predicates must be a single test or a disjunction of tests",
+        ));
+    }
+    let parent_step = &q.path.steps[pi - 1];
+    let mut result_subqueries = Vec::new();
+    for leaf in pred.leaves() {
+        let parent_name = match &leaf.steps[0].test {
+            NodeTest::Name(n) => n.clone(),
+            NodeTest::Wildcard => {
+                // parent::* adds no constraint; keep the original parent test.
+                match &parent_step.test {
+                    NodeTest::Name(n) => n.clone(),
+                    _ => {
+                        return Err(unsupported(
+                            q,
+                            "parent::* on a wildcard step adds no constraint and is not supported",
+                        ))
+                    }
+                }
+            }
+            _ => return Err(unsupported(q, "parent:: requires an element name test")),
+        };
+        // The disjunct is satisfiable only if the original parent step accepts
+        // that name.
+        let compatible = match &parent_step.test {
+            NodeTest::Wildcard => true,
+            NodeTest::Name(n) => *n == parent_name,
+            _ => false,
+        };
+        if !compatible {
+            continue;
+        }
+        let mut steps: Vec<Step> = q.path.steps[..pi - 1].to_vec();
+        steps.push(Step {
+            axis: parent_step.axis,
+            test: NodeTest::Name(parent_name),
+            predicate: None,
+        });
+        let mut own = q.path.steps[pi].clone();
+        own.predicate = None;
+        steps.push(own);
+        steps.extend_from_slice(&q.path.steps[pi + 1..]);
+        let idx = plan.add_subquery(SubQuery::new(basic_steps(q, &steps)?));
+        push_unique(&mut result_subqueries, idx);
+    }
+    if result_subqueries.is_empty() {
+        return Err(unsupported(q, "parent:: predicate is unsatisfiable for this path"));
+    }
+    Ok(CompiledQuery {
+        source: q.source.clone(),
+        result_subqueries: result_subqueries.clone(),
+        filter: None,
+        all_subqueries: result_subqueries,
+    })
+}
+
+fn is_pure_disjunction(pred: &Predicate) -> bool {
+    match pred {
+        Predicate::Path(_) => true,
+        Predicate::Or(a, b) => is_pure_disjunction(a) && is_pure_disjunction(b),
+        _ => false,
+    }
+}
+
+/// Rewrites `<prefix>/ancestor::X/<suffix>` (XPathMark B2 shape) into the
+/// anchor `//X`, the existence predicate `//X + prefix-as-descendant` and the
+/// result `//X/<suffix>`.
+fn compile_ancestor(plan: &mut QueryPlan, q: &Query, pos: usize) -> Result<CompiledQuery, XPathError> {
+    if pos == 0 {
+        return Err(unsupported(q, "a query cannot start with ancestor::"));
+    }
+    let prefix = &q.path.steps[..pos];
+    let suffix = &q.path.steps[pos + 1..];
+    // The rewrite `//X[.//prefix]` is only sound when the prefix places no
+    // constraint on where the ancestor sits, i.e. every prefix step uses the
+    // descendant axis (as in `//k/ancestor::li/...`).
+    if !prefix
+        .iter()
+        .all(|s| s.axis == Axis::Descendant && s.predicate.is_none())
+    {
+        return Err(unsupported(
+            q,
+            "ancestor:: is only supported after a pure descendant prefix (e.g. //k/ancestor::li/...)",
+        ));
+    }
+    if suffix.iter().any(|s| s.predicate.is_some() || s.axis == Axis::Parent || s.axis == Axis::Ancestor)
+    {
+        return Err(unsupported(q, "the path after ancestor:: must be basic"));
+    }
+    let anchor_step = &q.path.steps[pos];
+    let ancestor_name = match &anchor_step.test {
+        NodeTest::Name(n) => n.clone(),
+        _ => return Err(unsupported(q, "ancestor:: requires an element name test")),
+    };
+
+    // Anchor: //X
+    let anchor_basic = vec![BasicStep::descendant(&ancestor_name)];
+    let anchor = plan.add_subquery(SubQuery::new(anchor_basic.clone()));
+
+    // Predicate: //X//<prefix>, i.e. the original prefix must occur somewhere
+    // below the anchor.
+    let mut pred_steps = anchor_basic.clone();
+    for (i, s) in prefix.iter().enumerate() {
+        let mut b = basic_step(q, s)?;
+        if i == 0 {
+            b.axis = BasicAxis::Descendant;
+        }
+        pred_steps.push(b);
+    }
+    let pred = plan.add_subquery(SubQuery::new(pred_steps));
+
+    // Result: //X/<suffix>
+    let mut result_steps = anchor_basic;
+    result_steps.extend(basic_steps(q, suffix)?);
+    let result = plan.add_subquery(SubQuery::new(result_steps));
+
+    let mut all = vec![anchor];
+    push_unique(&mut all, pred);
+    push_unique(&mut all, result);
+    Ok(CompiledQuery {
+        source: q.source.clone(),
+        result_subqueries: vec![result],
+        filter: Some(FilterSpec { anchor, predicate: PredicateExpr::Sub(pred) }),
+        all_subqueries: all,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn subquery_strings(plan: &QueryPlan, q: &CompiledQuery) -> Vec<String> {
+        q.all_subqueries.iter().map(|&i| plan.subqueries[i].to_string()).collect()
+    }
+
+    #[test]
+    fn plain_queries_compile_to_one_subquery() {
+        let plan = compile_queries(&["/s/cs/c/a/d/t/k", "//c//k", "/s/cs/c//k"]).unwrap();
+        for q in &plan.queries {
+            assert_eq!(q.subquery_count(), 1);
+            assert!(!q.is_rewritten());
+            assert!(q.filter.is_none());
+        }
+        assert_eq!(plan.subqueries[0].to_string(), "/s/cs/c/a/d/t/k");
+        assert_eq!(plan.subqueries[1].to_string(), "//c//k");
+        assert_eq!(plan.subqueries[2].to_string(), "/s/cs/c//k");
+    }
+
+    #[test]
+    fn paper_example_a4_rewrites_to_three_subqueries() {
+        // §3.2: "the query /a[b]/c is rewritten into three sub-queries: /a,
+        // /a/b and /a/c"
+        let plan = compile_queries(&["/a[b]/c"]).unwrap();
+        let q = &plan.queries[0];
+        assert_eq!(
+            subquery_strings(&plan, q),
+            vec!["/a".to_string(), "/a/b".to_string(), "/a/c".to_string()]
+        );
+        let f = q.filter.as_ref().unwrap();
+        assert_eq!(plan.subqueries[f.anchor].to_string(), "/a");
+        assert_eq!(q.result_subqueries.len(), 1);
+        assert_eq!(plan.subqueries[q.result_subqueries[0]].to_string(), "/a/c");
+    }
+
+    #[test]
+    fn xpathmark_subquery_counts_match_table2() {
+        let queries = [
+            ("/s/cs/c/a/d/t/k", 1),
+            ("//c//k", 1),
+            ("/s/cs/c//k", 1),
+            ("/s/cs/c[a/d/t/k]/d", 3),
+            ("/s/cs/c[descendant::k]/d", 3),
+            ("/s/ps/p[pr/g and pr/age]/n", 4),
+            ("/s/ps/p[ph or h]/n", 4),
+            ("/s/ps/p[a and (ph or h) and (cc or pr)]/n", 7),
+            ("/s/r/*/item[parent::sa or parent::na]/name", 2),
+            ("//k/ancestor::li/t/k", 3),
+        ];
+        let plan = compile_queries(&queries.iter().map(|(q, _)| *q).collect::<Vec<_>>()).unwrap();
+        for (i, (src, expected)) in queries.iter().enumerate() {
+            assert_eq!(
+                plan.queries[i].subquery_count(),
+                *expected,
+                "sub-query count mismatch for {src}"
+            );
+        }
+    }
+
+    #[test]
+    fn descendant_predicate_a5() {
+        let plan = compile_queries(&["/s/cs/c[descendant::k]/d"]).unwrap();
+        let q = &plan.queries[0];
+        assert_eq!(
+            subquery_strings(&plan, q),
+            vec!["/s/cs/c".to_string(), "/s/cs/c//k".to_string(), "/s/cs/c/d".to_string()]
+        );
+    }
+
+    #[test]
+    fn boolean_structure_is_preserved_a8() {
+        let plan = compile_queries(&["/s/ps/p[a and (ph or h) and (cc or pr)]/n"]).unwrap();
+        let q = &plan.queries[0];
+        let f = q.filter.as_ref().unwrap();
+        // a present, ph missing, h present, cc missing, pr missing => false.
+        let name_of = |i: usize| plan.subqueries[i].to_string();
+        let has = |present: &[&str]| {
+            let present: Vec<String> = present.iter().map(|s| s.to_string()).collect();
+            move |i: usize| present.contains(&name_of(i))
+        };
+        assert!(!f.predicate.eval(&has(&["/s/ps/p/a", "/s/ps/p/h"])));
+        assert!(f.predicate.eval(&has(&["/s/ps/p/a", "/s/ps/p/h", "/s/ps/p/cc"])));
+        assert!(f.predicate.eval(&has(&["/s/ps/p/a", "/s/ps/p/ph", "/s/ps/p/pr"])));
+        assert!(!f.predicate.eval(&has(&["/s/ps/p/ph", "/s/ps/p/pr"])));
+    }
+
+    #[test]
+    fn parent_predicate_b1_rewrites_to_alternative_paths() {
+        let plan = compile_queries(&["/s/r/*/item[parent::sa or parent::na]/name"]).unwrap();
+        let q = &plan.queries[0];
+        assert!(q.filter.is_none());
+        assert_eq!(
+            subquery_strings(&plan, q),
+            vec!["/s/r/sa/item/name".to_string(), "/s/r/na/item/name".to_string()]
+        );
+        assert_eq!(q.result_subqueries.len(), 2);
+    }
+
+    #[test]
+    fn parent_predicate_with_named_parent_keeps_only_compatible_disjuncts() {
+        let plan = compile_queries(&["/s/r/na/item[parent::sa or parent::na]/name"]).unwrap();
+        let q = &plan.queries[0];
+        assert_eq!(subquery_strings(&plan, q), vec!["/s/r/na/item/name".to_string()]);
+    }
+
+    #[test]
+    fn ancestor_b2_rewrites_to_anchor_predicate_result() {
+        let plan = compile_queries(&["//k/ancestor::li/t/k"]).unwrap();
+        let q = &plan.queries[0];
+        assert_eq!(
+            subquery_strings(&plan, q),
+            vec!["//li".to_string(), "//li//k".to_string(), "//li/t/k".to_string()]
+        );
+        let f = q.filter.as_ref().unwrap();
+        assert_eq!(plan.subqueries[f.anchor].to_string(), "//li");
+        assert_eq!(plan.subqueries[q.result_subqueries[0]].to_string(), "//li/t/k");
+    }
+
+    #[test]
+    fn shared_subqueries_are_deduplicated_across_queries() {
+        // /a/b appears both as a user query and as a predicate sub-query of
+        // the second query; the plan must hold it only once.
+        let plan = compile_queries(&["/a/b", "/a[b]/c"]).unwrap();
+        let strings: Vec<String> = plan.subqueries.iter().map(|s| s.to_string()).collect();
+        assert_eq!(strings, vec!["/a/b".to_string(), "/a".to_string(), "/a/c".to_string()]);
+        assert_eq!(plan.subquery_count(), 3);
+    }
+
+    #[test]
+    fn unsupported_constructs_are_rejected_with_clear_errors() {
+        assert!(matches!(
+            compile_queries(&["/a[b]/c[d]/e"]),
+            Err(XPathError::Unsupported { .. })
+        ));
+        assert!(matches!(
+            compile_queries(&["/a/parent::b"]),
+            Err(XPathError::Unsupported { .. })
+        ));
+        assert!(matches!(
+            compile_queries(&["/a/b/ancestor::c/d"]),
+            Err(XPathError::Unsupported { .. })
+        ));
+        assert!(matches!(
+            compile_queries(&["/a[parent::b]/c"]),
+            Err(XPathError::Unsupported { .. })
+        ));
+        assert!(matches!(
+            compile_queries(&["/a/item[parent::b and c]/d"]),
+            Err(XPathError::Unsupported { .. })
+        ));
+    }
+
+    #[test]
+    fn predicate_on_last_step_uses_anchor_as_result() {
+        let plan = compile_queries(&["/a/b[c]"]).unwrap();
+        let q = &plan.queries[0];
+        assert_eq!(plan.subqueries[q.result_subqueries[0]].to_string(), "/a/b");
+        let f = q.filter.as_ref().unwrap();
+        assert_eq!(plan.subqueries[f.anchor].to_string(), "/a/b");
+        assert_eq!(q.subquery_count(), 2);
+    }
+
+    #[test]
+    fn wildcard_and_attribute_steps_survive_rewriting() {
+        let plan = compile_queries(&["/s/r/*/item/@id"]).unwrap();
+        assert_eq!(plan.subqueries[0].to_string(), "/s/r/*/item/@id");
+    }
+
+    #[test]
+    fn not_predicate_is_compiled() {
+        let plan = compile_queries(&["/a[not(b)]/c"]).unwrap();
+        let q = &plan.queries[0];
+        let f = q.filter.as_ref().unwrap();
+        assert!(matches!(f.predicate, PredicateExpr::Not(_)));
+        // An anchor with no /a/b match passes the filter.
+        assert!(f.predicate.eval(&|_| false));
+    }
+}

@@ -1,0 +1,48 @@
+//! Run the full XPathMark A/B workload (Table 2 of the paper) against a
+//! synthetic XMark document and print the same columns the paper reports:
+//! number of sub-queries after rewriting, sub-query matches and final
+//! matches.
+//!
+//! ```sh
+//! cargo run --release --example xpathmark -- [size-mb]
+//! ```
+
+use pp_xml::datasets::{xpathmark_queries, XmarkConfig};
+use pp_xml::prelude::*;
+
+fn main() {
+    let size_mb: f64 = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(8.0);
+    let data = XmarkConfig::with_target_size((size_mb * 1_000_000.0) as usize).generate();
+    eprintln!("generated {} bytes of XMark-lite", data.len());
+
+    let queries = xpathmark_queries();
+    let engine = Engine::builder()
+        .add_queries(&queries.iter().map(|(_, q)| *q).collect::<Vec<_>>())
+        .expect("XPathMark queries compile")
+        .build()
+        .expect("engine compiles");
+
+    let result = engine.run(&data);
+
+    println!("{:<4} {:<44} {:>12} {:>12} {:>10}", "Name", "XPath query", "sub-queries", "sub-matches", "matches");
+    for (i, (id, q)) in queries.iter().enumerate() {
+        println!(
+            "{:<4} {:<44} {:>12} {:>12} {:>10}",
+            id,
+            q,
+            engine.plan().queries[i].subquery_count(),
+            result.submatch_counts[i],
+            result.match_count(i),
+        );
+    }
+
+    let t = &result.stats.timings;
+    println!(
+        "\nphases: parallel {:.1} ms, join {:.1} ms, filter {:.1} ms (total {:.1} ms, {:.1} MB/s)",
+        t.parallel.as_secs_f64() * 1e3,
+        t.join.as_secs_f64() * 1e3,
+        t.filter.as_secs_f64() * 1e3,
+        t.total.as_secs_f64() * 1e3,
+        result.stats.throughput_mbs()
+    );
+}

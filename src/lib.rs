@@ -1,0 +1,53 @@
+//! # pp-xml — Scalable XML Query Processing using Parallel Pushdown Transducers
+//!
+//! This crate is the top-level façade of a from-scratch reproduction of
+//! *“Scalable XML Query Processing using Parallel Pushdown Transducers”*
+//! (Ogden, Thomas, Pietzuch — VLDB 2013).
+//!
+//! The system executes a small set of streaming XPath queries against an XML
+//! byte stream with **data parallelism**: the stream is split at *arbitrary*
+//! byte boundaries into chunks, each chunk is processed out-of-order by a
+//! parallel pushdown transducer that maintains a mapping from every possible
+//! starting state to its finishing state, and the per-chunk mappings are then
+//! unified in an inexpensive sequential join.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use pp_xml::prelude::*;
+//!
+//! let xml = b"<a><b><d></d></b><b><c></c></b></a>";
+//! let engine = Engine::builder()
+//!     .add_query("/a/b/c")
+//!     .unwrap()
+//!     .build()
+//!     .unwrap();
+//! let result = engine.run(xml);
+//! assert_eq!(result.match_count(0), 1);
+//! ```
+//!
+//! ## Crate layout
+//!
+//! * [`xmlstream`] — XML lexing, chunk splitting, fragments, a small DOM.
+//! * [`xpath`] — the supported XPath subset, parsing and query rewriting.
+//! * [`automaton`] — NFA/DFA construction and the pushdown transducer.
+//! * [`core`] — the PP-Transducer itself (mappings, unification, double tree,
+//!   parallel execution).
+//! * [`baselines`] — the comparison engines used by the paper's evaluation.
+//! * [`datasets`] — synthetic XMark/Treebank/Twitter/Synth dataset generators
+//!   and the XPathMark query workload.
+
+pub use ppt_automaton as automaton;
+pub use ppt_baselines as baselines;
+pub use ppt_core as core;
+pub use ppt_datasets as datasets;
+pub use ppt_xmlstream as xmlstream;
+pub use ppt_xpath as xpath;
+
+/// Convenience re-exports covering the common workflow: build an [`prelude::Engine`],
+/// run it over bytes, inspect [`prelude::QueryResult`] matches.
+pub mod prelude {
+    pub use ppt_core::engine::{Engine, EngineBuilder, EngineConfig, QueryResult};
+    pub use ppt_core::stats::RunStats;
+    pub use ppt_xpath::{Query, QueryPlan};
+}

@@ -1,0 +1,132 @@
+//! Cross-engine equivalence on realistic workloads: the parallel
+//! PP-Transducer, its sequential mode, and the baseline engines must agree on
+//! every dataset/query combination. The DOM engine's whole-document mode is
+//! the XPath-semantics oracle.
+
+use pp_xml::baselines::{
+    FragmentDomEngine, FragmentSaxEngine, FragmentStreamEngine, IndexedEngine,
+    SequentialStreamEngine,
+};
+use pp_xml::datasets::{
+    random_treebank_queries, twitter_query, xpathmark_queries_strs, TreebankConfig, TwitterConfig,
+    XmarkConfig,
+};
+use pp_xml::prelude::*;
+
+fn ppt_counts(queries: &[String], data: &[u8], chunk_size: usize, threads: usize) -> Vec<usize> {
+    let engine = Engine::builder()
+        .add_queries(queries)
+        .unwrap()
+        .chunk_size(chunk_size)
+        .threads(threads)
+        .build()
+        .unwrap();
+    let result = engine.run(data);
+    (0..queries.len()).map(|i| result.match_count(i)).collect()
+}
+
+#[test]
+fn xpathmark_on_xmark_agrees_with_the_dom_oracle() {
+    let data = XmarkConfig { items_per_region: 30, closed_auctions: 150, people: 150, seed: 9 }
+        .generate();
+    let queries: Vec<String> = xpathmark_queries_strs().iter().map(|s| s.to_string()).collect();
+
+    let oracle = FragmentDomEngine::new(&queries)
+        .unwrap()
+        .run_whole_document(&data)
+        .expect("generated data is well-formed");
+
+    let parallel = ppt_counts(&queries, &data, 8 * 1024, 4);
+    assert_eq!(parallel, oracle.match_counts, "parallel PPT vs DOM oracle");
+
+    let sequential_engine = Engine::from_queries(&queries).unwrap();
+    let sequential = sequential_engine.run_sequential(&data);
+    let seq_counts: Vec<usize> = (0..queries.len()).map(|i| sequential.match_count(i)).collect();
+    assert_eq!(seq_counts, oracle.match_counts, "sequential PPT vs DOM oracle");
+
+    let indexed = IndexedEngine::new(&queries).unwrap().run(&data).unwrap();
+    assert_eq!(indexed.match_counts, oracle.match_counts, "indexed engine vs DOM oracle");
+}
+
+#[test]
+fn treebank_random_queries_agree_across_engines() {
+    let data = TreebankConfig { sentences: 400, max_depth: 18, seed: 21 }.generate();
+    let queries = random_treebank_queries(10, 4, 5);
+
+    let oracle = FragmentDomEngine::new(&queries)
+        .unwrap()
+        .run_whole_document(&data)
+        .unwrap()
+        .match_counts;
+    assert!(oracle.iter().sum::<usize>() > 0, "workload should have some matches");
+
+    assert_eq!(ppt_counts(&queries, &data, 4 * 1024, 3), oracle, "PPT small chunks");
+    assert_eq!(ppt_counts(&queries, &data, 64 * 1024, 2), oracle, "PPT large chunks");
+
+    let stream = FragmentStreamEngine::new(&queries).unwrap().fragment_size(8 * 1024);
+    assert_eq!(stream.run(&data, 3).match_counts, oracle, "fragment stream engine");
+
+    let sax = FragmentSaxEngine::new(&queries).unwrap().fragment_size(8 * 1024);
+    assert_eq!(sax.run(&data, 3).match_counts, oracle, "fragment SAX engine");
+
+    let dom = FragmentDomEngine::new(&queries).unwrap().fragment_size(8 * 1024);
+    assert_eq!(dom.run(&data, 3).match_counts, oracle, "fragment DOM engine");
+
+    let seq = SequentialStreamEngine::new(&queries).unwrap();
+    assert_eq!(seq.run(&data).match_counts, oracle, "sequential stream engine");
+}
+
+#[test]
+fn twitter_stream_agrees_between_slice_and_reader_modes() {
+    let data = TwitterConfig {
+        statuses: 800,
+        retweet_probability: 0.3,
+        coordinates_probability: 0.2,
+        seed: 4,
+    }
+    .generate();
+    let queries = vec![
+        twitter_query().to_string(),
+        "//status/user/screen_name".to_string(),
+        "//retweeted_status/status/coordinates/coordinates".to_string(),
+        "//status[coordinates]/user".to_string(),
+    ];
+    let engine = Engine::builder()
+        .add_queries(&queries)
+        .unwrap()
+        .chunk_size(16 * 1024)
+        .window_size(64 * 1024)
+        .threads(2)
+        .build()
+        .unwrap();
+    let from_slice = engine.run(&data);
+    let from_reader = engine.run_reader(std::io::Cursor::new(&data)).unwrap();
+    let oracle = FragmentDomEngine::new(&queries)
+        .unwrap()
+        .run_whole_document(&data)
+        .unwrap()
+        .match_counts;
+
+    for i in 0..queries.len() {
+        assert_eq!(from_slice.match_count(i), oracle[i], "slice vs oracle for {}", queries[i]);
+        assert_eq!(from_reader.match_count(i), oracle[i], "reader vs oracle for {}", queries[i]);
+    }
+}
+
+#[test]
+fn submatch_counts_are_consistent_between_parallel_and_sequential() {
+    let data = XmarkConfig { items_per_region: 10, closed_auctions: 80, people: 80, seed: 17 }
+        .generate();
+    let queries: Vec<String> = xpathmark_queries_strs().iter().map(|s| s.to_string()).collect();
+    let engine = Engine::builder()
+        .add_queries(&queries)
+        .unwrap()
+        .chunk_size(4 * 1024)
+        .threads(4)
+        .build()
+        .unwrap();
+    let par = engine.run(&data);
+    let seq = engine.run_sequential(&data);
+    assert_eq!(par.submatch_counts, seq.submatch_counts);
+    assert_eq!(par.subquery_match_total, seq.subquery_match_total);
+}

@@ -1,0 +1,200 @@
+//! Property-based tests of the core invariants:
+//!
+//! 1. **Split invariance** — splitting the stream at *any* byte boundaries and
+//!    processing the chunks out of order yields exactly the matches of a
+//!    sequential in-order run (the paper's central correctness claim).
+//! 2. **Engine equivalence** — the double-tree engine and the naive mapping
+//!    engine produce identical mappings on arbitrary (even malformed) chunks.
+//! 3. **Unification is associative** with respect to chunk boundaries.
+//! 4. **Generated documents are well-formed** and the lexer's event stream is
+//!    balanced on them.
+
+use pp_xml::automaton::{run_sequential, Transducer};
+use pp_xml::core::chunk::{process_chunk, EngineKind};
+use pp_xml::core::join::unify_mappings;
+use pp_xml::core::{Engine, EngineConfig};
+use pp_xml::xmlstream::{Lexer, XmlEvent};
+use proptest::prelude::*;
+
+/// Strategy: a small random XML document over a fixed tag vocabulary, plus a
+/// flag per element for self-closing form. Always well-formed.
+fn arb_document() -> impl Strategy<Value = Vec<u8>> {
+    // A recursive tree of (tag index, children).
+    #[derive(Debug, Clone)]
+    struct Node {
+        tag: usize,
+        text: bool,
+        children: Vec<Node>,
+    }
+    fn node_strategy() -> impl Strategy<Value = Node> {
+        let leaf = (0usize..6, any::<bool>()).prop_map(|(tag, text)| Node { tag, text, children: vec![] });
+        leaf.prop_recursive(4, 24, 4, |inner| {
+            (0usize..6, any::<bool>(), prop::collection::vec(inner, 0..4))
+                .prop_map(|(tag, text, children)| Node { tag, text, children })
+        })
+    }
+    fn render(node: &Node, out: &mut Vec<u8>) {
+        const TAGS: &[&str] = &["a", "b", "c", "d", "k", "li"];
+        let tag = TAGS[node.tag % TAGS.len()];
+        out.extend_from_slice(format!("<{tag}>").as_bytes());
+        if node.text {
+            out.extend_from_slice(b"text content");
+        }
+        for c in &node.children {
+            render(c, out);
+        }
+        out.extend_from_slice(format!("</{tag}>").as_bytes());
+    }
+    node_strategy().prop_map(|root| {
+        let mut out = Vec::new();
+        render(&root, &mut out);
+        out
+    })
+}
+
+/// Strategy: a small set of queries over the same vocabulary.
+fn arb_queries() -> impl Strategy<Value = Vec<&'static str>> {
+    const POOL: &[&str] = &[
+        "/a/b", "/a/b/c", "//c", "//k", "/a//d", "//b/*", "//li/k", "/a/b[c]/d", "//a[k]/b",
+        "//b//c",
+    ];
+    prop::collection::vec(prop::sample::select(POOL), 1..4)
+        .prop_map(|mut qs| {
+            qs.dedup();
+            qs
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn parallel_matches_sequential_for_any_chunk_size(
+        doc in arb_document(),
+        queries in arb_queries(),
+        chunk_size in 1usize..64,
+        threads in 1usize..4,
+    ) {
+        let engine = Engine::with_config(
+            &queries,
+            EngineConfig {
+                chunk_size,
+                threads: Some(threads),
+                ..EngineConfig::default()
+            },
+        ).unwrap();
+        let parallel = engine.run(&doc);
+        let sequential = engine.run_sequential(&doc);
+        prop_assert_eq!(&parallel.query_matches, &sequential.query_matches);
+        prop_assert_eq!(&parallel.submatch_counts, &sequential.submatch_counts);
+    }
+
+    #[test]
+    fn subquery_matches_equal_the_inorder_automaton(
+        doc in arb_document(),
+        queries in arb_queries(),
+        chunk_size in 1usize..48,
+    ) {
+        // Compare at the sub-query level (positions included), bypassing the
+        // filter phase.
+        let engine = Engine::with_config(
+            &queries,
+            EngineConfig { chunk_size, threads: Some(2), ..EngineConfig::default() },
+        ).unwrap();
+        let t = engine.transducer();
+        let expected: Vec<(usize, u32)> =
+            run_sequential(t, &doc).iter().map(|m| (m.pos, m.subquery)).collect();
+        let got = pp_xml::core::run_parallel(
+            t,
+            &doc,
+            pp_xml::core::ParallelConfig {
+                chunk_size,
+                threads: Some(2),
+                ..Default::default()
+            },
+        ).0;
+        let got: Vec<(usize, u32)> = got.iter().map(|m| (m.pos, m.subquery)).collect();
+        prop_assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn tree_and_naive_engines_agree_on_arbitrary_chunks(
+        doc in arb_document(),
+        queries in arb_queries(),
+        split in 0.0f64..1.0,
+    ) {
+        // Take an arbitrary *suffix* of the document starting at a tag
+        // boundary: a malformed chunk with unmatched closing tags.
+        let t = Transducer::from_queries(&queries).unwrap();
+        let positions: Vec<usize> =
+            doc.iter().enumerate().filter(|(_, &b)| b == b'<').map(|(i, _)| i).collect();
+        let start = positions[(split * (positions.len() - 1) as f64) as usize];
+        let chunk = &doc[start..];
+        let mut a = process_chunk(&t, chunk, start, 0, false, EngineKind::Tree, true).mapping;
+        let mut b = process_chunk(&t, chunk, start, 0, false, EngineKind::Naive, true).mapping;
+        a.normalise();
+        b.normalise();
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn unification_is_associative_over_three_way_splits(
+        doc in arb_document(),
+        queries in arb_queries(),
+        cut_a in 0.0f64..1.0,
+        cut_b in 0.0f64..1.0,
+    ) {
+        let t = Transducer::from_queries(&queries).unwrap();
+        let positions: Vec<usize> =
+            doc.iter().enumerate().filter(|(_, &b)| b == b'<').map(|(i, _)| i).collect();
+        let mut i = (cut_a * (positions.len() - 1) as f64) as usize;
+        let mut j = (cut_b * (positions.len() - 1) as f64) as usize;
+        if i > j {
+            std::mem::swap(&mut i, &mut j);
+        }
+        let (p1, p2) = (positions[i], positions[j]);
+        let c1 = process_chunk(&t, &doc[..p1], 0, 0, true, EngineKind::Tree, false).mapping;
+        let c2 = process_chunk(&t, &doc[p1..p2], p1, 1, false, EngineKind::Tree, false).mapping;
+        let c3 = process_chunk(&t, &doc[p2..], p2, 2, false, EngineKind::Tree, false).mapping;
+        let mut left = unify_mappings(&unify_mappings(&c1, &c2), &c3);
+        let mut right = unify_mappings(&c1, &unify_mappings(&c2, &c3));
+        left.normalise();
+        right.normalise();
+        prop_assert_eq!(left, right);
+    }
+
+    #[test]
+    fn lexer_events_are_balanced_on_generated_documents(doc in arb_document()) {
+        let mut depth: i64 = 0;
+        let mut opens = 0u64;
+        for ev in Lexer::tags_only(&doc) {
+            match ev {
+                XmlEvent::Open { .. } => { depth += 1; opens += 1; }
+                XmlEvent::Close { .. } => depth -= 1,
+                _ => {}
+            }
+            prop_assert!(depth >= 0);
+        }
+        prop_assert_eq!(depth, 0);
+        prop_assert!(opens >= 1);
+    }
+
+    #[test]
+    fn match_spans_are_consistent(
+        doc in arb_document(),
+        chunk_size in 1usize..32,
+    ) {
+        let engine = Engine::with_config(
+            &["//b", "//c", "/a"],
+            EngineConfig { chunk_size, threads: Some(2), ..EngineConfig::default() },
+        ).unwrap();
+        let result = engine.run(&doc);
+        for q in 0..3 {
+            for m in result.matches(q) {
+                prop_assert!(m.start < m.end && m.end <= doc.len());
+                prop_assert_eq!(doc[m.start], b'<');
+                prop_assert_eq!(doc[m.end - 1], b'>');
+            }
+        }
+    }
+}
