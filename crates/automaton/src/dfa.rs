@@ -36,9 +36,9 @@ impl Dfa {
         let mut matches: Vec<Vec<u32>> = Vec::new();
 
         let add_subset = |subset: Vec<u32>,
-                              subsets: &mut Vec<Vec<u32>>,
-                              index: &mut HashMap<Vec<u32>, u32>,
-                              matches: &mut Vec<Vec<u32>>|
+                          subsets: &mut Vec<Vec<u32>>,
+                          index: &mut HashMap<Vec<u32>, u32>,
+                          matches: &mut Vec<Vec<u32>>|
          -> u32 {
             if let Some(&id) = index.get(&subset) {
                 return id;
@@ -60,10 +60,8 @@ impl Dfa {
             for sym_idx in 0..num_symbols {
                 let sym = Symbol(sym_idx as u32);
                 let is_element = nfa.is_element_symbol(sym);
-                let mut next: Vec<u32> = subset
-                    .iter()
-                    .flat_map(|&s| nfa.moves(s, sym, is_element))
-                    .collect();
+                let mut next: Vec<u32> =
+                    subset.iter().flat_map(|&s| nfa.moves(s, sym, is_element)).collect();
                 next.sort_unstable();
                 next.dedup();
                 let next_id = add_subset(next, &mut subsets, &mut index, &mut matches);

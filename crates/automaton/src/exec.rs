@@ -97,11 +97,7 @@ pub fn run_sequential_with_stats(t: &Transducer, data: &[u8]) -> (Vec<Match>, Se
                         let next = t.step(state, sym);
                         stats.transitions += 2;
                         for &q in t.output(next) {
-                            matches.push(Match {
-                                pos,
-                                depth: stack.len() as u32 + 1,
-                                subquery: q,
-                            });
+                            matches.push(Match { pos, depth: stack.len() as u32 + 1, subquery: q });
                         }
                     }
                 }
@@ -114,11 +110,7 @@ pub fn run_sequential_with_stats(t: &Transducer, data: &[u8]) -> (Vec<Match>, Se
                         let next = t.step(state, sym);
                         stats.transitions += 2;
                         for &q in t.output(next) {
-                            matches.push(Match {
-                                pos,
-                                depth: stack.len() as u32 + 1,
-                                subquery: q,
-                            });
+                            matches.push(Match { pos, depth: stack.len() as u32 + 1, subquery: q });
                         }
                     }
                 }

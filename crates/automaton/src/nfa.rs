@@ -59,17 +59,15 @@ impl Nfa {
         let mut text_symbols = HashMap::new();
         let mut element_symbol = vec![true]; // OTHER_SYMBOL is an element symbol
 
-        let intern_element = |symbols: &mut SymbolTable,
-                                  element_symbol: &mut Vec<bool>,
-                                  name: &str|
-         -> Symbol {
-            let before = symbols.len();
-            let sym = symbols.intern(name.as_bytes());
-            if symbols.len() > before {
-                element_symbol.push(true);
-            }
-            sym
-        };
+        let intern_element =
+            |symbols: &mut SymbolTable, element_symbol: &mut Vec<bool>, name: &str| -> Symbol {
+                let before = symbols.len();
+                let sym = symbols.intern(name.as_bytes());
+                if symbols.len() > before {
+                    element_symbol.push(true);
+                }
+                sym
+            };
 
         // First pass: intern all symbols so that the table is stable.
         for sq in &plan.subqueries {
@@ -117,9 +115,7 @@ impl Nfa {
                 let label = match &step.test {
                     BasicTest::Name(n) => Label::Symbol(nfa.symbols.lookup(n.as_bytes())),
                     BasicTest::Wildcard => Label::AnyElement,
-                    BasicTest::Attribute(n) => {
-                        Label::Symbol(nfa.attr_symbols[n.as_bytes()])
-                    }
+                    BasicTest::Attribute(n) => Label::Symbol(nfa.attr_symbols[n.as_bytes()]),
                     BasicTest::Text(s) => Label::Symbol(nfa.text_symbols[s.as_bytes()]),
                 };
                 let next = nfa.new_state();
@@ -131,7 +127,11 @@ impl Nfa {
                         // current --any--> skip --any--> skip
                         //        \--label--> next   skip --label--> next
                         let skip = nfa.new_state();
-                        nfa.edges.push(NfaEdge { from: current, label: Label::AnyElement, to: skip });
+                        nfa.edges.push(NfaEdge {
+                            from: current,
+                            label: Label::AnyElement,
+                            to: skip,
+                        });
                         nfa.edges.push(NfaEdge { from: skip, label: Label::AnyElement, to: skip });
                         nfa.edges.push(NfaEdge { from: skip, label, to: next });
                         nfa.edges.push(NfaEdge { from: current, label, to: next });
@@ -171,11 +171,7 @@ impl Nfa {
 
     /// Sub-queries accepted at `state`.
     pub fn accepted(&self, state: u32) -> Vec<u32> {
-        self.accepts
-            .iter()
-            .filter(|(s, _)| *s == state)
-            .map(|(_, q)| *q)
-            .collect()
+        self.accepts.iter().filter(|(s, _)| *s == state).map(|(_, q)| *q).collect()
     }
 
     /// `true` when `sym` denotes an element name (or the catch-all) rather

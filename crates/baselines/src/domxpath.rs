@@ -74,10 +74,9 @@ fn apply_step(doc: &Document, context: &[NodeId], step: &Step) -> Vec<NodeId> {
     if matches!(step.test, NodeTest::Attribute(_) | NodeTest::Text(_)) {
         let candidates: Vec<NodeId> = match step.axis {
             Axis::Child | Axis::Parent => context.to_vec(),
-            Axis::Descendant => context
-                .iter()
-                .flat_map(|&n| std::iter::once(n).chain(doc.descendants(n)))
-                .collect(),
+            Axis::Descendant => {
+                context.iter().flat_map(|&n| std::iter::once(n).chain(doc.descendants(n))).collect()
+            }
             Axis::Ancestor => {
                 let mut out = Vec::new();
                 for &n in context {
@@ -136,10 +135,7 @@ fn apply_step(doc: &Document, context: &[NodeId], step: &Step) -> Vec<NodeId> {
 fn apply_predicate(doc: &Document, nodes: Vec<NodeId>, step: &Step) -> Vec<NodeId> {
     match &step.predicate {
         None => nodes,
-        Some(pred) => nodes
-            .into_iter()
-            .filter(|&n| eval_predicate(doc, n, pred))
-            .collect(),
+        Some(pred) => nodes.into_iter().filter(|&n| eval_predicate(doc, n, pred)).collect(),
     }
 }
 
@@ -169,11 +165,9 @@ fn element_test_matches(doc: &Document, node: NodeId, test: &NodeTest) -> bool {
     match test {
         NodeTest::Name(n) => doc.name(node) == n.as_bytes(),
         NodeTest::Wildcard => true,
-        NodeTest::Attribute(a) => doc
-            .node(node)
-            .attrs
-            .iter()
-            .any(|(k, _)| k.as_slice() == a.as_bytes()),
+        NodeTest::Attribute(a) => {
+            doc.node(node).attrs.iter().any(|(k, _)| k.as_slice() == a.as_bytes())
+        }
         NodeTest::Text(s) => {
             let text = &doc.node(node).text;
             trim(text) == s.as_bytes()

@@ -43,13 +43,15 @@ impl FragmentDomEngine {
     /// (single DOM, single thread). This is both the "PugiXML (not split)"
     /// configuration of Fig 11 and the exact-semantics oracle used by the
     /// integration tests.
-    pub fn run_whole_document(&self, data: &[u8]) -> Result<BaselineResult, ppt_xmlstream::XmlError> {
+    pub fn run_whole_document(
+        &self,
+        data: &[u8],
+    ) -> Result<BaselineResult, ppt_xmlstream::XmlError> {
         let start = Instant::now();
         let doc = Document::parse(data)?;
         let parse_time = start.elapsed();
         let query_start = Instant::now();
-        let match_counts: Vec<usize> =
-            self.queries.iter().map(|q| count_query(&doc, q)).collect();
+        let match_counts: Vec<usize> = self.queries.iter().map(|q| count_query(&doc, q)).collect();
         Ok(BaselineResult {
             match_counts,
             split_time: parse_time,
@@ -71,8 +73,9 @@ impl FragmentDomEngine {
                 // Re-create a well-formed document for the fragment by
                 // wrapping it in the original root tags (fragments are
                 // sequences of complete depth-1 children).
-                let mut wrapped =
-                    Vec::with_capacity(split.content_start + range.len() + (data.len() - split.content_end));
+                let mut wrapped = Vec::with_capacity(
+                    split.content_start + range.len() + (data.len() - split.content_end),
+                );
                 wrapped.extend_from_slice(&data[..split.content_start]);
                 wrapped.extend_from_slice(&data[range.clone()]);
                 wrapped.extend_from_slice(&data[split.content_end..]);

@@ -29,11 +29,11 @@ enum SaxEvent {
 
 /// Global allocator gate shared by every worker (models a non-thread-caching
 /// `malloc`).
-static ALLOC_GATE: parking_lot::Mutex<()> = parking_lot::Mutex::new(());
+static ALLOC_GATE: std::sync::Mutex<()> = std::sync::Mutex::new(());
 
 fn alloc_name(name: &[u8], contended: bool) -> Vec<u8> {
     if contended {
-        let _guard = ALLOC_GATE.lock();
+        let _guard = ALLOC_GATE.lock().unwrap();
         name.to_vec()
     } else {
         name.to_vec()
@@ -212,13 +212,8 @@ mod tests {
         let queries = ["//c"];
         let data = doc();
         let contended = FragmentSaxEngine::new(&queries).unwrap().fragment_size(64);
-        let relaxed = FragmentSaxEngine::new(&queries)
-            .unwrap()
-            .fragment_size(64)
-            .contended_allocator(false);
-        assert_eq!(
-            contended.run(&data, 2).match_counts,
-            relaxed.run(&data, 2).match_counts
-        );
+        let relaxed =
+            FragmentSaxEngine::new(&queries).unwrap().fragment_size(64).contended_allocator(false);
+        assert_eq!(contended.run(&data, 2).match_counts, relaxed.run(&data, 2).match_counts);
     }
 }

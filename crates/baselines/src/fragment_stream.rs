@@ -94,12 +94,17 @@ impl FragmentStreamEngine {
     pub fn run(&self, data: &[u8], threads: usize) -> BaselineResult {
         let start = Instant::now();
         let t = &self.transducer;
-        let root_state_of = |split: &FragmentSplit| {
-            t.step(t.initial(), t.classify_name(&split.root_name))
-        };
+        let root_state_of =
+            |split: &FragmentSplit| t.step(t.initial(), t.classify_name(&split.root_name));
         let (split, per_fragment, split_time, query_time, idle) =
             fragment_parallel(data, self.fragment_size, threads, |split, range| {
-                run_inorder_with_spans(t, &data[range.clone()], range.start, root_state_of(split), 1)
+                run_inorder_with_spans(
+                    t,
+                    &data[range.clone()],
+                    range.start,
+                    root_state_of(split),
+                    1,
+                )
             });
 
         // Matches on the root element itself (fragments exclude it).

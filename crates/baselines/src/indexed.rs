@@ -87,11 +87,7 @@ impl IndexedEngine {
         let start = Instant::now();
         let count = if query.path.has_predicates()
             || query.path.has_reverse_axes()
-            || query
-                .path
-                .steps
-                .iter()
-                .any(|s| !matches!(s.test, NodeTest::Name(_)))
+            || query.path.steps.iter().any(|s| !matches!(s.test, NodeTest::Name(_)))
         {
             // Predicates / reverse axes / non-name tests: evaluate on the tree
             // (the index still made the load cheap to amortise).
@@ -118,10 +114,7 @@ impl IndexedEngine {
             _ => return eval_query(&store.doc, query).len(),
         };
         let Some(candidates) = store.by_tag.get(last) else { return 0 };
-        candidates
-            .iter()
-            .filter(|&&node| path_matches_upwards(&store.doc, node, steps))
-            .count()
+        candidates.iter().filter(|&&node| path_matches_upwards(&store.doc, node, steps)).count()
     }
 
     /// Loads and runs every query (the composite used by throughput-style
@@ -203,14 +196,13 @@ mod tests {
 
     #[test]
     fn index_queries_match_the_dom_oracle() {
-        let queries = ["/s/cs/c/a/d/t/k", "//c//k", "/s/cs/c//k", "/s/cs/c[a/d/t/k]/d", "/s/ps/p[ph]/n"];
+        let queries =
+            ["/s/cs/c/a/d/t/k", "//c//k", "/s/cs/c//k", "/s/cs/c[a/d/t/k]/d", "/s/ps/p[ph]/n"];
         let data = doc();
         let engine = IndexedEngine::new(&queries).unwrap();
         let result = engine.run(&data).unwrap();
-        let oracle = crate::FragmentDomEngine::new(&queries)
-            .unwrap()
-            .run_whole_document(&data)
-            .unwrap();
+        let oracle =
+            crate::FragmentDomEngine::new(&queries).unwrap().run_whole_document(&data).unwrap();
         assert_eq!(result.match_counts, oracle.match_counts);
         assert_eq!(result.match_counts[0], 20);
         assert_eq!(result.match_counts[4], 5);

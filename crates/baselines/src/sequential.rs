@@ -30,10 +30,10 @@ pub fn run_inorder_with_spans(
 
     let full = t.needs_full_events();
     let handle = |ev: XmlEvent<'_>,
-                      state: &mut StateId,
-                      state_stack: &mut Vec<StateId>,
-                      open_stack: &mut Vec<(usize, Vec<usize>)>,
-                      matches: &mut Vec<ResolvedMatch>| {
+                  state: &mut StateId,
+                  state_stack: &mut Vec<StateId>,
+                  open_stack: &mut Vec<(usize, Vec<usize>)>,
+                  matches: &mut Vec<ResolvedMatch>| {
         match ev {
             XmlEvent::Open { name, pos } => {
                 let abs = abs_offset + pos;

@@ -2,7 +2,9 @@
 //! comparison behind Figs 7 and 11).
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use ppt_baselines::{FragmentDomEngine, FragmentSaxEngine, FragmentStreamEngine, SequentialStreamEngine};
+use ppt_baselines::{
+    FragmentDomEngine, FragmentSaxEngine, FragmentStreamEngine, SequentialStreamEngine,
+};
 use ppt_bench::workloads;
 use ppt_core::{Engine, EngineConfig};
 use ppt_datasets::random_treebank_queries;

@@ -13,11 +13,7 @@ fn bench_end_to_end(c: &mut Criterion) {
             workloads::xmark(2 << 20),
             xpathmark_queries().iter().take(3).map(|(_, q)| q.to_string()).collect(),
         ),
-        (
-            "treebank_5rules",
-            workloads::treebank(2 << 20),
-            random_treebank_queries(5, 4, 7),
-        ),
+        ("treebank_5rules", workloads::treebank(2 << 20), random_treebank_queries(5, 4, 7)),
         ("twitter_coords", workloads::twitter(2 << 20), vec![twitter_query().to_string()]),
     ];
     let mut group = c.benchmark_group("engine");

@@ -1,0 +1,116 @@
+//! Online runtime vs batch engine: sustained MB/s over the same stream at
+//! 1–16 workers.
+//!
+//! ```sh
+//! cargo bench -p ppt-bench --bench runtime
+//! # record the committed baseline:
+//! BENCH_RUNTIME_JSON=BENCH_runtime.json cargo bench -p ppt-bench --bench runtime
+//! ```
+
+use criterion::{BenchmarkId, Criterion, Throughput};
+use ppt_core::{Engine, EngineConfig};
+use ppt_runtime::{OnlineMatch, Runtime};
+use std::sync::Arc;
+use std::time::Instant;
+
+const THREAD_SWEEP: [usize; 5] = [1, 2, 4, 8, 16];
+
+fn dataset() -> Vec<u8> {
+    ppt_bench::workloads::xmark(4 << 20)
+}
+
+fn queries() -> Vec<String> {
+    ppt_datasets::xpathmark_queries().iter().take(3).map(|(_, q)| q.to_string()).collect()
+}
+
+fn engine_for(threads: usize, queries: &[String]) -> Arc<Engine> {
+    Arc::new(
+        Engine::with_config(
+            queries,
+            EngineConfig {
+                chunk_size: 256 * 1024,
+                threads: Some(threads),
+                window_size: 1 << 20,
+                ..EngineConfig::default()
+            },
+        )
+        .unwrap(),
+    )
+}
+
+fn run_online(runtime: &Runtime, engine: &Arc<Engine>, data: &[u8]) -> u64 {
+    let mut count = 0u64;
+    let mut sink = |_m: OnlineMatch| count += 1;
+    runtime.process_reader(Arc::clone(engine), data, &mut sink).unwrap();
+    count
+}
+
+fn bench_runtime(c: &mut Criterion) {
+    let data = dataset();
+    let queries = queries();
+    let mut group = c.benchmark_group("runtime");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(4));
+    group.throughput(Throughput::Bytes(data.len() as u64));
+    for threads in THREAD_SWEEP {
+        let engine = engine_for(threads, &queries);
+        let runtime = Runtime::builder().workers(threads).build();
+        group.bench_with_input(BenchmarkId::new("online", threads), &data, |b, data| {
+            b.iter(|| run_online(&runtime, &engine, data))
+        });
+        group.bench_with_input(BenchmarkId::new("batch", threads), &data, |b, data| {
+            b.iter(|| engine.run(data))
+        });
+    }
+    group.finish();
+}
+
+/// Direct measurement used to record the committed `BENCH_runtime.json`
+/// baseline (mean of `iters` runs per configuration).
+fn write_baseline(path: &str) {
+    let data = dataset();
+    let queries = queries();
+    let iters = 5usize;
+    let mib = data.len() as f64 / (1024.0 * 1024.0);
+    let mut rows = Vec::new();
+    for threads in THREAD_SWEEP {
+        let engine = engine_for(threads, &queries);
+        let runtime = Runtime::builder().workers(threads).build();
+        type Measured<'a> = Box<dyn Fn() -> u64 + 'a>;
+        let modes: [(&str, Measured<'_>); 2] = [
+            ("online", Box::new(|| run_online(&runtime, &engine, &data))),
+            ("batch", Box::new(|| engine.run(&data).total_matches() as u64)),
+        ];
+        for (mode, run) in modes {
+            run(); // warm-up
+            let start = Instant::now();
+            let mut matches = 0u64;
+            for _ in 0..iters {
+                matches = run();
+            }
+            let secs = start.elapsed().as_secs_f64() / iters as f64;
+            rows.push(format!(
+                "    {{\"mode\": \"{mode}\", \"threads\": {threads}, \"mib_per_s\": {:.2}, \
+                 \"matches\": {matches}}}",
+                mib / secs
+            ));
+        }
+    }
+    let json = format!(
+        "{{\n  \"bench\": \"runtime\",\n  \"dataset\": \"xmark\",\n  \"dataset_bytes\": {},\n  \
+         \"queries\": {},\n  \"iters_per_point\": {iters},\n  \"results\": [\n{}\n  ]\n}}\n",
+        data.len(),
+        queries.len(),
+        rows.join(",\n")
+    );
+    std::fs::write(path, json).expect("baseline written");
+    println!("baseline written to {path}");
+}
+
+fn main() {
+    let mut c = Criterion::default();
+    bench_runtime(&mut c);
+    if let Ok(path) = std::env::var("BENCH_RUNTIME_JSON") {
+        write_baseline(&path);
+    }
+}

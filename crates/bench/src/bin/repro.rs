@@ -13,7 +13,7 @@
 //!   --json              additionally print each table as JSON
 //! ```
 
-use ppt_bench::experiments::{all_experiments, ExpConfig};
+use ppt_bench::experiments::{all_experiments, ExpConfig, ExperimentFn};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -79,7 +79,7 @@ fn main() {
     }
 
     let experiments = all_experiments();
-    let selected: Vec<&(&str, fn(&ExpConfig) -> ppt_bench::Table)> = if experiment == "all" {
+    let selected: Vec<&(&str, ExperimentFn)> = if experiment == "all" {
         experiments.iter().collect()
     } else {
         let found: Vec<_> = experiments.iter().filter(|(id, _)| *id == experiment).collect();

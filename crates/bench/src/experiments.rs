@@ -14,9 +14,7 @@ use ppt_baselines::{
     SequentialStreamEngine,
 };
 use ppt_core::{Engine, EngineConfig};
-use ppt_datasets::{
-    dataset_stats, random_treebank_queries, xpathmark_queries, SkewMode,
-};
+use ppt_datasets::{dataset_stats, random_treebank_queries, xpathmark_queries, SkewMode};
 
 /// Scale and parallelism knobs shared by every experiment.
 #[derive(Debug, Clone)]
@@ -88,10 +86,7 @@ pub fn table1(cfg: &ExpConfig) -> Table {
 pub fn table2(cfg: &ExpConfig) -> Table {
     let data = workloads::xmark(cfg.dataset_bytes);
     let queries = xpathmark_queries();
-    let engine = cfg.engine(
-        &queries.iter().map(|(_, q)| *q).collect::<Vec<_>>(),
-        cfg.max_threads,
-    );
+    let engine = cfg.engine(&queries.iter().map(|(_, q)| *q).collect::<Vec<_>>(), cfg.max_threads);
     let result = engine.run(&data);
     let mut t = Table::new(
         "Table 2: XPathMark rules used for the query workload",
@@ -205,11 +200,7 @@ pub fn fig10(cfg: &ExpConfig) -> Table {
         points.iter().copied().filter(|(x, _)| *x <= 16.0).collect();
     let (slope, intercept) = linear_regression(&linear_region);
     for (x, y) in &points {
-        t.row(vec![
-            format!("{x}"),
-            fmt_f64(*y),
-            fmt_f64(slope * x + intercept),
-        ]);
+        t.row(vec![format!("{x}"), fmt_f64(*y), fmt_f64(slope * x + intercept)]);
     }
     t.note(&format!(
         "regression over the linear region (<=16 cores): throughput ~= {:.1} * cores + {:.1}",
@@ -243,10 +234,7 @@ pub fn fig11(cfg: &ExpConfig) -> Table {
         let ppt1 = cfg.engine(&queries, 1).run(&data);
         let pptn = cfg.engine(&queries, cfg.max_threads).run(&data);
         let dom = FragmentDomEngine::new(&queries).unwrap().fragment_size(cfg.fragment_size());
-        let dom_whole = dom
-            .run_whole_document(&data)
-            .map(|r| r.throughput_mbs())
-            .unwrap_or(0.0);
+        let dom_whole = dom.run_whole_document(&data).map(|r| r.throughput_mbs()).unwrap_or(0.0);
         let dom_split = dom.run(&data, cfg.max_threads).throughput_mbs();
         let sax = FragmentSaxEngine::new(&queries)
             .unwrap()
@@ -475,11 +463,7 @@ pub fn overhead(cfg: &ExpConfig) -> Table {
             workloads::xmark(cfg.dataset_bytes),
             xpathmark_queries().iter().take(3).map(|(_, q)| q.to_string()).collect(),
         ),
-        (
-            "Treebank",
-            workloads::treebank(cfg.dataset_bytes),
-            random_treebank_queries(5, 4, 7),
-        ),
+        ("Treebank", workloads::treebank(cfg.dataset_bytes), random_treebank_queries(5, 4, 7)),
         (
             "Twitter",
             workloads::twitter(cfg.dataset_bytes),
@@ -527,10 +511,13 @@ fn linear_regression(points: &[(f64, f64)]) -> (f64, f64) {
     (slope, (sy - slope * sx) / n)
 }
 
+/// An experiment implementation: config in, result table out.
+pub type ExperimentFn = fn(&ExpConfig) -> Table;
+
 /// Every experiment by identifier, in presentation order.
-pub fn all_experiments() -> Vec<(&'static str, fn(&ExpConfig) -> Table)> {
+pub fn all_experiments() -> Vec<(&'static str, ExperimentFn)> {
     vec![
-        ("table1", table1 as fn(&ExpConfig) -> Table),
+        ("table1", table1 as ExperimentFn),
         ("table2", table2),
         ("fig7", fig7),
         ("fig8", fig8),
@@ -596,7 +583,7 @@ mod tests {
         let t = overhead(&tiny());
         for row in &t.rows {
             let factor: f64 = row[2].parse().unwrap();
-            assert!(factor >= 1.0 && factor < 10.0, "overhead {factor} out of range");
+            assert!((1.0..10.0).contains(&factor), "overhead {factor} out of range");
         }
     }
 

@@ -1,9 +1,11 @@
 //! Plain-text (and optional JSON) table output for the experiment harness.
-
-use serde::Serialize;
+//!
+//! JSON output is hand-rolled: the build environment has no registry access,
+//! so pulling in `serde`/`serde_json` for four string fields is not worth a
+//! shim. [`json_escape`] covers the characters a table can contain.
 
 /// One experiment result table: a title, column headers and string rows.
-#[derive(Debug, Clone, Serialize, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct Table {
     /// Table/figure identifier and description.
     pub title: String,
@@ -54,13 +56,17 @@ impl Table {
             cells
                 .iter()
                 .enumerate()
-                .map(|(i, c)| format!("{:<width$}", c, width = widths.get(i).copied().unwrap_or(c.len())))
+                .map(|(i, c)| {
+                    format!("{:<width$}", c, width = widths.get(i).copied().unwrap_or(c.len()))
+                })
                 .collect::<Vec<_>>()
                 .join("  ")
         };
         out.push_str(&fmt_row(&self.headers, &widths));
         out.push('\n');
-        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1)));
+        out.push_str(
+            &"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1)),
+        );
         out.push('\n');
         for row in &self.rows {
             out.push_str(&fmt_row(row, &widths));
@@ -74,8 +80,53 @@ impl Table {
 
     /// Renders the table as a JSON object.
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("table serialises")
+        let string_array = |items: &[String], indent: &str| -> String {
+            if items.is_empty() {
+                return "[]".to_string();
+            }
+            let body = items
+                .iter()
+                .map(|s| format!("{indent}  \"{}\"", json_escape(s)))
+                .collect::<Vec<_>>()
+                .join(",\n");
+            format!("[\n{body}\n{indent}]")
+        };
+        let rows = if self.rows.is_empty() {
+            "[]".to_string()
+        } else {
+            let body = self
+                .rows
+                .iter()
+                .map(|r| format!("    {}", string_array(r, "    ")))
+                .collect::<Vec<_>>()
+                .join(",\n");
+            format!("[\n{body}\n  ]")
+        };
+        format!(
+            "{{\n  \"title\": \"{}\",\n  \"headers\": {},\n  \"rows\": {},\n  \"notes\": {}\n}}",
+            json_escape(&self.title),
+            string_array(&self.headers, "  "),
+            rows,
+            string_array(&self.notes, "  "),
+        )
     }
+}
+
+/// Escapes a string for inclusion in a JSON string literal.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 /// Formats a float with a sensible number of digits for throughput-style

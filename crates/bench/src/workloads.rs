@@ -51,15 +51,8 @@ pub fn thread_counts(max: usize) -> Vec<usize> {
 pub fn twitter_query_set(count: usize) -> Vec<String> {
     let status_leaves = ["id", "text", "source", "created_at", "retweet_count"];
     let user_leaves = ["id", "name", "screen_name", "followers_count", "location"];
-    let predicates = [
-        "",
-        "[coordinates]",
-        "[user]",
-        "[retweet_count]",
-        "[source]",
-        "[text]",
-        "[created_at]",
-    ];
+    let predicates =
+        ["", "[coordinates]", "[user]", "[retweet_count]", "[source]", "[text]", "[created_at]"];
     let prefixes: [(&str, &[&str]); 6] = [
         ("//status", &status_leaves),
         ("//status/user", &user_leaves),

@@ -140,11 +140,7 @@ impl ChunkEngine {
 
 /// Position just past the `>` of the tag that starts at `pos` in `slice`.
 fn tag_end(slice: &[u8], pos: usize) -> usize {
-    slice[pos..]
-        .iter()
-        .position(|&b| b == b'>')
-        .map(|off| pos + off + 1)
-        .unwrap_or(slice.len())
+    slice[pos..].iter().position(|&b| b == b'>').map(|off| pos + off + 1).unwrap_or(slice.len())
 }
 
 /// Processes one chunk out of order.
@@ -176,12 +172,12 @@ pub fn process_chunk(
 
     let full_events = t.needs_full_events();
     let handle = |ev: XmlEvent<'_>,
-                      engine: &mut ChunkEngine,
-                      rel_depth: &mut i64,
-                      tag_events: &mut u64,
-                      ladder: &mut Vec<(usize, i64)>,
-                      open_stack: &mut Vec<usize>,
-                      spans: &mut HashMap<usize, usize>| {
+                  engine: &mut ChunkEngine,
+                  rel_depth: &mut i64,
+                  tag_events: &mut u64,
+                  ladder: &mut Vec<(usize, i64)>,
+                  open_stack: &mut Vec<usize>,
+                  spans: &mut HashMap<usize, usize>| {
         match ev {
             XmlEvent::Open { name, pos } => {
                 *rel_depth += 1;
@@ -225,11 +221,27 @@ pub fn process_chunk(
 
     if full_events {
         for ev in Lexer::new(slice) {
-            handle(ev, &mut engine, &mut rel_depth, &mut tag_events, &mut ladder, &mut open_stack, &mut spans);
+            handle(
+                ev,
+                &mut engine,
+                &mut rel_depth,
+                &mut tag_events,
+                &mut ladder,
+                &mut open_stack,
+                &mut spans,
+            );
         }
     } else {
         for ev in Lexer::tags_only(slice) {
-            handle(ev, &mut engine, &mut rel_depth, &mut tag_events, &mut ladder, &mut open_stack, &mut spans);
+            handle(
+                ev,
+                &mut engine,
+                &mut rel_depth,
+                &mut tag_events,
+                &mut ladder,
+                &mut open_stack,
+                &mut spans,
+            );
         }
     }
 

@@ -79,7 +79,10 @@ impl EngineBuilder {
     }
 
     /// Adds several queries at once.
-    pub fn add_queries<S: AsRef<str>>(mut self, queries: &[S]) -> Result<EngineBuilder, XPathError> {
+    pub fn add_queries<S: AsRef<str>>(
+        mut self,
+        queries: &[S],
+    ) -> Result<EngineBuilder, XPathError> {
         for q in queries {
             ppt_xpath::parse_query(q.as_ref())?;
             self.queries.push(q.as_ref().to_string());
@@ -203,35 +206,37 @@ impl Engine {
     }
 
     /// Runs the engine over a reader, processing the stream window-by-window
-    /// with bounded memory. Windows are cut at tag boundaries so chunks never
-    /// straddle a window.
+    /// with bounded memory. The [`ppt_xmlstream::WindowSplitter`] cuts windows
+    /// at tag boundaries and carries partial tags across windows, so chunks
+    /// never straddle a window and no tag is ever lexed in two halves.
+    ///
+    /// This call blocks until the reader is exhausted and returns every match
+    /// at once. For *online* results — matches emitted while the stream is
+    /// still flowing, many sessions multiplexed over one worker pool — use
+    /// the `ppt-runtime` crate, which drives the same split → transduce →
+    /// fold pipeline through dedicated pipelined stages.
     pub fn run_reader<R: Read>(&self, mut reader: R) -> std::io::Result<QueryResult> {
-        let window_size = self.config.window_size;
         let mut proc = StreamProcessor::new(&self.transducer, self.parallel_config());
-        let mut buf: Vec<u8> = Vec::with_capacity(window_size + 4096);
-        let mut chunk = vec![0u8; 64 * 1024];
-        loop {
-            let n = reader.read(&mut chunk)?;
-            if n == 0 {
-                break;
+        let mut splitter = ppt_xmlstream::WindowSplitter::new(self.config.window_size);
+        ppt_xmlstream::pump_reader(&mut reader, |bytes| {
+            splitter.push(bytes);
+            while let Some(window) = splitter.pop_window() {
+                proc.feed(&window);
             }
-            buf.extend_from_slice(&chunk[..n]);
-            if buf.len() >= window_size {
-                // Cut at the last '<' so no tag straddles the window boundary.
-                let cut = buf.iter().rposition(|&b| b == b'<').unwrap_or(buf.len());
-                let cut = if cut == 0 { buf.len() } else { cut };
-                proc.feed(&buf[..cut]);
-                buf.drain(..cut);
-            }
-        }
-        if !buf.is_empty() {
-            proc.feed(&buf);
+            true
+        })?;
+        if let Some(window) = splitter.finish() {
+            proc.feed(&window);
         }
         let (matches, stats) = proc.finish();
         Ok(self.finish(matches, stats))
     }
 
-    fn finish(&self, matches: Vec<crate::parallel::ResolvedMatch>, mut stats: RunStats) -> QueryResult {
+    fn finish(
+        &self,
+        matches: Vec<crate::parallel::ResolvedMatch>,
+        mut stats: RunStats,
+    ) -> QueryResult {
         let filter_start = Instant::now();
         let outcome = apply_filters(&self.plan, &matches);
         stats.timings.filter = filter_start.elapsed();
@@ -340,12 +345,8 @@ mod tests {
 
     #[test]
     fn predicated_queries_force_span_resolution() {
-        let engine = Engine::builder()
-            .add_query("/a/b[d]")
-            .unwrap()
-            .resolve_spans(false)
-            .build()
-            .unwrap();
+        let engine =
+            Engine::builder().add_query("/a/b[d]").unwrap().resolve_spans(false).build().unwrap();
         assert!(engine.config().resolve_spans);
         let result = engine.run(DOC);
         assert_eq!(result.match_count(0), 1);
@@ -353,13 +354,8 @@ mod tests {
 
     #[test]
     fn stats_are_populated() {
-        let engine = Engine::builder()
-            .add_query("//b")
-            .unwrap()
-            .chunk_size(6)
-            .threads(2)
-            .build()
-            .unwrap();
+        let engine =
+            Engine::builder().add_query("//b").unwrap().chunk_size(6).threads(2).build().unwrap();
         let result = engine.run(DOC);
         let s = &result.stats;
         assert_eq!(s.bytes, DOC.len());

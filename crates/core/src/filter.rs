@@ -53,19 +53,17 @@ struct SuffixInfo {
 fn suffix_info(plan: &QueryPlan, anchor: usize, sub: usize) -> SuffixInfo {
     let anchor_steps = &plan.subqueries[anchor].steps;
     let sub_steps = &plan.subqueries[sub].steps;
-    if sub_steps.len() < anchor_steps.len()
-        || sub_steps[..anchor_steps.len()] != anchor_steps[..]
-    {
+    if sub_steps.len() < anchor_steps.len() || sub_steps[..anchor_steps.len()] != anchor_steps[..] {
         // Defensive: the rewriter always builds predicate/result sub-queries
         // by extending the anchor; if not, fall back to containment-only
         // attribution.
-        return SuffixInfo { len: sub_steps.len().saturating_sub(anchor_steps.len()), exact: false };
+        return SuffixInfo {
+            len: sub_steps.len().saturating_sub(anchor_steps.len()),
+            exact: false,
+        };
     }
     let suffix = &sub_steps[anchor_steps.len()..];
-    SuffixInfo {
-        len: suffix.len(),
-        exact: suffix.iter().all(|s| s.axis == BasicAxis::Child),
-    }
+    SuffixInfo { len: suffix.len(), exact: suffix.iter().all(|s| s.axis == BasicAxis::Child) }
 }
 
 /// Applies the per-query filters to the resolved sub-query matches.
@@ -82,15 +80,35 @@ pub fn apply_filters(plan: &QueryPlan, matches: &[ResolvedMatch]) -> FilterOutco
 
     let mut outcome = FilterOutcome::default();
     for query in &plan.queries {
-        let submatches: usize = query
-            .all_subqueries
-            .iter()
-            .map(|&s| by_subquery[s].len())
-            .sum();
+        let submatches: usize = query.all_subqueries.iter().map(|&s| by_subquery[s].len()).sum();
         outcome.submatch_counts.push(submatches);
         outcome.matches.push(filter_query(plan, query, &by_subquery));
     }
     outcome
+}
+
+/// Applies one query's filter to a self-contained slice of resolved matches
+/// (sorted by position).
+///
+/// The online runtime uses this to filter *scopes* — maximal runs of the
+/// stream during which at least one anchor occurrence was open. Because
+/// predicate and result sub-queries extend the anchor's path, every match
+/// they produce is contained in some anchor occurrence, so filtering each
+/// closed scope independently is equivalent to filtering the whole stream at
+/// once.
+pub fn filter_single_query(
+    plan: &QueryPlan,
+    query_index: usize,
+    matches: &[ResolvedMatch],
+) -> Vec<QueryMatch> {
+    let query = &plan.queries[query_index];
+    let mut by_subquery: Vec<Vec<&ResolvedMatch>> = vec![Vec::new(); plan.subqueries.len()];
+    for m in matches {
+        if let Some(v) = by_subquery.get_mut(m.subquery as usize) {
+            v.push(m);
+        }
+    }
+    filter_query(plan, query, &by_subquery)
 }
 
 fn filter_query(
@@ -127,9 +145,8 @@ fn filter_query(
                     satisfied[anchor_idx][ps] = true;
                 });
             }
-            let anchor_ok: Vec<bool> = (0..anchors.len())
-                .map(|i| filter.predicate.eval(&|s| satisfied[i][s]))
-                .collect();
+            let anchor_ok: Vec<bool> =
+                (0..anchors.len()).map(|i| filter.predicate.eval(&|s| satisfied[i][s])).collect();
 
             // Keep result matches attributed to at least one satisfied anchor.
             let mut out: Vec<QueryMatch> = Vec::new();

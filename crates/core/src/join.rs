@@ -8,7 +8,8 @@
 //! through to the unified entry (rules 1–3). Outputs concatenate in document
 //! order. Pairs that cannot be unified are discarded (rule 5).
 
-use crate::mapping::{MapEntry, Mapping};
+use crate::mapping::{ChunkMatch, MapEntry, Mapping};
+use ppt_automaton::{StateId, Transducer};
 
 /// Attempts to unify two entries, `first` describing the earlier part of the
 /// stream and `second` the later part. Returns `None` when the pair cannot be
@@ -73,6 +74,132 @@ pub fn unify_mappings(first: &Mapping, second: &Mapping) -> Mapping {
     Mapping { entries }
 }
 
+/// What one [`PrefixFolder::fold`] step made final: the sub-query matches and
+/// close-ladder events of the folded chunk, rebased to absolute depths.
+#[derive(Debug, Clone, Default)]
+pub struct FoldDelta {
+    /// Newly-final matches of the real (initial-state) execution path, in
+    /// document order, with `rel_depth` rebased to the absolute depth.
+    pub matches: Vec<ChunkMatch>,
+    /// The chunk's cross-chunk close events `(position after the closing tag,
+    /// absolute depth after the close)`.
+    pub ladder: Vec<(usize, i64)>,
+}
+
+impl FoldDelta {
+    /// Drains the matches as [`crate::parallel::ResolvedMatch`]es (the
+    /// canonical absolute-position form every consumer wants), clamping the
+    /// rebased depth at zero exactly as the batch pipeline does.
+    pub fn take_resolved_matches(&mut self) -> Vec<crate::parallel::ResolvedMatch> {
+        std::mem::take(&mut self.matches)
+            .into_iter()
+            .map(|m| crate::parallel::ResolvedMatch {
+                pos: m.pos,
+                end: m.end,
+                depth: m.rel_depth.max(0) as u32,
+                subquery: m.subquery,
+            })
+            .collect()
+    }
+}
+
+/// Eager left-fold of per-chunk mappings (§4.1's `J`, applied incrementally).
+///
+/// The batch pipeline accumulates every chunk's outputs and selects the
+/// execution path that started in the initial state only at the very end. For
+/// an *unbounded* stream that is not an option: the accumulated output tape
+/// would grow with the stream. `PrefixFolder` exploits that the entry keyed
+/// `(initial state, empty stack)` is unique in the accumulated mapping (the
+/// transducer is deterministic, and which stack depth a chunk pops below is a
+/// function of the tag structure alone) and that unification only ever
+/// *appends* to its output tape — so after every fold the outputs accumulated
+/// so far are final. [`PrefixFolder::fold`] therefore drains them out of the
+/// mapping and hands them to the caller, keeping the accumulated state `O(1)`
+/// in the stream length. This is what lets the online runtime emit matches
+/// while the stream is still flowing.
+#[derive(Debug)]
+pub struct PrefixFolder {
+    initial: StateId,
+    accumulated: Option<Mapping>,
+    /// Absolute element depth at the end of the folded prefix.
+    depth: i64,
+    chunks: usize,
+}
+
+impl PrefixFolder {
+    /// Creates a folder for streams processed by `transducer`.
+    pub fn new(transducer: &Transducer) -> PrefixFolder {
+        PrefixFolder { initial: transducer.initial(), accumulated: None, depth: 0, chunks: 0 }
+    }
+
+    /// Absolute element depth at the end of the folded prefix.
+    pub fn depth(&self) -> i64 {
+        self.depth
+    }
+
+    /// Number of chunks folded so far.
+    pub fn chunks(&self) -> usize {
+        self.chunks
+    }
+
+    /// Number of live entries in the accumulated mapping.
+    pub fn entry_count(&self) -> usize {
+        self.accumulated.as_ref().map(|m| m.entries.len()).unwrap_or(0)
+    }
+
+    /// Folds the next **in-order** chunk's output into the accumulated
+    /// mapping. `mapping`, `depth_delta` and `ladder` are the fields of a
+    /// [`crate::chunk::ChunkOutput`] (matches carry chunk-relative depths; the
+    /// very first chunk must have been processed with `is_first = true`).
+    ///
+    /// Returns the matches this fold made final, already rebased to absolute
+    /// depths, and the rebased ladder events.
+    pub fn fold(
+        &mut self,
+        mut mapping: Mapping,
+        depth_delta: i64,
+        ladder: Vec<(usize, i64)>,
+    ) -> FoldDelta {
+        // Rebase chunk-relative depths to absolute stream depths.
+        for entry in &mut mapping.entries {
+            for m in &mut entry.outputs {
+                m.rel_depth += self.depth;
+            }
+        }
+        let ladder: Vec<(usize, i64)> =
+            ladder.into_iter().map(|(pos, rel_after)| (pos, rel_after + self.depth)).collect();
+        self.depth += depth_delta;
+        self.chunks += 1;
+
+        self.accumulated = Some(match self.accumulated.take() {
+            None => mapping,
+            Some(acc) => unify_mappings(&acc, &mapping),
+        });
+
+        FoldDelta { matches: self.drain_prefix_outputs(), ladder }
+    }
+
+    /// Drains the output tape of the `(initial, ε)` entry — the matches of the
+    /// real execution path, final as of the folded prefix.
+    fn drain_prefix_outputs(&mut self) -> Vec<ChunkMatch> {
+        let Some(acc) = self.accumulated.as_mut() else {
+            return Vec::new();
+        };
+        for entry in &mut acc.entries {
+            if entry.start_state == self.initial && entry.start_stack.is_empty() {
+                return std::mem::take(&mut entry.outputs);
+            }
+        }
+        Vec::new()
+    }
+
+    /// Consumes the folder, returning the accumulated mapping (with the
+    /// already-drained outputs removed). `None` when nothing was folded.
+    pub fn into_mapping(self) -> Option<Mapping> {
+        self.accumulated
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -80,13 +207,7 @@ mod tests {
     use ppt_automaton::Transducer;
     use ppt_xmlstream::Symbol;
 
-    fn entry(
-        qs: u32,
-        zs: &[u32],
-        qf: u32,
-        zf: &[u32],
-        outs: usize,
-    ) -> MapEntry {
+    fn entry(qs: u32, zs: &[u32], qf: u32, zf: &[u32], outs: usize) -> MapEntry {
         MapEntry {
             start_state: qs,
             start_stack: zs.to_vec(),
@@ -205,6 +326,65 @@ mod tests {
         assert_eq!(e.finish_state, t.initial());
         assert!(e.start_stack.is_empty() && e.finish_stack.is_empty());
         assert_eq!(e.outputs.len(), 1, "the single /a/b/c match survives the join");
+    }
+
+    #[test]
+    fn prefix_folder_drains_matches_incrementally() {
+        use crate::chunk::{process_chunk, EngineKind};
+        let t = Transducer::from_queries(&["/a/b", "//d"]).unwrap();
+        let doc: &[u8] = b"<a><b><d></d></b><b><c></c></b></a>";
+        // Split at every '<' position: many tiny chunks.
+        let cuts: Vec<usize> =
+            doc.iter().enumerate().filter(|(_, &b)| b == b'<').map(|(i, _)| i).collect();
+        let mut folder = PrefixFolder::new(&t);
+        let mut drained: Vec<(usize, u32, i64)> = Vec::new();
+        let mut bounds = cuts.clone();
+        bounds.push(doc.len());
+        for (index, w) in bounds.windows(2).enumerate() {
+            let out = process_chunk(
+                &t,
+                &doc[w[0]..w[1]],
+                w[0],
+                index,
+                index == 0,
+                EngineKind::Tree,
+                false,
+            );
+            let delta = folder.fold(out.mapping, out.depth_delta, out.ladder);
+            drained.extend(delta.matches.iter().map(|m| (m.pos, m.subquery, m.rel_depth)));
+        }
+        let expected: Vec<(usize, u32, i64)> = ppt_automaton::run_sequential(&t, doc)
+            .iter()
+            .map(|m| (m.pos, m.subquery, m.depth as i64))
+            .collect();
+        assert_eq!(drained, expected, "incremental drains equal the in-order run");
+        assert_eq!(folder.depth(), 0, "well-formed document returns to depth 0");
+        // The accumulated entry's tape was drained at every step.
+        let acc = folder.into_mapping().unwrap();
+        let initial_entry = acc
+            .entries
+            .iter()
+            .find(|e| e.start_state == t.initial() && e.start_stack.is_empty())
+            .unwrap();
+        assert!(initial_entry.outputs.is_empty());
+    }
+
+    #[test]
+    fn prefix_folder_rebases_ladder_events() {
+        use crate::chunk::{process_chunk, EngineKind};
+        let t = Transducer::from_queries(&["/a"]).unwrap();
+        let doc: &[u8] = b"<a><b><d></d></b><b><c></c></b></a>";
+        let split = 17; // the '<' of the second <b>
+        let mut folder = PrefixFolder::new(&t);
+        let first = process_chunk(&t, &doc[..split], 0, 0, true, EngineKind::Tree, true);
+        let d1 = folder.fold(first.mapping, first.depth_delta, first.ladder);
+        assert!(d1.ladder.is_empty());
+        assert_eq!(folder.depth(), 1, "<a> is still open");
+        let second = process_chunk(&t, &doc[split..], split, 1, false, EngineKind::Tree, true);
+        let d2 = folder.fold(second.mapping, second.depth_delta, second.ladder);
+        // </a> closes an element opened in the first chunk: one ladder event at
+        // the end of the document, returning to absolute depth 0.
+        assert_eq!(d2.ladder, vec![(doc.len(), 0)]);
     }
 
     #[test]

@@ -184,17 +184,19 @@ impl Mapping {
     /// Looks up the entry for a given starting state with an empty starting
     /// stack (convenience for tests).
     pub fn entry_for_start(&self, q: StateId) -> Option<&MapEntry> {
-        self.entries
-            .iter()
-            .find(|e| e.start_state == q && e.start_stack.is_empty())
+        self.entries.iter().find(|e| e.start_state == q && e.start_stack.is_empty())
     }
 
     /// Sorts entries by (start state, start stack) so mappings can be compared
     /// structurally in tests.
     pub fn normalise(&mut self) {
         self.entries.sort_by(|a, b| {
-            (a.start_state, &a.start_stack, a.finish_state, &a.finish_stack)
-                .cmp(&(b.start_state, &b.start_stack, b.finish_state, &b.finish_stack))
+            (a.start_state, &a.start_stack, a.finish_state, &a.finish_stack).cmp(&(
+                b.start_state,
+                &b.start_stack,
+                b.finish_state,
+                &b.finish_stack,
+            ))
         });
     }
 }
@@ -296,8 +298,7 @@ mod tests {
         assert_eq!(m.len(), 5);
         // The entry that started in s2 popped the unknown symbol s1 and ends
         // in s1 carrying the output.
-        let matched: Vec<&MapEntry> =
-            m.entries.iter().filter(|e| e.start_state == s2).collect();
+        let matched: Vec<&MapEntry> = m.entries.iter().filter(|e| e.start_state == s2).collect();
         assert_eq!(matched.len(), 1);
         assert_eq!(matched[0].start_stack, vec![s1]);
         assert_eq!(matched[0].finish_state, s1);

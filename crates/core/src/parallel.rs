@@ -9,8 +9,7 @@
 //! window is what [`crate::engine::Engine::run`] does for in-memory data.
 
 use crate::chunk::{process_chunk, ChunkOutput, EngineKind};
-use crate::join::unify_mappings;
-use crate::mapping::{ChunkMatch, Mapping};
+use crate::join::PrefixFolder;
 use crate::stats::RunStats;
 use ppt_automaton::Transducer;
 use ppt_xmlstream::split_chunks;
@@ -65,10 +64,10 @@ pub struct StreamProcessor<'t> {
     transducer: &'t Transducer,
     config: ParallelConfig,
     pool: Option<rayon::ThreadPool>,
-    /// Accumulated mapping across every window processed so far.
-    accumulated: Option<Mapping>,
-    /// Absolute depth at the end of the processed prefix.
-    depth: i64,
+    /// Eager in-order fold of the per-chunk mappings.
+    folder: PrefixFolder,
+    /// Matches drained from the fold so far (document order).
+    collected: Vec<ResolvedMatch>,
     /// Bytes consumed so far (= absolute offset of the next window).
     consumed: usize,
     /// Cross-chunk close ladder (absolute position, absolute depth after).
@@ -85,9 +84,7 @@ impl<'t> StreamProcessor<'t> {
                 .build()
                 .expect("failed to build rayon pool")
         });
-        let threads = config
-            .threads
-            .unwrap_or_else(rayon::current_num_threads);
+        let threads = config.threads.unwrap_or_else(rayon::current_num_threads);
         let mut stats = RunStats {
             threads,
             shared_table_bytes: transducer.table_bytes(),
@@ -98,8 +95,8 @@ impl<'t> StreamProcessor<'t> {
             transducer,
             config,
             pool,
-            accumulated: None,
-            depth: 0,
+            folder: PrefixFolder::new(transducer),
+            collected: Vec::new(),
             consumed: 0,
             ladder: Vec::new(),
             stats,
@@ -131,7 +128,7 @@ impl<'t> StreamProcessor<'t> {
         let kind = self.config.engine;
         let spans = self.config.resolve_spans;
         let base = self.consumed;
-        let first_global = self.accumulated.is_none();
+        let first_global = self.folder.chunks() == 0;
         let work = |chunks: &[ppt_xmlstream::Chunk]| -> Vec<ChunkOutput> {
             chunks
                 .par_iter()
@@ -182,23 +179,11 @@ impl<'t> StreamProcessor<'t> {
             self.stats.working_set_bytes =
                 self.stats.working_set_bytes.max(out.stats.working_set_bytes);
 
-            // Rebase relative depths to absolute depths and collect the close
-            // ladder with absolute depths.
-            let mut mapping = out.mapping;
-            for e in &mut mapping.entries {
-                for m in &mut e.outputs {
-                    m.rel_depth += self.depth;
-                }
-            }
-            for (pos, rel_after) in out.ladder {
-                self.ladder.push((pos, rel_after + self.depth));
-            }
-            self.depth += out.depth_delta;
-
-            self.accumulated = Some(match self.accumulated.take() {
-                None => mapping,
-                Some(acc) => unify_mappings(&acc, &mapping),
-            });
+            // The folder rebases depths, unifies, and drains the matches the
+            // fold made final.
+            let mut delta = self.folder.fold(out.mapping, out.depth_delta, out.ladder);
+            self.ladder.extend(std::mem::take(&mut delta.ladder));
+            self.collected.extend(delta.take_resolved_matches());
         }
         self.stats.timings.join += join_start.elapsed();
 
@@ -207,39 +192,13 @@ impl<'t> StreamProcessor<'t> {
         self.stats.timings.total += total_start.elapsed();
     }
 
-    /// Finishes processing: selects the execution path that starts from the
-    /// transducer's initial state, resolves element spans that crossed chunk
-    /// boundaries and returns the matches in document order together with the
-    /// collected statistics.
+    /// Finishes processing: the matches of the execution path that starts from
+    /// the transducer's initial state were drained eagerly at every fold;
+    /// resolves element spans that crossed chunk boundaries and returns the
+    /// matches in document order together with the collected statistics.
     pub fn finish(mut self) -> (Vec<ResolvedMatch>, RunStats) {
         let finish_start = Instant::now();
-        let initial = self.transducer.initial();
-        let outputs: Vec<ChunkMatch> = match self.accumulated.take() {
-            None => Vec::new(),
-            Some(acc) => {
-                // The real execution started in the initial state with an
-                // empty stack; exactly one surviving entry corresponds to it
-                // for well-formed input. Malformed input may leave none.
-                let mut chosen: Option<&crate::mapping::MapEntry> = None;
-                for e in &acc.entries {
-                    if e.start_state == initial && e.start_stack.is_empty() {
-                        chosen = Some(e);
-                        break;
-                    }
-                }
-                chosen.map(|e| e.outputs.clone()).unwrap_or_default()
-            }
-        };
-
-        let mut matches: Vec<ResolvedMatch> = outputs
-            .into_iter()
-            .map(|m| ResolvedMatch {
-                pos: m.pos,
-                end: m.end,
-                depth: m.rel_depth.max(0) as u32,
-                subquery: m.subquery,
-            })
-            .collect();
+        let mut matches = std::mem::take(&mut self.collected);
         matches.sort_by_key(|m| m.pos);
 
         if self.config.resolve_spans {
@@ -255,7 +214,7 @@ impl<'t> StreamProcessor<'t> {
 
 /// Resolves the `end` of matches whose element closed in a later chunk, using
 /// the cross-chunk close ladder. `total_len` caps elements that never close.
-fn resolve_spans(matches: &mut [ResolvedMatch], ladder: &mut Vec<(usize, i64)>, total_len: usize) {
+fn resolve_spans(matches: &mut [ResolvedMatch], ladder: &mut [(usize, i64)], total_len: usize) {
     ladder.sort_by_key(|&(pos, _)| pos);
     // Sweep matches and ladder events in position order, keeping a stack of
     // unresolved matches (their depths are strictly increasing because an
@@ -357,7 +316,7 @@ mod tests {
             assert!(slice.ends_with(b"</a>") || slice.ends_with(b"</b>"));
         }
         let a_match = matches.iter().find(|m| m.depth == 1).unwrap();
-        assert_eq!(&DOC[a_match.pos..a_match.end], &DOC[..]);
+        assert_eq!(&DOC[a_match.pos..a_match.end], DOC);
     }
 
     #[test]

@@ -97,7 +97,11 @@ impl DoubleTree {
         let s = self.start_nodes.len();
         self.start_nodes.push(StartNode { symbol: q, parent: None, matches: Vec::new() });
         let f = self.finish_nodes.len();
-        self.finish_nodes.push(FinishNode { state: q, children: Vec::new(), start_leaves: vec![s] });
+        self.finish_nodes.push(FinishNode {
+            state: q,
+            children: Vec::new(),
+            start_leaves: vec![s],
+        });
         self.level1.push(f);
         self.peak_level1 = self.peak_level1.max(self.level1.len());
     }
@@ -172,7 +176,10 @@ impl DoubleTree {
             self.finish_nodes[node].children = vec![pushed];
 
             for &q in t.output(next) {
-                self.record_match(node, ChunkMatch { pos, end: usize::MAX, rel_depth, subquery: q });
+                self.record_match(
+                    node,
+                    ChunkMatch { pos, end: usize::MAX, rel_depth, subquery: q },
+                );
             }
             self.add_node(node, &mut new_level1);
         }
@@ -244,7 +251,10 @@ impl DoubleTree {
             let next = t.step(state, sym);
             let outputs: Vec<SubQueryId> = t.output(next).to_vec();
             for q in outputs {
-                self.record_match(node, ChunkMatch { pos, end: usize::MAX, rel_depth, subquery: q });
+                self.record_match(
+                    node,
+                    ChunkMatch { pos, end: usize::MAX, rel_depth, subquery: q },
+                );
             }
         }
     }
@@ -386,13 +396,8 @@ mod tests {
     #[test]
     fn tree_matches_naive_on_malformed_chunks() {
         let t = Transducer::from_queries(&["/a/b/c", "//k", "/a//d"]).unwrap();
-        let chunks: &[&[u8]] = &[
-            b"</x></y><a><k/>",
-            b"<b><c></c></b></a><a>",
-            b"</q></q></q>",
-            b"<a><b>",
-            b"",
-        ];
+        let chunks: &[&[u8]] =
+            &[b"</x></y><a><k/>", b"<b><c></c></b></a><a>", b"</q></q></q>", b"<a><b>", b""];
         for chunk in chunks {
             let (naive, tree) = run_both(&t, chunk, false);
             assert_eq!(naive, tree, "divergence on chunk {:?}", String::from_utf8_lossy(chunk));

@@ -100,11 +100,7 @@ mod tests {
     fn subquery_counts_match_table_2() {
         let plan = compile_queries(&xpathmark_queries_strs()).unwrap();
         for (i, (id, expected)) in xpathmark_expected_subqueries().iter().enumerate() {
-            assert_eq!(
-                plan.queries[i].subquery_count(),
-                *expected,
-                "sub-query count for {id}"
-            );
+            assert_eq!(plan.queries[i].subquery_count(), *expected, "sub-query count for {id}");
         }
     }
 
@@ -134,8 +130,7 @@ mod tests {
         let queries = random_treebank_queries(20, 4, 3);
         let engine = ppt_core::Engine::from_queries(&queries).unwrap();
         let result = engine.run(&data);
-        let matching_queries =
-            (0..queries.len()).filter(|&i| result.match_count(i) > 0).count();
+        let matching_queries = (0..queries.len()).filter(|&i| result.match_count(i) > 0).count();
         assert!(
             matching_queries >= 3,
             "expected several random queries to match, got {matching_queries}"

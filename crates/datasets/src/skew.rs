@@ -97,7 +97,15 @@ impl SkewConfig {
 }
 
 const WORDS: &[&str] = &[
-    "market", "shares", "company", "rose", "fell", "quarterly", "profit", "sharply", "analysts",
+    "market",
+    "shares",
+    "company",
+    "rose",
+    "fell",
+    "quarterly",
+    "profit",
+    "sharply",
+    "analysts",
     "trading",
 ];
 

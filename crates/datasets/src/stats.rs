@@ -47,15 +47,13 @@ pub fn dataset_stats(data: &[u8]) -> DatasetStats {
                     children[depth as usize - 1] = 0;
                 }
             }
-            XmlEvent::Close { .. } => {
-                if depth > 0 {
-                    let c = children.get(depth as usize - 1).copied().unwrap_or(0);
-                    if c > 0 {
-                        parents += 1;
-                        child_sum += c;
-                    }
-                    depth -= 1;
+            XmlEvent::Close { .. } if depth > 0 => {
+                let c = children.get(depth as usize - 1).copied().unwrap_or(0);
+                if c > 0 {
+                    parents += 1;
+                    child_sum += c;
                 }
+                depth -= 1;
             }
             _ => {}
         }

@@ -100,8 +100,10 @@ mod tests {
 
     #[test]
     fn deeper_trees_have_larger_average_depth() {
-        let shallow = dataset_stats(&SynthConfig { depth: 4, branch: 3, records: 30, seed: 2 }.generate());
-        let deep = dataset_stats(&SynthConfig { depth: 9, branch: 3, records: 3, seed: 2 }.generate());
+        let shallow =
+            dataset_stats(&SynthConfig { depth: 4, branch: 3, records: 30, seed: 2 }.generate());
+        let deep =
+            dataset_stats(&SynthConfig { depth: 9, branch: 3, records: 3, seed: 2 }.generate());
         assert!(deep.avg_depth > shallow.avg_depth);
     }
 }

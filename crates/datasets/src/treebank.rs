@@ -21,11 +21,30 @@ pub const TREEBANK_TAGS: &[&str] = &[
 /// Phrase-level tags that may contain further constituents.
 const PHRASE_TAGS: &[&str] = &["np", "vp", "pp", "sbar", "adjp", "advp"];
 /// Word-level tags (leaves).
-const WORD_TAGS: &[&str] = &["dt", "nn", "nns", "vb", "vbd", "vbz", "jj", "in", "cc", "prp", "rb", "to", "md"];
+const WORD_TAGS: &[&str] =
+    &["dt", "nn", "nns", "vb", "vbd", "vbz", "jj", "in", "cc", "prp", "rb", "to", "md"];
 
 const WORDS: &[&str] = &[
-    "the", "a", "market", "shares", "company", "rose", "fell", "said", "quarterly", "profit",
-    "in", "and", "it", "sharply", "to", "would", "analysts", "trading", "new", "york",
+    "the",
+    "a",
+    "market",
+    "shares",
+    "company",
+    "rose",
+    "fell",
+    "said",
+    "quarterly",
+    "profit",
+    "in",
+    "and",
+    "it",
+    "sharply",
+    "to",
+    "would",
+    "analysts",
+    "trading",
+    "new",
+    "york",
 ];
 
 /// Configuration of the Treebank-like generator.

@@ -131,17 +131,13 @@ mod tests {
         let n = result.match_count(0);
         assert!(n > 0, "no geotagged tweets generated");
         // Roughly coordinates_probability of all statuses (incl. retweets).
-        assert!(n >= 40 && n <= 160, "unexpected count {n}");
+        assert!((40..=160).contains(&n), "unexpected count {n}");
     }
 
     #[test]
     fn retweets_nest_complete_statuses() {
-        let data = TwitterConfig {
-            statuses: 200,
-            retweet_probability: 0.5,
-            ..Default::default()
-        }
-        .generate();
+        let data = TwitterConfig { statuses: 200, retweet_probability: 0.5, ..Default::default() }
+            .generate();
         let engine = ppt_core::Engine::from_queries(&["//retweeted_status/status/user"]).unwrap();
         assert!(engine.run(&data).match_count(0) > 50);
     }

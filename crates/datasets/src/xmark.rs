@@ -239,8 +239,8 @@ mod tests {
     fn schema_supports_the_xpathmark_queries() {
         let data = XmarkConfig { items_per_region: 40, closed_auctions: 200, people: 200, seed: 3 }
             .generate();
-        let engine = ppt_core::Engine::from_queries(&crate::queries::xpathmark_queries_strs())
-            .unwrap();
+        let engine =
+            ppt_core::Engine::from_queries(&crate::queries::xpathmark_queries_strs()).unwrap();
         let result = engine.run(&data);
         // Every query of the workload must find at least one match on a
         // reasonably-sized document.

@@ -1,0 +1,319 @@
+//! # ppt-runtime — online streaming execution of parallel pushdown transducers
+//!
+//! The batch engine in `ppt-core` answers "run these queries over these
+//! bytes". This crate answers the production question the paper's §1 poses:
+//! keep answering them, forever, over **unbounded** streams, for **many
+//! concurrent clients**, with **bounded memory** and matches delivered while
+//! the stream is still flowing.
+//!
+//! ## Architecture
+//!
+//! A [`Runtime`] owns one shared pool of transducer workers. Each query
+//! session (a compiled [`Engine`] bound to one input stream) runs the
+//! paper's split → parallel-transduce → join pipeline as three *pipelined
+//! stages* connected by bounded hand-offs:
+//!
+//! * the **splitter** lexes window boundaries off any [`std::io::Read`]
+//!   source with [`ppt_xmlstream::WindowSplitter`] (partial tags are carried
+//!   across windows, never cut) and chops windows into arbitrary-byte chunks;
+//! * the **worker pool** computes each chunk's state mapping out of order —
+//!   chunks from *all* sessions interleave in one queue, so a single process
+//!   serves many clients from one set of cores;
+//! * the **joiner** eagerly left-folds mappings the moment the next-in-order
+//!   chunk completes ([`ppt_core::join::PrefixFolder`]), resolves element
+//!   spans incrementally, filters predicates scope-by-scope, and emits every
+//!   match through a [`MatchSink`] (or the [`MatchStream`] iterator).
+//!
+//! Backpressure is credit-based: a session may only have `inflight_chunks`
+//! chunks admitted at once; the joiner returns a credit after folding (and
+//! after the sink accepted the fold's matches), so a slow consumer stalls its
+//! own splitter — memory stays bounded by `inflight_chunks × chunk size` per
+//! session no matter how long the stream runs.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use ppt_core::Engine;
+//! use ppt_runtime::{CollectSink, Runtime};
+//! use std::sync::Arc;
+//!
+//! let engine = Arc::new(
+//!     Engine::builder()
+//!         .add_query("/a/b/c").unwrap()
+//!         .chunk_size(8)
+//!         .window_size(4096)
+//!         .build()
+//!         .unwrap(),
+//! );
+//! let runtime = Runtime::builder().workers(2).build();
+//! let mut sink = CollectSink::new();
+//! let report = runtime
+//!     .process_reader(Arc::clone(&engine), &b"<a><b><c></c></b></a>"[..], &mut sink)
+//!     .unwrap();
+//! assert_eq!(report.match_counts, vec![1]);
+//! assert_eq!(sink.matches.len(), 1);
+//! ```
+//!
+//! Or pull matches as an iterator (driver threads run the pipeline while you
+//! iterate):
+//!
+//! ```
+//! # use ppt_core::Engine;
+//! # use ppt_runtime::Runtime;
+//! # use std::sync::Arc;
+//! let engine = Arc::new(Engine::builder().add_query("//c").unwrap().build().unwrap());
+//! let runtime = Runtime::builder().workers(2).build();
+//! let stream =
+//!     runtime.stream_reader(engine, std::io::Cursor::new(b"<a><c></c><c></c></a>".to_vec()));
+//! assert_eq!(stream.count(), 2);
+//! ```
+
+mod filters;
+mod pool;
+mod resolver;
+mod session;
+mod sink;
+mod stats;
+
+pub use resolver::{SpanEvent, SpanResolver};
+pub use session::{SessionHandle, SessionReport};
+pub use sink::{CollectSink, MatchSink, OnlineMatch};
+pub use stats::RuntimeStats;
+
+use pool::{SessionCore, WorkerPool};
+use ppt_core::Engine;
+use ppt_xmlstream::pump_reader;
+use session::{joiner_guarded, Feeder};
+use sink::ChannelSink;
+use std::io::Read;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver};
+use std::sync::Arc;
+
+/// Builder for a [`Runtime`].
+#[derive(Debug, Clone, Default)]
+pub struct RuntimeBuilder {
+    workers: Option<usize>,
+    inflight_chunks: Option<usize>,
+    match_buffer: Option<usize>,
+}
+
+impl RuntimeBuilder {
+    /// Number of transducer worker threads (default: the number of logical
+    /// cores).
+    pub fn workers(mut self, n: usize) -> RuntimeBuilder {
+        self.workers = Some(n.max(1));
+        self
+    }
+
+    /// Per-session cap on chunks admitted into the pipeline at once — the
+    /// backpressure window (default: `4 × workers`, minimum 4).
+    pub fn inflight_chunks(mut self, n: usize) -> RuntimeBuilder {
+        self.inflight_chunks = Some(n.max(1));
+        self
+    }
+
+    /// Capacity of the match channel behind [`Runtime::stream_reader`]
+    /// (default 1024).
+    pub fn match_buffer(mut self, n: usize) -> RuntimeBuilder {
+        self.match_buffer = Some(n.max(1));
+        self
+    }
+
+    /// Spawns the worker pool.
+    pub fn build(self) -> Runtime {
+        let workers = self
+            .workers
+            .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1));
+        let inflight = self.inflight_chunks.unwrap_or((workers * 4).max(4));
+        Runtime {
+            pool: Arc::new(WorkerPool::new(workers)),
+            inflight_chunks: inflight,
+            match_buffer: self.match_buffer.unwrap_or(1024),
+        }
+    }
+}
+
+/// The session manager: one shared worker pool multiplexing any number of
+/// concurrent query sessions.
+///
+/// Keep the `Runtime` alive while sessions are running; dropping it stops the
+/// workers once the queued jobs drain.
+pub struct Runtime {
+    pool: Arc<WorkerPool>,
+    inflight_chunks: usize,
+    match_buffer: usize,
+}
+
+/// `Runtime` *is* the session manager; this alias keeps call sites that talk
+/// about session management readable.
+pub type SessionManager = Runtime;
+
+impl Runtime {
+    /// Starts building a runtime.
+    pub fn builder() -> RuntimeBuilder {
+        RuntimeBuilder::default()
+    }
+
+    /// A runtime with `workers` threads and default queueing.
+    pub fn new(workers: usize) -> Runtime {
+        Runtime::builder().workers(workers).build()
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.pool.worker_count()
+    }
+
+    /// Peak depth the shared job queue has reached across all sessions.
+    pub fn peak_queue_depth(&self) -> usize {
+        self.pool.peak_queue_depth()
+    }
+
+    /// Opens a session with an owned sink: push bytes with
+    /// [`SessionHandle::feed`], close with [`SessionHandle::finish`].
+    ///
+    /// Many sessions — with different engines — can be open at once; they
+    /// share this runtime's workers.
+    pub fn open_session(&self, engine: Arc<Engine>, sink: Box<dyn MatchSink>) -> SessionHandle {
+        let core = Arc::new(SessionCore::new(engine, self.inflight_chunks));
+        let joiner_core = Arc::clone(&core);
+        let joiner = std::thread::Builder::new()
+            .name("ppt-joiner".to_string())
+            .spawn(move || {
+                let mut sink = sink;
+                let result = joiner_guarded(&joiner_core, &mut *sink);
+                (result, sink)
+            })
+            .expect("failed to spawn joiner");
+        SessionHandle {
+            feeder: Feeder::new(core),
+            pool: Arc::clone(&self.pool),
+            joiner: Some(joiner),
+        }
+    }
+
+    /// Processes an entire reader through one session, delivering matches to
+    /// `sink` as the stream flows. The calling thread drives the splitter;
+    /// the joiner runs on a scoped thread; the call returns once the stream
+    /// is exhausted and every match was emitted.
+    ///
+    /// On a read error the pipeline is drained cleanly and the error is
+    /// returned; matches emitted before the error will have reached the sink.
+    pub fn process_reader<R: Read>(
+        &self,
+        engine: Arc<Engine>,
+        mut reader: R,
+        sink: &mut dyn MatchSink,
+    ) -> std::io::Result<SessionReport> {
+        let core = Arc::new(SessionCore::new(engine, self.inflight_chunks));
+        let mut feeder = Feeder::new(Arc::clone(&core));
+        let pool = &self.pool;
+        std::thread::scope(|scope| {
+            let core_ref = &core;
+            let joiner = scope.spawn(move || joiner_guarded(core_ref, sink));
+            let io_result = pump_reader(&mut reader, |bytes| {
+                feeder.feed(pool, bytes);
+                // Stop reading if the session died (a stage panicked): on an
+                // unbounded source there is no EOF to save us.
+                !core_ref.is_dead()
+            });
+            // Always announce the end so the joiner terminates, error or not.
+            feeder.finish(pool);
+            let report = match joiner.join().expect("joiner thread died") {
+                Ok(report) => report,
+                // Re-raise a sink/joiner panic on the caller's thread, now
+                // that the pipeline is drained.
+                Err(panic) => std::panic::resume_unwind(panic),
+            };
+            io_result.map(|()| report)
+        })
+    }
+
+    /// Processes a reader through one session and returns the matches as a
+    /// blocking iterator. Two driver threads (splitter and joiner) run the
+    /// pipeline while you consume; a consumer that stops pulling
+    /// backpressures the stream through the bounded match channel.
+    ///
+    /// Call [`MatchStream::finish`] after iteration for the final report.
+    /// Dropping (or finishing) the stream early *cancels* the session: the
+    /// driver stops reading the source at the next read boundary instead of
+    /// pumping an unbounded stream to a non-existent EOF.
+    pub fn stream_reader<R: Read + Send + 'static>(
+        &self,
+        engine: Arc<Engine>,
+        reader: R,
+    ) -> MatchStream {
+        let (tx, rx) = sync_channel(self.match_buffer);
+        let cancel = Arc::new(AtomicBool::new(false));
+        let cancel_driver = Arc::clone(&cancel);
+        let mut session = self.open_session(engine, Box::new(ChannelSink { tx }));
+        let driver = std::thread::Builder::new()
+            .name("ppt-feeder".to_string())
+            .spawn(move || -> std::io::Result<SessionReport> {
+                let mut reader = reader;
+                let io_result = pump_reader(&mut reader, |bytes| {
+                    session.feed(bytes);
+                    !cancel_driver.load(Ordering::Relaxed) && !session.is_dead()
+                });
+                // A sink panic cannot happen here (ChannelSink never panics),
+                // but a fold/filter panic would: let finish() resume it on
+                // this driver thread, where join() below surfaces it.
+                let (report, _sink) = session.finish();
+                io_result.map(|()| report)
+            })
+            .expect("failed to spawn feeder");
+        MatchStream { rx: Some(rx), cancel, driver: Some(driver) }
+    }
+}
+
+/// Blocking iterator over a session's matches (see
+/// [`Runtime::stream_reader`]).
+///
+/// Exhausting the iterator means the stream ended; dropping it (or calling
+/// [`MatchStream::finish`]) before that cancels the session — essential for
+/// `stream.take(n)`-style consumers of unbounded sources, which would
+/// otherwise wait on an EOF that never comes.
+pub struct MatchStream {
+    rx: Option<Receiver<OnlineMatch>>,
+    cancel: Arc<AtomicBool>,
+    driver: Option<std::thread::JoinHandle<std::io::Result<SessionReport>>>,
+}
+
+impl Iterator for MatchStream {
+    type Item = OnlineMatch;
+
+    fn next(&mut self) -> Option<OnlineMatch> {
+        self.rx.as_ref()?.recv().ok()
+    }
+}
+
+impl MatchStream {
+    /// Stops reading the source (if it hasn't ended already), waits for the
+    /// in-flight pipeline to drain, and returns the final report. Matches
+    /// not yet consumed are discarded; after a cancellation the report
+    /// covers the prefix that was processed.
+    pub fn finish(mut self) -> std::io::Result<SessionReport> {
+        let driver = self.driver.take().expect("finish called once");
+        self.cancel.store(true, Ordering::Relaxed);
+        // Dropping the receiver lets the sink's sends fail fast instead of
+        // blocking on a full channel nobody reads.
+        drop(self.rx.take());
+        match driver.join() {
+            Ok(result) => result,
+            // A fold/filter panic was resumed on the driver thread; re-raise
+            // the original payload here rather than a generic message.
+            Err(panic) => std::panic::resume_unwind(panic),
+        }
+    }
+}
+
+impl Drop for MatchStream {
+    fn drop(&mut self) {
+        self.cancel.store(true, Ordering::Relaxed);
+        drop(self.rx.take());
+        if let Some(driver) = self.driver.take() {
+            let _ = driver.join();
+        }
+    }
+}

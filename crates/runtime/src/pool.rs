@@ -1,0 +1,294 @@
+//! The shared worker pool and per-session pipeline state.
+//!
+//! One [`WorkerPool`] serves every session of a [`crate::Runtime`]: jobs
+//! (one chunk each) from all sessions interleave in a single FIFO queue and
+//! any worker can execute any session's chunk — the transducer tables live in
+//! an `Arc<Engine>` carried by the job's session handle. Per-session fairness
+//! falls out of the credit scheme: a session may only have
+//! `inflight_chunks` jobs admitted at a time, so one slow consumer cannot
+//! flood the queue.
+
+use crate::stats::Counters;
+use ppt_core::chunk::{process_chunk, ChunkOutput, EngineKind};
+use ppt_core::Engine;
+use std::collections::{BTreeMap, VecDeque};
+use std::ops::Range;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
+
+/// One unit of worker work: a chunk of one session's window.
+pub(crate) struct Job {
+    pub session: Arc<SessionCore>,
+    /// The window the chunk slices into (shared by all of its chunks).
+    pub window: Arc<Vec<u8>>,
+    /// The chunk's byte range within the window.
+    pub range: Range<usize>,
+    /// Absolute stream offset of the window's first byte.
+    pub base: usize,
+    /// Global chunk sequence number within the session.
+    pub seq: u64,
+    /// True only for the session's very first chunk (it starts from the
+    /// single initial state).
+    pub first: bool,
+}
+
+/// Reorder buffer between the workers and a session's joiner.
+#[derive(Default)]
+pub(crate) struct Mailbox {
+    /// Completed chunk outputs keyed by sequence number.
+    pub ready: BTreeMap<u64, ChunkOutput>,
+    /// Total number of chunks the feeder will submit, once known (set by
+    /// `finish`).
+    pub total: Option<u64>,
+    /// Why the session was poisoned (a worker panicked on one of its
+    /// chunks), if it was.
+    pub poisoned: Option<String>,
+}
+
+/// Everything the three stages of one session share.
+pub(crate) struct SessionCore {
+    pub engine: Arc<Engine>,
+    pub kind: EngineKind,
+    pub resolve_spans: bool,
+    pub mailbox: Mutex<Mailbox>,
+    pub mailbox_cv: Condvar,
+    /// In-flight chunk credits: the feeder takes one per submitted chunk, the
+    /// joiner returns it after folding. Zero credits = backpressure.
+    pub credits: Mutex<usize>,
+    pub credits_cv: Condvar,
+    /// Set when a worker panicked on this session's data: the session is
+    /// dead, the feeder must stop submitting and the joiner must bail out.
+    pub dead: AtomicBool,
+    pub counters: Counters,
+}
+
+impl SessionCore {
+    pub fn new(engine: Arc<Engine>, inflight_chunks: usize) -> SessionCore {
+        let kind = engine.config().engine;
+        let resolve_spans = engine.config().resolve_spans;
+        SessionCore {
+            engine,
+            kind,
+            resolve_spans,
+            mailbox: Mutex::new(Mailbox::default()),
+            mailbox_cv: Condvar::new(),
+            credits: Mutex::new(inflight_chunks.max(1)),
+            credits_cv: Condvar::new(),
+            dead: AtomicBool::new(false),
+            counters: Counters::new(),
+        }
+    }
+
+    /// `true` once a worker panicked on this session's data.
+    pub fn is_dead(&self) -> bool {
+        self.dead.load(Ordering::SeqCst)
+    }
+
+    /// Blocks until an in-flight credit is available and takes it; returns
+    /// `false` (without taking a credit) when the session died while
+    /// waiting. Time spent blocked is recorded as backpressure.
+    pub fn acquire_credit(&self) -> bool {
+        let mut credits = self.credits.lock().expect("credits poisoned");
+        if *credits == 0 {
+            let waited = Instant::now();
+            while *credits == 0 && !self.is_dead() {
+                credits = self.credits_cv.wait(credits).expect("credits poisoned");
+            }
+            self.counters
+                .backpressure_nanos
+                .fetch_add(waited.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        }
+        if self.is_dead() {
+            return false;
+        }
+        *credits -= 1;
+        true
+    }
+
+    /// Returns one in-flight credit.
+    pub fn release_credit(&self) {
+        let mut credits = self.credits.lock().expect("credits poisoned");
+        *credits += 1;
+        drop(credits);
+        self.credits_cv.notify_one();
+    }
+
+    /// Delivers a completed chunk to the joiner.
+    pub fn deliver(&self, seq: u64, out: ChunkOutput) {
+        let mut mb = self.mailbox.lock().expect("mailbox poisoned");
+        mb.ready.insert(seq, out);
+        self.counters.raise_peak_reorder(mb.ready.len());
+        drop(mb);
+        self.mailbox_cv.notify_all();
+    }
+
+    /// Announces that exactly `total` chunks were submitted (stream ended).
+    pub fn announce_total(&self, total: u64) {
+        let mut mb = self.mailbox.lock().expect("mailbox poisoned");
+        mb.total = Some(total);
+        drop(mb);
+        self.mailbox_cv.notify_all();
+    }
+
+    /// Marks the session dead (a pipeline stage panicked) and wakes every
+    /// stage so nothing blocks on progress that will never come.
+    pub fn poison(&self, message: String) {
+        let mut mb = self.mailbox.lock().expect("mailbox poisoned");
+        if mb.poisoned.is_none() {
+            mb.poisoned = Some(message);
+        }
+        self.dead.store(true, Ordering::SeqCst);
+        drop(mb);
+        self.mailbox_cv.notify_all();
+        self.credits_cv.notify_all();
+    }
+
+    /// The poison message, if the session died.
+    pub fn poison_message(&self) -> Option<String> {
+        self.mailbox.lock().expect("mailbox poisoned").poisoned.clone()
+    }
+
+    /// Joiner side: waits for chunk `seq`, or `None` once the stream ended
+    /// (every chunk before `seq` folded) or the session died.
+    pub fn wait_for(&self, seq: u64) -> Option<ChunkOutput> {
+        let mut mb = self.mailbox.lock().expect("mailbox poisoned");
+        loop {
+            if let Some(out) = mb.ready.remove(&seq) {
+                if let Some((&highest, _)) = mb.ready.iter().next_back() {
+                    self.counters.raise_peak_join_lag(highest.saturating_sub(seq));
+                }
+                return Some(out);
+            }
+            if mb.poisoned.is_some() {
+                return None;
+            }
+            if let Some(total) = mb.total {
+                if seq >= total {
+                    return None;
+                }
+            }
+            mb = self.mailbox_cv.wait(mb).expect("mailbox poisoned");
+        }
+    }
+}
+
+/// Best-effort human-readable form of a panic payload.
+pub(crate) fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {
+    panic
+        .downcast_ref::<&str>()
+        .map(|s| s.to_string())
+        .or_else(|| panic.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "non-string panic payload".to_string())
+}
+
+struct PoolShared {
+    queue: Mutex<VecDeque<Job>>,
+    job_ready: Condvar,
+    shutdown: AtomicBool,
+    peak_queue: AtomicUsize,
+}
+
+/// The shared pool of transducer workers.
+pub(crate) struct WorkerPool {
+    shared: Arc<PoolShared>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// Spawns `workers` threads.
+    pub fn new(workers: usize) -> WorkerPool {
+        let shared = Arc::new(PoolShared {
+            queue: Mutex::new(VecDeque::new()),
+            job_ready: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            peak_queue: AtomicUsize::new(0),
+        });
+        let workers = (0..workers.max(1))
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("ppt-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("failed to spawn worker")
+            })
+            .collect();
+        WorkerPool { shared, workers }
+    }
+
+    /// Enqueues one chunk job.
+    pub fn submit(&self, job: Job) {
+        let mut queue = self.shared.queue.lock().expect("queue poisoned");
+        queue.push_back(job);
+        self.shared.peak_queue.fetch_max(queue.len(), Ordering::Relaxed);
+        drop(queue);
+        self.shared.job_ready.notify_one();
+    }
+
+    /// Peak length the job queue has reached.
+    pub fn peak_queue_depth(&self) -> usize {
+        self.shared.peak_queue.load(Ordering::Relaxed)
+    }
+
+    /// Number of worker threads.
+    pub fn worker_count(&self) -> usize {
+        self.workers.len()
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.job_ready.notify_all();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &PoolShared) {
+    loop {
+        let job = {
+            let mut queue = shared.queue.lock().expect("queue poisoned");
+            loop {
+                if let Some(job) = queue.pop_front() {
+                    break job;
+                }
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                queue = shared.job_ready.wait(queue).expect("queue poisoned");
+            }
+        };
+        let core = Arc::clone(&job.session);
+        let started = Instant::now();
+        // A panic while transducing one session's chunk must not take the
+        // shared worker down (it serves every session) nor leave the
+        // session's joiner waiting forever for an output that will never
+        // arrive: catch it and poison the session instead.
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            process_chunk(
+                core.engine.transducer(),
+                &job.window[job.range.clone()],
+                job.base + job.range.start,
+                job.seq as usize,
+                job.first,
+                core.kind,
+                core.resolve_spans,
+            )
+        }));
+        core.counters
+            .worker_busy_nanos
+            .fetch_add(started.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        match result {
+            Ok(out) => core.deliver(job.seq, out),
+            Err(panic) => {
+                core.poison(format!(
+                    "worker panicked on chunk {}: {}",
+                    job.seq,
+                    panic_message(&panic)
+                ));
+            }
+        }
+    }
+}

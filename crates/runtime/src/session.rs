@@ -1,0 +1,269 @@
+//! Session orchestration: the feeder (splitter stage), the joiner stage, and
+//! the per-session handles.
+//!
+//! A session's dataflow is
+//!
+//! ```text
+//! Read source ──► Feeder (window split, chunk split) ──► shared WorkerPool
+//!                                                             │ out of order
+//!                                                             ▼
+//!                 MatchSink ◄── Joiner (prefix fold, span resolve, filter)
+//! ```
+//!
+//! The feeder runs on the thread that pushes bytes (the caller's, or a
+//! spawned driver for the iterator API); the joiner runs on its own thread;
+//! the workers are shared across sessions. Every stage is connected by a
+//! bounded hand-off — the in-flight credit scheme — so a slow sink stalls the
+//! feeder rather than growing queues.
+
+use crate::filters::FilterBank;
+use crate::pool::{Job, SessionCore, WorkerPool};
+use crate::resolver::{SpanEvent, SpanResolver};
+use crate::sink::{MatchSink, OnlineMatch};
+use crate::stats::RuntimeStats;
+use ppt_core::join::PrefixFolder;
+use ppt_xmlstream::{split_chunks, WindowSplitter};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+/// Final accounting of one completed session.
+#[derive(Debug, Clone, Default)]
+pub struct SessionReport {
+    /// Runtime statistics at completion.
+    pub stats: RuntimeStats,
+    /// Result matches emitted per query (the order queries were added).
+    pub match_counts: Vec<usize>,
+    /// Basic sub-query matches attributed to each query before filtering.
+    pub submatch_counts: Vec<usize>,
+    /// Why the session aborted early (a worker panicked on its data), if it
+    /// did. Matches emitted before the failure were delivered; the counts
+    /// above cover only the processed prefix.
+    pub error: Option<String>,
+}
+
+/// The splitter stage: windows the byte stream and submits chunk jobs.
+pub(crate) struct Feeder {
+    core: Arc<SessionCore>,
+    splitter: WindowSplitter,
+    chunk_size: usize,
+    consumed: usize,
+    next_seq: u64,
+    finished: bool,
+}
+
+impl Feeder {
+    pub fn new(core: Arc<SessionCore>) -> Feeder {
+        let config = core.engine.config();
+        let (window_size, chunk_size) = (config.window_size, config.chunk_size);
+        Feeder {
+            core,
+            splitter: WindowSplitter::new(window_size),
+            chunk_size,
+            consumed: 0,
+            next_seq: 0,
+            finished: false,
+        }
+    }
+
+    pub fn core(&self) -> &Arc<SessionCore> {
+        &self.core
+    }
+
+    /// Pushes stream bytes, submitting every window that completes. May block
+    /// on backpressure. Bytes fed after the session died are dropped.
+    pub fn feed(&mut self, pool: &WorkerPool, bytes: &[u8]) {
+        debug_assert!(!self.finished, "feed after finish");
+        if self.core.is_dead() {
+            return;
+        }
+        self.splitter.push(bytes);
+        while let Some(window) = self.splitter.pop_window() {
+            self.submit_window(pool, window);
+        }
+    }
+
+    /// Flushes the tail window and announces the final chunk count to the
+    /// joiner. Idempotent.
+    pub fn finish(&mut self, pool: &WorkerPool) {
+        if self.finished {
+            return;
+        }
+        self.finished = true;
+        if let Some(window) = self.splitter.finish() {
+            if !self.core.is_dead() {
+                self.submit_window(pool, window);
+            }
+        }
+        self.core.announce_total(self.next_seq);
+    }
+
+    fn submit_window(&mut self, pool: &WorkerPool, window: Vec<u8>) {
+        let base = self.consumed;
+        self.consumed += window.len();
+        let counters = &self.core.counters;
+        counters.windows.fetch_add(1, Ordering::Relaxed);
+        counters.bytes_in.fetch_add(window.len() as u64, Ordering::Relaxed);
+        let window = Arc::new(window);
+        for chunk in split_chunks(&window, self.chunk_size) {
+            // Backpressure: wait for the joiner to return a credit before
+            // admitting another chunk into the pipeline.
+            if !self.core.acquire_credit() {
+                return; // session died while we were blocked
+            }
+            counters.chunks_submitted.fetch_add(1, Ordering::Relaxed);
+            pool.submit(Job {
+                session: Arc::clone(&self.core),
+                window: Arc::clone(&window),
+                range: chunk.range,
+                base,
+                seq: self.next_seq,
+                first: self.next_seq == 0,
+            });
+            self.next_seq += 1;
+        }
+    }
+}
+
+/// Runs [`joiner_loop`] with a panic guard: a panic anywhere in the joiner
+/// stage — most likely a [`MatchSink`] implementation — poisons the session
+/// first, so the feeder (possibly blocked on credits) and the workers wind
+/// down instead of deadlocking, and the payload is handed back for the
+/// session's owner thread to resume.
+pub(crate) fn joiner_guarded(
+    core: &SessionCore,
+    sink: &mut dyn MatchSink,
+) -> Result<SessionReport, Box<dyn std::any::Any + Send>> {
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| joiner_loop(core, sink)));
+    if let Err(panic) = &result {
+        core.poison(format!("joiner stage panicked: {}", crate::pool::panic_message(&**panic)));
+    }
+    result
+}
+
+/// The joiner stage: folds chunk outputs in order the moment each next-in-line
+/// chunk completes, resolves spans, filters, and pushes matches into the sink.
+/// Runs until the feeder has announced the total and every chunk is folded.
+pub(crate) fn joiner_loop(core: &SessionCore, sink: &mut dyn MatchSink) -> SessionReport {
+    let engine = &core.engine;
+    let plan = engine.plan();
+    let mut folder = PrefixFolder::new(engine.transducer());
+    let mut resolver = SpanResolver::new(core.resolve_spans);
+    let mut bank = FilterBank::new(plan, core.resolve_spans);
+    let mut events: Vec<SpanEvent> = Vec::new();
+
+    // Pushes drained span events (and, at the end of the stream, the final
+    // filter flush) into the sink, counting emissions. One code path for the
+    // steady-state loop and the finish step so the accounting cannot diverge.
+    let drain_events = |events: &mut Vec<SpanEvent>,
+                        bank: &mut FilterBank,
+                        sink: &mut dyn MatchSink,
+                        flush: bool| {
+        let counters = &core.counters;
+        let mut emit = |m: OnlineMatch| {
+            counters.matches.fetch_add(1, Ordering::Relaxed);
+            sink.on_match(m);
+        };
+        for event in events.drain(..) {
+            bank.on_event(plan, &event, &mut emit);
+        }
+        if flush {
+            bank.finish(plan, &mut emit);
+        }
+    };
+
+    let mut seq = 0u64;
+    while let Some(out) = core.wait_for(seq) {
+        let mut delta = folder.fold(out.mapping, out.depth_delta, out.ladder);
+        let matches = delta.take_resolved_matches();
+        core.counters.submatches.fetch_add(matches.len() as u64, Ordering::Relaxed);
+        resolver.feed(matches, &delta.ladder, &mut events);
+        if !events.is_empty() {
+            drain_events(&mut events, &mut bank, &mut *sink, false);
+        }
+        core.counters.chunks_joined.fetch_add(1, Ordering::Relaxed);
+        core.release_credit();
+        seq += 1;
+    }
+
+    let error = core.poison_message();
+    if error.is_none() {
+        // Stream ended cleanly: cap unclosed elements at the stream length
+        // and flush any scope still open. On an abort this step is skipped —
+        // `bytes_in` may count windows that were never transduced, and
+        // closing pending matches at invented offsets would fabricate
+        // results the stream never produced.
+        let total_len = core.counters.bytes_in.load(Ordering::Relaxed) as usize;
+        resolver.finish(total_len, &mut events);
+        drain_events(&mut events, &mut bank, &mut *sink, true);
+    }
+
+    SessionReport {
+        stats: core.counters.snapshot(),
+        match_counts: bank.match_counts,
+        submatch_counts: bank.submatch_counts,
+        error,
+    }
+}
+
+/// A live query session with an owned sink (push API).
+///
+/// Obtained from [`crate::Runtime::open_session`]. Feed stream bytes with
+/// [`SessionHandle::feed`] — arbitrary read sizes, no alignment required —
+/// and call [`SessionHandle::finish`] to flush, drain the pipeline and get
+/// the [`SessionReport`] plus the sink back.
+pub struct SessionHandle {
+    pub(crate) feeder: Feeder,
+    pub(crate) pool: Arc<WorkerPool>,
+    #[allow(clippy::type_complexity)]
+    pub(crate) joiner: Option<
+        std::thread::JoinHandle<(
+            Result<SessionReport, Box<dyn std::any::Any + Send>>,
+            Box<dyn MatchSink>,
+        )>,
+    >,
+}
+
+impl SessionHandle {
+    /// Pushes stream bytes into the pipeline. Blocks while backpressured.
+    /// Bytes fed after the session died (see [`SessionReport::error`]) are
+    /// dropped.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        self.feeder.feed(&self.pool, bytes);
+    }
+
+    /// `true` once the session aborted (a pipeline stage panicked); callers
+    /// driving a long-lived source should stop feeding.
+    pub fn is_dead(&self) -> bool {
+        self.feeder.core().is_dead()
+    }
+
+    /// A live snapshot of the session's statistics.
+    pub fn stats(&self) -> RuntimeStats {
+        self.feeder.core().counters.snapshot()
+    }
+
+    /// Ends the stream: flushes the tail, waits for the joiner to drain every
+    /// in-flight chunk, and returns the final report together with the sink.
+    ///
+    /// A panic raised inside the joiner stage (most likely by the sink) is
+    /// resumed here, on the session owner's thread.
+    pub fn finish(mut self) -> (SessionReport, Box<dyn MatchSink>) {
+        self.feeder.finish(&self.pool);
+        let (result, sink) =
+            self.joiner.take().expect("finish called once").join().expect("joiner thread died");
+        match result {
+            Ok(report) => (report, sink),
+            Err(panic) => std::panic::resume_unwind(panic),
+        }
+    }
+}
+
+impl Drop for SessionHandle {
+    fn drop(&mut self) {
+        // Unblock the joiner if the handle is dropped without finish().
+        if let Some(joiner) = self.joiner.take() {
+            self.feeder.finish(&self.pool);
+            let _ = joiner.join();
+        }
+    }
+}

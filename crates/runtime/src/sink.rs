@@ -1,0 +1,91 @@
+//! Match delivery: the [`MatchSink`] callback interface and ready-made sinks.
+//!
+//! The joiner stage calls the sink *synchronously*: a sink that blocks (a
+//! full channel, a slow socket) stalls the joiner, which stops returning
+//! in-flight credits, which stalls the splitter, which stops reading the
+//! source — backpressure propagates all the way to the input with bounded
+//! buffering at every stage.
+
+use std::sync::mpsc::SyncSender;
+
+/// One match of a user query, emitted while the stream is still flowing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OnlineMatch {
+    /// Index of the query (in the order queries were added to the engine).
+    pub query: usize,
+    /// Byte offset of the matched element's opening tag.
+    pub start: usize,
+    /// Byte offset just past the matched element's closing tag
+    /// ([`usize::MAX`] when span resolution is disabled).
+    pub end: usize,
+    /// Depth of the matched element (root = 1).
+    pub depth: u32,
+}
+
+/// Receives matches from a session's joiner stage.
+///
+/// Matches of span-resolved sessions are emitted the moment their element
+/// closes (predicated queries: the moment their anchor scope closes), so
+/// emission order follows element *close* order, not open order — an outer
+/// element arrives after everything it contains. Collect and sort by `start`
+/// when document order matters.
+pub trait MatchSink: Send {
+    /// Called once per query match.
+    fn on_match(&mut self, m: OnlineMatch);
+}
+
+impl<F: FnMut(OnlineMatch) + Send> MatchSink for F {
+    fn on_match(&mut self, m: OnlineMatch) {
+        self(m)
+    }
+}
+
+/// A sink that appends every match to a vector.
+#[derive(Debug, Default)]
+pub struct CollectSink {
+    /// Every emitted match, in emission order.
+    pub matches: Vec<OnlineMatch>,
+}
+
+impl CollectSink {
+    /// Creates an empty collector.
+    pub fn new() -> CollectSink {
+        CollectSink::default()
+    }
+
+    /// Groups the collected matches per query (`query_count` vectors), each
+    /// sorted into document order.
+    pub fn per_query(&self, query_count: usize) -> Vec<Vec<OnlineMatch>> {
+        let mut out: Vec<Vec<OnlineMatch>> = vec![Vec::new(); query_count];
+        for m in &self.matches {
+            if let Some(v) = out.get_mut(m.query) {
+                v.push(*m);
+            }
+        }
+        for v in &mut out {
+            v.sort_by_key(|m| m.start);
+        }
+        out
+    }
+}
+
+impl MatchSink for CollectSink {
+    fn on_match(&mut self, m: OnlineMatch) {
+        self.matches.push(m);
+    }
+}
+
+/// A sink that forwards matches into a bounded channel (used by the iterator
+/// API). A send on a full channel blocks — that is the backpressure path. If
+/// the receiver is gone the match is dropped so the pipeline can drain and
+/// shut down instead of wedging.
+#[derive(Debug)]
+pub(crate) struct ChannelSink {
+    pub tx: SyncSender<OnlineMatch>,
+}
+
+impl MatchSink for ChannelSink {
+    fn on_match(&mut self, m: OnlineMatch) {
+        let _ = self.tx.send(m);
+    }
+}

@@ -1,0 +1,120 @@
+//! Per-session runtime statistics.
+//!
+//! Counters are plain atomics shared between the three pipeline stages
+//! (feeder, workers, joiner); [`RuntimeStats`] is a point-in-time snapshot of
+//! them, cheap enough to take while the session is live.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+/// Shared mutable counters; one instance per session.
+#[derive(Debug)]
+pub(crate) struct Counters {
+    pub started: Instant,
+    pub bytes_in: AtomicU64,
+    pub windows: AtomicU64,
+    pub chunks_submitted: AtomicU64,
+    pub chunks_joined: AtomicU64,
+    pub submatches: AtomicU64,
+    pub matches: AtomicU64,
+    /// Peak depth of the joiner's out-of-order reorder buffer.
+    pub peak_reorder: AtomicUsize,
+    /// Peak join lag: highest completed sequence number minus the next
+    /// sequence number the joiner needed, at the moment it resumed.
+    pub peak_join_lag: AtomicU64,
+    /// Total wall-clock time workers spent transducing this session's chunks.
+    pub worker_busy_nanos: AtomicU64,
+    /// Total time the feeder spent blocked waiting for an in-flight credit
+    /// (i.e. backpressure from the joiner / sink).
+    pub backpressure_nanos: AtomicU64,
+}
+
+impl Counters {
+    pub fn new() -> Counters {
+        Counters {
+            started: Instant::now(),
+            bytes_in: AtomicU64::new(0),
+            windows: AtomicU64::new(0),
+            chunks_submitted: AtomicU64::new(0),
+            chunks_joined: AtomicU64::new(0),
+            submatches: AtomicU64::new(0),
+            matches: AtomicU64::new(0),
+            peak_reorder: AtomicUsize::new(0),
+            peak_join_lag: AtomicU64::new(0),
+            worker_busy_nanos: AtomicU64::new(0),
+            backpressure_nanos: AtomicU64::new(0),
+        }
+    }
+
+    pub fn raise_peak_reorder(&self, depth: usize) {
+        self.peak_reorder.fetch_max(depth, Ordering::Relaxed);
+    }
+
+    pub fn raise_peak_join_lag(&self, lag: u64) {
+        self.peak_join_lag.fetch_max(lag, Ordering::Relaxed);
+    }
+
+    pub fn snapshot(&self) -> RuntimeStats {
+        RuntimeStats {
+            bytes_in: self.bytes_in.load(Ordering::Relaxed),
+            windows: self.windows.load(Ordering::Relaxed),
+            chunks: self.chunks_submitted.load(Ordering::Relaxed),
+            chunks_joined: self.chunks_joined.load(Ordering::Relaxed),
+            submatches: self.submatches.load(Ordering::Relaxed),
+            matches: self.matches.load(Ordering::Relaxed),
+            peak_reorder_depth: self.peak_reorder.load(Ordering::Relaxed),
+            peak_join_lag: self.peak_join_lag.load(Ordering::Relaxed),
+            worker_busy: Duration::from_nanos(self.worker_busy_nanos.load(Ordering::Relaxed)),
+            backpressure_wait: Duration::from_nanos(
+                self.backpressure_nanos.load(Ordering::Relaxed),
+            ),
+            elapsed: self.started.elapsed(),
+        }
+    }
+}
+
+/// A snapshot of one session's runtime statistics.
+#[derive(Debug, Clone, Default)]
+pub struct RuntimeStats {
+    /// Bytes ingested from the stream so far.
+    pub bytes_in: u64,
+    /// Windows the splitter stage emitted.
+    pub windows: u64,
+    /// Chunks submitted to the worker pool.
+    pub chunks: u64,
+    /// Chunks the joiner has folded.
+    pub chunks_joined: u64,
+    /// Basic sub-query matches drained from the fold.
+    pub submatches: u64,
+    /// Query matches emitted through the sink.
+    pub matches: u64,
+    /// Peak depth of the joiner's out-of-order reorder buffer (how far ahead
+    /// of the fold the workers ran).
+    pub peak_reorder_depth: usize,
+    /// Peak join lag in chunks (highest completed sequence number minus the
+    /// sequence number the joiner was waiting for).
+    pub peak_join_lag: u64,
+    /// Total worker wall-clock time spent transducing this session's chunks.
+    pub worker_busy: Duration,
+    /// Total time the feeder was blocked on backpressure (all in-flight
+    /// credits held downstream).
+    pub backpressure_wait: Duration,
+    /// Wall-clock time since the session opened.
+    pub elapsed: Duration,
+}
+
+impl RuntimeStats {
+    /// Sustained ingest throughput in MiB/s over the session's lifetime.
+    pub fn throughput_mib_s(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs <= 0.0 {
+            return 0.0;
+        }
+        self.bytes_in as f64 / (1024.0 * 1024.0) / secs
+    }
+
+    /// Chunks still in flight (submitted but not yet folded).
+    pub fn chunks_in_flight(&self) -> u64 {
+        self.chunks.saturating_sub(self.chunks_joined)
+    }
+}

@@ -256,10 +256,7 @@ mod tests {
 
     #[test]
     fn unclosed_elements_are_an_error() {
-        assert!(matches!(
-            Document::parse(b"<a><b>"),
-            Err(XmlError::UnclosedElements { open: 2 })
-        ));
+        assert!(matches!(Document::parse(b"<a><b>"), Err(XmlError::UnclosedElements { open: 2 })));
     }
 
     #[test]

@@ -58,11 +58,7 @@ mod tests {
     fn display_formats_are_readable() {
         let e = XmlError::UnterminatedTag { pos: 12 };
         assert!(e.to_string().contains("12"));
-        let e = XmlError::MismatchedClose {
-            pos: 3,
-            expected: "a".into(),
-            found: "b".into(),
-        };
+        let e = XmlError::MismatchedClose { pos: 3, expected: "a".into(), found: "b".into() };
         assert!(e.to_string().contains("</a>"));
         assert!(e.to_string().contains("</b>"));
         let e = XmlError::UnclosedElements { open: 2 };
@@ -72,13 +68,7 @@ mod tests {
 
     #[test]
     fn errors_are_comparable() {
-        assert_eq!(
-            XmlError::EmptyTagName { pos: 1 },
-            XmlError::EmptyTagName { pos: 1 }
-        );
-        assert_ne!(
-            XmlError::EmptyTagName { pos: 1 },
-            XmlError::EmptyTagName { pos: 2 }
-        );
+        assert_eq!(XmlError::EmptyTagName { pos: 1 }, XmlError::EmptyTagName { pos: 1 });
+        assert_ne!(XmlError::EmptyTagName { pos: 1 }, XmlError::EmptyTagName { pos: 2 });
     }
 }

@@ -41,10 +41,7 @@ pub struct SymbolTable {
 impl SymbolTable {
     /// Creates a table containing only [`OTHER_SYMBOL`].
     pub fn new() -> Self {
-        SymbolTable {
-            by_name: HashMap::new(),
-            names: vec![b"*other*".to_vec()],
-        }
+        SymbolTable { by_name: HashMap::new(), names: vec![b"*other*".to_vec()] }
     }
 
     /// Interns `name`, returning its symbol (existing or freshly assigned).
@@ -82,11 +79,7 @@ impl SymbolTable {
 
     /// Iterates over `(symbol, name)` pairs, excluding the catch-all.
     pub fn iter(&self) -> impl Iterator<Item = (Symbol, &[u8])> {
-        self.names
-            .iter()
-            .enumerate()
-            .skip(1)
-            .map(|(i, n)| (Symbol(i as u32), n.as_slice()))
+        self.names.iter().enumerate().skip(1).map(|(i, n)| (Symbol(i as u32), n.as_slice()))
     }
 }
 

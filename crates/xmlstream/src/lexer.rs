@@ -23,17 +23,11 @@
 use crate::event::XmlEvent;
 
 /// Configuration for [`Lexer`].
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct LexerConfig {
     /// When `true`, only `Open`/`Close` events are produced; text and
     /// attributes are skipped. This is the transducer hot path.
     pub tags_only: bool,
-}
-
-impl Default for LexerConfig {
-    fn default() -> Self {
-        LexerConfig { tags_only: false }
-    }
 }
 
 impl LexerConfig {
@@ -56,7 +50,7 @@ pub struct Lexer<'a> {
 
 #[inline]
 fn is_name_byte(b: u8) -> bool {
-    !matches!(b, b'<' | b'>' | b'/' | b'=' | b'"' | b'\'' ) && !b.is_ascii_whitespace()
+    !matches!(b, b'<' | b'>' | b'/' | b'=' | b'"' | b'\'') && !b.is_ascii_whitespace()
 }
 
 #[inline]
@@ -114,7 +108,8 @@ impl<'a> Lexer<'a> {
         while p < end && (is_ws(input[p]) || input[p] == b'=') {
             p += 1;
         }
-        let (value_start, value_end, after) = if p < end && (input[p] == b'"' || input[p] == b'\'') {
+        let (value_start, value_end, after) = if p < end && (input[p] == b'"' || input[p] == b'\'')
+        {
             let quote = input[p];
             let vs = p + 1;
             let mut q = vs;
@@ -266,7 +261,8 @@ impl<'a> Iterator for Lexer<'a> {
                     let name_end = p;
                     let tag_end = self.find_tag_end(self.pos);
                     let truncated = tag_end >= input.len();
-                    let self_closing = !truncated && tag_end > self.pos && input[tag_end - 1] == b'/';
+                    let self_closing =
+                        !truncated && tag_end > self.pos && input[tag_end - 1] == b'/';
                     self.pos = if truncated { input.len() } else { tag_end + 1 };
                     if name_end == name_start {
                         continue; // `<>`: skip leniently
@@ -322,8 +318,16 @@ mod tests {
         let xml = b"<a><b><d></d></b><b><c></c></b></a>";
         let ev = tags(xml);
         let expect = vec![
-            (true, "a"), (true, "b"), (true, "d"), (false, "d"), (false, "b"),
-            (true, "b"), (true, "c"), (false, "c"), (false, "b"), (false, "a"),
+            (true, "a"),
+            (true, "b"),
+            (true, "d"),
+            (false, "d"),
+            (false, "b"),
+            (true, "b"),
+            (true, "c"),
+            (false, "c"),
+            (false, "b"),
+            (false, "a"),
         ];
         let expect: Vec<(bool, String)> =
             expect.into_iter().map(|(o, n)| (o, n.to_string())).collect();
@@ -387,7 +391,8 @@ mod tests {
 
     #[test]
     fn comments_pi_doctype_and_cdata_are_skipped() {
-        let xml = br#"<?xml version="1.0"?><!DOCTYPE a><a><!-- <ignored> --><![CDATA[<b>]]><c/></a>"#;
+        let xml =
+            br#"<?xml version="1.0"?><!DOCTYPE a><a><!-- <ignored> --><![CDATA[<b>]]><c/></a>"#;
         let ev = tags(xml);
         assert_eq!(
             ev,
@@ -423,11 +428,7 @@ mod tests {
         let ev = tags(b"<a><b></b><c");
         assert_eq!(
             ev,
-            vec![
-                (true, "a".to_string()),
-                (true, "b".to_string()),
-                (false, "b".to_string())
-            ]
+            vec![(true, "a".to_string()), (true, "b".to_string()), (false, "b".to_string())]
         );
     }
 

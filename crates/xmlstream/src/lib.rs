@@ -11,6 +11,8 @@
 //!   symbols, shared between the query compiler and the runtime.
 //! * [`split`] — the *arbitrary-byte* chunk splitter used by the
 //!   PP-Transducer (split at a target size, then skip to the next `<`).
+//! * [`window`] — the incremental, tail-carrying window splitter used by the
+//!   online runtime and the bounded-memory reader API.
 //! * [`fragment`] — the *well-formed fragment* splitter used by all the
 //!   baseline engines (and identified by the paper as their sequential
 //!   bottleneck).
@@ -32,6 +34,7 @@ pub mod fragment;
 pub mod interner;
 pub mod lexer;
 pub mod split;
+pub mod window;
 pub mod writer;
 
 pub use dom::{Document, NodeId};
@@ -40,4 +43,5 @@ pub use event::XmlEvent;
 pub use interner::{Symbol, SymbolTable, OTHER_SYMBOL};
 pub use lexer::{Lexer, LexerConfig};
 pub use split::{split_chunks, Chunk};
+pub use window::{pump_reader, WindowSplitter};
 pub use writer::XmlWriter;

@@ -1,0 +1,257 @@
+//! Incremental window splitting for unbounded streams.
+//!
+//! The online runtime (and [`Engine::run_reader`]) feed the split →
+//! parallel-transduce → join pipeline window by window. A window boundary must
+//! satisfy the same invariant as a chunk boundary (§5 of the paper): the next
+//! window has to **start at a `<` that begins a tag**, because each window is
+//! lexed independently. [`WindowSplitter`] maintains that invariant
+//! incrementally: bytes are pushed in arbitrary-sized reads, complete windows
+//! are popped, and the tail after the last safe boundary — which may be a
+//! partial tag — is carried over into the next window.
+//!
+//! Unlike the historical `run_reader` heuristic (cut at the last `<`, *or
+//! emit everything* when no boundary exists), the splitter never emits a
+//! partial tag while a boundary might still arrive: when a window fills up
+//! without containing one it keeps buffering — up to an overflow guard of
+//! `4 × window_size`, past which the buffer is emitted whole so a
+//! boundary-free stream (non-XML garbage from an untrusted client) cannot
+//! grow memory without bound.
+//!
+//! [`Engine::run_reader`]: ../../ppt_core/engine/struct.Engine.html#method.run_reader
+
+/// Pumps a reader to exhaustion in 64 KiB reads, retrying on
+/// [`std::io::ErrorKind::Interrupted`]. `on_bytes` returns `false` to stop
+/// early (cancellation); the pump then returns `Ok(())` without reading
+/// further. Shared by every ingestion path in the workspace (the batch
+/// engine's `run_reader` and the online runtime's feeders).
+pub fn pump_reader<R: std::io::Read>(
+    reader: &mut R,
+    mut on_bytes: impl FnMut(&[u8]) -> bool,
+) -> std::io::Result<()> {
+    let mut buf = vec![0u8; 64 * 1024];
+    loop {
+        match reader.read(&mut buf) {
+            Ok(0) => return Ok(()),
+            Ok(n) => {
+                if !on_bytes(&buf[..n]) {
+                    return Ok(());
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// Incremental splitter cutting a byte stream into lexing-safe windows.
+#[derive(Debug, Clone)]
+pub struct WindowSplitter {
+    window_size: usize,
+    buf: Vec<u8>,
+    /// Prefix of `buf` already known to hold no *usable* boundary, so
+    /// repeated pops over a boundary-free tail never rescan the same bytes
+    /// (keeps low-tag-density ingest linear instead of quadratic).
+    scanned: usize,
+}
+
+impl WindowSplitter {
+    /// Creates a splitter targeting `window_size`-byte windows (clamped to a
+    /// 16-byte minimum).
+    pub fn new(window_size: usize) -> WindowSplitter {
+        let window_size = window_size.max(16);
+        WindowSplitter { window_size, buf: Vec::with_capacity(window_size + 4096), scanned: 0 }
+    }
+
+    /// The target window size in bytes.
+    pub fn window_size(&self) -> usize {
+        self.window_size
+    }
+
+    /// Number of bytes currently buffered (pushed but not yet popped).
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Appends stream bytes. Follow with [`WindowSplitter::pop_window`] until
+    /// it returns `None`.
+    pub fn push(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Pops the next complete window, if at least `window_size` bytes are
+    /// buffered and a safe boundary exists.
+    ///
+    /// The cut is placed on the last `<` within the first `window_size`
+    /// buffered bytes; if that region contains no boundary (other than its
+    /// very first byte) the cut moves forward to the next `<` after it, so a
+    /// window may exceed the target when tag density is low — mirroring the
+    /// chunk splitter's "low tag density" rule.
+    ///
+    /// **Overflow guard:** a stream with no `<` at all (non-XML garbage, or
+    /// one enormous token) would otherwise buffer without bound — an easy
+    /// denial-of-service from an untrusted client. Once `4 × window_size`
+    /// bytes are buffered with no boundary in sight, the whole buffer is
+    /// emitted as-is; memory stays bounded at the cost of possibly splitting
+    /// a pathological token (the same degradation the batch reader had).
+    pub fn pop_window(&mut self) -> Option<Vec<u8>> {
+        if self.buf.len() < self.window_size {
+            return None;
+        }
+        let cut = if self.scanned < self.window_size {
+            match self.buf[..self.window_size].iter().rposition(|&b| b == b'<') {
+                // `pos == 0` is unusable: cutting there would pop an empty
+                // window.
+                Some(pos) if pos > 0 => Some(pos),
+                _ => {
+                    // The head region holds no usable boundary; remember so.
+                    self.scanned = self.window_size;
+                    None
+                }
+            }
+        } else {
+            None
+        };
+        let cut = cut.or_else(|| {
+            // Scan forward for the next tag start (always a positive offset,
+            // since it lies at or past `window_size`), starting where the
+            // previous unsuccessful scan left off.
+            let start = self.scanned.max(self.window_size);
+            let found = self.buf[start..].iter().position(|&b| b == b'<').map(|off| start + off);
+            if found.is_none() {
+                self.scanned = self.buf.len();
+            }
+            found
+        });
+        let cut = match cut {
+            Some(cut) => cut,
+            None if self.buf.len() >= self.window_size.saturating_mul(4) => self.buf.len(),
+            None => return None,
+        };
+        let window: Vec<u8> = self.buf.drain(..cut).collect();
+        self.scanned = 0;
+        Some(window)
+    }
+
+    /// Flushes the remaining tail as the final window of the stream. Returns
+    /// `None` when nothing is buffered.
+    pub fn finish(&mut self) -> Option<Vec<u8>> {
+        self.scanned = 0;
+        if self.buf.is_empty() {
+            None
+        } else {
+            Some(std::mem::take(&mut self.buf))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Pushes `data` in `step`-byte reads and returns every emitted window.
+    fn windows_of(data: &[u8], window_size: usize, step: usize) -> Vec<Vec<u8>> {
+        let mut splitter = WindowSplitter::new(window_size);
+        let mut out = Vec::new();
+        for piece in data.chunks(step.max(1)) {
+            splitter.push(piece);
+            while let Some(w) = splitter.pop_window() {
+                out.push(w);
+            }
+        }
+        if let Some(w) = splitter.finish() {
+            out.push(w);
+        }
+        out
+    }
+
+    #[test]
+    fn windows_concatenate_to_the_input() {
+        let data = b"<a><b>some text content</b><c><d>more</d></c><e></e></a>";
+        for window_size in [16usize, 17, 24, 100] {
+            for step in [1usize, 3, 7, 64] {
+                let windows = windows_of(data, window_size, step);
+                let rejoined: Vec<u8> = windows.concat();
+                assert_eq!(rejoined, data, "ws={window_size} step={step}");
+            }
+        }
+    }
+
+    #[test]
+    fn every_window_after_the_first_starts_at_a_tag() {
+        let data =
+            b"<root><item>alpha</item><item>beta gamma delta</item><item>epsilon</item></root>";
+        for window_size in [16usize, 20, 32] {
+            let windows = windows_of(data, window_size, 5);
+            assert!(windows.len() > 1, "expected multiple windows at ws={window_size}");
+            for w in &windows[1..] {
+                assert_eq!(w[0], b'<', "window must start at a tag: {:?}", w);
+            }
+        }
+    }
+
+    #[test]
+    fn partial_tags_are_never_emitted() {
+        // A tag longer than the window: the splitter must hold it back until
+        // the next boundary arrives rather than cutting inside it.
+        let mut data = Vec::new();
+        data.extend_from_slice(b"<a>");
+        data.extend_from_slice(b"<averylongtagnamethatexceedsthewindowsizebyalot attr=\"x\">");
+        data.extend_from_slice(b"</averylongtagnamethatexceedsthewindowsizebyalot></a>");
+        let windows = windows_of(&data, 16, 4);
+        for w in &windows {
+            // No window may end inside a tag: count brackets.
+            let opens = w.iter().filter(|&&b| b == b'<').count();
+            let closes = w.iter().filter(|&&b| b == b'>').count();
+            assert_eq!(opens, closes, "window ends mid-tag: {:?}", String::from_utf8_lossy(w));
+        }
+        let rejoined: Vec<u8> = windows.concat();
+        assert_eq!(rejoined, data);
+    }
+
+    #[test]
+    fn long_text_runs_extend_the_window() {
+        // The 200-byte text run stays under the 4×64 overflow guard, so every
+        // boundary remains tag-aligned; the run just makes its window bigger.
+        let mut data = Vec::new();
+        data.extend_from_slice(b"<a>");
+        data.extend_from_slice(&[b'x'; 200]);
+        data.extend_from_slice(b"<b></b></a>");
+        let windows = windows_of(&data, 64, 9);
+        let rejoined: Vec<u8> = windows.concat();
+        assert_eq!(rejoined, data);
+        for w in &windows[1..] {
+            assert_eq!(w[0], b'<');
+        }
+    }
+
+    #[test]
+    fn boundary_free_streams_are_bounded_by_the_overflow_guard() {
+        // No '<' anywhere: memory must not grow without bound.
+        let mut splitter = WindowSplitter::new(16);
+        let mut emitted = 0usize;
+        for _ in 0..100 {
+            splitter.push(&[b'x'; 16]);
+            while let Some(w) = splitter.pop_window() {
+                emitted += w.len();
+            }
+            assert!(splitter.buffered() < 16 * 8, "buffer grew past the overflow guard");
+        }
+        assert!(emitted > 0, "overflow guard never released a window");
+    }
+
+    #[test]
+    fn small_streams_emit_one_window_on_finish() {
+        let mut splitter = WindowSplitter::new(1 << 20);
+        splitter.push(b"<a></a>");
+        assert!(splitter.pop_window().is_none());
+        assert_eq!(splitter.finish().unwrap(), b"<a></a>");
+        assert!(splitter.finish().is_none());
+    }
+
+    #[test]
+    fn empty_stream_emits_nothing() {
+        let mut splitter = WindowSplitter::new(64);
+        assert!(splitter.pop_window().is_none());
+        assert!(splitter.finish().is_none());
+    }
+}

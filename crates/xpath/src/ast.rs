@@ -144,9 +144,7 @@ impl Path {
 
     /// `true` if any step uses a reverse axis (`parent::` / `ancestor::`).
     pub fn has_reverse_axes(&self) -> bool {
-        self.steps
-            .iter()
-            .any(|s| matches!(s.axis, Axis::Parent | Axis::Ancestor))
+        self.steps.iter().any(|s| matches!(s.axis, Axis::Parent | Axis::Ancestor))
     }
 }
 
@@ -189,8 +187,7 @@ mod tests {
         assert!(!plain.has_reverse_axes());
 
         let mut with_pred = plain.clone();
-        with_pred.steps[0].predicate =
-            Some(Predicate::Path(Path::new(vec![Step::child("x")])));
+        with_pred.steps[0].predicate = Some(Predicate::Path(Path::new(vec![Step::child("x")])));
         assert!(with_pred.has_predicates());
 
         let reverse = Path::new(vec![Step {

@@ -36,7 +36,8 @@ mod tests {
 
     #[test]
     fn display_contains_query_and_reason() {
-        let e = XPathError::Parse { query: "/a[".into(), pos: 3, message: "unclosed predicate".into() };
+        let e =
+            XPathError::Parse { query: "/a[".into(), pos: 3, message: "unclosed predicate".into() };
         let s = e.to_string();
         assert!(s.contains("/a["));
         assert!(s.contains("unclosed predicate"));

@@ -35,7 +35,11 @@ struct Parser<'a> {
 
 impl<'a> Parser<'a> {
     fn err(&self, message: &str) -> XPathError {
-        XPathError::Parse { query: self.src.to_string(), pos: self.pos, message: message.to_string() }
+        XPathError::Parse {
+            query: self.src.to_string(),
+            pos: self.pos,
+            message: message.to_string(),
+        }
     }
 
     fn at_end(&self) -> bool {
@@ -181,9 +185,8 @@ impl<'a> Parser<'a> {
     fn parse_absolute_path(&mut self) -> Result<Path, XPathError> {
         self.skip_ws();
         let mut steps = Vec::new();
-        let first_sep = self
-            .parse_separator()
-            .ok_or_else(|| self.err("query must start with `/` or `//`"))?;
+        let first_sep =
+            self.parse_separator().ok_or_else(|| self.err("query must start with `/` or `//`"))?;
         steps.push(self.parse_step(first_sep, true)?);
         loop {
             self.skip_ws();

@@ -124,9 +124,7 @@ fn compile_predicated(
     let pred = q.path.steps[pi].predicate.clone().expect("step pi carries a predicate");
     let leaves = pred.leaves();
     let all_parent_leaves = !leaves.is_empty()
-        && leaves
-            .iter()
-            .all(|p| p.steps.len() == 1 && p.steps[0].axis == Axis::Parent);
+        && leaves.iter().all(|p| p.steps.len() == 1 && p.steps[0].axis == Axis::Parent);
     if all_parent_leaves {
         return compile_parent_predicate(plan, q, pi, &pred);
     }
@@ -214,22 +212,21 @@ fn compile_parent_predicate(
     let parent_step = &q.path.steps[pi - 1];
     let mut result_subqueries = Vec::new();
     for leaf in pred.leaves() {
-        let parent_name = match &leaf.steps[0].test {
-            NodeTest::Name(n) => n.clone(),
-            NodeTest::Wildcard => {
-                // parent::* adds no constraint; keep the original parent test.
-                match &parent_step.test {
-                    NodeTest::Name(n) => n.clone(),
-                    _ => {
-                        return Err(unsupported(
+        let parent_name =
+            match &leaf.steps[0].test {
+                NodeTest::Name(n) => n.clone(),
+                NodeTest::Wildcard => {
+                    // parent::* adds no constraint; keep the original parent test.
+                    match &parent_step.test {
+                        NodeTest::Name(n) => n.clone(),
+                        _ => return Err(unsupported(
                             q,
                             "parent::* on a wildcard step adds no constraint and is not supported",
-                        ))
+                        )),
                     }
                 }
-            }
-            _ => return Err(unsupported(q, "parent:: requires an element name test")),
-        };
+                _ => return Err(unsupported(q, "parent:: requires an element name test")),
+            };
         // The disjunct is satisfiable only if the original parent step accepts
         // that name.
         let compatible = match &parent_step.test {
@@ -275,7 +272,11 @@ fn is_pure_disjunction(pred: &Predicate) -> bool {
 /// Rewrites `<prefix>/ancestor::X/<suffix>` (XPathMark B2 shape) into the
 /// anchor `//X`, the existence predicate `//X + prefix-as-descendant` and the
 /// result `//X/<suffix>`.
-fn compile_ancestor(plan: &mut QueryPlan, q: &Query, pos: usize) -> Result<CompiledQuery, XPathError> {
+fn compile_ancestor(
+    plan: &mut QueryPlan,
+    q: &Query,
+    pos: usize,
+) -> Result<CompiledQuery, XPathError> {
     if pos == 0 {
         return Err(unsupported(q, "a query cannot start with ancestor::"));
     }
@@ -284,16 +285,15 @@ fn compile_ancestor(plan: &mut QueryPlan, q: &Query, pos: usize) -> Result<Compi
     // The rewrite `//X[.//prefix]` is only sound when the prefix places no
     // constraint on where the ancestor sits, i.e. every prefix step uses the
     // descendant axis (as in `//k/ancestor::li/...`).
-    if !prefix
-        .iter()
-        .all(|s| s.axis == Axis::Descendant && s.predicate.is_none())
-    {
+    if !prefix.iter().all(|s| s.axis == Axis::Descendant && s.predicate.is_none()) {
         return Err(unsupported(
             q,
             "ancestor:: is only supported after a pure descendant prefix (e.g. //k/ancestor::li/...)",
         ));
     }
-    if suffix.iter().any(|s| s.predicate.is_some() || s.axis == Axis::Parent || s.axis == Axis::Ancestor)
+    if suffix
+        .iter()
+        .any(|s| s.predicate.is_some() || s.axis == Axis::Parent || s.axis == Axis::Ancestor)
     {
         return Err(unsupported(q, "the path after ancestor:: must be basic"));
     }
@@ -467,14 +467,8 @@ mod tests {
 
     #[test]
     fn unsupported_constructs_are_rejected_with_clear_errors() {
-        assert!(matches!(
-            compile_queries(&["/a[b]/c[d]/e"]),
-            Err(XPathError::Unsupported { .. })
-        ));
-        assert!(matches!(
-            compile_queries(&["/a/parent::b"]),
-            Err(XPathError::Unsupported { .. })
-        ));
+        assert!(matches!(compile_queries(&["/a[b]/c[d]/e"]), Err(XPathError::Unsupported { .. })));
+        assert!(matches!(compile_queries(&["/a/parent::b"]), Err(XPathError::Unsupported { .. })));
         assert!(matches!(
             compile_queries(&["/a/b/ancestor::c/d"]),
             Err(XPathError::Unsupported { .. })

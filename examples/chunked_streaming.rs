@@ -10,7 +10,7 @@
 use pp_xml::automaton::Transducer;
 use pp_xml::core::chunk::{process_chunk, EngineKind};
 use pp_xml::core::join::unify_mappings;
-use pp_xml::core::{Engine, StreamProcessor, ParallelConfig};
+use pp_xml::core::{Engine, ParallelConfig, StreamProcessor};
 use pp_xml::datasets::TreebankConfig;
 use pp_xml::xmlstream::split_chunks;
 

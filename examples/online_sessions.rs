@@ -1,0 +1,81 @@
+//! The online streaming runtime: several concurrent query sessions — each
+//! with its own queries and its own stream — multiplexed over one shared
+//! worker pool, with matches delivered while the streams flow.
+//!
+//! ```sh
+//! cargo run --release --example online_sessions -- [size-mb]
+//! ```
+
+use pp_xml::datasets::{twitter_query, TwitterConfig, XmarkConfig};
+use pp_xml::prelude::*;
+use std::sync::Arc;
+
+fn main() {
+    let size_mb: f64 = std::env::args().nth(1).and_then(|v| v.parse().ok()).unwrap_or(4.0);
+    let bytes = (size_mb * 1_000_000.0) as usize;
+
+    println!("generating two ~{size_mb} MB streams (twitter firehose + xmark auctions)...");
+    let twitter = TwitterConfig::with_target_size(bytes).generate();
+    let xmark = XmarkConfig::with_target_size(bytes).generate();
+
+    // One runtime; every session shares its workers.
+    let runtime = Runtime::builder().workers(4).build();
+
+    let sessions: Vec<(&str, Vec<u8>, Vec<String>)> = vec![
+        ("twitter", twitter, vec![twitter_query().to_string(), "//retweeted_status".to_string()]),
+        ("xmark", xmark, vec!["//k".to_string(), "/s/cs/c/a/d/t/k".to_string()]),
+    ];
+
+    std::thread::scope(|scope| {
+        let runtime = &runtime;
+        for (name, data, queries) in &sessions {
+            scope.spawn(move || {
+                let engine = Arc::new(
+                    Engine::builder()
+                        .add_queries(queries)
+                        .expect("valid queries")
+                        .chunk_size(256 * 1024)
+                        .window_size(1 << 20)
+                        .build()
+                        .expect("engine compiles"),
+                );
+                // Iterator API: matches arrive while the stream is read.
+                let stream =
+                    runtime.stream_reader(Arc::clone(&engine), std::io::Cursor::new(data.clone()));
+                let mut first_match_at: Option<usize> = None;
+                let mut count = 0usize;
+                for m in stream {
+                    if first_match_at.is_none() {
+                        first_match_at = Some(m.start);
+                    }
+                    count += 1;
+                }
+                println!(
+                    "[{name}] {count} matches; first at byte {:?} — emitted long before the \
+                     stream ended",
+                    first_match_at
+                );
+            });
+        }
+    });
+
+    // Callback API with a final report.
+    let (name, data, queries) = &sessions[0];
+    let engine = Arc::new(Engine::builder().add_queries(queries).unwrap().build().unwrap());
+    let mut seen = 0usize;
+    let mut sink = |_m: OnlineMatch| seen += 1;
+    let report = runtime
+        .process_reader(Arc::clone(&engine), &data[..], &mut sink)
+        .expect("in-memory reader cannot fail");
+    println!(
+        "[{name}] report: {} matches over {} windows / {} chunks, {:.1} MiB/s sustained, \
+         peak reorder {} chunks, backpressure wait {:?}",
+        seen,
+        report.stats.windows,
+        report.stats.chunks,
+        report.stats.throughput_mib_s(),
+        report.stats.peak_reorder_depth,
+        report.stats.backpressure_wait,
+    );
+    println!("shared pool peak queue depth: {}", runtime.peak_queue_depth());
+}

@@ -35,11 +35,7 @@ fn main() {
     let result = engine.run_reader(Cursor::new(&data)).expect("in-memory reader cannot fail");
     let elapsed = start.elapsed();
 
-    println!(
-        "geotagged tweets: {} (of {} bytes of stream)",
-        result.match_count(0),
-        data.len()
-    );
+    println!("geotagged tweets: {} (of {} bytes of stream)", result.match_count(0), data.len());
     println!(
         "throughput: {:.1} MB/s on {} worker thread(s), {} chunks, {:.1}% worker idle time",
         data.len() as f64 / 1_000_000.0 / elapsed.as_secs_f64(),

@@ -24,7 +24,10 @@ fn main() {
 
     let result = engine.run(&data);
 
-    println!("{:<4} {:<44} {:>12} {:>12} {:>10}", "Name", "XPath query", "sub-queries", "sub-matches", "matches");
+    println!(
+        "{:<4} {:<44} {:>12} {:>12} {:>10}",
+        "Name", "XPath query", "sub-queries", "sub-matches", "matches"
+    );
     for (i, (id, q)) in queries.iter().enumerate() {
         println!(
             "{:<4} {:<44} {:>12} {:>12} {:>10}",

@@ -1,0 +1,288 @@
+//! Offline stand-in for the subset of the
+//! [criterion](https://crates.io/crates/criterion) API used by the workspace
+//! benches.
+//!
+//! The build environment has no crates.io access. This shim keeps the bench
+//! sources compiling unchanged and performs a real (if statistically plain)
+//! measurement: every benchmark is warmed up briefly, then timed over up to
+//! `sample_size` batches bounded by `measurement_time`, and the mean, min and
+//! max per-iteration times are printed together with a derived throughput when
+//! one was declared. There are no plots, no significance tests and no saved
+//! baselines.
+
+use std::fmt::Display;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimiser value sink, re-exported like criterion's.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Declared per-iteration workload size, used to derive throughput.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Abstract elements processed per iteration.
+    Elements(u64),
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new<P: Display>(function_name: &str, parameter: P) -> BenchmarkId {
+        BenchmarkId { id: format!("{function_name}/{parameter}") }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter<P: Display>(parameter: P) -> BenchmarkId {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Passed to the closure of `bench_function`/`bench_with_input`; `iter` runs
+/// and times the workload.
+pub struct Bencher<'m> {
+    measurement: &'m mut Measurement,
+}
+
+/// One benchmark's collected samples.
+struct Measurement {
+    samples: Vec<Duration>,
+    iters_per_sample: u64,
+}
+
+impl Bencher<'_> {
+    /// Times `routine` repeatedly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm up ~3 iterations (bounded to keep tiny benches snappy).
+        for _ in 0..3 {
+            black_box(routine());
+        }
+        // Estimate a batch size that lasts ≥ ~2ms per sample.
+        let probe = Instant::now();
+        black_box(routine());
+        let one = probe.elapsed().max(Duration::from_nanos(50));
+        let per_batch =
+            (Duration::from_millis(2).as_nanos() / one.as_nanos()).clamp(1, 10_000) as u64;
+        self.measurement.iters_per_sample = per_batch;
+        let deadline = Instant::now() + self.measurement_budget();
+        let target_samples = self.measurement.samples.capacity().max(10);
+        while self.measurement.samples.len() < target_samples && Instant::now() < deadline {
+            let start = Instant::now();
+            for _ in 0..per_batch {
+                black_box(routine());
+            }
+            self.measurement.samples.push(start.elapsed() / per_batch as u32);
+        }
+        if self.measurement.samples.is_empty() {
+            let start = Instant::now();
+            black_box(routine());
+            self.measurement.samples.push(start.elapsed());
+            self.measurement.iters_per_sample = 1;
+        }
+    }
+
+    fn measurement_budget(&self) -> Duration {
+        MEASUREMENT_TIME.with(|t| t.get())
+    }
+}
+
+thread_local! {
+    static MEASUREMENT_TIME: std::cell::Cell<Duration> =
+        const { std::cell::Cell::new(Duration::from_secs(3)) };
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    throughput: Option<Throughput>,
+    _criterion: &'c mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples to aim for.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Wall-clock budget for each benchmark in the group.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Declares per-iteration throughput for subsequent benchmarks.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        self.run(id.to_string(), |b| f(b));
+        self
+    }
+
+    /// Runs one benchmark with a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>, &I),
+    {
+        self.run(id.to_string(), |b| f(b, input));
+        self
+    }
+
+    fn run(&mut self, id: String, mut f: impl FnMut(&mut Bencher<'_>)) {
+        let mut measurement =
+            Measurement { samples: Vec::with_capacity(self.sample_size), iters_per_sample: 1 };
+        MEASUREMENT_TIME.with(|t| t.set(self.measurement_time));
+        f(&mut Bencher { measurement: &mut measurement });
+        report(&self.name, &id, &measurement, self.throughput);
+    }
+
+    /// Ends the group (no-op beyond API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+fn report(group: &str, id: &str, m: &Measurement, throughput: Option<Throughput>) {
+    let n = m.samples.len().max(1) as u32;
+    let total: Duration = m.samples.iter().sum();
+    let mean = total / n;
+    let min = m.samples.iter().min().copied().unwrap_or_default();
+    let max = m.samples.iter().max().copied().unwrap_or_default();
+    let thr = match throughput {
+        Some(Throughput::Bytes(bytes)) if mean > Duration::ZERO => {
+            let mbps = bytes as f64 / mean.as_secs_f64() / (1024.0 * 1024.0);
+            format!("  thrpt: {mbps:.1} MiB/s")
+        }
+        Some(Throughput::Elements(elems)) if mean > Duration::ZERO => {
+            let eps = elems as f64 / mean.as_secs_f64();
+            format!("  thrpt: {eps:.0} elem/s")
+        }
+        _ => String::new(),
+    };
+    println!(
+        "{group}/{id}  time: [{} {} {}]{thr}  ({} samples x {} iters)",
+        fmt_duration(min),
+        fmt_duration(mean),
+        fmt_duration(max),
+        m.samples.len(),
+        m.iters_per_sample,
+    );
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", d.as_secs_f64())
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} us", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+/// The top-level benchmark context.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("== group {name}");
+        BenchmarkGroup {
+            name,
+            sample_size: 10,
+            measurement_time: Duration::from_secs(3),
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        self.benchmark_group("bench").bench_function(id, f);
+        self
+    }
+}
+
+/// Declares a group of benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group(c: &mut $crate::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+/// Declares the bench `main` that runs every group. Command-line arguments
+/// (passed by `cargo bench`, e.g. `--bench`) are accepted and ignored.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default();
+            $( $group(&mut c); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny(c: &mut Criterion) {
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(3);
+        group.measurement_time(Duration::from_millis(50));
+        group.throughput(Throughput::Bytes(1024));
+        group.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        group.bench_with_input(BenchmarkId::new("sum_to", 50), &50u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn benches_run_and_report() {
+        let mut c = Criterion::default();
+        tiny(&mut c);
+    }
+
+    #[test]
+    fn ids_format() {
+        assert_eq!(BenchmarkId::new("f", 3).to_string(), "f/3");
+        assert_eq!(BenchmarkId::from_parameter("x").to_string(), "x");
+    }
+}

@@ -27,8 +27,8 @@ fn ppt_counts(queries: &[String], data: &[u8], chunk_size: usize, threads: usize
 
 #[test]
 fn xpathmark_on_xmark_agrees_with_the_dom_oracle() {
-    let data = XmarkConfig { items_per_region: 30, closed_auctions: 150, people: 150, seed: 9 }
-        .generate();
+    let data =
+        XmarkConfig { items_per_region: 30, closed_auctions: 150, people: 150, seed: 9 }.generate();
     let queries: Vec<String> = xpathmark_queries_strs().iter().map(|s| s.to_string()).collect();
 
     let oracle = FragmentDomEngine::new(&queries)
@@ -53,11 +53,8 @@ fn treebank_random_queries_agree_across_engines() {
     let data = TreebankConfig { sentences: 400, max_depth: 18, seed: 21 }.generate();
     let queries = random_treebank_queries(10, 4, 5);
 
-    let oracle = FragmentDomEngine::new(&queries)
-        .unwrap()
-        .run_whole_document(&data)
-        .unwrap()
-        .match_counts;
+    let oracle =
+        FragmentDomEngine::new(&queries).unwrap().run_whole_document(&data).unwrap().match_counts;
     assert!(oracle.iter().sum::<usize>() > 0, "workload should have some matches");
 
     assert_eq!(ppt_counts(&queries, &data, 4 * 1024, 3), oracle, "PPT small chunks");
@@ -101,11 +98,8 @@ fn twitter_stream_agrees_between_slice_and_reader_modes() {
         .unwrap();
     let from_slice = engine.run(&data);
     let from_reader = engine.run_reader(std::io::Cursor::new(&data)).unwrap();
-    let oracle = FragmentDomEngine::new(&queries)
-        .unwrap()
-        .run_whole_document(&data)
-        .unwrap()
-        .match_counts;
+    let oracle =
+        FragmentDomEngine::new(&queries).unwrap().run_whole_document(&data).unwrap().match_counts;
 
     for i in 0..queries.len() {
         assert_eq!(from_slice.match_count(i), oracle[i], "slice vs oracle for {}", queries[i]);
@@ -115,8 +109,8 @@ fn twitter_stream_agrees_between_slice_and_reader_modes() {
 
 #[test]
 fn submatch_counts_are_consistent_between_parallel_and_sequential() {
-    let data = XmarkConfig { items_per_region: 10, closed_auctions: 80, people: 80, seed: 17 }
-        .generate();
+    let data =
+        XmarkConfig { items_per_region: 10, closed_auctions: 80, people: 80, seed: 17 }.generate();
     let queries: Vec<String> = xpathmark_queries_strs().iter().map(|s| s.to_string()).collect();
     let engine = Engine::builder()
         .add_queries(&queries)

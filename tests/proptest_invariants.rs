@@ -27,7 +27,8 @@ fn arb_document() -> impl Strategy<Value = Vec<u8>> {
         children: Vec<Node>,
     }
     fn node_strategy() -> impl Strategy<Value = Node> {
-        let leaf = (0usize..6, any::<bool>()).prop_map(|(tag, text)| Node { tag, text, children: vec![] });
+        let leaf =
+            (0usize..6, any::<bool>()).prop_map(|(tag, text)| Node { tag, text, children: vec![] });
         leaf.prop_recursive(4, 24, 4, |inner| {
             (0usize..6, any::<bool>(), prop::collection::vec(inner, 0..4))
                 .prop_map(|(tag, text, children)| Node { tag, text, children })
@@ -55,14 +56,21 @@ fn arb_document() -> impl Strategy<Value = Vec<u8>> {
 /// Strategy: a small set of queries over the same vocabulary.
 fn arb_queries() -> impl Strategy<Value = Vec<&'static str>> {
     const POOL: &[&str] = &[
-        "/a/b", "/a/b/c", "//c", "//k", "/a//d", "//b/*", "//li/k", "/a/b[c]/d", "//a[k]/b",
+        "/a/b",
+        "/a/b/c",
+        "//c",
+        "//k",
+        "/a//d",
+        "//b/*",
+        "//li/k",
+        "/a/b[c]/d",
+        "//a[k]/b",
         "//b//c",
     ];
-    prop::collection::vec(prop::sample::select(POOL), 1..4)
-        .prop_map(|mut qs| {
-            qs.dedup();
-            qs
-        })
+    prop::collection::vec(prop::sample::select(POOL), 1..4).prop_map(|mut qs| {
+        qs.dedup();
+        qs
+    })
 }
 
 proptest! {

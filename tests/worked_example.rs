@@ -60,7 +60,8 @@ fn fig4_mappings_and_final_join() {
 fn naive_engine_reproduces_the_same_mappings() {
     let t = Transducer::from_queries(&["/a/b/c"]).unwrap();
     for (range, first) in [(0..SPLIT, true), (SPLIT..DOC.len(), false)] {
-        let tree = process_chunk(&t, &DOC[range.clone()], range.start, 0, first, EngineKind::Tree, false);
+        let tree =
+            process_chunk(&t, &DOC[range.clone()], range.start, 0, first, EngineKind::Tree, false);
         let naive =
             process_chunk(&t, &DOC[range.clone()], range.start, 0, first, EngineKind::Naive, false);
         let mut a: Mapping = tree.mapping;
