@@ -1,0 +1,132 @@
+//! Materialization + wire cost on top of the online runtime: sustained MB/s
+//! for offsets-only delivery vs JSON-lines vs binary framing (both with the
+//! retention ring on), over the same XMark stream.
+//!
+//! ```sh
+//! cargo bench -p ppt-bench --bench wire
+//! # record the committed baseline:
+//! BENCH_WIRE_JSON=BENCH_wire.json cargo bench -p ppt-bench --bench wire
+//! ```
+
+use criterion::{BenchmarkId, Criterion, Throughput};
+use ppt_core::{Engine, EngineConfig};
+use ppt_runtime::{OnlineMatch, Runtime, SessionOptions, WireFormat};
+use std::sync::Arc;
+use std::time::Instant;
+
+const THREAD_SWEEP: [usize; 3] = [1, 2, 4];
+const RETAIN_BUDGET: usize = 8 << 20;
+
+fn dataset() -> Vec<u8> {
+    ppt_bench::workloads::xmark(4 << 20)
+}
+
+fn queries() -> Vec<String> {
+    ppt_datasets::xpathmark_queries().iter().take(3).map(|(_, q)| q.to_string()).collect()
+}
+
+fn engine_for(threads: usize, queries: &[String]) -> Arc<Engine> {
+    Arc::new(
+        Engine::with_config(
+            queries,
+            EngineConfig {
+                chunk_size: 256 * 1024,
+                threads: Some(threads),
+                window_size: 1 << 20,
+                ..EngineConfig::default()
+            },
+        )
+        .unwrap(),
+    )
+}
+
+fn run_offsets(runtime: &Runtime, engine: &Arc<Engine>, data: &[u8]) -> u64 {
+    let mut count = 0u64;
+    let mut sink = |_m: OnlineMatch| count += 1;
+    runtime.process_reader(Arc::clone(engine), data, &mut sink).unwrap();
+    count
+}
+
+fn run_wire(runtime: &Runtime, engine: &Arc<Engine>, data: &[u8], format: WireFormat) -> u64 {
+    let opts = SessionOptions::new().retain_bytes(RETAIN_BUDGET);
+    let served =
+        runtime.serve_reader(Arc::clone(engine), &opts, data, std::io::sink(), format).unwrap();
+    served.report.stats.matches
+}
+
+type Measured<'a> = Box<dyn Fn() -> u64 + 'a>;
+
+fn modes<'a>(
+    runtime: &'a Runtime,
+    engine: &'a Arc<Engine>,
+    data: &'a [u8],
+) -> Vec<(&'static str, Measured<'a>)> {
+    vec![
+        ("offsets", Box::new(move || run_offsets(runtime, engine, data))),
+        ("json", Box::new(move || run_wire(runtime, engine, data, WireFormat::JsonLines))),
+        ("binary", Box::new(move || run_wire(runtime, engine, data, WireFormat::Binary))),
+    ]
+}
+
+fn bench_wire(c: &mut Criterion) {
+    let data = dataset();
+    let queries = queries();
+    let mut group = c.benchmark_group("wire");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(4));
+    group.throughput(Throughput::Bytes(data.len() as u64));
+    for threads in THREAD_SWEEP {
+        let engine = engine_for(threads, &queries);
+        let runtime = Runtime::builder().workers(threads).build();
+        for (mode, run) in modes(&runtime, &engine, &data) {
+            group.bench_with_input(BenchmarkId::new(mode, threads), &data, |b, _data| b.iter(&run));
+        }
+    }
+    group.finish();
+}
+
+/// Direct measurement used to record the committed `BENCH_wire.json`
+/// baseline (mean of `iters` runs per configuration).
+fn write_baseline(path: &str) {
+    let data = dataset();
+    let queries = queries();
+    let iters = 5usize;
+    let mib = data.len() as f64 / (1024.0 * 1024.0);
+    let mut rows = Vec::new();
+    for threads in THREAD_SWEEP {
+        let engine = engine_for(threads, &queries);
+        let runtime = Runtime::builder().workers(threads).build();
+        for (mode, run) in modes(&runtime, &engine, &data) {
+            run(); // warm-up
+            let start = Instant::now();
+            let mut matches = 0u64;
+            for _ in 0..iters {
+                matches = run();
+            }
+            let secs = start.elapsed().as_secs_f64() / iters as f64;
+            rows.push(format!(
+                "    {{\"mode\": \"{mode}\", \"threads\": {threads}, \"mib_per_s\": {:.2}, \
+                 \"matches\": {matches}}}",
+                mib / secs
+            ));
+        }
+    }
+    let json = format!(
+        "{{\n  \"bench\": \"wire\",\n  \"dataset\": \"xmark\",\n  \"dataset_bytes\": {},\n  \
+         \"queries\": {},\n  \"retention_budget\": {RETAIN_BUDGET},\n  \
+         \"iters_per_point\": {iters},\n  \"results\": [\n{}\n  ]\n}}\n",
+        data.len(),
+        queries.len(),
+        rows.join(",\n")
+    );
+    std::fs::write(path, json).expect("baseline written");
+    println!("baseline written to {path}");
+}
+
+fn main() {
+    let mut c = Criterion::default();
+    bench_wire(&mut c);
+    if let Ok(path) = std::env::var("BENCH_WIRE_JSON") {
+        write_baseline(&path);
+    }
+}

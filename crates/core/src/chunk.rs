@@ -64,6 +64,10 @@ pub struct ChunkOutput {
     /// `(position after the closing tag, relative depth after the close)` for
     /// every close of an element opened in an earlier chunk.
     pub ladder: Vec<(usize, i64)>,
+    /// Absolute stream offset just past the chunk's last byte. Joining this
+    /// chunk makes the stream final up to here — the online joiner uses it as
+    /// the release frontier for retained payload windows.
+    pub end_offset: usize,
     /// Counters.
     pub stats: ChunkStats,
 }
@@ -265,6 +269,7 @@ pub fn process_chunk(
         mapping,
         depth_delta: rel_depth,
         ladder,
+        end_offset: abs_offset + slice.len(),
         stats: ChunkStats {
             transitions,
             tag_events,
@@ -303,6 +308,7 @@ mod tests {
         assert_eq!(expected, got);
         assert_eq!(out.depth_delta, 0);
         assert!(out.ladder.is_empty());
+        assert_eq!(out.end_offset, DOC.len());
     }
 
     #[test]
@@ -314,6 +320,8 @@ mod tests {
         let second = process_chunk(&t, &DOC[split..], split, 1, false, EngineKind::Tree, true);
         assert_eq!(first.depth_delta, 1, "the first chunk leaves <a> open");
         assert_eq!(second.depth_delta, -1);
+        assert_eq!(first.end_offset, split);
+        assert_eq!(second.end_offset, DOC.len());
         let joined = unify_mappings(&first.mapping, &second.mapping);
         assert_eq!(joined.len(), 1);
         assert_eq!(joined.entries[0].outputs.len(), 1);

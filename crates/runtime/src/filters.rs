@@ -131,6 +131,21 @@ impl FilterBank {
         }
     }
 
+    /// Earliest match offset still buffered in an unclosed anchor scope
+    /// (`None` when every scope is flushed). Scope buffers fill in event —
+    /// i.e. position — order, so each buffer's first entry is its minimum;
+    /// the retention ring must keep every window at or past this offset
+    /// until the scope closes and its matches are materialized.
+    pub fn min_buffered_pos(&self) -> Option<usize> {
+        self.queries
+            .iter()
+            .filter_map(|q| match &q.mode {
+                QueryMode::Scoped { buffer, .. } => buffer.first().map(|m| m.pos),
+                QueryMode::Plain { .. } => None,
+            })
+            .min()
+    }
+
     /// Consumes one span event, emitting any matches it finalises.
     pub fn on_event(
         &mut self,

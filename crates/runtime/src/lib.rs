@@ -71,24 +71,76 @@
 mod filters;
 mod pool;
 mod resolver;
+mod retain;
 mod session;
 mod sink;
 mod stats;
+pub mod wire;
 
 pub use resolver::{SpanEvent, SpanResolver};
 pub use session::{SessionHandle, SessionReport};
-pub use sink::{CollectSink, MatchSink, OnlineMatch};
+pub use sink::{
+    CollectPayloadSink, CollectSink, MatchSink, MaterializedMatch, OnlineMatch, PayloadSink,
+};
 pub use stats::RuntimeStats;
+pub use wire::{Frame, FrameDecoder, WireError, WireFormat, WireSink};
 
 use pool::{SessionCore, WorkerPool};
 use ppt_core::Engine;
 use ppt_xmlstream::pump_reader;
 use session::{joiner_guarded, Feeder};
-use sink::ChannelSink;
-use std::io::Read;
+use sink::{ChannelSink, Materializer};
+use std::io::{Read, Write};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver};
 use std::sync::Arc;
+
+/// Per-session options: identity on the wire and payload retention.
+///
+/// ```
+/// use ppt_runtime::SessionOptions;
+/// let opts = SessionOptions::new().stream_id(7).retain_bytes(8 << 20);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SessionOptions {
+    /// Caller-assigned stream id stamped on every wire frame (default 0).
+    pub stream_id: u64,
+    /// Byte budget of the window-retention ring; `None` (the default)
+    /// disables retention — matches are delivered as offsets only.
+    ///
+    /// With retention on, a match's payload is sliced from the retained
+    /// windows at delivery time. Spans that outlive the budget (one element
+    /// larger than the whole ring) are delivered without payload and counted
+    /// in [`RuntimeStats::payload_misses`]. Retention requires span
+    /// resolution (the default) — without an `end` offset there is nothing
+    /// to slice.
+    ///
+    /// Size the budget above the session's in-flight span —
+    /// `inflight_chunks × chunk_size` plus one window — since windows are
+    /// retained from the moment the splitter emits them, before their
+    /// chunks fold; a budget below that evicts windows before their own
+    /// matches can be materialized.
+    pub retention_budget: Option<usize>,
+}
+
+impl SessionOptions {
+    /// The default options: stream id 0, no retention.
+    pub fn new() -> SessionOptions {
+        SessionOptions::default()
+    }
+
+    /// Sets the stream id carried on wire frames.
+    pub fn stream_id(mut self, id: u64) -> SessionOptions {
+        self.stream_id = id;
+        self
+    }
+
+    /// Enables payload retention with the given byte budget.
+    pub fn retain_bytes(mut self, budget: usize) -> SessionOptions {
+        self.retention_budget = Some(budget.max(1));
+        self
+    }
+}
 
 /// Builder for a [`Runtime`].
 #[derive(Debug, Clone, Default)]
@@ -134,6 +186,24 @@ impl RuntimeBuilder {
     }
 }
 
+/// The outcome of [`Runtime::serve_reader`]: the session report, the writer
+/// handed back, and the first write error if the connection died mid-stream.
+#[derive(Debug)]
+pub struct WireServed<W> {
+    /// The session's final report (covers the whole stream even when the
+    /// writer failed part-way — later matches count as dropped).
+    pub report: SessionReport,
+    /// The writer, returned for reuse or graceful shutdown.
+    pub writer: W,
+    /// Frames successfully written.
+    pub frames: u64,
+    /// Bytes successfully written.
+    pub bytes_out: u64,
+    /// The first write error, if the writer failed (no frames were written
+    /// after it).
+    pub write_error: Option<std::io::Error>,
+}
+
 /// The session manager: one shared worker pool multiplexing any number of
 /// concurrent query sessions.
 ///
@@ -176,7 +246,41 @@ impl Runtime {
     /// Many sessions — with different engines — can be open at once; they
     /// share this runtime's workers.
     pub fn open_session(&self, engine: Arc<Engine>, sink: Box<dyn MatchSink>) -> SessionHandle {
-        let core = Arc::new(SessionCore::new(engine, self.inflight_chunks));
+        self.open_session_with(engine, &SessionOptions::new(), sink)
+    }
+
+    /// [`Runtime::open_session`] with explicit [`SessionOptions`] (stream id,
+    /// retention budget).
+    pub fn open_session_with(
+        &self,
+        engine: Arc<Engine>,
+        opts: &SessionOptions,
+        sink: Box<dyn MatchSink>,
+    ) -> SessionHandle {
+        let core = Arc::new(SessionCore::new(engine, self.inflight_chunks, opts));
+        self.spawn_session(core, sink)
+    }
+
+    /// Push-style counterpart of [`Runtime::process_materialized`]: opens a
+    /// session whose matches reach `sink` with their element bytes attached.
+    /// Feed with [`SessionHandle::feed`], close with [`SessionHandle::finish`]
+    /// — note that `finish` hands back the materializing adapter, not `sink`
+    /// itself; a sink whose state the caller needs afterwards should share it
+    /// (e.g. via `Arc<Mutex<..>>`) or use the reader-driven entry points,
+    /// which borrow the sink instead.
+    pub fn open_materialized_session(
+        &self,
+        engine: Arc<Engine>,
+        opts: &SessionOptions,
+        sink: Box<dyn PayloadSink>,
+    ) -> SessionHandle {
+        let core = Arc::new(SessionCore::new(engine, self.inflight_chunks, opts));
+        let materializer = Materializer { core: Arc::clone(&core), inner: sink };
+        self.spawn_session(core, Box::new(materializer))
+    }
+
+    /// Spawns the joiner thread for an owned-sink session.
+    fn spawn_session(&self, core: Arc<SessionCore>, sink: Box<dyn MatchSink>) -> SessionHandle {
         let joiner_core = Arc::clone(&core);
         let joiner = std::thread::Builder::new()
             .name("ppt-joiner".to_string())
@@ -203,10 +307,79 @@ impl Runtime {
     pub fn process_reader<R: Read>(
         &self,
         engine: Arc<Engine>,
+        reader: R,
+        sink: &mut dyn MatchSink,
+    ) -> std::io::Result<SessionReport> {
+        let core = Arc::new(SessionCore::new(engine, self.inflight_chunks, &SessionOptions::new()));
+        self.run_session(core, reader, sink)
+    }
+
+    /// [`Runtime::process_reader`] with *materialized* delivery: the session
+    /// retains recent stream windows (per `opts`) and every match reaches
+    /// `sink` together with its element bytes, sliced from the retained
+    /// windows at delivery time.
+    ///
+    /// Payloads are byte-identical to what the batch engine would report:
+    /// `stream[m.start .. m.end]`. A span that was evicted from the ring
+    /// before delivery arrives with `payload == None` and is counted in
+    /// [`RuntimeStats::payload_misses`].
+    pub fn process_materialized<R: Read>(
+        &self,
+        engine: Arc<Engine>,
+        opts: &SessionOptions,
+        reader: R,
+        sink: &mut dyn PayloadSink,
+    ) -> std::io::Result<SessionReport> {
+        let core = Arc::new(SessionCore::new(engine, self.inflight_chunks, opts));
+        let mut materializer = Materializer { core: Arc::clone(&core), inner: sink };
+        self.run_session(core, reader, &mut materializer)
+    }
+
+    /// Serves a stream over a wire connection: materializes every match and
+    /// writes it to `writer` as JSON-lines or length-prefixed binary frames
+    /// (see [`wire`]).
+    ///
+    /// Only a failing *reader* aborts with `Err` (as in
+    /// [`Runtime::process_reader`]). A failing *writer* — the common serving
+    /// failure, a client hanging up mid-stream — latches inside the
+    /// [`WireSink`]: subsequent matches are counted as dropped, the pipeline
+    /// drains cleanly, and the error comes back in
+    /// [`WireServed::write_error`] *together with* the session report and
+    /// the writer, so per-connection accounting survives the disconnect.
+    ///
+    /// A reader `Err` does drop the writer (it is owned by the sink during
+    /// the call); a server that must keep the connection through ingest
+    /// failures should own the [`WireSink`] itself and call
+    /// [`Runtime::process_materialized`] directly.
+    ///
+    /// Frames are written with one `write_all` each and only flushed at end
+    /// of stream: hand in an unbuffered writer (a socket directly), or own
+    /// the flush cadence via `process_materialized` — behind a `BufWriter`
+    /// an unbounded low-match-rate stream would go silent for arbitrarily
+    /// long.
+    pub fn serve_reader<R: Read, W: Write + Send>(
+        &self,
+        engine: Arc<Engine>,
+        opts: &SessionOptions,
+        reader: R,
+        writer: W,
+        format: WireFormat,
+    ) -> std::io::Result<WireServed<W>> {
+        let mut sink = WireSink::new(writer, format);
+        let report = self.process_materialized(engine, opts, reader, &mut sink)?;
+        let (frames, bytes_out) = (sink.frames, sink.bytes_out);
+        let (writer, write_error) = sink.into_parts();
+        Ok(WireServed { report, writer, frames, bytes_out, write_error })
+    }
+
+    /// The shared body of the reader-driven entry points: splitter on the
+    /// calling thread, joiner on a scoped thread.
+    fn run_session<R: Read>(
+        &self,
+        core: Arc<SessionCore>,
         mut reader: R,
         sink: &mut dyn MatchSink,
     ) -> std::io::Result<SessionReport> {
-        let core = Arc::new(SessionCore::new(engine, self.inflight_chunks));
         let mut feeder = Feeder::new(Arc::clone(&core));
         let pool = &self.pool;
         std::thread::scope(|scope| {

@@ -8,9 +8,12 @@
 //! `inflight_chunks` jobs admitted at a time, so one slow consumer cannot
 //! flood the queue.
 
+use crate::retain::RetentionRing;
 use crate::stats::Counters;
+use crate::SessionOptions;
 use ppt_core::chunk::{process_chunk, ChunkOutput, EngineKind};
 use ppt_core::Engine;
+use ppt_xmlstream::SharedWindow;
 use std::collections::{BTreeMap, VecDeque};
 use std::ops::Range;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -20,12 +23,11 @@ use std::time::Instant;
 /// One unit of worker work: a chunk of one session's window.
 pub(crate) struct Job {
     pub session: Arc<SessionCore>,
-    /// The window the chunk slices into (shared by all of its chunks).
-    pub window: Arc<Vec<u8>>,
+    /// The window the chunk slices into (refcount-shared by all of its
+    /// chunks, and by the retention ring when payload retention is on).
+    pub window: SharedWindow,
     /// The chunk's byte range within the window.
     pub range: Range<usize>,
-    /// Absolute stream offset of the window's first byte.
-    pub base: usize,
     /// Global chunk sequence number within the session.
     pub seq: u64,
     /// True only for the session's very first chunk (it starts from the
@@ -60,11 +62,17 @@ pub(crate) struct SessionCore {
     /// Set when a worker panicked on this session's data: the session is
     /// dead, the feeder must stop submitting and the joiner must bail out.
     pub dead: AtomicBool,
+    /// Caller-assigned stream id, stamped on every wire frame.
+    pub stream_id: u64,
+    /// The payload retention ring, when the session materializes matches.
+    /// Locked briefly by the feeder (push) and the joiner (extract/release);
+    /// never held across a blocking wait.
+    pub ring: Option<Mutex<RetentionRing>>,
     pub counters: Counters,
 }
 
 impl SessionCore {
-    pub fn new(engine: Arc<Engine>, inflight_chunks: usize) -> SessionCore {
+    pub fn new(engine: Arc<Engine>, inflight_chunks: usize, opts: &SessionOptions) -> SessionCore {
         let kind = engine.config().engine;
         let resolve_spans = engine.config().resolve_spans;
         SessionCore {
@@ -76,6 +84,8 @@ impl SessionCore {
             credits: Mutex::new(inflight_chunks.max(1)),
             credits_cv: Condvar::new(),
             dead: AtomicBool::new(false),
+            stream_id: opts.stream_id,
+            ring: opts.retention_budget.map(|budget| Mutex::new(RetentionRing::new(budget))),
             counters: Counters::new(),
         }
     }
@@ -269,8 +279,8 @@ fn worker_loop(shared: &PoolShared) {
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             process_chunk(
                 core.engine.transducer(),
-                &job.window[job.range.clone()],
-                job.base + job.range.start,
+                &job.window.bytes()[job.range.clone()],
+                job.window.base() + job.range.start,
                 job.seq as usize,
                 job.first,
                 core.kind,

@@ -68,6 +68,14 @@ impl SpanResolver {
         self.pending.len()
     }
 
+    /// Earliest opening-tag offset among matches whose element has not
+    /// closed yet (`None` when nothing is pending). Pending matches arrive
+    /// in position order, so this is the head of the stack — the retention
+    /// ring must keep every window at or past this offset.
+    pub fn min_pending_pos(&self) -> Option<usize> {
+        self.pending.first().map(|m| m.pos)
+    }
+
     /// Feeds one fold's newly-final matches (document order) and rebased
     /// ladder events, appending the resulting span events to `out`.
     pub fn feed(

@@ -22,7 +22,7 @@ use crate::resolver::{SpanEvent, SpanResolver};
 use crate::sink::{MatchSink, OnlineMatch};
 use crate::stats::RuntimeStats;
 use ppt_core::join::PrefixFolder;
-use ppt_xmlstream::{split_chunks, WindowSplitter};
+use ppt_xmlstream::{split_chunks, SharedWindow, WindowSplitter};
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
@@ -46,7 +46,6 @@ pub(crate) struct Feeder {
     core: Arc<SessionCore>,
     splitter: WindowSplitter,
     chunk_size: usize,
-    consumed: usize,
     next_seq: u64,
     finished: bool,
 }
@@ -59,7 +58,6 @@ impl Feeder {
             core,
             splitter: WindowSplitter::new(window_size),
             chunk_size,
-            consumed: 0,
             next_seq: 0,
             finished: false,
         }
@@ -77,7 +75,7 @@ impl Feeder {
             return;
         }
         self.splitter.push(bytes);
-        while let Some(window) = self.splitter.pop_window() {
+        while let Some(window) = self.splitter.pop_shared() {
             self.submit_window(pool, window);
         }
     }
@@ -89,7 +87,7 @@ impl Feeder {
             return;
         }
         self.finished = true;
-        if let Some(window) = self.splitter.finish() {
+        if let Some(window) = self.splitter.finish_shared() {
             if !self.core.is_dead() {
                 self.submit_window(pool, window);
             }
@@ -97,14 +95,22 @@ impl Feeder {
         self.core.announce_total(self.next_seq);
     }
 
-    fn submit_window(&mut self, pool: &WorkerPool, window: Vec<u8>) {
-        let base = self.consumed;
-        self.consumed += window.len();
+    fn submit_window(&mut self, pool: &WorkerPool, window: SharedWindow) {
         let counters = &self.core.counters;
         counters.windows.fetch_add(1, Ordering::Relaxed);
         counters.bytes_in.fetch_add(window.len() as u64, Ordering::Relaxed);
-        let window = Arc::new(window);
-        for chunk in split_chunks(&window, self.chunk_size) {
+        if let Some(ring) = &self.core.ring {
+            // Clone-on-retain: the ring takes a refcount on the same bytes
+            // the chunk jobs slice into. The byte budget evicts inside push.
+            let (evicted, retained) = {
+                let mut ring = ring.lock().expect("ring poisoned");
+                (ring.push(window.clone()), ring.retained_bytes())
+            };
+            counters.windows_evicted.fetch_add(evicted.windows, Ordering::Relaxed);
+            counters.bytes_evicted.fetch_add(evicted.bytes, Ordering::Relaxed);
+            counters.peak_retained_bytes.fetch_max(retained, Ordering::Relaxed);
+        }
+        for chunk in split_chunks(window.bytes(), self.chunk_size) {
             // Backpressure: wait for the joiner to return a credit before
             // admitting another chunk into the pipeline.
             if !self.core.acquire_credit() {
@@ -113,9 +119,8 @@ impl Feeder {
             counters.chunks_submitted.fetch_add(1, Ordering::Relaxed);
             pool.submit(Job {
                 session: Arc::clone(&self.core),
-                window: Arc::clone(&window),
+                window: window.clone(),
                 range: chunk.range,
-                base,
                 seq: self.next_seq,
                 first: self.next_seq == 0,
             });
@@ -135,6 +140,12 @@ pub(crate) fn joiner_guarded(
 ) -> Result<SessionReport, Box<dyn std::any::Any + Send>> {
     let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| joiner_loop(core, sink)));
     if let Err(panic) = &result {
+        // A panic that unwound out of a sink delivery leaves `delivering`
+        // set: that match was handed over but never completed — count it as
+        // dropped, not delivered.
+        if core.counters.delivering.swap(false, Ordering::Relaxed) {
+            core.counters.dropped_matches.fetch_add(1, Ordering::Relaxed);
+        }
         core.poison(format!("joiner stage panicked: {}", crate::pool::panic_message(&**panic)));
     }
     result
@@ -160,8 +171,20 @@ pub(crate) fn joiner_loop(core: &SessionCore, sink: &mut dyn MatchSink) -> Sessi
                         flush: bool| {
         let counters = &core.counters;
         let mut emit = |m: OnlineMatch| {
-            counters.matches.fetch_add(1, Ordering::Relaxed);
-            sink.on_match(m);
+            // `delivering` flags the window during which the match is in the
+            // sink's hands: if the sink *panics* there, the panic guard
+            // converts the flag into a dropped count (see `joiner_guarded`),
+            // so `matches` only ever counts completed deliveries — without
+            // live stats transiently reporting a phantom drop on the healthy
+            // path.
+            counters.delivering.store(true, Ordering::Relaxed);
+            let delivered = sink.on_match(m);
+            counters.delivering.store(false, Ordering::Relaxed);
+            if delivered {
+                counters.matches.fetch_add(1, Ordering::Relaxed);
+            } else {
+                counters.dropped_matches.fetch_add(1, Ordering::Relaxed);
+            }
         };
         for event in events.drain(..) {
             bank.on_event(plan, &event, &mut emit);
@@ -173,12 +196,23 @@ pub(crate) fn joiner_loop(core: &SessionCore, sink: &mut dyn MatchSink) -> Sessi
 
     let mut seq = 0u64;
     while let Some(out) = core.wait_for(seq) {
+        let folded_upto = out.end_offset;
         let mut delta = folder.fold(out.mapping, out.depth_delta, out.ladder);
         let matches = delta.take_resolved_matches();
         core.counters.submatches.fetch_add(matches.len() as u64, Ordering::Relaxed);
         resolver.feed(matches, &delta.ladder, &mut events);
         if !events.is_empty() {
             drain_events(&mut events, &mut bank, &mut *sink, false);
+        }
+        if let Some(ring) = &core.ring {
+            // Everything below the fold frontier is final — except spans
+            // still open in the resolver or buffered in an unclosed anchor
+            // scope, which will be materialized later. Windows entirely
+            // below the earliest such offset can never be needed again.
+            let frontier = folded_upto
+                .min(resolver.min_pending_pos().unwrap_or(usize::MAX))
+                .min(bank.min_buffered_pos().unwrap_or(usize::MAX));
+            ring.lock().expect("ring poisoned").release_below(frontier);
         }
         core.counters.chunks_joined.fetch_add(1, Ordering::Relaxed);
         core.release_credit();
@@ -195,6 +229,11 @@ pub(crate) fn joiner_loop(core: &SessionCore, sink: &mut dyn MatchSink) -> Sessi
         let total_len = core.counters.bytes_in.load(Ordering::Relaxed) as usize;
         resolver.finish(total_len, &mut events);
         drain_events(&mut events, &mut bank, &mut *sink, true);
+    }
+    if let Some(ring) = &core.ring {
+        // The stream is over and every match was delivered (or dropped):
+        // free the retained windows before the report is taken.
+        ring.lock().expect("ring poisoned").release_below(usize::MAX);
     }
 
     SessionReport {

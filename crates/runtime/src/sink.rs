@@ -1,4 +1,5 @@
-//! Match delivery: the [`MatchSink`] callback interface and ready-made sinks.
+//! Match delivery: the [`MatchSink`] callback interface, the payload-carrying
+//! [`PayloadSink`] variant, and ready-made sinks.
 //!
 //! The joiner stage calls the sink *synchronously*: a sink that blocks (a
 //! full channel, a slow socket) stalls the joiner, which stops returning
@@ -6,7 +7,10 @@
 //! source — backpressure propagates all the way to the input with bounded
 //! buffering at every stage.
 
+use crate::pool::SessionCore;
+use std::sync::atomic::Ordering;
 use std::sync::mpsc::SyncSender;
+use std::sync::Arc;
 
 /// One match of a user query, emitted while the stream is still flowing.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -30,13 +34,17 @@ pub struct OnlineMatch {
 /// element arrives after everything it contains. Collect and sort by `start`
 /// when document order matters.
 pub trait MatchSink: Send {
-    /// Called once per query match.
-    fn on_match(&mut self, m: OnlineMatch);
+    /// Called once per query match. Returns `true` when the match was
+    /// delivered; `false` when the sink discarded it (a hung-up receiver, a
+    /// dead connection) — the session keeps running but the match is counted
+    /// in [`crate::RuntimeStats::dropped_matches`].
+    fn on_match(&mut self, m: OnlineMatch) -> bool;
 }
 
 impl<F: FnMut(OnlineMatch) + Send> MatchSink for F {
-    fn on_match(&mut self, m: OnlineMatch) {
-        self(m)
+    fn on_match(&mut self, m: OnlineMatch) -> bool {
+        self(m);
+        true
     }
 }
 
@@ -70,8 +78,9 @@ impl CollectSink {
 }
 
 impl MatchSink for CollectSink {
-    fn on_match(&mut self, m: OnlineMatch) {
+    fn on_match(&mut self, m: OnlineMatch) -> bool {
         self.matches.push(m);
+        true
     }
 }
 
@@ -85,7 +94,102 @@ pub(crate) struct ChannelSink {
 }
 
 impl MatchSink for ChannelSink {
-    fn on_match(&mut self, m: OnlineMatch) {
-        let _ = self.tx.send(m);
+    fn on_match(&mut self, m: OnlineMatch) -> bool {
+        self.tx.send(m).is_ok()
+    }
+}
+
+/// An [`OnlineMatch`] together with its materialized element bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MaterializedMatch {
+    /// Caller-assigned stream id of the session (see
+    /// [`crate::SessionOptions::stream_id`]).
+    pub stream: u64,
+    /// The match itself.
+    pub m: OnlineMatch,
+    /// The bytes `start..end` of the stream — the matched element, opening
+    /// tag through closing tag. `None` when retention is disabled, the span
+    /// was evicted from the retention ring before delivery (a *payload
+    /// miss*), or span resolution is off (no `end` to slice to).
+    pub payload: Option<Vec<u8>>,
+}
+
+/// Receives materialized matches (offsets + payload bytes) from a session
+/// whose retention ring is enabled. The return contract matches
+/// [`MatchSink::on_match`].
+pub trait PayloadSink: Send {
+    /// Called once per query match. `false` = discarded, counted as dropped.
+    fn on_match(&mut self, m: MaterializedMatch) -> bool;
+}
+
+impl<F: FnMut(MaterializedMatch) + Send> PayloadSink for F {
+    fn on_match(&mut self, m: MaterializedMatch) -> bool {
+        self(m);
+        true
+    }
+}
+
+/// A sink that appends every materialized match to a vector.
+#[derive(Debug, Default)]
+pub struct CollectPayloadSink {
+    /// Every emitted match, in emission order.
+    pub matches: Vec<MaterializedMatch>,
+}
+
+impl CollectPayloadSink {
+    /// Creates an empty collector.
+    pub fn new() -> CollectPayloadSink {
+        CollectPayloadSink::default()
+    }
+}
+
+impl PayloadSink for CollectPayloadSink {
+    fn on_match(&mut self, m: MaterializedMatch) -> bool {
+        self.matches.push(m);
+        true
+    }
+}
+
+/// The joiner-side adapter that turns offset matches into materialized
+/// matches: it slices the payload out of the session's retention ring and
+/// forwards to a [`PayloadSink`]. `S` is the sink handle — borrowed for the
+/// reader-driven entry points, owned for push-style sessions.
+pub(crate) struct Materializer<S> {
+    pub core: Arc<SessionCore>,
+    pub inner: S,
+}
+
+/// Materializes one match and delivers it.
+fn deliver(core: &SessionCore, inner: &mut dyn PayloadSink, m: OnlineMatch) -> bool {
+    let payload = match (&core.ring, m.end) {
+        // No end offset to slice to (span resolution off): nothing to
+        // extract — not a miss, there never was a payload to serve.
+        (Some(_), usize::MAX) | (None, _) => None,
+        (Some(ring), end) => {
+            // Take refcounts under the lock, copy the bytes outside it: the
+            // feeder contends on this lock every window push, and a payload
+            // can be megabytes.
+            let windows = ring.lock().expect("ring poisoned").collect(m.start..end);
+            match windows {
+                Some(windows) => Some(crate::retain::assemble(&windows, m.start..end)),
+                None => {
+                    core.counters.payload_misses.fetch_add(1, Ordering::Relaxed);
+                    None
+                }
+            }
+        }
+    };
+    inner.on_match(MaterializedMatch { stream: core.stream_id, m, payload })
+}
+
+impl MatchSink for Materializer<&mut dyn PayloadSink> {
+    fn on_match(&mut self, m: OnlineMatch) -> bool {
+        deliver(&self.core, self.inner, m)
+    }
+}
+
+impl MatchSink for Materializer<Box<dyn PayloadSink>> {
+    fn on_match(&mut self, m: OnlineMatch) -> bool {
+        deliver(&self.core, &mut *self.inner, m)
     }
 }

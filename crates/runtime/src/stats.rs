@@ -4,7 +4,7 @@
 //! (feeder, workers, joiner); [`RuntimeStats`] is a point-in-time snapshot of
 //! them, cheap enough to take while the session is live.
 
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
 /// Shared mutable counters; one instance per session.
@@ -17,6 +17,22 @@ pub(crate) struct Counters {
     pub chunks_joined: AtomicU64,
     pub submatches: AtomicU64,
     pub matches: AtomicU64,
+    /// Matches the delivery layer discarded instead of delivering: the sink
+    /// refused them (hung-up receiver, dead connection) or panicked while a
+    /// match was in its hands (the session is then poisoned).
+    pub dropped_matches: AtomicU64,
+    /// `true` only while a match is inside `MatchSink::on_match`; the joiner
+    /// panic guard turns a set flag into one dropped match.
+    pub delivering: AtomicBool,
+    /// Matches whose payload span was already evicted from the retention
+    /// ring when they were delivered (delivered without payload).
+    pub payload_misses: AtomicU64,
+    /// Windows the retention ring evicted under byte-budget pressure.
+    pub windows_evicted: AtomicU64,
+    /// Bytes those evicted windows covered.
+    pub bytes_evicted: AtomicU64,
+    /// Peak bytes the retention ring held at once.
+    pub peak_retained_bytes: AtomicUsize,
     /// Peak depth of the joiner's out-of-order reorder buffer.
     pub peak_reorder: AtomicUsize,
     /// Peak join lag: highest completed sequence number minus the next
@@ -39,6 +55,12 @@ impl Counters {
             chunks_joined: AtomicU64::new(0),
             submatches: AtomicU64::new(0),
             matches: AtomicU64::new(0),
+            dropped_matches: AtomicU64::new(0),
+            delivering: AtomicBool::new(false),
+            payload_misses: AtomicU64::new(0),
+            windows_evicted: AtomicU64::new(0),
+            bytes_evicted: AtomicU64::new(0),
+            peak_retained_bytes: AtomicUsize::new(0),
             peak_reorder: AtomicUsize::new(0),
             peak_join_lag: AtomicU64::new(0),
             worker_busy_nanos: AtomicU64::new(0),
@@ -62,6 +84,11 @@ impl Counters {
             chunks_joined: self.chunks_joined.load(Ordering::Relaxed),
             submatches: self.submatches.load(Ordering::Relaxed),
             matches: self.matches.load(Ordering::Relaxed),
+            dropped_matches: self.dropped_matches.load(Ordering::Relaxed),
+            payload_misses: self.payload_misses.load(Ordering::Relaxed),
+            windows_evicted: self.windows_evicted.load(Ordering::Relaxed),
+            bytes_evicted: self.bytes_evicted.load(Ordering::Relaxed),
+            peak_retained_bytes: self.peak_retained_bytes.load(Ordering::Relaxed),
             peak_reorder_depth: self.peak_reorder.load(Ordering::Relaxed),
             peak_join_lag: self.peak_join_lag.load(Ordering::Relaxed),
             worker_busy: Duration::from_nanos(self.worker_busy_nanos.load(Ordering::Relaxed)),
@@ -88,6 +115,20 @@ pub struct RuntimeStats {
     pub submatches: u64,
     /// Query matches emitted through the sink.
     pub matches: u64,
+    /// Matches the delivery layer discarded instead of delivering (sink
+    /// refused or panicked mid-delivery). `matches + dropped_matches` is the
+    /// number of matches the joiner produced.
+    pub dropped_matches: u64,
+    /// Matches delivered without payload because their span had been evicted
+    /// from the retention ring.
+    pub payload_misses: u64,
+    /// Retention-ring windows evicted under byte-budget pressure.
+    pub windows_evicted: u64,
+    /// Bytes those evicted windows covered.
+    pub bytes_evicted: u64,
+    /// Peak bytes the retention ring held at once (bounded by
+    /// `max(budget, largest window)`).
+    pub peak_retained_bytes: usize,
     /// Peak depth of the joiner's out-of-order reorder buffer (how far ahead
     /// of the fold the workers ran).
     pub peak_reorder_depth: usize,

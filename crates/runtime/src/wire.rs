@@ -1,0 +1,669 @@
+//! The wire protocol: serializing materialized matches for network clients.
+//!
+//! Two framings over the same [`Frame`] payload, chosen per connection:
+//!
+//! * **JSON lines** — one JSON object per `\n`-terminated line, for humans,
+//!   scripts and anything that speaks JSON:
+//!
+//!   ```json
+//!   {"stream":7,"query":0,"start":1024,"end":1061,"depth":4,"payload":"<k>v</k>"}
+//!   ```
+//!
+//!   The payload is XML *bytes*, not guaranteed UTF-8, while JSON strings
+//!   must be. The encoder therefore maps bytes to the string bijectively:
+//!   printable ASCII stays literal (`"` and `\` escaped), every other byte
+//!   becomes `\u00XX` (plus the `\n`/`\r`/`\t` shorthands). Decoding maps
+//!   each escape below U+0100 back to its byte, so
+//!   `decode(encode(bytes)) == bytes` for **any** byte sequence. A frame
+//!   without a payload (retention off, or the span was evicted) carries
+//!   `"payload":null`.
+//!
+//! * **Length-prefixed binary** — for high-throughput consumers; all
+//!   integers little-endian:
+//!
+//!   ```text
+//!   u32 len      bytes after this field (= 33 + payload length)
+//!   u64 stream   stream id (session-scoped, caller-assigned)
+//!   u32 query    query index in the order queries were added
+//!   u64 start    byte offset of the matched element's opening tag
+//!   u64 end      byte offset just past the closing tag (u64::MAX = unknown)
+//!   u32 depth    element depth (root = 1)
+//!   u8  flags    bit 0: payload present
+//!   [payload]    the matched element bytes, iff flags & 1
+//!   ```
+//!
+//! [`FrameDecoder`] reassembles binary frames from arbitrary read
+//! boundaries; [`WireSink`] plugs either framing into the runtime's
+//! materialized delivery path ([`crate::Runtime::serve_reader`]).
+//!
+//! The encoder accepts any frame that fits the `u32` length prefix, but a
+//! stock decoder caps frames at [`DEFAULT_MAX_FRAME`] to bound memory
+//! against corrupt length prefixes — a consumer of sessions whose retention
+//! budget allows payloads beyond that must raise its own ceiling with
+//! [`FrameDecoder::with_max_frame`].
+
+use crate::sink::MaterializedMatch;
+use crate::PayloadSink;
+use std::io::Write;
+
+/// Bytes of the fixed binary header after the length field.
+const BIN_HEADER: usize = 8 + 4 + 8 + 8 + 4 + 1;
+
+/// One match on the wire.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// Caller-assigned stream id of the session that produced the match.
+    pub stream: u64,
+    /// Query index, in the order queries were added to the engine.
+    pub query: u32,
+    /// Byte offset of the matched element's opening tag.
+    pub start: u64,
+    /// Byte offset just past the matched element's closing tag
+    /// (`u64::MAX` when span resolution was disabled).
+    pub end: u64,
+    /// Depth of the matched element (root = 1).
+    pub depth: u32,
+    /// The matched element bytes — `None` when retention is off or the span
+    /// was evicted before delivery.
+    pub payload: Option<Vec<u8>>,
+}
+
+impl Frame {
+    /// Builds the frame for one materialized match, taking the payload
+    /// without copying it.
+    pub fn from_match(m: MaterializedMatch) -> Frame {
+        Frame {
+            stream: m.stream,
+            query: m.m.query as u32,
+            start: m.m.start as u64,
+            end: m.m.end as u64,
+            depth: m.m.depth,
+            payload: m.payload,
+        }
+    }
+
+    /// Appends the JSON-lines encoding (including the trailing newline).
+    pub fn encode_json(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(
+            format!(
+                "{{\"stream\":{},\"query\":{},\"start\":{},\"end\":{},\"depth\":{},\"payload\":",
+                self.stream, self.query, self.start, self.end, self.depth
+            )
+            .as_bytes(),
+        );
+        match &self.payload {
+            None => out.extend_from_slice(b"null"),
+            Some(bytes) => {
+                out.push(b'"');
+                escape_bytes(bytes, out);
+                out.push(b'"');
+            }
+        }
+        out.extend_from_slice(b"}\n");
+    }
+
+    /// The JSON-lines encoding as a `String` (including the trailing
+    /// newline).
+    pub fn to_json(&self) -> String {
+        let mut out = Vec::new();
+        self.encode_json(&mut out);
+        String::from_utf8(out).expect("the JSON encoder emits ASCII only")
+    }
+
+    /// Parses one JSON line (with or without the trailing newline).
+    pub fn decode_json(line: &str) -> Result<Frame, WireError> {
+        const KEYS: [&[u8]; 6] = [b"stream", b"query", b"start", b"end", b"depth", b"payload"];
+        let mut p = JsonParser { bytes: line.trim_end_matches(['\n', '\r']).as_bytes(), pos: 0 };
+        p.expect(b'{')?;
+        let mut frame = Frame { stream: 0, query: 0, start: 0, end: 0, depth: 0, payload: None };
+        let mut seen = [false; KEYS.len()];
+        let mut first = true;
+        loop {
+            p.skip_ws();
+            if p.eat(b'}') {
+                break;
+            }
+            if !first {
+                return Err(WireError::Json("expected ',' or '}'".into()));
+            }
+            first = false;
+            loop {
+                let key = p.parse_string()?;
+                p.skip_ws();
+                p.expect(b':')?;
+                p.skip_ws();
+                match key.as_slice() {
+                    b"stream" => frame.stream = p.parse_u64()?,
+                    b"query" => frame.query = parse_u32_field(&mut p, "query")?,
+                    b"start" => frame.start = p.parse_u64()?,
+                    b"end" => frame.end = p.parse_u64()?,
+                    b"depth" => frame.depth = parse_u32_field(&mut p, "depth")?,
+                    b"payload" => {
+                        frame.payload =
+                            if p.eat_literal(b"null") { None } else { Some(p.parse_string()?) };
+                    }
+                    other => {
+                        return Err(WireError::Json(format!(
+                            "unknown key {:?}",
+                            String::from_utf8_lossy(other)
+                        )));
+                    }
+                }
+                seen[KEYS.iter().position(|k| *k == key.as_slice()).expect("matched above")] = true;
+                p.skip_ws();
+                if p.eat(b',') {
+                    p.skip_ws();
+                    continue;
+                }
+                break;
+            }
+        }
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(WireError::Json("trailing bytes after frame".into()));
+        }
+        // Every field is required: a truncated line must not silently decode
+        // as an all-zero frame.
+        if let Some(missing) = seen.iter().position(|&s| !s) {
+            return Err(WireError::Json(format!(
+                "missing field {:?}",
+                String::from_utf8_lossy(KEYS[missing])
+            )));
+        }
+        Ok(frame)
+    }
+
+    /// Appends the length-prefixed binary encoding.
+    ///
+    /// # Panics
+    ///
+    /// When the payload does not fit the `u32` length prefix (≥ 4 GiB — far
+    /// beyond any sane retention budget); a loud panic beats silently
+    /// emitting a truncated length that would desync the peer's decoder.
+    pub fn encode_binary(&self, out: &mut Vec<u8>) {
+        let payload_len = self.payload.as_ref().map(|p| p.len()).unwrap_or(0);
+        let len = u32::try_from(BIN_HEADER + payload_len)
+            .expect("frame payload exceeds the u32 length prefix");
+        out.extend_from_slice(&len.to_le_bytes());
+        out.extend_from_slice(&self.stream.to_le_bytes());
+        out.extend_from_slice(&self.query.to_le_bytes());
+        out.extend_from_slice(&self.start.to_le_bytes());
+        out.extend_from_slice(&self.end.to_le_bytes());
+        out.extend_from_slice(&self.depth.to_le_bytes());
+        out.push(self.payload.is_some() as u8);
+        if let Some(p) = &self.payload {
+            out.extend_from_slice(p);
+        }
+    }
+}
+
+/// A malformed frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The JSON line did not parse.
+    Json(String),
+    /// A binary frame header declared an impossible length.
+    BadLength(u32),
+    /// A binary frame carried unknown flag bits.
+    BadFlags(u8),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Json(msg) => write!(f, "malformed JSON frame: {msg}"),
+            WireError::BadLength(n) => {
+                write!(f, "binary frame length {n} outside the accepted range")
+            }
+            WireError::BadFlags(b) => write!(f, "binary frame with unknown flags {b:#04x}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Parses a u64 and checks it fits the frame's `u32` field — wrapping
+/// silently would misattribute the frame (e.g. to query 0).
+fn parse_u32_field(p: &mut JsonParser<'_>, key: &str) -> Result<u32, WireError> {
+    let v = p.parse_u64()?;
+    u32::try_from(v).map_err(|_| WireError::Json(format!("field {key:?} exceeds u32: {v}")))
+}
+
+/// Maps payload bytes into a JSON string body (bijective, ASCII output).
+fn escape_bytes(bytes: &[u8], out: &mut Vec<u8>) {
+    for &b in bytes {
+        match b {
+            b'"' => out.extend_from_slice(b"\\\""),
+            b'\\' => out.extend_from_slice(b"\\\\"),
+            b'\n' => out.extend_from_slice(b"\\n"),
+            b'\r' => out.extend_from_slice(b"\\r"),
+            b'\t' => out.extend_from_slice(b"\\t"),
+            0x20..=0x7e => out.push(b),
+            other => {
+                // Allocation-free `\u00XX` (payloads can be megabytes of
+                // non-ASCII; a format! per byte would dominate the hot path).
+                const HEX: &[u8; 16] = b"0123456789abcdef";
+                out.extend_from_slice(&[
+                    b'\\',
+                    b'u',
+                    b'0',
+                    b'0',
+                    HEX[(other >> 4) as usize],
+                    HEX[(other & 0xf) as usize],
+                ]);
+            }
+        }
+    }
+}
+
+/// Minimal parser for exactly the JSON subset the encoder emits (plus
+/// standard escapes), reading from a byte slice.
+struct JsonParser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl JsonParser<'_> {
+    fn skip_ws(&mut self) {
+        while self.bytes.get(self.pos).is_some_and(|b| b.is_ascii_whitespace()) {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, b: u8) -> bool {
+        if self.bytes.get(self.pos) == Some(&b) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat_literal(&mut self, lit: &[u8]) -> bool {
+        if self.bytes[self.pos..].starts_with(lit) {
+            self.pos += lit.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), WireError> {
+        if self.eat(b) {
+            Ok(())
+        } else {
+            Err(WireError::Json(format!("expected {:?} at byte {}", b as char, self.pos)))
+        }
+    }
+
+    fn parse_u64(&mut self) -> Result<u64, WireError> {
+        let start = self.pos;
+        let mut value: u64 = 0;
+        while let Some(&b @ b'0'..=b'9') = self.bytes.get(self.pos) {
+            value = value
+                .checked_mul(10)
+                .and_then(|v| v.checked_add((b - b'0') as u64))
+                .ok_or_else(|| WireError::Json("integer overflow".into()))?;
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return Err(WireError::Json(format!("expected integer at byte {start}")));
+        }
+        Ok(value)
+    }
+
+    /// Parses a JSON string into the byte sequence it encodes (inverse of
+    /// [`escape_bytes`]; escapes ≥ U+0100 are rejected since no byte maps
+    /// there).
+    fn parse_string(&mut self) -> Result<Vec<u8>, WireError> {
+        self.expect(b'"')?;
+        let mut out = Vec::new();
+        loop {
+            let b = *self
+                .bytes
+                .get(self.pos)
+                .ok_or_else(|| WireError::Json("unterminated string".into()))?;
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let e = *self
+                        .bytes
+                        .get(self.pos)
+                        .ok_or_else(|| WireError::Json("unterminated escape".into()))?;
+                    self.pos += 1;
+                    match e {
+                        b'"' => out.push(b'"'),
+                        b'\\' => out.push(b'\\'),
+                        b'/' => out.push(b'/'),
+                        b'n' => out.push(b'\n'),
+                        b'r' => out.push(b'\r'),
+                        b't' => out.push(b'\t'),
+                        b'b' => out.push(0x08),
+                        b'f' => out.push(0x0c),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or_else(|| WireError::Json("truncated \\u escape".into()))?;
+                            self.pos += 4;
+                            let code = u16::from_str_radix(
+                                std::str::from_utf8(hex)
+                                    .map_err(|_| WireError::Json("bad \\u escape".into()))?,
+                                16,
+                            )
+                            .map_err(|_| WireError::Json("bad \\u escape".into()))?;
+                            if code > 0xff {
+                                return Err(WireError::Json(format!(
+                                    "\\u{code:04x} does not encode a payload byte"
+                                )));
+                            }
+                            out.push(code as u8);
+                        }
+                        other => {
+                            return Err(WireError::Json(format!(
+                                "unknown escape \\{}",
+                                other as char
+                            )));
+                        }
+                    }
+                }
+                other => out.push(other),
+            }
+        }
+    }
+}
+
+/// Default ceiling on a single binary frame (length prefix included); see
+/// [`FrameDecoder::with_max_frame`].
+pub const DEFAULT_MAX_FRAME: usize = 256 << 20;
+
+/// Incremental decoder for the binary framing: push bytes from any read
+/// boundary, pop complete frames.
+#[derive(Debug)]
+pub struct FrameDecoder {
+    buf: Vec<u8>,
+    consumed: usize,
+    max_frame: usize,
+}
+
+impl Default for FrameDecoder {
+    fn default() -> FrameDecoder {
+        FrameDecoder { buf: Vec::new(), consumed: 0, max_frame: DEFAULT_MAX_FRAME }
+    }
+}
+
+impl FrameDecoder {
+    /// An empty decoder with the [`DEFAULT_MAX_FRAME`] frame ceiling.
+    pub fn new() -> FrameDecoder {
+        FrameDecoder::default()
+    }
+
+    /// Sets the maximum frame length the decoder will buffer for. The length
+    /// prefix is attacker-controlled on a real connection: without a ceiling
+    /// a corrupt header of `0xfffffffe` would make the decoder buffer ~4 GiB
+    /// waiting for a frame that never completes. A declared length above the
+    /// ceiling fails fast with [`WireError::BadLength`].
+    pub fn with_max_frame(mut self, max_frame: usize) -> FrameDecoder {
+        self.max_frame = max_frame.max(BIN_HEADER);
+        self
+    }
+
+    /// Appends raw stream bytes.
+    pub fn push(&mut self, bytes: &[u8]) {
+        // Compact lazily so a long-lived connection doesn't grow the buffer.
+        if self.consumed > 0 && self.consumed >= self.buf.len() / 2 {
+            self.buf.drain(..self.consumed);
+            self.consumed = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes buffered but not yet decoded into a frame.
+    pub fn buffered(&self) -> usize {
+        self.buf.len() - self.consumed
+    }
+
+    /// Pops the next complete frame, `Ok(None)` when more bytes are needed.
+    pub fn next_frame(&mut self) -> Result<Option<Frame>, WireError> {
+        let avail = &self.buf[self.consumed..];
+        if avail.len() < 4 {
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes(avail[..4].try_into().expect("4 bytes")) as usize;
+        if len < BIN_HEADER || len > self.max_frame {
+            return Err(WireError::BadLength(len as u32));
+        }
+        if avail.len() < 4 + len {
+            return Ok(None);
+        }
+        let body = &avail[4..4 + len];
+        let flags = body[BIN_HEADER - 1];
+        if flags & !1 != 0 {
+            return Err(WireError::BadFlags(flags));
+        }
+        let u64_at = |off: usize| u64::from_le_bytes(body[off..off + 8].try_into().expect("8"));
+        let u32_at = |off: usize| u32::from_le_bytes(body[off..off + 4].try_into().expect("4"));
+        let frame = Frame {
+            stream: u64_at(0),
+            query: u32_at(8),
+            start: u64_at(12),
+            end: u64_at(20),
+            depth: u32_at(28),
+            payload: (flags & 1 != 0).then(|| body[BIN_HEADER..].to_vec()),
+        };
+        self.consumed += 4 + len;
+        Ok(Some(frame))
+    }
+}
+
+/// Which framing a [`WireSink`] writes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireFormat {
+    /// One JSON object per line.
+    JsonLines,
+    /// Length-prefixed binary frames.
+    Binary,
+}
+
+/// A [`PayloadSink`] that frames every match and writes it to any
+/// [`std::io::Write`] — a socket, a file, a buffer.
+///
+/// A write error latches: the error is kept for the caller (see
+/// [`WireSink::into_parts`]) and every further match is refused, which the
+/// runtime counts as dropped. Backpressure is inherited from the writer: a
+/// slow socket blocks the joiner, which stalls the splitter through the
+/// credit scheme.
+#[derive(Debug)]
+pub struct WireSink<W: Write> {
+    writer: W,
+    format: WireFormat,
+    scratch: Vec<u8>,
+    /// Frames successfully written.
+    pub frames: u64,
+    /// Bytes successfully written.
+    pub bytes_out: u64,
+    /// The first write error, if any (no frames are written after it).
+    pub io_error: Option<std::io::Error>,
+}
+
+impl<W: Write> WireSink<W> {
+    /// Wraps `writer` with the given framing.
+    pub fn new(writer: W, format: WireFormat) -> WireSink<W> {
+        WireSink { writer, format, scratch: Vec::new(), frames: 0, bytes_out: 0, io_error: None }
+    }
+
+    /// Flushes the writer and returns it together with the latched write
+    /// error, if any.
+    pub fn into_parts(mut self) -> (W, Option<std::io::Error>) {
+        if self.io_error.is_none() {
+            if let Err(e) = self.writer.flush() {
+                self.io_error = Some(e);
+            }
+        }
+        (self.writer, self.io_error)
+    }
+}
+
+impl<W: Write + Send> PayloadSink for WireSink<W> {
+    fn on_match(&mut self, m: MaterializedMatch) -> bool {
+        if self.io_error.is_some() {
+            return false;
+        }
+        self.scratch.clear();
+        let frame = Frame::from_match(m);
+        match self.format {
+            WireFormat::JsonLines => frame.encode_json(&mut self.scratch),
+            WireFormat::Binary => frame.encode_binary(&mut self.scratch),
+        }
+        match self.writer.write_all(&self.scratch) {
+            Ok(()) => {
+                self.frames += 1;
+                self.bytes_out += self.scratch.len() as u64;
+                true
+            }
+            Err(e) => {
+                self.io_error = Some(e);
+                false
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frame(payload: Option<&[u8]>) -> Frame {
+        Frame {
+            stream: 7,
+            query: 2,
+            start: 1024,
+            end: 1061,
+            depth: 4,
+            payload: payload.map(|p| p.to_vec()),
+        }
+    }
+
+    #[test]
+    fn json_round_trips_arbitrary_bytes() {
+        let payloads: [&[u8]; 5] = [
+            b"<k>plain</k>",
+            b"quote \" backslash \\ slash / done",
+            b"control \n\r\t\x00\x1f",
+            &[0x80, 0xff, 0xc3, 0xa9],
+            b"",
+        ];
+        for p in payloads {
+            let f = frame(Some(p));
+            let line = f.to_json();
+            assert!(line.ends_with('\n'));
+            assert!(line.is_ascii(), "wire JSON must be ASCII: {line:?}");
+            assert_eq!(Frame::decode_json(&line).unwrap(), f);
+        }
+        let f = frame(None);
+        assert!(f.to_json().contains("\"payload\":null"));
+        assert_eq!(Frame::decode_json(&f.to_json()).unwrap(), f);
+    }
+
+    #[test]
+    fn json_rejects_garbage() {
+        assert!(Frame::decode_json("").is_err());
+        assert!(Frame::decode_json("{\"stream\":1").is_err());
+        assert!(Frame::decode_json("{\"bogus\":1}").is_err());
+        assert!(Frame::decode_json("{\"stream\":1}x").is_err());
+        assert!(Frame::decode_json("{\"payload\":\"\\u0100\"}").is_err());
+        // u32 fields must not wrap.
+        let line = frame(None).to_json().replace("\"query\":2", "\"query\":4294967296");
+        match Frame::decode_json(&line) {
+            Err(WireError::Json(msg)) => assert!(msg.contains("query"), "{msg}"),
+            other => panic!("expected a u32 overflow error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn json_rejects_incomplete_frames() {
+        // A truncated line must not decode as an all-zero frame.
+        assert!(Frame::decode_json("{}").is_err());
+        assert!(Frame::decode_json("{\"stream\":1}").is_err());
+        let missing_payload = "{\"stream\":1,\"query\":0,\"start\":2,\"end\":3,\"depth\":1}";
+        match Frame::decode_json(missing_payload) {
+            Err(WireError::Json(msg)) => assert!(msg.contains("payload"), "{msg}"),
+            other => panic!("expected a missing-field error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn binary_round_trips_across_split_reads() {
+        let frames = vec![frame(Some(b"<a>1</a>")), frame(None), frame(Some(&[0u8, 255, 10]))];
+        let mut encoded = Vec::new();
+        for f in &frames {
+            f.encode_binary(&mut encoded);
+        }
+        for step in [1usize, 2, 3, 7, encoded.len()] {
+            let mut dec = FrameDecoder::new();
+            let mut got = Vec::new();
+            for piece in encoded.chunks(step) {
+                dec.push(piece);
+                while let Some(f) = dec.next_frame().unwrap() {
+                    got.push(f);
+                }
+            }
+            assert_eq!(got, frames, "step {step}");
+            assert_eq!(dec.buffered(), 0);
+        }
+    }
+
+    #[test]
+    fn binary_rejects_bad_headers() {
+        let mut dec = FrameDecoder::new();
+        dec.push(&5u32.to_le_bytes());
+        assert_eq!(dec.next_frame(), Err(WireError::BadLength(5)));
+
+        // An attacker-controlled length above the ceiling fails fast instead
+        // of buffering gigabytes for a frame that never completes.
+        let mut dec = FrameDecoder::new();
+        dec.push(&u32::MAX.to_le_bytes());
+        assert_eq!(dec.next_frame(), Err(WireError::BadLength(u32::MAX)));
+        let mut dec = FrameDecoder::new().with_max_frame(64);
+        dec.push(&65u32.to_le_bytes());
+        assert_eq!(dec.next_frame(), Err(WireError::BadLength(65)));
+
+        let mut dec = FrameDecoder::new();
+        let mut buf = Vec::new();
+        frame(None).encode_binary(&mut buf);
+        let flags_at = 4 + BIN_HEADER - 1;
+        buf[flags_at] = 0x82;
+        dec.push(&buf);
+        assert_eq!(dec.next_frame(), Err(WireError::BadFlags(0x82)));
+    }
+
+    #[test]
+    fn wire_sink_latches_write_errors() {
+        struct FailAfter(usize);
+        impl Write for FailAfter {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                if self.0 == 0 {
+                    return Err(std::io::Error::other("wire down"));
+                }
+                self.0 -= 1;
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let mut sink = WireSink::new(FailAfter(1), WireFormat::JsonLines);
+        let m = crate::sink::MaterializedMatch {
+            stream: 1,
+            m: crate::OnlineMatch { query: 0, start: 0, end: 4, depth: 1 },
+            payload: Some(b"<a/>".to_vec()),
+        };
+        assert!(sink.on_match(m.clone()));
+        assert!(!sink.on_match(m.clone()), "write error must refuse the frame");
+        assert!(!sink.on_match(m), "the error latches");
+        assert_eq!(sink.frames, 1);
+        let (_, err) = sink.into_parts();
+        assert!(err.is_some());
+    }
+}

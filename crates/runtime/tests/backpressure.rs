@@ -14,9 +14,10 @@ struct SlowSink {
 }
 
 impl ppt_runtime::MatchSink for SlowSink {
-    fn on_match(&mut self, _m: OnlineMatch) {
+    fn on_match(&mut self, _m: OnlineMatch) -> bool {
         std::thread::sleep(self.delay);
         self.seen.fetch_add(1, Ordering::Relaxed);
+        true
     }
 }
 
@@ -134,7 +135,7 @@ fn panicking_sink_unwinds_instead_of_deadlocking() {
     // the pipeline drains, and the panic resurfaces on the caller's thread.
     struct AngrySink;
     impl ppt_runtime::MatchSink for AngrySink {
-        fn on_match(&mut self, _m: OnlineMatch) {
+        fn on_match(&mut self, _m: OnlineMatch) -> bool {
             panic!("sink exploded");
         }
     }
@@ -167,6 +168,56 @@ fn panicking_sink_unwinds_instead_of_deadlocking() {
     let panicked =
         done_rx.recv_timeout(Duration::from_secs(30)).expect("panicking sink wedged the pipeline");
     assert!(panicked, "the sink's panic must resurface on the caller's thread");
+}
+
+#[test]
+fn poisoned_session_distinguishes_dropped_from_delivered_matches() {
+    // Before `dropped_matches` existed, a sink that died mid-delivery left
+    // `stats.matches == 1` — indistinguishable from a successful delivery.
+    // The match in the sink's hands when it panics must be accounted as
+    // *dropped*, and `matches` must count only completed deliveries.
+    struct AngrySink;
+    impl ppt_runtime::MatchSink for AngrySink {
+        fn on_match(&mut self, _m: OnlineMatch) -> bool {
+            panic!("sink exploded");
+        }
+    }
+
+    let mut doc = Vec::new();
+    doc.extend_from_slice(b"<stream>");
+    for i in 0..500 {
+        doc.extend_from_slice(format!("<item><k>payload {i}</k></item>").as_bytes());
+    }
+    doc.extend_from_slice(b"</stream>");
+
+    let engine = Arc::new(
+        Engine::builder()
+            .add_query("//k")
+            .unwrap()
+            .chunk_size(64)
+            .window_size(4096)
+            .build()
+            .unwrap(),
+    );
+    let runtime = Runtime::builder().workers(2).inflight_chunks(2).build();
+    let mut session = runtime.open_session(Arc::clone(&engine), Box::new(AngrySink));
+    for piece in doc.chunks(512) {
+        if session.is_dead() {
+            break;
+        }
+        session.feed(piece);
+    }
+    // The joiner poisons the session on the sink's first panic; wait for the
+    // flag (bounded — a wedged pipeline fails rather than hangs).
+    let deadline = std::time::Instant::now() + Duration::from_secs(30);
+    while !session.is_dead() {
+        assert!(std::time::Instant::now() < deadline, "session never died");
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    let stats = session.stats();
+    assert_eq!(stats.matches, 0, "no match completed delivery");
+    assert_eq!(stats.dropped_matches, 1, "the match the sink panicked on was dropped");
+    // Dropping the handle joins the poisoned joiner without re-raising.
 }
 
 #[test]

@@ -1,0 +1,239 @@
+//! Retention + materialization: payload bytes must be exactly what the batch
+//! engine would select, the ring must respect its byte budget under
+//! adversarial span distributions, and both wire framings must round-trip
+//! the materialized stream byte-identically.
+
+use ppt_core::Engine;
+use ppt_datasets::{twitter_query, TreebankConfig, TwitterConfig, XmarkConfig};
+use ppt_runtime::{CollectPayloadSink, Frame, FrameDecoder, Runtime, SessionOptions, WireFormat};
+use std::sync::Arc;
+
+fn engine_for(queries: &[&str], chunk: usize, window: usize) -> Arc<Engine> {
+    Arc::new(
+        Engine::builder()
+            .add_queries(queries)
+            .unwrap()
+            .chunk_size(chunk)
+            .window_size(window)
+            .build()
+            .unwrap(),
+    )
+}
+
+/// Batch reference: per-query sorted `(start, end)` spans.
+fn batch_spans(engine: &Engine, doc: &[u8]) -> Vec<Vec<(usize, usize)>> {
+    engine
+        .run(doc)
+        .query_matches
+        .iter()
+        .map(|ms| {
+            let mut v: Vec<(usize, usize)> = ms.iter().map(|m| (m.start, m.end)).collect();
+            v.sort_unstable();
+            v
+        })
+        .collect()
+}
+
+#[test]
+fn materialized_payloads_equal_batch_bytes_on_all_dataset_families() {
+    let xmark = XmarkConfig::with_target_size(1 << 20).generate();
+    let treebank = TreebankConfig::with_target_size(1 << 20).generate();
+    let twitter = TwitterConfig::with_target_size(1 << 20).generate();
+    let cases: Vec<(&str, &Vec<u8>, Vec<&str>)> = vec![
+        ("xmark", &xmark, vec!["/s/cs/c/a/d/t/k", "//c//k", "/s/cs/c[a/d/t/k]/d"]),
+        ("treebank", &treebank, vec!["//np/nn", "//s//vp"]),
+        ("twitter", &twitter, vec![twitter_query(), "//retweeted_status"]),
+    ];
+
+    let runtime = Runtime::builder().workers(3).build();
+    for (name, doc, queries) in cases {
+        let engine = engine_for(&queries, 4 << 10, 16 << 10);
+        let expected = batch_spans(&engine, doc);
+
+        let mut sink = CollectPayloadSink::new();
+        let opts = SessionOptions::new().stream_id(42).retain_bytes(4 << 20);
+        let report =
+            runtime.process_materialized(Arc::clone(&engine), &opts, &doc[..], &mut sink).unwrap();
+        assert!(report.error.is_none(), "[{name}] healthy run");
+        assert_eq!(report.stats.payload_misses, 0, "[{name}] generous budget must not miss");
+        assert_eq!(report.stats.dropped_matches, 0, "[{name}] nothing dropped");
+
+        let mut got: Vec<Vec<(usize, usize)>> = vec![Vec::new(); queries.len()];
+        for m in &sink.matches {
+            assert_eq!(m.stream, 42, "[{name}] stream id is stamped on every match");
+            let payload = m.payload.as_ref().expect("retention on: payload present");
+            assert_eq!(
+                payload.as_slice(),
+                &doc[m.m.start..m.m.end],
+                "[{name}] payload bytes must be exactly the stream slice"
+            );
+            got[m.m.query].push((m.m.start, m.m.end));
+        }
+        for v in &mut got {
+            v.sort_unstable();
+        }
+        assert_eq!(got, expected, "[{name}] materialized spans equal Engine::run");
+    }
+}
+
+#[test]
+fn ring_budget_holds_under_adversarial_span_distributions() {
+    // One enormous element wrapping the whole stream pins the resolve
+    // frontier at its opening tag: the ring can never release a window early
+    // and must fall back to budget evictions. The small inner matches keep
+    // resolving (and materializing) out of the most recent windows.
+    let mut doc = Vec::new();
+    doc.extend_from_slice(b"<s><big>");
+    for i in 0..20_000 {
+        doc.extend_from_slice(format!("<item><k>v{i}</k></item>").as_bytes());
+    }
+    doc.extend_from_slice(b"</big></s>");
+
+    let budget = 16 << 10;
+    let window = 4 << 10;
+    let engine = engine_for(&["//big", "//item/k"], 1 << 10, window);
+    let runtime = Runtime::builder().workers(2).build();
+    let mut sink = CollectPayloadSink::new();
+    let opts = SessionOptions::new().retain_bytes(budget);
+    let report =
+        runtime.process_materialized(Arc::clone(&engine), &opts, &doc[..], &mut sink).unwrap();
+
+    assert!(report.error.is_none());
+    assert!(
+        report.stats.peak_retained_bytes <= budget,
+        "ring held {} bytes, budget {budget}",
+        report.stats.peak_retained_bytes
+    );
+    assert!(report.stats.windows_evicted > 0, "the pinned frontier must force evictions");
+    assert_eq!(
+        report.stats.payload_misses, 1,
+        "exactly the stream-spanning element outlives the budget"
+    );
+
+    let mut big_matches = 0usize;
+    for m in &sink.matches {
+        match m.m.query {
+            0 => {
+                big_matches += 1;
+                assert!(m.payload.is_none(), "the giant span was evicted — no payload");
+            }
+            _ => {
+                let payload = m.payload.as_ref().expect("small spans stay within the budget");
+                assert_eq!(payload.as_slice(), &doc[m.m.start..m.m.end]);
+            }
+        }
+    }
+    assert_eq!(big_matches, 1);
+    assert_eq!(
+        sink.matches.len(),
+        20_001,
+        "every match is still delivered, with or without payload"
+    );
+}
+
+#[test]
+fn push_style_materialized_sessions_serve_payloads() {
+    use std::sync::Mutex;
+
+    let doc = XmarkConfig::with_target_size(128 << 10).generate();
+    let engine = engine_for(&["//c//k"], 2 << 10, 8 << 10);
+    let expected = batch_spans(&engine, &doc);
+
+    // The handle keeps the materializing adapter; share the collection.
+    let collected: Arc<Mutex<Vec<ppt_runtime::MaterializedMatch>>> = Arc::default();
+    let sink_store = Arc::clone(&collected);
+    let runtime = Runtime::builder().workers(2).build();
+    let opts = SessionOptions::new().stream_id(5).retain_bytes(2 << 20);
+    let mut session = runtime.open_materialized_session(
+        Arc::clone(&engine),
+        &opts,
+        Box::new(move |m: ppt_runtime::MaterializedMatch| {
+            sink_store.lock().unwrap().push(m);
+        }),
+    );
+    // Arbitrary feed sizes, as a network server would see them.
+    for piece in doc.chunks(1777) {
+        session.feed(piece);
+    }
+    let (report, _adapter) = session.finish();
+    assert!(report.error.is_none());
+    assert_eq!(report.stats.payload_misses, 0);
+
+    let matches = collected.lock().unwrap();
+    let mut got = vec![Vec::new(); 1];
+    for m in matches.iter() {
+        assert_eq!(m.stream, 5);
+        assert_eq!(m.payload.as_deref().unwrap(), &doc[m.m.start..m.m.end]);
+        got[m.m.query].push((m.m.start, m.m.end));
+    }
+    got[0].sort_unstable();
+    assert_eq!(got, expected);
+}
+
+#[test]
+fn serve_reader_json_lines_round_trip_byte_identically() {
+    let doc = XmarkConfig::with_target_size(256 << 10).generate();
+    let queries = ["//c//k", "/s/cs/c[a/d/t/k]/d"];
+    let engine = engine_for(&queries, 2 << 10, 8 << 10);
+    let expected = batch_spans(&engine, &doc);
+
+    let runtime = Runtime::builder().workers(2).build();
+    let opts = SessionOptions::new().stream_id(9).retain_bytes(2 << 20);
+    let served = runtime
+        .serve_reader(Arc::clone(&engine), &opts, &doc[..], Vec::new(), WireFormat::JsonLines)
+        .unwrap();
+    assert!(served.write_error.is_none());
+    let report = served.report;
+
+    let text = String::from_utf8(served.writer).expect("JSON-lines output is ASCII");
+    let mut got: Vec<Vec<(usize, usize)>> = vec![Vec::new(); queries.len()];
+    let mut frames = 0u64;
+    for line in text.lines() {
+        let frame = Frame::decode_json(line).expect("every line parses");
+        assert_eq!(frame.stream, 9);
+        let payload = frame.payload.expect("retention on");
+        assert_eq!(
+            payload.as_slice(),
+            &doc[frame.start as usize..frame.end as usize],
+            "decoded payload equals the stream slice"
+        );
+        got[frame.query as usize].push((frame.start as usize, frame.end as usize));
+        frames += 1;
+    }
+    for v in &mut got {
+        v.sort_unstable();
+    }
+    assert_eq!(got, expected);
+    assert_eq!(frames, report.stats.matches);
+}
+
+#[test]
+fn serve_reader_binary_frames_reassemble_from_arbitrary_read_sizes() {
+    let doc = XmarkConfig::with_target_size(128 << 10).generate();
+    let engine = engine_for(&["//c//k"], 2 << 10, 8 << 10);
+    let runtime = Runtime::builder().workers(2).build();
+    let opts = SessionOptions::new().stream_id(3).retain_bytes(2 << 20);
+    let served = runtime
+        .serve_reader(Arc::clone(&engine), &opts, &doc[..], Vec::new(), WireFormat::Binary)
+        .unwrap();
+    assert!(served.write_error.is_none());
+    let (report, out) = (served.report, served.writer);
+    assert!(report.stats.matches > 0);
+
+    // Feed the byte stream to the decoder in awkward pieces.
+    let mut decoder = FrameDecoder::new();
+    let mut frames: Vec<Frame> = Vec::new();
+    for piece in out.chunks(113) {
+        decoder.push(piece);
+        while let Some(frame) = decoder.next_frame().unwrap() {
+            frames.push(frame);
+        }
+    }
+    assert_eq!(decoder.buffered(), 0, "no trailing garbage");
+    assert_eq!(frames.len() as u64, report.stats.matches);
+    for frame in &frames {
+        assert_eq!(frame.stream, 3);
+        let payload = frame.payload.as_ref().expect("retention on");
+        assert_eq!(payload.as_slice(), &doc[frame.start as usize..frame.end as usize]);
+    }
+}

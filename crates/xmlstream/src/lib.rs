@@ -43,5 +43,5 @@ pub use event::XmlEvent;
 pub use interner::{Symbol, SymbolTable, OTHER_SYMBOL};
 pub use lexer::{Lexer, LexerConfig};
 pub use split::{split_chunks, Chunk};
-pub use window::{pump_reader, WindowSplitter};
+pub use window::{pump_reader, SharedWindow, WindowSplitter};
 pub use writer::XmlWriter;

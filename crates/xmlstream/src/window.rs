@@ -19,6 +19,8 @@
 //!
 //! [`Engine::run_reader`]: ../../ppt_core/engine/struct.Engine.html#method.run_reader
 
+use std::sync::Arc;
+
 /// Pumps a reader to exhaustion in 64 KiB reads, retrying on
 /// [`std::io::ErrorKind::Interrupted`]. `on_bytes` returns `false` to stop
 /// early (cancellation); the pump then returns `Ok(())` without reading
@@ -43,6 +45,65 @@ pub fn pump_reader<R: std::io::Read>(
     }
 }
 
+/// A refcounted, immutable window of the stream together with its absolute
+/// byte range.
+///
+/// Cloning a `SharedWindow` bumps a reference count — it never copies the
+/// bytes. This is what lets the online runtime hand the same window to the
+/// worker pool (chunk jobs) *and* retain it in a payload ring without either
+/// side owning a second copy: the bytes live until the last holder drops.
+#[derive(Debug, Clone)]
+pub struct SharedWindow {
+    base: usize,
+    bytes: Arc<[u8]>,
+}
+
+impl SharedWindow {
+    /// Wraps `bytes` as the window covering stream offsets
+    /// `base .. base + bytes.len()`.
+    pub fn new(base: usize, bytes: Vec<u8>) -> SharedWindow {
+        SharedWindow { base, bytes: bytes.into() }
+    }
+
+    /// Absolute stream offset of the window's first byte.
+    pub fn base(&self) -> usize {
+        self.base
+    }
+
+    /// Absolute stream offset just past the window's last byte.
+    pub fn end(&self) -> usize {
+        self.base + self.bytes.len()
+    }
+
+    /// Length of the window in bytes.
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// `true` when the window covers no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+
+    /// The window's bytes.
+    pub fn bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// The absolute stream range the window covers.
+    pub fn abs_range(&self) -> std::ops::Range<usize> {
+        self.base..self.end()
+    }
+
+    /// The part of `range` (absolute stream offsets) that falls inside this
+    /// window — empty when they do not overlap.
+    pub fn slice_abs(&self, range: std::ops::Range<usize>) -> &[u8] {
+        let start = range.start.clamp(self.base, self.end()) - self.base;
+        let end = range.end.clamp(self.base, self.end()) - self.base;
+        &self.bytes[start..end.max(start)]
+    }
+}
+
 /// Incremental splitter cutting a byte stream into lexing-safe windows.
 #[derive(Debug, Clone)]
 pub struct WindowSplitter {
@@ -52,6 +113,9 @@ pub struct WindowSplitter {
     /// repeated pops over a boundary-free tail never rescan the same bytes
     /// (keeps low-tag-density ingest linear instead of quadratic).
     scanned: usize,
+    /// Total bytes already emitted (popped or flushed) — the absolute base
+    /// offset of the next window.
+    emitted: usize,
 }
 
 impl WindowSplitter {
@@ -59,7 +123,12 @@ impl WindowSplitter {
     /// 16-byte minimum).
     pub fn new(window_size: usize) -> WindowSplitter {
         let window_size = window_size.max(16);
-        WindowSplitter { window_size, buf: Vec::with_capacity(window_size + 4096), scanned: 0 }
+        WindowSplitter {
+            window_size,
+            buf: Vec::with_capacity(window_size + 4096),
+            scanned: 0,
+            emitted: 0,
+        }
     }
 
     /// The target window size in bytes.
@@ -129,6 +198,7 @@ impl WindowSplitter {
         };
         let window: Vec<u8> = self.buf.drain(..cut).collect();
         self.scanned = 0;
+        self.emitted += window.len();
         Some(window)
     }
 
@@ -139,8 +209,29 @@ impl WindowSplitter {
         if self.buf.is_empty() {
             None
         } else {
-            Some(std::mem::take(&mut self.buf))
+            let window = std::mem::take(&mut self.buf);
+            self.emitted += window.len();
+            Some(window)
         }
+    }
+
+    /// Total bytes emitted so far — the absolute stream offset at which the
+    /// next popped window will start.
+    pub fn emitted(&self) -> usize {
+        self.emitted
+    }
+
+    /// [`WindowSplitter::pop_window`], wrapped as a refcounted
+    /// [`SharedWindow`] carrying its absolute stream range.
+    pub fn pop_shared(&mut self) -> Option<SharedWindow> {
+        let base = self.emitted;
+        self.pop_window().map(|w| SharedWindow::new(base, w))
+    }
+
+    /// [`WindowSplitter::finish`], wrapped as a refcounted [`SharedWindow`].
+    pub fn finish_shared(&mut self) -> Option<SharedWindow> {
+        let base = self.emitted;
+        self.finish().map(|w| SharedWindow::new(base, w))
     }
 }
 
@@ -253,5 +344,46 @@ mod tests {
         let mut splitter = WindowSplitter::new(64);
         assert!(splitter.pop_window().is_none());
         assert!(splitter.finish().is_none());
+    }
+
+    #[test]
+    fn shared_windows_carry_contiguous_absolute_ranges() {
+        let data =
+            b"<root><item>alpha</item><item>beta gamma delta</item><item>epsilon</item></root>";
+        let mut splitter = WindowSplitter::new(16);
+        let mut windows = Vec::new();
+        for piece in data.chunks(7) {
+            splitter.push(piece);
+            while let Some(w) = splitter.pop_shared() {
+                windows.push(w);
+            }
+        }
+        if let Some(w) = splitter.finish_shared() {
+            windows.push(w);
+        }
+        assert!(windows.len() > 1);
+        let mut offset = 0usize;
+        for w in &windows {
+            assert_eq!(w.base(), offset, "windows must partition the stream");
+            assert_eq!(w.bytes(), &data[w.base()..w.end()]);
+            offset = w.end();
+        }
+        assert_eq!(offset, data.len());
+        assert_eq!(splitter.emitted(), data.len());
+    }
+
+    #[test]
+    fn shared_window_slices_by_absolute_offsets() {
+        let w = SharedWindow::new(100, b"<a><b></b></a>".to_vec());
+        assert_eq!(w.abs_range(), 100..114);
+        assert_eq!(w.slice_abs(103..110), b"<b></b>");
+        // Clamped at both edges; disjoint ranges yield empty slices.
+        assert_eq!(w.slice_abs(90..103), b"<a>");
+        assert_eq!(w.slice_abs(110..200), b"</a>");
+        assert_eq!(w.slice_abs(0..50), b"");
+        assert_eq!(w.slice_abs(200..300), b"");
+        // A clone shares the same allocation (refcount bump, no copy).
+        let c = w.clone();
+        assert_eq!(c.bytes().as_ptr(), w.bytes().as_ptr());
     }
 }

@@ -1,0 +1,116 @@
+//! Wire serving: stream a large XMark document through the online runtime
+//! with payload retention on, emit JSON-lines frames, and verify the served
+//! payload bytes are **byte-identical** to what the batch engine selects —
+//! with the retention ring's memory bounded by its configured budget.
+//!
+//! ```sh
+//! cargo run --release --example wire_serving -- [size-mb] [budget-mb]
+//! # defaults: 64 MB document, 16 MiB retention budget
+//! ```
+
+use pp_xml::datasets::XmarkConfig;
+use pp_xml::prelude::*;
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Peak resident set size in bytes (`VmHWM`), Linux only.
+fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kb: u64 = line.strip_prefix("VmHWM:")?.trim().trim_end_matches("kB").trim().parse().ok()?;
+    Some(kb * 1024)
+}
+
+fn main() {
+    let size_mb: f64 = std::env::args().nth(1).and_then(|v| v.parse().ok()).unwrap_or(64.0);
+    let budget_mb: f64 = std::env::args().nth(2).and_then(|v| v.parse().ok()).unwrap_or(16.0);
+    let budget = (budget_mb * 1024.0 * 1024.0) as usize;
+
+    println!("generating a ~{size_mb} MB xmark document...");
+    let doc = XmarkConfig::with_target_size((size_mb * 1_000_000.0) as usize).generate();
+    println!("  {} bytes", doc.len());
+
+    let queries = ["/s/cs/c/a/d/t/k", "//c//k", "/s/cs/c[a/d/t/k]/d"];
+    let engine = Arc::new(
+        Engine::builder()
+            .add_queries(&queries)
+            .expect("valid queries")
+            .chunk_size(256 << 10)
+            .window_size(1 << 20)
+            .build()
+            .expect("engine compiles"),
+    );
+
+    // The batch reference: the exact spans (hence bytes) the paper's offline
+    // pipeline selects on the same document.
+    println!("batch reference run (Engine::run)...");
+    let batch = engine.run(&doc);
+    let mut expected: HashMap<(usize, usize, usize), usize> = HashMap::new();
+    for (qi, ms) in batch.query_matches.iter().enumerate() {
+        for m in ms {
+            *expected.entry((qi, m.start, m.end)).or_default() += 1;
+        }
+    }
+    println!("  {} matches across {} queries", batch.total_matches(), queries.len());
+
+    // Serve the same stream over the wire: JSON-lines frames with payloads
+    // sliced from the retention ring. The ring must cover the pipeline's
+    // in-flight span (inflight_chunks × chunk_size, plus a window) — cap the
+    // in-flight window so a small budget still serves every payload.
+    let runtime = Runtime::builder().workers(4).inflight_chunks(8).build();
+    let opts = SessionOptions::new().stream_id(1).retain_bytes(budget);
+    println!("serving over JSON-lines wire (retention budget {budget_mb} MiB)...");
+    let start = Instant::now();
+    let served = runtime
+        .serve_reader(Arc::clone(&engine), &opts, &doc[..], Vec::new(), WireFormat::JsonLines)
+        .expect("in-memory serving cannot fail");
+    let serve_secs = start.elapsed().as_secs_f64();
+    assert!(served.write_error.is_none(), "a Vec writer cannot fail");
+    let (report, out) = (served.report, served.writer);
+
+    // Decode every frame and verify payload bytes against the document.
+    let text = std::str::from_utf8(&out).expect("wire JSON is ASCII");
+    let mut frames = 0u64;
+    for line in text.lines() {
+        let frame = Frame::decode_json(line).expect("every line parses");
+        let (start, end) = (frame.start as usize, frame.end as usize);
+        let payload = frame.payload.as_ref().expect("no span outlives this budget");
+        assert_eq!(
+            payload.as_slice(),
+            &doc[start..end],
+            "payload must be byte-identical to the stream slice"
+        );
+        let n = expected
+            .get_mut(&(frame.query as usize, start, end))
+            .expect("every frame matches a batch result");
+        *n -= 1;
+        if *n == 0 {
+            expected.remove(&(frame.query as usize, start, end));
+        }
+        frames += 1;
+    }
+    assert!(expected.is_empty(), "every batch result was served: {} missing", expected.len());
+    assert_eq!(report.stats.payload_misses, 0, "no payload was evicted before delivery");
+    assert!(
+        report.stats.peak_retained_bytes <= budget,
+        "retention ring exceeded its budget: {} > {budget}",
+        report.stats.peak_retained_bytes
+    );
+
+    println!(
+        "  {frames} frames, {:.1} MB on the wire, {:.1} MiB/s sustained ingest",
+        out.len() as f64 / 1e6,
+        (doc.len() as f64 / (1024.0 * 1024.0)) / serve_secs
+    );
+    println!(
+        "  retention: peak {:.2} MiB of {budget_mb} MiB budget, {} windows evicted, {} misses",
+        report.stats.peak_retained_bytes as f64 / (1024.0 * 1024.0),
+        report.stats.windows_evicted,
+        report.stats.payload_misses
+    );
+    if let Some(rss) = peak_rss_bytes() {
+        println!("  process peak RSS: {:.1} MiB", rss as f64 / (1024.0 * 1024.0));
+    }
+    println!("OK: all {frames} served payloads byte-identical to Engine::run results");
+}

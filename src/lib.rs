@@ -85,8 +85,9 @@ pub mod prelude {
     pub use ppt_core::engine::{Engine, EngineBuilder, EngineConfig, QueryResult};
     pub use ppt_core::stats::RunStats;
     pub use ppt_runtime::{
-        CollectSink, MatchSink, MatchStream, OnlineMatch, Runtime, RuntimeStats, SessionHandle,
-        SessionManager, SessionReport,
+        CollectPayloadSink, CollectSink, Frame, FrameDecoder, MatchSink, MatchStream,
+        MaterializedMatch, OnlineMatch, PayloadSink, Runtime, RuntimeStats, SessionHandle,
+        SessionManager, SessionOptions, SessionReport, WireFormat, WireServed, WireSink,
     };
     pub use ppt_xpath::{Query, QueryPlan};
 }

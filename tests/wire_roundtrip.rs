@@ -1,0 +1,56 @@
+//! Property tests of the wire protocol: both framings must round-trip any
+//! frame byte-identically — payloads are raw XML bytes (quotes, control
+//! characters, non-UTF-8), and the binary decoder must reassemble frames
+//! from arbitrary read boundaries.
+
+use pp_xml::runtime::{Frame, FrameDecoder};
+use proptest::prelude::*;
+
+/// Strategy: a frame with adversarial payload bytes (or no payload at all).
+fn arb_frame() -> impl Strategy<Value = Frame> {
+    let ints = (0u64..1 << 40, 0u32..64, 0u64..1 << 40, 0u64..1 << 40, 0u32..64);
+    let payload =
+        (any::<bool>(), prop::collection::vec(0u32..256, 0..200)).prop_map(|(present, bytes)| {
+            present.then(|| bytes.into_iter().map(|b| b as u8).collect::<Vec<u8>>())
+        });
+    (ints, payload).prop_map(|((stream, query, start, end, depth), payload)| Frame {
+        stream,
+        query,
+        start,
+        end,
+        depth,
+        payload,
+    })
+}
+
+proptest! {
+    #[test]
+    fn json_lines_round_trip_any_payload_bytes(frame in arb_frame()) {
+        let line = frame.to_json();
+        prop_assert!(line.is_ascii(), "wire JSON must stay ASCII: {:?}", line);
+        prop_assert!(line.ends_with('\n'));
+        prop_assert!(!line[..line.len() - 1].contains('\n'), "one frame = one line");
+        prop_assert_eq!(Frame::decode_json(&line).unwrap(), frame);
+    }
+
+    #[test]
+    fn binary_frames_reassemble_from_any_read_boundaries(
+        frames in prop::collection::vec(arb_frame(), 0..8),
+        step in 1usize..64,
+    ) {
+        let mut encoded = Vec::new();
+        for f in &frames {
+            f.encode_binary(&mut encoded);
+        }
+        let mut decoder = FrameDecoder::new();
+        let mut got = Vec::new();
+        for piece in encoded.chunks(step) {
+            decoder.push(piece);
+            while let Some(f) = decoder.next_frame().unwrap() {
+                got.push(f);
+            }
+        }
+        prop_assert_eq!(got, frames);
+        prop_assert_eq!(decoder.buffered(), 0);
+    }
+}
