@@ -72,18 +72,23 @@ mod filters;
 mod pool;
 mod resolver;
 mod retain;
+pub mod serve;
 mod session;
 mod sink;
 mod stats;
 pub mod wire;
 
 pub use resolver::{SpanEvent, SpanResolver};
+pub use serve::{ConnectionReport, ServerStats, TcpServer, TcpServerBuilder};
 pub use session::{SessionHandle, SessionReport};
 pub use sink::{
     CollectPayloadSink, CollectSink, MatchSink, MaterializedMatch, OnlineMatch, PayloadSink,
 };
 pub use stats::RuntimeStats;
-pub use wire::{Frame, FrameDecoder, WireError, WireFormat, WireSink};
+pub use wire::{
+    Frame, FrameDecoder, HandshakeDecoder, HandshakeError, HandshakeReply, HandshakeRequest,
+    WireError, WireFormat, WireSink,
+};
 
 use pool::{SessionCore, WorkerPool};
 use ppt_core::Engine;

@@ -17,8 +17,38 @@ use ppt_xmlstream::SharedWindow;
 use std::collections::{BTreeMap, VecDeque};
 use std::ops::Range;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::Instant;
+
+/// Locks `mutex`, recovering the guard when a panicking holder poisoned it.
+/// Returns the guard plus whether poison was observed.
+///
+/// A poisoned lock means some thread panicked while holding it — an event
+/// that concerns *one session's* data, never the process. Propagating the
+/// `PoisonError` as a panic (the old `.expect("… poisoned")` pattern) would
+/// cascade: every other session's feeder/joiner touching the same shared
+/// structure panics too, and one bad sink takes the whole [`crate::Runtime`]
+/// down. Callers that own a session instead map the flag to the death of
+/// that session alone (see [`SessionCore::poison`]); callers on shared
+/// structures (the job queue) continue, because the guarded data is a plain
+/// collection that is structurally valid even after a holder unwound.
+pub(crate) fn lock_recover<'a, T>(mutex: &'a Mutex<T>) -> (MutexGuard<'a, T>, bool) {
+    match mutex.lock() {
+        Ok(guard) => (guard, false),
+        Err(poison) => (poison.into_inner(), true),
+    }
+}
+
+/// [`Condvar::wait`] with the same poison recovery as [`lock_recover`].
+pub(crate) fn wait_recover<'a, T>(
+    cv: &Condvar,
+    guard: MutexGuard<'a, T>,
+) -> (MutexGuard<'a, T>, bool) {
+    match cv.wait(guard) {
+        Ok(guard) => (guard, false),
+        Err(poison) => (poison.into_inner(), true),
+    }
+}
 
 /// One unit of worker work: a chunk of one session's window.
 pub(crate) struct Job {
@@ -99,15 +129,25 @@ impl SessionCore {
     /// `false` (without taking a credit) when the session died while
     /// waiting. Time spent blocked is recorded as backpressure.
     pub fn acquire_credit(&self) -> bool {
-        let mut credits = self.credits.lock().expect("credits poisoned");
-        if *credits == 0 {
+        let (mut credits, mut poisoned) = lock_recover(&self.credits);
+        if !poisoned && *credits == 0 {
             let waited = Instant::now();
             while *credits == 0 && !self.is_dead() {
-                credits = self.credits_cv.wait(credits).expect("credits poisoned");
+                let (guard, p) = wait_recover(&self.credits_cv, credits);
+                credits = guard;
+                if p {
+                    poisoned = true;
+                    break;
+                }
             }
             self.counters
                 .backpressure_nanos
                 .fetch_add(waited.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        }
+        if poisoned {
+            drop(credits);
+            self.poison("credit lock poisoned by a panicking pipeline stage".to_string());
+            return false;
         }
         if self.is_dead() {
             return false;
@@ -118,15 +158,23 @@ impl SessionCore {
 
     /// Returns one in-flight credit.
     pub fn release_credit(&self) {
-        let mut credits = self.credits.lock().expect("credits poisoned");
+        let (mut credits, poisoned) = lock_recover(&self.credits);
         *credits += 1;
         drop(credits);
         self.credits_cv.notify_one();
+        if poisoned {
+            self.poison("credit lock poisoned by a panicking pipeline stage".to_string());
+        }
     }
 
     /// Delivers a completed chunk to the joiner.
     pub fn deliver(&self, seq: u64, out: ChunkOutput) {
-        let mut mb = self.mailbox.lock().expect("mailbox poisoned");
+        let (mut mb, poisoned) = lock_recover(&self.mailbox);
+        if poisoned {
+            drop(mb);
+            self.poison("mailbox lock poisoned by a panicking pipeline stage".to_string());
+            return;
+        }
         mb.ready.insert(seq, out);
         self.counters.raise_peak_reorder(mb.ready.len());
         drop(mb);
@@ -135,7 +183,12 @@ impl SessionCore {
 
     /// Announces that exactly `total` chunks were submitted (stream ended).
     pub fn announce_total(&self, total: u64) {
-        let mut mb = self.mailbox.lock().expect("mailbox poisoned");
+        let (mut mb, poisoned) = lock_recover(&self.mailbox);
+        if poisoned {
+            drop(mb);
+            self.poison("mailbox lock poisoned by a panicking pipeline stage".to_string());
+            return;
+        }
         mb.total = Some(total);
         drop(mb);
         self.mailbox_cv.notify_all();
@@ -143,8 +196,12 @@ impl SessionCore {
 
     /// Marks the session dead (a pipeline stage panicked) and wakes every
     /// stage so nothing blocks on progress that will never come.
+    ///
+    /// Proceeds even through a poisoned mailbox lock: the `Mailbox` fields
+    /// are plain collections that stay structurally valid after a holder
+    /// unwound, and this is the path that winds the session down.
     pub fn poison(&self, message: String) {
-        let mut mb = self.mailbox.lock().expect("mailbox poisoned");
+        let (mut mb, _) = lock_recover(&self.mailbox);
         if mb.poisoned.is_none() {
             mb.poisoned = Some(message);
         }
@@ -156,13 +213,18 @@ impl SessionCore {
 
     /// The poison message, if the session died.
     pub fn poison_message(&self) -> Option<String> {
-        self.mailbox.lock().expect("mailbox poisoned").poisoned.clone()
+        lock_recover(&self.mailbox).0.poisoned.clone()
     }
 
     /// Joiner side: waits for chunk `seq`, or `None` once the stream ended
     /// (every chunk before `seq` folded) or the session died.
     pub fn wait_for(&self, seq: u64) -> Option<ChunkOutput> {
-        let mut mb = self.mailbox.lock().expect("mailbox poisoned");
+        let (mut mb, poisoned) = lock_recover(&self.mailbox);
+        if poisoned {
+            drop(mb);
+            self.poison("mailbox lock poisoned by a panicking pipeline stage".to_string());
+            return None;
+        }
         loop {
             if let Some(out) = mb.ready.remove(&seq) {
                 if let Some((&highest, _)) = mb.ready.iter().next_back() {
@@ -178,7 +240,13 @@ impl SessionCore {
                     return None;
                 }
             }
-            mb = self.mailbox_cv.wait(mb).expect("mailbox poisoned");
+            let (guard, p) = wait_recover(&self.mailbox_cv, mb);
+            mb = guard;
+            if p {
+                drop(mb);
+                self.poison("mailbox lock poisoned by a panicking pipeline stage".to_string());
+                return None;
+            }
         }
     }
 }
@@ -227,8 +295,12 @@ impl WorkerPool {
     }
 
     /// Enqueues one chunk job.
+    ///
+    /// The queue lock recovers from poisoning: the shared queue serves every
+    /// session, and a `VecDeque` is structurally valid even if a holder
+    /// panicked — one session's failure must not wedge everyone's submits.
     pub fn submit(&self, job: Job) {
-        let mut queue = self.shared.queue.lock().expect("queue poisoned");
+        let mut queue = lock_recover(&self.shared.queue).0;
         queue.push_back(job);
         self.shared.peak_queue.fetch_max(queue.len(), Ordering::Relaxed);
         drop(queue);
@@ -259,7 +331,9 @@ impl Drop for WorkerPool {
 fn worker_loop(shared: &PoolShared) {
     loop {
         let job = {
-            let mut queue = shared.queue.lock().expect("queue poisoned");
+            // Poison recovery, same reasoning as `WorkerPool::submit`: the
+            // shared queue must outlive any one session's panic.
+            let mut queue = lock_recover(&shared.queue).0;
             loop {
                 if let Some(job) = queue.pop_front() {
                     break job;
@@ -267,10 +341,19 @@ fn worker_loop(shared: &PoolShared) {
                 if shared.shutdown.load(Ordering::SeqCst) {
                     return;
                 }
-                queue = shared.job_ready.wait(queue).expect("queue poisoned");
+                queue = wait_recover(&shared.job_ready, queue).0;
             }
         };
         let core = Arc::clone(&job.session);
+        // The chunk index feeds the fold bookkeeping as a `usize`. On a
+        // 64-bit target the conversion is lossless; on a 32-bit one a stream
+        // past 2^32 chunks used to wrap silently (`job.seq as usize`) and
+        // corrupt the join order — kill the one session whose stream got
+        // there instead.
+        let Ok(seq_index) = usize::try_from(job.seq) else {
+            core.poison(format!("chunk sequence {} overflows usize on this platform", job.seq));
+            continue;
+        };
         let started = Instant::now();
         // A panic while transducing one session's chunk must not take the
         // shared worker down (it serves every session) nor leave the
@@ -281,7 +364,7 @@ fn worker_loop(shared: &PoolShared) {
                 core.engine.transducer(),
                 &job.window.bytes()[job.range.clone()],
                 job.window.base() + job.range.start,
-                job.seq as usize,
+                seq_index,
                 job.first,
                 core.kind,
                 core.resolve_spans,
@@ -300,5 +383,68 @@ fn worker_loop(shared: &PoolShared) {
                 ));
             }
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SessionOptions;
+
+    fn test_core() -> Arc<SessionCore> {
+        let engine = Arc::new(Engine::builder().add_query("//a").unwrap().build().unwrap());
+        Arc::new(SessionCore::new(engine, 2, &SessionOptions::new()))
+    }
+
+    /// Panics while holding `mutex` on another thread, leaving it poisoned.
+    fn poison_mutex<T: Send>(mutex: &Mutex<T>) {
+        std::thread::scope(|s| {
+            let handle = s.spawn(|| {
+                let _guard = mutex.lock().unwrap();
+                panic!("deliberate poison");
+            });
+            assert!(handle.join().is_err());
+        });
+        assert!(mutex.is_poisoned());
+    }
+
+    #[test]
+    fn poisoned_credit_lock_kills_only_the_session() {
+        let core = test_core();
+        poison_mutex(&core.credits);
+        // The old `.expect("credits poisoned")` panicked here, taking the
+        // calling thread (a feeder — possibly the user's thread) with it.
+        assert!(!core.acquire_credit());
+        assert!(core.is_dead());
+        assert!(core.poison_message().unwrap().contains("poisoned"));
+        // Further traffic on the dead session is a no-op, not a panic.
+        core.release_credit();
+        assert!(!core.acquire_credit());
+    }
+
+    #[test]
+    fn poisoned_mailbox_lock_unblocks_the_joiner() {
+        let core = test_core();
+        poison_mutex(&core.mailbox);
+        assert!(core.wait_for(0).is_none(), "joiner must bail out, not panic");
+        assert!(core.is_dead());
+    }
+
+    #[test]
+    fn pool_queue_survives_poisoning() {
+        let pool = WorkerPool::new(1);
+        poison_mutex(&pool.shared.queue);
+        // The shared queue serves every session: submits keep working.
+        let core = test_core();
+        pool.submit(Job {
+            session: Arc::clone(&core),
+            window: SharedWindow::new(0, b"<a></a>".to_vec()),
+            range: 0..7,
+            seq: 0,
+            first: true,
+        });
+        core.announce_total(1);
+        let out = core.wait_for(0);
+        assert!(out.is_some(), "a worker must still pick the job up");
     }
 }

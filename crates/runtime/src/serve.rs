@@ -1,0 +1,653 @@
+//! The TCP serving front-end: real sockets bound to runtime sessions.
+//!
+//! [`Runtime::serve_reader`] already speaks the wire protocol over any
+//! `io::Read`/`io::Write` pair; this module supplies the missing listener. A
+//! [`TcpServer`] accepts connections, runs the line-based query-registration
+//! handshake (see [`crate::wire`]'s handshake section for the grammar), and
+//! binds each accepted connection to one materialized session: the bytes the
+//! client streams after `GO` flow through the splitter → worker pool → joiner
+//! pipeline, and every match comes back over the same socket as a wire frame.
+//!
+//! ```text
+//!            ┌────────────────────── TcpServer ──────────────────────┐
+//! client ──► │ handshake (QUERY…/GO → OK|ERR) ─► Engine ─► session   │
+//!        ◄── │ frames (json | binary)       ◄── WireSink ◄── joiner  │
+//!            └───────────────────────────────────────────────────────┘
+//! ```
+//!
+//! Design points, in the spirit of the paper's serving discipline:
+//!
+//! * **One thread per connection**, admission-gated by the same credit
+//!   pattern the pipeline uses for chunks ([`Gate`] mirrors
+//!   `SessionCore::acquire_credit`): at most `max_connections` sessions run
+//!   at once, further clients wait in the listener backlog instead of
+//!   spawning unbounded threads. Async ingestion replaces this layer later;
+//!   the handshake and session binding carry over unchanged.
+//! * **A malformed or half-closed connection poisons one session, never the
+//!   process.** Handshake failures are answered with a structured
+//!   `ERR <reason>` line, not a dropped connection; engine-build failures
+//!   travel the same path ([`ppt_xpath::XPathError::wire_message`]); read
+//!   and write errors mid-stream latch into that connection's report while
+//!   every other session keeps flowing.
+//! * **Graceful shutdown**: [`TcpServer::shutdown`] stops accepting, then
+//!   drains the connections still in flight before returning the final
+//!   [`ServerStats`] — in-flight sessions finish, nobody's matches vanish.
+//! * **Accounting survives the disconnect**: every connection that passed
+//!   the handshake leaves a [`ConnectionReport`] (session report, frames,
+//!   bytes, the first read/write error) in the server-level stats snapshot.
+
+use crate::pool::{lock_recover, wait_recover};
+use crate::wire::{
+    HandshakeDecoder, HandshakeReply, HandshakeRequest, WireFormat, WireSink,
+    DEFAULT_MAX_HANDSHAKE_LINE, DEFAULT_MAX_QUERIES,
+};
+use crate::{Runtime, SessionOptions, SessionReport};
+use ppt_core::Engine;
+use std::collections::VecDeque;
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// Completed connections remembered in the stats snapshot (oldest dropped
+/// first); counters keep counting beyond this.
+const MAX_REMEMBERED_REPORTS: usize = 1024;
+
+/// Builder for a [`TcpServer`].
+#[derive(Debug, Clone)]
+pub struct TcpServerBuilder {
+    max_connections: usize,
+    max_queries: usize,
+    max_retain_bytes: u64,
+    max_handshake_line: usize,
+    handshake_timeout: Option<Duration>,
+    chunk_size: Option<usize>,
+    window_size: Option<usize>,
+}
+
+impl Default for TcpServerBuilder {
+    fn default() -> TcpServerBuilder {
+        TcpServerBuilder {
+            max_connections: 64,
+            max_queries: DEFAULT_MAX_QUERIES,
+            max_retain_bytes: 64 << 20,
+            max_handshake_line: DEFAULT_MAX_HANDSHAKE_LINE,
+            handshake_timeout: Some(Duration::from_secs(10)),
+            chunk_size: None,
+            window_size: None,
+        }
+    }
+}
+
+impl TcpServerBuilder {
+    /// Concurrent-connection cap (default 64). Clients beyond it wait in the
+    /// listener backlog until a running session finishes.
+    pub fn max_connections(mut self, n: usize) -> TcpServerBuilder {
+        self.max_connections = n.max(1);
+        self
+    }
+
+    /// Per-connection query cap (default [`DEFAULT_MAX_QUERIES`]).
+    pub fn max_queries(mut self, n: usize) -> TcpServerBuilder {
+        self.max_queries = n.max(1);
+        self
+    }
+
+    /// Ceiling on the retention budget a client may request (default
+    /// 64 MiB); larger `RETAIN` requests are clamped, not rejected.
+    pub fn max_retain_bytes(mut self, bytes: u64) -> TcpServerBuilder {
+        self.max_retain_bytes = bytes.max(1);
+        self
+    }
+
+    /// Cap on one handshake line (default
+    /// [`DEFAULT_MAX_HANDSHAKE_LINE`]) — bounds memory against a client
+    /// that never sends a newline.
+    pub fn max_handshake_line(mut self, bytes: usize) -> TcpServerBuilder {
+        self.max_handshake_line = bytes.max(1);
+        self
+    }
+
+    /// Deadline for the *whole* handshake, trickling clients included
+    /// (default 10 s; `None` disables it). The stream phase is never timed
+    /// out — slow streams are the normal case.
+    pub fn handshake_timeout(mut self, timeout: Option<Duration>) -> TcpServerBuilder {
+        self.handshake_timeout = timeout;
+        self
+    }
+
+    /// Chunk size for the per-connection engines (default: the engine's own
+    /// default).
+    pub fn chunk_size(mut self, bytes: usize) -> TcpServerBuilder {
+        self.chunk_size = Some(bytes);
+        self
+    }
+
+    /// Window size for the per-connection engines (default: the engine's own
+    /// default).
+    pub fn window_size(mut self, bytes: usize) -> TcpServerBuilder {
+        self.window_size = Some(bytes);
+        self
+    }
+
+    /// Binds the listener and starts the accept loop. Sessions run on the
+    /// given runtime's shared worker pool.
+    pub fn bind<A: ToSocketAddrs>(
+        self,
+        addr: A,
+        runtime: Arc<Runtime>,
+    ) -> std::io::Result<TcpServer> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            runtime,
+            config: self,
+            gate: Gate::new_shared(),
+            shutting_down: AtomicBool::new(false),
+            accepted: AtomicU64::new(0),
+            handshake_rejects: AtomicU64::new(0),
+            sessions_completed: AtomicU64::new(0),
+            sessions_failed: AtomicU64::new(0),
+            frames_out: AtomicU64::new(0),
+            bytes_out: AtomicU64::new(0),
+            active: AtomicUsize::new(0),
+            reports: Mutex::new(VecDeque::new()),
+        });
+        // The gate starts with max_connections slots.
+        *lock_recover(&shared.gate.slots).0 = shared.config.max_connections;
+        let accept_shared = Arc::clone(&shared);
+        let accept = std::thread::Builder::new()
+            .name("ppt-accept".to_string())
+            .spawn(move || accept_loop(&accept_shared, listener))
+            .map_err(|e| std::io::Error::other(format!("failed to spawn accept thread: {e}")))?;
+        Ok(TcpServer { shared, local_addr, accept: Some(accept) })
+    }
+}
+
+/// The admission gate: the pipeline's credit pattern applied to whole
+/// connections. `acquire` blocks while `max_connections` sessions are live
+/// and returns `false` once the server is closing.
+struct Gate {
+    slots: Mutex<usize>,
+    cv: Condvar,
+    closed: AtomicBool,
+}
+
+impl Gate {
+    fn new_shared() -> Gate {
+        Gate { slots: Mutex::new(0), cv: Condvar::new(), closed: AtomicBool::new(false) }
+    }
+
+    fn acquire(&self) -> bool {
+        let (mut slots, _) = lock_recover(&self.slots);
+        loop {
+            if self.closed.load(Ordering::SeqCst) {
+                return false;
+            }
+            if *slots > 0 {
+                *slots -= 1;
+                return true;
+            }
+            slots = wait_recover(&self.cv, slots).0;
+        }
+    }
+
+    fn release(&self) {
+        *lock_recover(&self.slots).0 += 1;
+        self.cv.notify_one();
+    }
+
+    fn close(&self) {
+        self.closed.store(true, Ordering::SeqCst);
+        self.cv.notify_all();
+    }
+}
+
+/// Everything the accept loop and the connection threads share.
+struct Shared {
+    runtime: Arc<Runtime>,
+    config: TcpServerBuilder,
+    gate: Gate,
+    shutting_down: AtomicBool,
+    accepted: AtomicU64,
+    handshake_rejects: AtomicU64,
+    sessions_completed: AtomicU64,
+    sessions_failed: AtomicU64,
+    frames_out: AtomicU64,
+    bytes_out: AtomicU64,
+    active: AtomicUsize,
+    reports: Mutex<VecDeque<ConnectionReport>>,
+}
+
+impl Shared {
+    fn record(&self, report: ConnectionReport) {
+        let failed = report.read_error.is_some()
+            || report.write_error.is_some()
+            || report.report.as_ref().is_some_and(|r| r.error.is_some());
+        if failed {
+            self.sessions_failed.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.sessions_completed.fetch_add(1, Ordering::Relaxed);
+        }
+        self.frames_out.fetch_add(report.frames, Ordering::Relaxed);
+        self.bytes_out.fetch_add(report.bytes_out, Ordering::Relaxed);
+        let (mut reports, _) = lock_recover(&self.reports);
+        if reports.len() == MAX_REMEMBERED_REPORTS {
+            reports.pop_front();
+        }
+        reports.push_back(report);
+    }
+}
+
+/// Per-connection accounting, kept in the server's stats snapshot for every
+/// connection that passed the handshake.
+#[derive(Debug, Clone)]
+pub struct ConnectionReport {
+    /// The client's address.
+    pub peer: SocketAddr,
+    /// Stream id the client registered (0 if none).
+    pub stream_id: u64,
+    /// The registered query texts, in id order.
+    pub queries: Vec<String>,
+    /// The negotiated frame format.
+    pub format: WireFormat,
+    /// Frames successfully written to the client.
+    pub frames: u64,
+    /// Bytes successfully written to the client.
+    pub bytes_out: u64,
+    /// The final session report — per-query match counts and
+    /// [`crate::RuntimeStats`]. `None` only when the connection's reader
+    /// failed mid-stream (the pipeline drained, but the report went with
+    /// the error).
+    pub report: Option<SessionReport>,
+    /// The first write error, if the client stopped reading frames.
+    pub write_error: Option<String>,
+    /// The read error that ended ingestion, if the client's stream died
+    /// other than by a clean close.
+    pub read_error: Option<String>,
+}
+
+/// A point-in-time snapshot of a [`TcpServer`]'s accounting.
+#[derive(Debug, Clone, Default)]
+pub struct ServerStats {
+    /// Connections accepted (handshake outcome regardless).
+    pub accepted: u64,
+    /// Connections currently being served.
+    pub active: usize,
+    /// Connections that never produced a valid handshake (malformed lines,
+    /// rejected queries, timeouts, hang-ups before `GO`).
+    pub handshake_rejects: u64,
+    /// Sessions that served their stream to the end without an error.
+    pub sessions_completed: u64,
+    /// Sessions that ended with a read, write, or pipeline error.
+    pub sessions_failed: u64,
+    /// Frames written across all connections.
+    pub frames_out: u64,
+    /// Bytes written across all connections.
+    pub bytes_out: u64,
+    /// Per-connection reports, oldest first (bounded; the counters above
+    /// keep counting beyond the cap).
+    pub connections: Vec<ConnectionReport>,
+}
+
+/// A listening TCP front-end over a [`Runtime`].
+///
+/// ```no_run
+/// use ppt_runtime::{serve::TcpServer, Runtime};
+/// use std::sync::Arc;
+///
+/// let runtime = Arc::new(Runtime::builder().workers(4).build());
+/// let server = TcpServer::builder().bind("0.0.0.0:7001", runtime).unwrap();
+/// println!("serving on {}", server.local_addr());
+/// // … later:
+/// let stats = server.shutdown();
+/// println!("{} sessions served", stats.sessions_completed);
+/// ```
+pub struct TcpServer {
+    shared: Arc<Shared>,
+    local_addr: SocketAddr,
+    accept: Option<std::thread::JoinHandle<Vec<std::thread::JoinHandle<()>>>>,
+}
+
+impl TcpServer {
+    /// Starts building a server.
+    pub fn builder() -> TcpServerBuilder {
+        TcpServerBuilder::default()
+    }
+
+    /// Binds with default options.
+    pub fn bind<A: ToSocketAddrs>(addr: A, runtime: Arc<Runtime>) -> std::io::Result<TcpServer> {
+        TcpServer::builder().bind(addr, runtime)
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// A live snapshot of the server's accounting.
+    pub fn stats(&self) -> ServerStats {
+        let s = &self.shared;
+        ServerStats {
+            accepted: s.accepted.load(Ordering::Relaxed),
+            active: s.active.load(Ordering::Relaxed),
+            handshake_rejects: s.handshake_rejects.load(Ordering::Relaxed),
+            sessions_completed: s.sessions_completed.load(Ordering::Relaxed),
+            sessions_failed: s.sessions_failed.load(Ordering::Relaxed),
+            frames_out: s.frames_out.load(Ordering::Relaxed),
+            bytes_out: s.bytes_out.load(Ordering::Relaxed),
+            connections: lock_recover(&s.reports).0.iter().cloned().collect(),
+        }
+    }
+
+    /// Graceful shutdown: stop accepting, drain every in-flight session
+    /// (blocks until their streams end), and return the final stats.
+    pub fn shutdown(mut self) -> ServerStats {
+        self.shutdown_inner();
+        self.stats()
+    }
+
+    fn shutdown_inner(&mut self) {
+        let Some(accept) = self.accept.take() else { return };
+        self.shared.shutting_down.store(true, Ordering::SeqCst);
+        self.shared.gate.close();
+        // Wake an accept() blocked with free slots: a throwaway connection
+        // to ourselves. Its accept is discarded by the shutting_down check.
+        let _ = TcpStream::connect(self.local_addr);
+        match accept.join() {
+            Ok(connections) => {
+                for conn in connections {
+                    let _ = conn.join();
+                }
+            }
+            Err(_) => {
+                // The accept loop panicked; connection threads are detached
+                // but self-contained (each serves one socket), so the server
+                // object can still wind down.
+            }
+        }
+    }
+}
+
+impl Drop for TcpServer {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+/// Accepts until shutdown; returns the handles of connections still in
+/// flight so `shutdown` can drain them.
+fn accept_loop(shared: &Arc<Shared>, listener: TcpListener) -> Vec<std::thread::JoinHandle<()>> {
+    let mut connections: Vec<std::thread::JoinHandle<()>> = Vec::new();
+    loop {
+        // Admission gate *before* accept: beyond max_connections, pending
+        // clients queue in the listener backlog, no thread is spawned.
+        if !shared.gate.acquire() {
+            break;
+        }
+        let accepted = match listener.accept() {
+            Ok((stream, peer)) => Some((stream, peer)),
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => None,
+            // Per-connection accept errors (ECONNABORTED) and resource
+            // exhaustion (EMFILE — likely exactly when many connection
+            // threads hold fds) must not kill the listener; the pause keeps
+            // a persistent failure from busy-spinning a core.
+            Err(_) => {
+                std::thread::sleep(Duration::from_millis(50));
+                None
+            }
+        };
+        if shared.shutting_down.load(Ordering::SeqCst) {
+            // `accepted` here is the shutdown wake-up (or a client racing
+            // the close) — drop it.
+            shared.gate.release();
+            break;
+        }
+        let Some((stream, peer)) = accepted else {
+            shared.gate.release();
+            continue;
+        };
+        shared.accepted.fetch_add(1, Ordering::Relaxed);
+        let conn_shared = Arc::clone(shared);
+        let spawned =
+            std::thread::Builder::new().name(format!("ppt-conn-{peer}")).spawn(move || {
+                conn_shared.active.fetch_add(1, Ordering::Relaxed);
+                serve_connection(&conn_shared, stream, peer);
+                conn_shared.active.fetch_sub(1, Ordering::Relaxed);
+                conn_shared.gate.release();
+            });
+        match spawned {
+            Ok(handle) => connections.push(handle),
+            Err(_) => shared.gate.release(), // thread exhaustion: drop the conn
+        }
+        // Reap finished connections so a long-lived server doesn't
+        // accumulate handles (dropping a finished handle detaches nothing —
+        // the thread is already gone).
+        connections.retain(|h| !h.is_finished());
+    }
+    connections
+}
+
+/// Serves one accepted connection end to end: handshake, engine build,
+/// session, accounting.
+fn serve_connection(shared: &Shared, mut stream: TcpStream, peer: SocketAddr) {
+    let cfg = &shared.config;
+    let _ = stream.set_nodelay(true);
+
+    // --- Handshake ---------------------------------------------------------
+    // The timeout is a *deadline*, not a per-read allowance: the socket
+    // read-timeout is re-armed with the time remaining before every read, so
+    // a client trickling one byte per interval cannot hold its connection
+    // slot forever.
+    let deadline = cfg.handshake_timeout.map(|t| std::time::Instant::now() + t);
+    let mut decoder = HandshakeDecoder::with_limits(cfg.max_handshake_line, cfg.max_queries);
+    let mut buf = [0u8; 4096];
+    let request = loop {
+        if let Some(deadline) = deadline {
+            let remaining = deadline.saturating_duration_since(std::time::Instant::now());
+            if remaining.is_zero() {
+                reject(shared, &mut stream, "handshake timed out");
+                return;
+            }
+            let _ = stream.set_read_timeout(Some(remaining));
+        }
+        let n = match stream.read(&mut buf) {
+            Ok(0) => {
+                // Hung up (or was killed) mid-handshake: nothing to answer.
+                shared.handshake_rejects.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+            Ok(n) => n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                // Handshake deadline: answer structurally, then close.
+                reject(shared, &mut stream, "handshake timed out");
+                return;
+            }
+            Err(_) => {
+                shared.handshake_rejects.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+        };
+        match decoder.push(&buf[..n]) {
+            Ok(Some(request)) => break request,
+            Ok(None) => {}
+            Err(e) => {
+                // A malformed handshake is answered with a structured ERR
+                // line, never a silently dropped connection.
+                reject(shared, &mut stream, &e.to_string());
+                return;
+            }
+        }
+    };
+    let _ = stream.set_read_timeout(None);
+
+    // --- Engine build (query parse errors go back over the wire) -----------
+    let engine = {
+        let mut builder = match Engine::builder().add_queries(&request.queries) {
+            Ok(builder) => builder,
+            Err(e) => {
+                reject(shared, &mut stream, &e.wire_message());
+                return;
+            }
+        };
+        if let Some(bytes) = cfg.chunk_size {
+            builder = builder.chunk_size(bytes);
+        }
+        if let Some(bytes) = cfg.window_size {
+            builder = builder.window_size(bytes);
+        }
+        match builder.build() {
+            Ok(engine) => Arc::new(engine),
+            Err(e) => {
+                reject(shared, &mut stream, &e.wire_message());
+                return;
+            }
+        }
+    };
+
+    // --- Accept: per-query ids, in registration order -----------------------
+    // From here on the handshake *succeeded*: failures are session failures
+    // (recorded with a report, counted in `sessions_failed`), not handshake
+    // rejects — an operator watching `handshake_rejects` for protocol abuse
+    // must not see phantom rejects from clients that vanished post-accept.
+    let session_setup_failed = |error: String| {
+        shared.record(ConnectionReport {
+            peer,
+            stream_id: request.stream_id,
+            queries: request.queries.clone(),
+            format: request.format,
+            frames: 0,
+            bytes_out: 0,
+            report: None,
+            write_error: Some(error),
+            read_error: None,
+        });
+    };
+    let ids: Vec<u32> = (0..request.queries.len() as u32).collect();
+    if let Err(e) = stream.write_all(HandshakeReply::Accepted(ids).encode().as_bytes()) {
+        session_setup_failed(format!("handshake reply failed: {e}"));
+        return;
+    }
+    let writer = match stream.try_clone() {
+        Ok(writer) => writer,
+        Err(e) => {
+            session_setup_failed(format!("socket clone failed: {e}"));
+            return;
+        }
+    };
+
+    // --- Session ------------------------------------------------------------
+    let mut opts = SessionOptions::new().stream_id(request.stream_id);
+    if let Some(requested) = request.retain_bytes {
+        let budget = requested.min(cfg.max_retain_bytes);
+        opts = opts.retain_bytes(usize::try_from(budget).unwrap_or(usize::MAX));
+    }
+    // Bytes that arrived in the same reads as the handshake are the head of
+    // the stream; chain them in front of the socket.
+    let remainder = decoder.take_remainder();
+    let reader = std::io::Cursor::new(remainder).chain(&stream);
+    // Own the sink (rather than `serve_reader`) so the report and the write
+    // error survive even when the *reader* side of the connection dies.
+    let mut sink = WireSink::new(writer, request.format);
+    let result = shared.runtime.process_materialized(engine, &opts, reader, &mut sink);
+    let (frames, bytes_out) = (sink.frames, sink.bytes_out);
+    let (writer, write_error) = sink.into_parts();
+    // Half-close so the client's frame reader sees EOF even if the client
+    // keeps its write half open.
+    let _ = writer.shutdown(Shutdown::Write);
+    let (report, read_error) = match result {
+        Ok(report) => (Some(report), None),
+        Err(e) => (None, Some(e.to_string())),
+    };
+    shared.record(ConnectionReport {
+        peer,
+        stream_id: request.stream_id,
+        queries: request.queries,
+        format: request.format,
+        frames,
+        bytes_out,
+        report,
+        write_error: write_error.map(|e| e.to_string()),
+        read_error,
+    });
+}
+
+/// Writes a structured `ERR` reply (best effort — the client may already be
+/// gone) and counts the rejection.
+fn reject(shared: &Shared, stream: &mut TcpStream, message: &str) {
+    shared.handshake_rejects.fetch_add(1, Ordering::Relaxed);
+    let _ = stream.write_all(HandshakeReply::Rejected(message.to_string()).encode().as_bytes());
+    let _ = stream.flush();
+    let _ = stream.shutdown(Shutdown::Both);
+}
+
+/// A client-side registration failure.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The socket failed.
+    Io(std::io::Error),
+    /// The server answered `ERR <reason>`.
+    Rejected(String),
+    /// The server's reply line was not part of the protocol.
+    BadReply(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "registration I/O failed: {e}"),
+            ClientError::Rejected(reason) => write!(f, "server rejected the handshake: {reason}"),
+            ClientError::BadReply(line) => write!(f, "unintelligible reply line: {line:?}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> ClientError {
+        ClientError::Io(e)
+    }
+}
+
+/// Client-side helper: writes `request`'s handshake onto `stream` and reads
+/// the server's one-line verdict. On acceptance the per-query ids come back;
+/// every byte after the reply line is left unread in the socket for the
+/// caller's frame decoder.
+///
+/// (The reply is read byte-by-byte up to the first `\n` — a buffered reader
+/// here would swallow the head of the frame stream.)
+pub fn register(
+    stream: &mut TcpStream,
+    request: &HandshakeRequest,
+) -> Result<Vec<u32>, ClientError> {
+    stream.write_all(&request.encode())?;
+    stream.flush()?;
+    let mut line = Vec::new();
+    let mut byte = [0u8; 1];
+    loop {
+        match stream.read(&mut byte) {
+            Ok(0) => return Err(ClientError::BadReply(String::from_utf8_lossy(&line).into())),
+            Ok(_) if byte[0] == b'\n' => break,
+            Ok(_) => {
+                if line.len() > DEFAULT_MAX_HANDSHAKE_LINE {
+                    return Err(ClientError::BadReply("reply line never ended".to_string()));
+                }
+                line.push(byte[0]);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(ClientError::Io(e)),
+        }
+    }
+    let text = String::from_utf8_lossy(&line);
+    match HandshakeReply::decode(&text) {
+        Ok(HandshakeReply::Accepted(ids)) => Ok(ids),
+        Ok(HandshakeReply::Rejected(reason)) => Err(ClientError::Rejected(reason)),
+        Err(_) => Err(ClientError::BadReply(text.into())),
+    }
+}

@@ -102,10 +102,16 @@ impl Feeder {
         if let Some(ring) = &self.core.ring {
             // Clone-on-retain: the ring takes a refcount on the same bytes
             // the chunk jobs slice into. The byte budget evicts inside push.
-            let (evicted, retained) = {
-                let mut ring = ring.lock().expect("ring poisoned");
-                (ring.push(window.clone()), ring.retained_bytes())
-            };
+            let (mut guard, poisoned) = crate::pool::lock_recover(ring);
+            if poisoned {
+                // A panic under the ring lock concerns this session only:
+                // kill it and stop feeding instead of unwinding the caller.
+                drop(guard);
+                self.core.poison("retention ring lock poisoned".to_string());
+                return;
+            }
+            let (evicted, retained) = (guard.push(window.clone()), guard.retained_bytes());
+            drop(guard);
             counters.windows_evicted.fetch_add(evicted.windows, Ordering::Relaxed);
             counters.bytes_evicted.fetch_add(evicted.bytes, Ordering::Relaxed);
             counters.peak_retained_bytes.fetch_max(retained, Ordering::Relaxed);
@@ -212,7 +218,14 @@ pub(crate) fn joiner_loop(core: &SessionCore, sink: &mut dyn MatchSink) -> Sessi
             let frontier = folded_upto
                 .min(resolver.min_pending_pos().unwrap_or(usize::MAX))
                 .min(bank.min_buffered_pos().unwrap_or(usize::MAX));
-            ring.lock().expect("ring poisoned").release_below(frontier);
+            let (mut guard, poisoned) = crate::pool::lock_recover(ring);
+            guard.release_below(frontier);
+            drop(guard);
+            if poisoned {
+                // Kill this session only; the next `wait_for` sees the
+                // poison and ends the loop.
+                core.poison("retention ring lock poisoned".to_string());
+            }
         }
         core.counters.chunks_joined.fetch_add(1, Ordering::Relaxed);
         core.release_credit();
@@ -232,8 +245,9 @@ pub(crate) fn joiner_loop(core: &SessionCore, sink: &mut dyn MatchSink) -> Sessi
     }
     if let Some(ring) = &core.ring {
         // The stream is over and every match was delivered (or dropped):
-        // free the retained windows before the report is taken.
-        ring.lock().expect("ring poisoned").release_below(usize::MAX);
+        // free the retained windows before the report is taken. Poisoning is
+        // ignored on this final cleanup — the ring is about to be dropped.
+        crate::pool::lock_recover(ring).0.release_below(usize::MAX);
     }
 
     SessionReport {

@@ -169,12 +169,24 @@ fn deliver(core: &SessionCore, inner: &mut dyn PayloadSink, m: OnlineMatch) -> b
             // Take refcounts under the lock, copy the bytes outside it: the
             // feeder contends on this lock every window push, and a payload
             // can be megabytes.
-            let windows = ring.lock().expect("ring poisoned").collect(m.start..end);
-            match windows {
-                Some(windows) => Some(crate::retain::assemble(&windows, m.start..end)),
-                None => {
-                    core.counters.payload_misses.fetch_add(1, Ordering::Relaxed);
-                    None
+            let (guard, poisoned) = crate::pool::lock_recover(ring);
+            if poisoned {
+                // A panic under the ring lock is this session's failure: the
+                // match still goes out (without payload) so the client sees
+                // the span, and the session is poisoned so it winds down
+                // instead of panicking every thread that touches the ring.
+                drop(guard);
+                core.poison("retention ring lock poisoned".to_string());
+                None
+            } else {
+                let windows = guard.collect(m.start..end);
+                drop(guard);
+                match windows {
+                    Some(windows) => Some(crate::retain::assemble(&windows, m.start..end)),
+                    None => {
+                        core.counters.payload_misses.fetch_add(1, Ordering::Relaxed);
+                        None
+                    }
                 }
             }
         }

@@ -71,15 +71,23 @@ pub struct Frame {
 impl Frame {
     /// Builds the frame for one materialized match, taking the payload
     /// without copying it.
-    pub fn from_match(m: MaterializedMatch) -> Frame {
-        Frame {
+    ///
+    /// The wire carries the query index as a `u32`; a match whose index does
+    /// not fit is refused with [`WireError::Overflow`] instead of silently
+    /// truncating the bits and misattributing the frame to another query.
+    /// (`start`/`end` widen losslessly: `usize` is at most 64 bits on every
+    /// supported target.)
+    pub fn try_from_match(m: MaterializedMatch) -> Result<Frame, WireError> {
+        let query = u32::try_from(m.m.query)
+            .map_err(|_| WireError::Overflow { field: "query", value: m.m.query as u64 })?;
+        Ok(Frame {
             stream: m.stream,
-            query: m.m.query as u32,
+            query,
             start: m.m.start as u64,
             end: m.m.end as u64,
             depth: m.m.depth,
             payload: m.payload,
-        }
+        })
     }
 
     /// Appends the JSON-lines encoding (including the trailing newline).
@@ -206,6 +214,23 @@ pub enum WireError {
     BadLength(u32),
     /// A binary frame carried unknown flag bits.
     BadFlags(u8),
+    /// The stream ended mid-frame: `buffered` undecoded bytes remained when
+    /// [`FrameDecoder::finish`] was called. Distinguishes a half-written
+    /// final frame (a connection cut mid-write) from a clean EOF, which
+    /// `next_frame`'s `Ok(None)` alone cannot.
+    Truncated {
+        /// Bytes left undecoded at end of stream.
+        buffered: usize,
+    },
+    /// A frame field's value does not fit its wire width (e.g. a query index
+    /// beyond `u32`); refusing beats silently truncating the bits and
+    /// misattributing the frame.
+    Overflow {
+        /// The wire field that would have truncated.
+        field: &'static str,
+        /// The offending value.
+        value: u64,
+    },
 }
 
 impl std::fmt::Display for WireError {
@@ -216,6 +241,12 @@ impl std::fmt::Display for WireError {
                 write!(f, "binary frame length {n} outside the accepted range")
             }
             WireError::BadFlags(b) => write!(f, "binary frame with unknown flags {b:#04x}"),
+            WireError::Truncated { buffered } => {
+                write!(f, "stream ended mid-frame with {buffered} undecoded bytes buffered")
+            }
+            WireError::Overflow { field, value } => {
+                write!(f, "frame field {field:?} cannot carry value {value}")
+            }
         }
     }
 }
@@ -424,6 +455,21 @@ impl FrameDecoder {
         self.buf.len() - self.consumed
     }
 
+    /// Declares end of stream: `Ok(())` when every pushed byte decoded into
+    /// a complete frame, [`WireError::Truncated`] when a partial frame
+    /// remains buffered.
+    ///
+    /// Call this when the connection reaches EOF. [`FrameDecoder::next_frame`]
+    /// returns `Ok(None)` both for "need more bytes" and for a final frame
+    /// that was cut mid-write — without this check a truncated tail is
+    /// silently indistinguishable from a clean close.
+    pub fn finish(&self) -> Result<(), WireError> {
+        match self.buffered() {
+            0 => Ok(()),
+            buffered => Err(WireError::Truncated { buffered }),
+        }
+    }
+
     /// Pops the next complete frame, `Ok(None)` when more bytes are needed.
     pub fn next_frame(&mut self) -> Result<Option<Frame>, WireError> {
         let avail = &self.buf[self.consumed..];
@@ -511,7 +557,16 @@ impl<W: Write + Send> PayloadSink for WireSink<W> {
             return false;
         }
         self.scratch.clear();
-        let frame = Frame::from_match(m);
+        let frame = match Frame::try_from_match(m) {
+            Ok(frame) => frame,
+            Err(e) => {
+                // An unencodable match latches like a write failure: the
+                // frame is refused (counted as dropped upstream) instead of
+                // going out with truncated fields.
+                self.io_error = Some(std::io::Error::new(std::io::ErrorKind::InvalidData, e));
+                return false;
+            }
+        };
         match self.format {
             WireFormat::JsonLines => frame.encode_json(&mut self.scratch),
             WireFormat::Binary => frame.encode_binary(&mut self.scratch),
@@ -527,6 +582,408 @@ impl<W: Write + Send> PayloadSink for WireSink<W> {
                 false
             }
         }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The query-registration handshake
+// ---------------------------------------------------------------------------
+//
+// Before any frame flows, a client registers its queries over the same
+// socket with a small line-based handshake (ASCII, `\n`-terminated lines, a
+// trailing `\r` is stripped — `nc` works):
+//
+// ```text
+// client → server
+//   PPT/1 json|binary        protocol version + frame format (first line)
+//   QUERY <xpath>            one line per query, at least one
+//   RETAIN <bytes>           optional: payload-retention budget (decimal)
+//   STREAM <id>              optional: stream id stamped on frames (decimal)
+//   GO                       ends the handshake; XML stream bytes follow
+//
+// server → client, exactly one line, then frames in the negotiated format
+//   OK <id0> <id1> …         per-query ids, in the order the QUERYs arrived
+//   ERR <message>            structured rejection; the server then closes
+// ```
+//
+// Every byte after the `GO` line's `\n` belongs to the XML stream —
+// [`HandshakeDecoder::take_remainder`] hands those back so no read boundary
+// can lose them.
+
+/// Default cap on one handshake line (a query, realistically, is tens of
+/// bytes; the cap bounds memory against a client that never sends `\n`).
+pub const DEFAULT_MAX_HANDSHAKE_LINE: usize = 8 << 10;
+
+/// Default cap on queries registered by one connection.
+pub const DEFAULT_MAX_QUERIES: usize = 64;
+
+/// A parsed query-registration request (see the grammar above).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HandshakeRequest {
+    /// The frame format the client asked for.
+    pub format: WireFormat,
+    /// Query texts, in registration order — their indices are the query ids
+    /// on every frame.
+    pub queries: Vec<String>,
+    /// Requested payload-retention budget in bytes; `None` = offsets only.
+    pub retain_bytes: Option<u64>,
+    /// Stream id to stamp on frames (defaults to 0).
+    pub stream_id: u64,
+}
+
+impl HandshakeRequest {
+    /// A request for `format` with no queries yet.
+    pub fn new(format: WireFormat) -> HandshakeRequest {
+        HandshakeRequest { format, queries: Vec::new(), retain_bytes: None, stream_id: 0 }
+    }
+
+    /// Adds one query.
+    pub fn query(mut self, q: impl Into<String>) -> HandshakeRequest {
+        self.queries.push(q.into());
+        self
+    }
+
+    /// Requests payload retention with the given byte budget.
+    pub fn retain_bytes(mut self, budget: u64) -> HandshakeRequest {
+        self.retain_bytes = Some(budget);
+        self
+    }
+
+    /// Sets the stream id stamped on frames.
+    pub fn stream_id(mut self, id: u64) -> HandshakeRequest {
+        self.stream_id = id;
+        self
+    }
+
+    /// Encodes the handshake lines, `GO` included (the client-side inverse
+    /// of [`HandshakeDecoder`]).
+    pub fn encode(&self) -> Vec<u8> {
+        let format = match self.format {
+            WireFormat::JsonLines => "json",
+            WireFormat::Binary => "binary",
+        };
+        let mut out = format!("PPT/1 {format}\n").into_bytes();
+        for q in &self.queries {
+            out.extend_from_slice(format!("QUERY {q}\n").as_bytes());
+        }
+        if let Some(budget) = self.retain_bytes {
+            out.extend_from_slice(format!("RETAIN {budget}\n").as_bytes());
+        }
+        if self.stream_id != 0 {
+            out.extend_from_slice(format!("STREAM {}\n", self.stream_id).as_bytes());
+        }
+        out.extend_from_slice(b"GO\n");
+        out
+    }
+}
+
+/// A malformed or over-limit handshake. Every variant renders as a single
+/// line (no `\n` can appear: input is line-split before parsing), so the
+/// message embeds directly into an `ERR` reply.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HandshakeError {
+    /// A line exceeded the decoder's cap before its `\n` arrived.
+    LineTooLong {
+        /// The configured cap.
+        limit: usize,
+    },
+    /// A handshake line was not valid UTF-8.
+    NotUtf8,
+    /// The first line did not announce a supported protocol version.
+    BadVersion(String),
+    /// The version line named an unknown frame format.
+    BadFormat(String),
+    /// A line opened with a command outside the grammar.
+    UnknownCommand(String),
+    /// A numeric argument did not parse as decimal.
+    BadArgument {
+        /// The command whose argument failed.
+        command: &'static str,
+        /// The offending argument text.
+        value: String,
+    },
+    /// `GO` arrived before any `QUERY`.
+    NoQueries,
+    /// The connection registered more queries than the server allows.
+    TooManyQueries {
+        /// The configured cap.
+        limit: usize,
+    },
+    /// The handshake ran past its total line budget without reaching `GO`
+    /// (a flood of blank/`RETAIN`/`STREAM` lines would otherwise pass every
+    /// per-line cap while consuming the server indefinitely).
+    TooManyLines {
+        /// The configured cap.
+        limit: usize,
+    },
+    /// A reply line was neither `OK …` nor `ERR …` (client side).
+    BadReply(String),
+}
+
+impl std::fmt::Display for HandshakeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HandshakeError::LineTooLong { limit } => {
+                write!(f, "handshake line exceeds {limit} bytes")
+            }
+            HandshakeError::NotUtf8 => write!(f, "handshake line is not valid UTF-8"),
+            HandshakeError::BadVersion(line) => {
+                write!(f, "expected `PPT/1 <format>` as the first line, got `{line}`")
+            }
+            HandshakeError::BadFormat(fmt) => {
+                write!(f, "unknown frame format `{fmt}` (expected `json` or `binary`)")
+            }
+            HandshakeError::UnknownCommand(cmd) => write!(f, "unknown handshake command `{cmd}`"),
+            HandshakeError::BadArgument { command, value } => {
+                write!(f, "{command} takes a decimal integer, got `{value}`")
+            }
+            HandshakeError::NoQueries => write!(f, "GO before any QUERY was registered"),
+            HandshakeError::TooManyQueries { limit } => {
+                write!(f, "more than {limit} queries registered")
+            }
+            HandshakeError::TooManyLines { limit } => {
+                write!(f, "handshake exceeds {limit} lines without GO")
+            }
+            HandshakeError::BadReply(line) => {
+                write!(f, "expected `OK …` or `ERR …` reply, got `{line}`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for HandshakeError {}
+
+/// Incremental parser for the handshake: push socket bytes from any read
+/// boundary; a complete request comes back the moment the `GO` line closes,
+/// and [`HandshakeDecoder::take_remainder`] returns the stream bytes that
+/// arrived in the same reads.
+///
+/// Errors latch: once a line is rejected every further push reports the same
+/// error (the server writes one `ERR` and closes, so nothing ever resumes a
+/// failed handshake).
+#[derive(Debug)]
+pub struct HandshakeDecoder {
+    buf: Vec<u8>,
+    consumed: usize,
+    max_line: usize,
+    max_queries: usize,
+    /// Total-line budget: blank and repeated option lines are each legal, so
+    /// without this cap a client could stream them forever — passing every
+    /// per-line check while the connection never reaches `GO`. Memory stays
+    /// bounded regardless (consumed lines are compacted away); the budget
+    /// bounds the *work*.
+    max_lines: usize,
+    lines: usize,
+    format: Option<WireFormat>,
+    queries: Vec<String>,
+    retain_bytes: Option<u64>,
+    stream_id: u64,
+    complete: bool,
+    failed: Option<HandshakeError>,
+}
+
+impl Default for HandshakeDecoder {
+    fn default() -> HandshakeDecoder {
+        HandshakeDecoder::with_limits(DEFAULT_MAX_HANDSHAKE_LINE, DEFAULT_MAX_QUERIES)
+    }
+}
+
+impl HandshakeDecoder {
+    /// A decoder with the default line and query caps.
+    pub fn new() -> HandshakeDecoder {
+        HandshakeDecoder::default()
+    }
+
+    /// A decoder with explicit caps (both clamped to at least 1). The total
+    /// line budget follows from them: `max_queries` plus slack for the
+    /// version, options and `GO`.
+    pub fn with_limits(max_line: usize, max_queries: usize) -> HandshakeDecoder {
+        let max_queries = max_queries.max(1);
+        HandshakeDecoder {
+            buf: Vec::new(),
+            consumed: 0,
+            max_line: max_line.max(1),
+            max_queries,
+            max_lines: max_queries.saturating_add(16),
+            lines: 0,
+            format: None,
+            queries: Vec::new(),
+            retain_bytes: None,
+            stream_id: 0,
+            complete: false,
+            failed: None,
+        }
+    }
+
+    /// Appends socket bytes and parses as many complete lines as arrived.
+    /// Returns the finished request once the `GO` line closes; bytes pushed
+    /// after that accumulate as stream remainder (see
+    /// [`HandshakeDecoder::take_remainder`]).
+    pub fn push(&mut self, bytes: &[u8]) -> Result<Option<HandshakeRequest>, HandshakeError> {
+        if let Some(e) = &self.failed {
+            return Err(e.clone());
+        }
+        // Compact lazily (as `FrameDecoder` does) so a many-line handshake
+        // never accumulates its consumed lines — buffered memory is bounded
+        // by one line plus the pushed slice, whatever the client sends.
+        if self.consumed > 0 && self.consumed >= self.buf.len() / 2 {
+            self.buf.drain(..self.consumed);
+            self.consumed = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+        if self.complete {
+            return Ok(None);
+        }
+        while !self.complete {
+            let Some(nl) = self.buf[self.consumed..].iter().position(|&b| b == b'\n') else {
+                if self.buf.len() - self.consumed > self.max_line {
+                    return Err(self.fail(HandshakeError::LineTooLong { limit: self.max_line }));
+                }
+                return Ok(None);
+            };
+            if nl > self.max_line {
+                return Err(self.fail(HandshakeError::LineTooLong { limit: self.max_line }));
+            }
+            self.lines += 1;
+            if self.lines > self.max_lines {
+                return Err(self.fail(HandshakeError::TooManyLines { limit: self.max_lines }));
+            }
+            let line_end = self.consumed + nl;
+            // The line is borrowed out of `buf`, so parse into owned fields.
+            let line_range = self.consumed..line_end;
+            self.consumed = line_end + 1;
+            if let Err(e) = self.parse_line(line_range.start, line_range.end) {
+                return Err(self.fail(e));
+            }
+        }
+        Ok(Some(HandshakeRequest {
+            format: self.format.expect("set before complete"),
+            queries: self.queries.clone(),
+            retain_bytes: self.retain_bytes,
+            stream_id: self.stream_id,
+        }))
+    }
+
+    /// Consumes the decoder, returning every byte received after the `GO`
+    /// line — the head of the XML stream. Empty if the handshake never
+    /// completed.
+    pub fn take_remainder(mut self) -> Vec<u8> {
+        if !self.complete {
+            return Vec::new();
+        }
+        self.buf.split_off(self.consumed)
+    }
+
+    fn fail(&mut self, e: HandshakeError) -> HandshakeError {
+        self.failed = Some(e.clone());
+        e
+    }
+
+    fn parse_line(&mut self, start: usize, end: usize) -> Result<(), HandshakeError> {
+        let mut line = &self.buf[start..end];
+        if line.last() == Some(&b'\r') {
+            line = &line[..line.len() - 1];
+        }
+        let text = std::str::from_utf8(line).map_err(|_| HandshakeError::NotUtf8)?;
+        if text.trim().is_empty() {
+            return Ok(()); // blank lines are tolerated anywhere
+        }
+        if self.format.is_none() {
+            let (version, format) = text.split_once(' ').unwrap_or((text, ""));
+            if version != "PPT/1" {
+                return Err(HandshakeError::BadVersion(text.to_string()));
+            }
+            self.format = Some(match format.trim() {
+                "json" => WireFormat::JsonLines,
+                "binary" => WireFormat::Binary,
+                other => return Err(HandshakeError::BadFormat(other.to_string())),
+            });
+            return Ok(());
+        }
+        let (command, rest) = text.split_once(' ').unwrap_or((text, ""));
+        match command {
+            "QUERY" => {
+                if self.queries.len() >= self.max_queries {
+                    return Err(HandshakeError::TooManyQueries { limit: self.max_queries });
+                }
+                self.queries.push(rest.trim().to_string());
+            }
+            "RETAIN" => {
+                self.retain_bytes = Some(rest.trim().parse().map_err(|_| {
+                    HandshakeError::BadArgument { command: "RETAIN", value: rest.trim().into() }
+                })?);
+            }
+            "STREAM" => {
+                self.stream_id = rest.trim().parse().map_err(|_| HandshakeError::BadArgument {
+                    command: "STREAM",
+                    value: rest.trim().into(),
+                })?;
+            }
+            "GO" => {
+                if self.queries.is_empty() {
+                    return Err(HandshakeError::NoQueries);
+                }
+                self.complete = true;
+            }
+            other => return Err(HandshakeError::UnknownCommand(other.to_string())),
+        }
+        Ok(())
+    }
+}
+
+/// The server's one-line handshake reply.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HandshakeReply {
+    /// The queries were registered; frames follow. Carries the per-query
+    /// ids, in registration order.
+    Accepted(Vec<u32>),
+    /// The handshake was rejected; the message is the structured reason and
+    /// the server closes after sending it.
+    Rejected(String),
+}
+
+impl HandshakeReply {
+    /// Encodes the reply line (trailing newline included). A rejection
+    /// message is scrubbed of *all* control characters, not just `\n`/`\r`:
+    /// rejection reasons echo client-controlled text (the offending line),
+    /// and reflected escape bytes would fake protocol lines or scramble an
+    /// operator's `nc` transcript — same discipline as
+    /// `ppt_xpath::XPathError::wire_message`.
+    pub fn encode(&self) -> String {
+        match self {
+            HandshakeReply::Accepted(ids) => {
+                let mut line = String::from("OK");
+                for id in ids {
+                    line.push(' ');
+                    line.push_str(&id.to_string());
+                }
+                line.push('\n');
+                line
+            }
+            HandshakeReply::Rejected(msg) => {
+                let flat: String =
+                    msg.chars().map(|c| if c.is_control() { ' ' } else { c }).collect();
+                format!("ERR {flat}\n")
+            }
+        }
+    }
+
+    /// Parses one reply line (with or without the line terminator).
+    pub fn decode(line: &str) -> Result<HandshakeReply, HandshakeError> {
+        let line = line.trim_end_matches(['\n', '\r']);
+        if let Some(rest) = line.strip_prefix("OK") {
+            let ids = rest
+                .split_whitespace()
+                .map(|tok| {
+                    tok.parse::<u32>().map_err(|_| HandshakeError::BadReply(line.to_string()))
+                })
+                .collect::<Result<Vec<u32>, HandshakeError>>()?;
+            return Ok(HandshakeReply::Accepted(ids));
+        }
+        if let Some(rest) = line.strip_prefix("ERR ") {
+            return Ok(HandshakeReply::Rejected(rest.to_string()));
+        }
+        Err(HandshakeError::BadReply(line.to_string()))
     }
 }
 
@@ -636,6 +1093,152 @@ mod tests {
         buf[flags_at] = 0x82;
         dec.push(&buf);
         assert_eq!(dec.next_frame(), Err(WireError::BadFlags(0x82)));
+    }
+
+    #[test]
+    fn finish_distinguishes_clean_eof_from_truncation() {
+        let mut encoded = Vec::new();
+        frame(Some(b"<a>1</a>")).encode_binary(&mut encoded);
+
+        // Whole frame delivered: clean EOF.
+        let mut dec = FrameDecoder::new();
+        dec.push(&encoded);
+        assert!(dec.next_frame().unwrap().is_some());
+        assert_eq!(dec.finish(), Ok(()));
+
+        // Connection cut mid-frame: next_frame politely waits forever —
+        // finish() must flag the half-written tail.
+        let mut dec = FrameDecoder::new();
+        dec.push(&encoded[..encoded.len() - 3]);
+        assert_eq!(dec.next_frame(), Ok(None));
+        assert_eq!(dec.finish(), Err(WireError::Truncated { buffered: encoded.len() - 3 }));
+
+        // Even a partial length prefix counts.
+        let mut dec = FrameDecoder::new();
+        dec.push(&encoded[..2]);
+        assert_eq!(dec.finish(), Err(WireError::Truncated { buffered: 2 }));
+    }
+
+    #[cfg(target_pointer_width = "64")]
+    #[test]
+    fn oversized_query_index_is_refused_not_truncated() {
+        let m = crate::sink::MaterializedMatch {
+            stream: 1,
+            m: crate::OnlineMatch { query: (u32::MAX as usize) + 1, start: 0, end: 4, depth: 1 },
+            payload: None,
+        };
+        match Frame::try_from_match(m.clone()) {
+            Err(WireError::Overflow { field: "query", value }) => {
+                assert_eq!(value, (u32::MAX as u64) + 1);
+            }
+            other => panic!("expected an overflow error, got {other:?}"),
+        }
+        // And the sink latches it instead of writing a wrapped frame.
+        let mut sink = WireSink::new(Vec::new(), WireFormat::Binary);
+        assert!(!sink.on_match(m));
+        let (out, err) = sink.into_parts();
+        assert!(out.is_empty());
+        assert_eq!(err.unwrap().kind(), std::io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn handshake_round_trips_at_any_fragmentation() {
+        let req = HandshakeRequest::new(WireFormat::Binary)
+            .query("/a/b/c")
+            .query("//k[d/e]")
+            .retain_bytes(1 << 20)
+            .stream_id(42);
+        let mut encoded = req.encode();
+        encoded.extend_from_slice(b"<stream>the xml follows immediately");
+        for step in [1usize, 2, 3, 5, 8, encoded.len()] {
+            let mut dec = HandshakeDecoder::new();
+            let mut got = None;
+            for piece in encoded.chunks(step) {
+                if let Some(r) = dec.push(piece).unwrap() {
+                    assert!(got.is_none(), "the request completes exactly once");
+                    got = Some(r);
+                }
+            }
+            assert_eq!(got.as_ref(), Some(&req), "step {step}");
+            assert_eq!(dec.take_remainder(), b"<stream>the xml follows immediately", "step {step}");
+        }
+    }
+
+    #[test]
+    fn handshake_rejects_malformed_lines_with_structured_errors() {
+        let cases: [(&[u8], HandshakeError); 6] = [
+            (b"HTTP/1.1 GET /\n", HandshakeError::BadVersion("HTTP/1.1 GET /".into())),
+            (b"PPT/1 xml\n", HandshakeError::BadFormat("xml".into())),
+            (b"PPT/1 json\nFETCH //a\n", HandshakeError::UnknownCommand("FETCH".into())),
+            (
+                b"PPT/1 json\nRETAIN lots\n",
+                HandshakeError::BadArgument { command: "RETAIN", value: "lots".into() },
+            ),
+            (b"PPT/1 json\nGO\n", HandshakeError::NoQueries),
+            (b"PPT/1 json\nQUERY \xff\xfe\n", HandshakeError::NotUtf8),
+        ];
+        for (bytes, expected) in cases {
+            let mut dec = HandshakeDecoder::new();
+            assert_eq!(dec.push(bytes).unwrap_err(), expected);
+            // The error latches.
+            assert_eq!(dec.push(b"QUERY //a\nGO\n").unwrap_err(), expected);
+        }
+
+        // Limits: an endless line and a query flood both fail fast.
+        let mut dec = HandshakeDecoder::with_limits(16, 4);
+        assert_eq!(dec.push(&[b'x'; 64]).unwrap_err(), HandshakeError::LineTooLong { limit: 16 });
+        let mut dec = HandshakeDecoder::with_limits(1024, 2);
+        assert_eq!(
+            dec.push(b"PPT/1 json\nQUERY //a\nQUERY //b\nQUERY //c\n").unwrap_err(),
+            HandshakeError::TooManyQueries { limit: 2 }
+        );
+    }
+
+    #[test]
+    fn handshake_line_floods_are_bounded_in_lines_and_memory() {
+        // Blank lines and repeated options are each individually legal; a
+        // client streaming them forever must hit the total-line budget, and
+        // the decoder must not accumulate the consumed lines meanwhile.
+        let mut dec = HandshakeDecoder::with_limits(64, 4);
+        let flood: Vec<u8> = b"\n".repeat(1000);
+        match dec.push(&flood) {
+            Err(HandshakeError::TooManyLines { limit }) => assert_eq!(limit, 4 + 16),
+            other => panic!("expected a line-budget rejection, got {other:?}"),
+        }
+
+        // A legitimate multi-push handshake compacts as it goes: buffered
+        // memory stays bounded by roughly one line, not the handshake size.
+        let mut dec = HandshakeDecoder::with_limits(64, 8);
+        let mut lines: Vec<u8> = b"PPT/1 json\n".to_vec();
+        for i in 0..7 {
+            lines.extend_from_slice(format!("QUERY //q{i}\n").as_bytes());
+        }
+        let mut parsed = None;
+        for piece in lines.chunks(5) {
+            assert!(dec.buf.len() <= 128, "consumed lines must be compacted away");
+            if let Some(req) = dec.push(piece).unwrap() {
+                parsed = Some(req);
+            }
+        }
+        assert!(parsed.is_none());
+        assert_eq!(dec.push(b"GO\n").unwrap().unwrap().queries.len(), 7);
+    }
+
+    #[test]
+    fn handshake_reply_round_trips() {
+        let ok = HandshakeReply::Accepted(vec![0, 1, 2]);
+        assert_eq!(ok.encode(), "OK 0 1 2\n");
+        assert_eq!(HandshakeReply::decode(&ok.encode()).unwrap(), ok);
+
+        let err = HandshakeReply::Rejected("bad\nquery".into());
+        assert_eq!(err.encode(), "ERR bad query\n", "rejection must stay one line");
+        assert_eq!(
+            HandshakeReply::decode(&err.encode()).unwrap(),
+            HandshakeReply::Rejected("bad query".into())
+        );
+
+        assert!(HandshakeReply::decode("HELLO").is_err());
+        assert!(HandshakeReply::decode("OK one two").is_err());
     }
 
     #[test]

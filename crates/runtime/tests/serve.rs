@@ -1,0 +1,382 @@
+//! The TCP serving front-end, exercised over real localhost sockets: the
+//! query-registration handshake (well-formed, malformed, fragmented),
+//! end-to-end frame correctness against the batch engine, structured
+//! rejections, per-session failure isolation, and backpressure bounding
+//! retention for slow clients.
+
+use ppt_core::Engine;
+use ppt_runtime::serve::{register, ClientError, TcpServer};
+use ppt_runtime::{Frame, FrameDecoder, HandshakeDecoder, HandshakeRequest, Runtime, WireFormat};
+use proptest::prelude::*;
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A document with `items` matching `//item/k` elements.
+fn make_doc(items: usize) -> Vec<u8> {
+    let mut doc = Vec::new();
+    doc.extend_from_slice(b"<stream>");
+    for i in 0..items {
+        doc.extend_from_slice(
+            format!("<item><id>{i}</id><k>payload for element {i}</k></item>").as_bytes(),
+        );
+    }
+    doc.extend_from_slice(b"</stream>");
+    doc
+}
+
+/// The batch reference: multiset of (query, start, end) from `Engine::run`.
+fn batch_reference(queries: &[&str], doc: &[u8]) -> HashMap<(u32, u64, u64), usize> {
+    let engine = Engine::builder().add_queries(queries).unwrap().build().unwrap();
+    let result = engine.run(doc);
+    let mut expected = HashMap::new();
+    for (qi, ms) in result.query_matches.iter().enumerate() {
+        for m in ms {
+            *expected.entry((qi as u32, m.start as u64, m.end as u64)).or_default() += 1;
+        }
+    }
+    expected
+}
+
+/// Connects, registers, streams `doc` from a writer thread, and collects
+/// every response frame until EOF (optionally dawdling between reads).
+fn run_client(
+    addr: SocketAddr,
+    request: HandshakeRequest,
+    doc: Arc<Vec<u8>>,
+    read_delay: Option<Duration>,
+) -> Vec<Frame> {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    let ids = register(&mut stream, &request).expect("handshake accepted");
+    assert_eq!(ids.len(), request.queries.len(), "one id per registered query");
+    assert_eq!(ids, (0..request.queries.len() as u32).collect::<Vec<u32>>());
+
+    let format = request.format;
+    let writer_stream = stream.try_clone().expect("clone for writer");
+    let writer = std::thread::spawn(move || {
+        let mut writer_stream = writer_stream;
+        // Arbitrary write sizes: the splitter must not care.
+        for piece in doc.chunks(4096) {
+            if writer_stream.write_all(piece).is_err() {
+                return;
+            }
+        }
+        let _ = writer_stream.shutdown(Shutdown::Write);
+    });
+
+    let mut raw = Vec::new();
+    let mut buf = [0u8; 1024];
+    loop {
+        match stream.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => {
+                raw.extend_from_slice(&buf[..n]);
+                if let Some(delay) = read_delay {
+                    std::thread::sleep(delay);
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => panic!("client read failed: {e}"),
+        }
+    }
+    writer.join().expect("writer thread");
+
+    match format {
+        WireFormat::JsonLines => {
+            let text = std::str::from_utf8(&raw).expect("wire JSON is ASCII");
+            text.lines().map(|l| Frame::decode_json(l).expect("every line parses")).collect()
+        }
+        WireFormat::Binary => {
+            let mut decoder = FrameDecoder::new();
+            decoder.push(&raw);
+            let mut frames = Vec::new();
+            while let Some(frame) = decoder.next_frame().expect("well-formed frames") {
+                frames.push(frame);
+            }
+            // A clean close must not leave a half-written frame behind.
+            decoder.finish().expect("no truncated tail on a clean close");
+            frames
+        }
+    }
+}
+
+/// Asserts `frames` carry exactly the batch matches, with byte-identical
+/// payloads when `doc` retention was on.
+fn assert_frames_match(
+    frames: &[Frame],
+    mut expected: HashMap<(u32, u64, u64), usize>,
+    doc: Option<&[u8]>,
+) {
+    for frame in frames {
+        let key = (frame.query, frame.start, frame.end);
+        let n = expected.get_mut(&key).unwrap_or_else(|| panic!("unexpected frame {key:?}"));
+        *n -= 1;
+        if *n == 0 {
+            expected.remove(&key);
+        }
+        if let Some(doc) = doc {
+            let payload = frame.payload.as_ref().expect("retention on: payload present");
+            assert_eq!(
+                payload.as_slice(),
+                &doc[frame.start as usize..frame.end as usize],
+                "payload must be byte-identical to the stream slice"
+            );
+        }
+    }
+    assert!(expected.is_empty(), "batch matches never served: {expected:?}");
+}
+
+#[test]
+fn serves_json_and_binary_clients_concurrently() {
+    let queries = ["//item/k", "/stream/item/id"];
+    let doc = Arc::new(make_doc(300));
+    let expected = batch_reference(&queries, &doc);
+
+    let runtime = Arc::new(Runtime::builder().workers(2).inflight_chunks(8).build());
+    let server = TcpServer::builder()
+        .chunk_size(512)
+        .window_size(4096)
+        .bind("127.0.0.1:0", runtime)
+        .expect("bind");
+    let addr = server.local_addr();
+
+    let mut clients = Vec::new();
+    for (stream_id, format) in [(7u64, WireFormat::JsonLines), (9, WireFormat::Binary)] {
+        let doc = Arc::clone(&doc);
+        let request = HandshakeRequest::new(format)
+            .query(queries[0])
+            .query(queries[1])
+            .retain_bytes(1 << 20)
+            .stream_id(stream_id);
+        clients.push(std::thread::spawn(move || (stream_id, run_client(addr, request, doc, None))));
+    }
+    for client in clients {
+        let (stream_id, frames) = client.join().expect("client thread");
+        assert!(!frames.is_empty());
+        assert!(frames.iter().all(|f| f.stream == stream_id), "frames carry the stream id");
+        assert_frames_match(&frames, expected.clone(), Some(&doc));
+    }
+
+    let stats = server.shutdown();
+    assert_eq!(stats.accepted, 2);
+    assert_eq!(stats.sessions_completed, 2);
+    assert_eq!(stats.sessions_failed, 0);
+    assert_eq!(stats.active, 0);
+    assert_eq!(stats.connections.len(), 2);
+    for conn in &stats.connections {
+        let report = conn.report.as_ref().expect("clean close keeps the report");
+        assert!(report.error.is_none());
+        assert_eq!(report.stats.payload_misses, 0);
+        assert_eq!(conn.queries, queries);
+    }
+}
+
+#[test]
+fn malformed_handshakes_get_structured_rejections_and_server_survives() {
+    let runtime = Arc::new(Runtime::builder().workers(1).build());
+    let server = TcpServer::bind("127.0.0.1:0", runtime).expect("bind");
+    let addr = server.local_addr();
+
+    // A wrong-protocol client is answered, not dropped.
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream.write_all(b"GET / HTTP/1.1\r\n").unwrap();
+    let mut reply = String::new();
+    stream.read_to_string(&mut reply).unwrap();
+    assert!(reply.starts_with("ERR "), "structured rejection, got {reply:?}");
+    assert!(reply.contains("PPT/1"), "the reason names the expected grammar: {reply:?}");
+
+    // A bad query is rejected with the parser's message over the wire.
+    let mut stream = TcpStream::connect(addr).unwrap();
+    let request = HandshakeRequest::new(WireFormat::JsonLines).query("/a[unclosed");
+    match register(&mut stream, &request) {
+        Err(ClientError::Rejected(reason)) => {
+            assert!(reason.contains("/a[unclosed"), "echoes the query: {reason}");
+        }
+        other => panic!("expected a rejection, got {other:?}"),
+    }
+
+    // A connection killed mid-handshake harms nobody.
+    let stream = TcpStream::connect(addr).unwrap();
+    drop(stream);
+
+    // The server still serves a well-behaved client after all that.
+    let doc = Arc::new(make_doc(50));
+    let expected = batch_reference(&["//item/k"], &doc);
+    let request = HandshakeRequest::new(WireFormat::JsonLines).query("//item/k");
+    let frames = run_client(addr, request, Arc::clone(&doc), None);
+    assert_frames_match(&frames, expected, None);
+
+    let stats = server.shutdown();
+    assert!(stats.handshake_rejects >= 2, "rejects counted: {stats:?}");
+    assert_eq!(stats.sessions_completed, 1);
+}
+
+#[test]
+fn handshake_deadline_rejects_trickling_clients() {
+    let runtime = Arc::new(Runtime::builder().workers(1).build());
+    let server = TcpServer::builder()
+        .handshake_timeout(Some(Duration::from_millis(200)))
+        .bind("127.0.0.1:0", runtime)
+        .expect("bind");
+    let addr = server.local_addr();
+
+    // A slowloris: each byte lands well inside a per-read timeout, but the
+    // handshake as a whole never finishes — the *deadline* must fire.
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream.write_all(b"PPT/1 ").unwrap();
+    std::thread::sleep(Duration::from_millis(80));
+    stream.write_all(b"j").unwrap();
+    // Stop writing before the server closes (a write into a closed socket
+    // would RST away the reply we want to observe) and outlive the deadline.
+    std::thread::sleep(Duration::from_millis(250));
+    let mut reply = String::new();
+    stream.read_to_string(&mut reply).unwrap();
+    assert!(
+        reply.starts_with("ERR") && reply.contains("timed out"),
+        "structured timeout rejection, got {reply:?}"
+    );
+
+    let stats = server.shutdown();
+    assert_eq!(stats.handshake_rejects, 1);
+    assert_eq!(stats.sessions_completed + stats.sessions_failed, 0);
+}
+
+#[test]
+fn a_connection_killed_mid_stream_poisons_only_its_own_session() {
+    let queries = ["//item/k"];
+    let doc = Arc::new(make_doc(400));
+    let expected = batch_reference(&queries, &doc);
+
+    let runtime = Arc::new(Runtime::builder().workers(2).inflight_chunks(4).build());
+    let server = TcpServer::builder()
+        .chunk_size(256)
+        .window_size(2048)
+        .bind("127.0.0.1:0", runtime)
+        .expect("bind");
+    let addr = server.local_addr();
+
+    // The victim: registers, streams a prefix, then vanishes without ever
+    // reading a frame — on close the unread response data turns into a
+    // connection reset the server must absorb.
+    let victim_doc = Arc::clone(&doc);
+    let victim = std::thread::spawn(move || {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        let request = HandshakeRequest::new(WireFormat::JsonLines).query("//item/k");
+        register(&mut stream, &request).expect("handshake accepted");
+        let _ = stream.write_all(&victim_doc[..victim_doc.len() / 2]);
+        // Give the server a moment to produce frames we will never read.
+        std::thread::sleep(Duration::from_millis(100));
+        drop(stream); // no half-close: an abrupt disappearance
+    });
+
+    // The bystander: a full, well-behaved session running concurrently.
+    let request = HandshakeRequest::new(WireFormat::JsonLines).query(queries[0]);
+    let frames = run_client(addr, request, Arc::clone(&doc), None);
+    assert_frames_match(&frames, expected.clone(), None);
+    victim.join().unwrap();
+
+    // And the server keeps serving new sessions afterwards.
+    let request = HandshakeRequest::new(WireFormat::Binary).query(queries[0]);
+    let frames = run_client(addr, request, Arc::clone(&doc), None);
+    assert_frames_match(&frames, expected, None);
+
+    let stats = server.shutdown();
+    assert_eq!(stats.accepted, 3);
+    assert_eq!(stats.sessions_completed, 2, "both healthy sessions finished: {stats:?}");
+    assert_eq!(stats.active, 0);
+}
+
+#[test]
+fn slow_client_backpressure_bounds_retention_under_its_budget() {
+    let doc = Arc::new(make_doc(2000));
+    let expected = batch_reference(&["//item/k"], &doc);
+    let budget = 16 << 10;
+
+    let runtime = Arc::new(Runtime::builder().workers(2).inflight_chunks(2).build());
+    let server = TcpServer::builder()
+        .chunk_size(512)
+        .window_size(2048)
+        .bind("127.0.0.1:0", runtime)
+        .expect("bind");
+    let addr = server.local_addr();
+
+    let request =
+        HandshakeRequest::new(WireFormat::JsonLines).query("//item/k").retain_bytes(budget as u64);
+    let frames = run_client(addr, request, Arc::clone(&doc), Some(Duration::from_millis(2)));
+    assert_frames_match(&frames, expected, Some(&doc));
+
+    let stats = server.shutdown();
+    let conn = &stats.connections[0];
+    let report = conn.report.as_ref().expect("session completed");
+    assert!(
+        report.stats.peak_retained_bytes <= budget,
+        "retention stayed under the client's budget: {} > {budget}",
+        report.stats.peak_retained_bytes
+    );
+    assert_eq!(report.stats.payload_misses, 0);
+    assert_eq!(conn.frames, frames.len() as u64);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary garbage pushed at arbitrary fragmentation must never panic
+    /// the handshake decoder: every outcome is a parsed request, a demand
+    /// for more bytes, or a structured error.
+    #[test]
+    fn handshake_decoder_survives_garbage(
+        bytes in prop::collection::vec(any::<u8>(), 0..200),
+        step in 1usize..17,
+    ) {
+        let mut decoder = HandshakeDecoder::with_limits(64, 4);
+        let mut outcome_ok = 0usize;
+        for piece in bytes.chunks(step) {
+            match decoder.push(piece) {
+                Ok(Some(req)) => {
+                    outcome_ok += 1;
+                    prop_assert!(!req.queries.is_empty());
+                }
+                Ok(None) => {}
+                Err(e) => {
+                    // Structured and single-line, ready for an ERR reply.
+                    let msg = e.to_string();
+                    prop_assert!(!msg.is_empty());
+                    prop_assert!(!msg.contains('\n'));
+                }
+            }
+        }
+        prop_assert!(outcome_ok <= 1);
+    }
+
+    /// A valid handshake interleaved into random fragment sizes always
+    /// parses to the same request, and the remainder is exactly the bytes
+    /// after GO.
+    #[test]
+    fn handshake_decoder_is_fragmentation_invariant(
+        step in 1usize..23,
+        retain in 1u64..1_000_000,
+        stream_id in any::<u64>(),
+        tail in prop::collection::vec(any::<u8>(), 0..64),
+    ) {
+        let request = HandshakeRequest::new(WireFormat::Binary)
+            .query("/s/cs/c/a")
+            .query("//k")
+            .retain_bytes(retain)
+            .stream_id(stream_id);
+        let mut encoded = request.encode();
+        encoded.extend_from_slice(&tail);
+
+        let mut decoder = HandshakeDecoder::new();
+        let mut parsed = None;
+        for piece in encoded.chunks(step) {
+            if let Some(req) = decoder.push(piece).expect("valid handshake") {
+                prop_assert!(parsed.is_none());
+                parsed = Some(req);
+            }
+        }
+        prop_assert_eq!(parsed.as_ref(), Some(&request));
+        prop_assert_eq!(decoder.take_remainder(), tail);
+    }
+}

@@ -28,6 +28,20 @@ impl fmt::Display for XPathError {
     }
 }
 
+impl XPathError {
+    /// The error rendered as a single line, safe to embed in a line-oriented
+    /// wire protocol (the serving front-end's `ERR <message>` reply).
+    ///
+    /// [`XPathError::Parse`]/[`XPathError::Unsupported`] echo the query text
+    /// back verbatim; a query containing `\r` or other control bytes would
+    /// otherwise let a client fake extra protocol lines or scramble a
+    /// terminal transcript. Control characters are replaced with spaces; the
+    /// message content is unchanged otherwise.
+    pub fn wire_message(&self) -> String {
+        self.to_string().chars().map(|c| if c.is_control() { ' ' } else { c }).collect()
+    }
+}
+
 impl std::error::Error for XPathError {}
 
 #[cfg(test)]
@@ -42,5 +56,18 @@ mod tests {
         assert!(s.contains("/a["));
         assert!(s.contains("unclosed predicate"));
         assert!(XPathError::Empty.to_string().contains("empty"));
+    }
+
+    #[test]
+    fn wire_message_is_one_clean_line() {
+        let e = XPathError::Parse {
+            query: "/a\r\nERR forged\u{7}[".into(),
+            pos: 3,
+            message: "unclosed predicate".into(),
+        };
+        let wire = e.wire_message();
+        assert!(!wire.contains('\n') && !wire.contains('\r'), "{wire:?}");
+        assert!(wire.chars().all(|c| !c.is_control()), "{wire:?}");
+        assert!(wire.contains("unclosed predicate"));
     }
 }

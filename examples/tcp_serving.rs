@@ -1,0 +1,216 @@
+//! TCP serving: a real socket front-end over the online runtime.
+//!
+//! One process hosts a [`TcpServer`] on loopback and throws four clients at
+//! it concurrently:
+//!
+//! * two well-behaved clients (one JSON-lines, one binary) that register
+//!   queries through the handshake, stream a large XMark document, and
+//!   verify every served payload is **byte-identical** to what the batch
+//!   engine (`Engine::run`) selects;
+//! * one vandal that dies mid-handshake;
+//! * one vandal that registers, streams half the document, and vanishes
+//!   without reading a single frame.
+//!
+//! The acceptance claim: the vandals poison *their own* sessions only — both
+//! honest clients finish with exact match counts, and the server's stats
+//! account for everyone.
+//!
+//! ```sh
+//! cargo run --release --example tcp_serving -- [size-mb] [budget-mb]
+//! # defaults: 64 MB document, 16 MiB retention budget per client
+//! ```
+
+use pp_xml::datasets::XmarkConfig;
+use pp_xml::prelude::*;
+use pp_xml::runtime::serve::{register, TcpServer};
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+type Expected = HashMap<(u32, u64, u64), usize>;
+
+/// Streams `doc` to a registered session and collects every frame until the
+/// server closes, verifying payload bytes against the document.
+fn honest_client(
+    addr: SocketAddr,
+    format: WireFormat,
+    stream_id: u64,
+    queries: &[&str],
+    retain: u64,
+    doc: Arc<Vec<u8>>,
+    mut expected: Expected,
+) -> (u64, f64) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    let mut request = HandshakeRequest::new(format).retain_bytes(retain).stream_id(stream_id);
+    for q in queries {
+        request = request.query(*q);
+    }
+    let ids = register(&mut stream, &request).expect("handshake accepted");
+    assert_eq!(ids, (0..queries.len() as u32).collect::<Vec<u32>>());
+
+    let writer_doc = Arc::clone(&doc);
+    let writer_stream = stream.try_clone().expect("clone");
+    let writer = std::thread::spawn(move || {
+        let mut writer_stream = writer_stream;
+        for piece in writer_doc.chunks(64 << 10) {
+            if writer_stream.write_all(piece).is_err() {
+                return;
+            }
+        }
+        let _ = writer_stream.shutdown(Shutdown::Write);
+    });
+
+    let started = Instant::now();
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).expect("read frames to EOF");
+    writer.join().expect("writer thread");
+    let elapsed = started.elapsed().as_secs_f64();
+
+    let mut check = |frame: Frame| {
+        assert_eq!(frame.stream, stream_id);
+        let (start, end) = (frame.start as usize, frame.end as usize);
+        let payload = frame.payload.as_ref().expect("no span outlives this budget");
+        assert_eq!(
+            payload.as_slice(),
+            &doc[start..end],
+            "payload must be byte-identical to the stream slice"
+        );
+        let key = (frame.query, frame.start, frame.end);
+        let n = expected.get_mut(&key).expect("every frame matches a batch result");
+        *n -= 1;
+        if *n == 0 {
+            expected.remove(&key);
+        }
+    };
+    let mut frames = 0u64;
+    match format {
+        WireFormat::JsonLines => {
+            let text = std::str::from_utf8(&raw).expect("wire JSON is ASCII");
+            for line in text.lines() {
+                check(Frame::decode_json(line).expect("every line parses"));
+                frames += 1;
+            }
+        }
+        WireFormat::Binary => {
+            let mut decoder = FrameDecoder::new();
+            decoder.push(&raw);
+            while let Some(frame) = decoder.next_frame().expect("well-formed frames") {
+                check(frame);
+                frames += 1;
+            }
+            // Clean-close proof: EOF must not hide a half-written frame.
+            decoder.finish().expect("no truncated final frame");
+        }
+    }
+    assert!(expected.is_empty(), "batch results never served: {} missing", expected.len());
+    (frames, elapsed)
+}
+
+fn main() {
+    let size_mb: f64 = std::env::args().nth(1).and_then(|v| v.parse().ok()).unwrap_or(64.0);
+    let budget_mb: f64 = std::env::args().nth(2).and_then(|v| v.parse().ok()).unwrap_or(16.0);
+    let budget = (budget_mb * 1024.0 * 1024.0) as u64;
+
+    println!("generating a ~{size_mb} MB xmark document...");
+    let doc = Arc::new(XmarkConfig::with_target_size((size_mb * 1_000_000.0) as usize).generate());
+    println!("  {} bytes", doc.len());
+
+    let queries = ["/s/cs/c/a/d/t/k", "//c//k", "/s/cs/c[a/d/t/k]/d"];
+
+    // The batch reference: the exact spans the paper's offline pipeline
+    // selects on the same document.
+    println!("batch reference run (Engine::run)...");
+    let reference = Engine::builder()
+        .add_queries(&queries)
+        .expect("valid queries")
+        .build()
+        .expect("engine compiles");
+    let batch = reference.run(&doc);
+    let mut expected: Expected = HashMap::new();
+    for (qi, ms) in batch.query_matches.iter().enumerate() {
+        for m in ms {
+            *expected.entry((qi as u32, m.start as u64, m.end as u64)).or_default() += 1;
+        }
+    }
+    println!("  {} matches across {} queries", batch.total_matches(), queries.len());
+
+    let runtime = Arc::new(Runtime::builder().workers(4).inflight_chunks(8).build());
+    let server = TcpServer::builder()
+        .max_connections(4)
+        .chunk_size(256 << 10)
+        .window_size(1 << 20)
+        .bind("127.0.0.1:0", runtime)
+        .expect("bind loopback");
+    let addr = server.local_addr();
+    println!("serving on {addr} (retention budget {budget_mb} MiB per client)");
+
+    std::thread::scope(|scope| {
+        // Vandal 1: dies mid-handshake.
+        scope.spawn(move || {
+            let mut stream = TcpStream::connect(addr).expect("vandal connect");
+            let _ = stream.write_all(b"PPT/1 json\nQUERY //c//k\n"); // no GO
+            std::thread::sleep(Duration::from_millis(50));
+            drop(stream);
+        });
+        // Vandal 2: registers, streams half the document, reads nothing,
+        // vanishes. The server must absorb the reset.
+        let vandal_doc = Arc::clone(&doc);
+        scope.spawn(move || {
+            let mut stream = TcpStream::connect(addr).expect("vandal connect");
+            let request = HandshakeRequest::new(WireFormat::JsonLines).query("//c//k");
+            register(&mut stream, &request).expect("handshake accepted");
+            let _ = stream.write_all(&vandal_doc[..vandal_doc.len() / 2]);
+            std::thread::sleep(Duration::from_millis(100));
+            drop(stream);
+        });
+        // The honest clients, concurrently with the vandals.
+        for (stream_id, format) in [(1u64, WireFormat::JsonLines), (2, WireFormat::Binary)] {
+            let doc = Arc::clone(&doc);
+            let expected = expected.clone();
+            scope.spawn(move || {
+                let (frames, secs) =
+                    honest_client(addr, format, stream_id, &queries, budget, doc.clone(), expected);
+                println!(
+                    "  client {stream_id} ({format:?}): {frames} frames, {:.1} MiB/s sustained",
+                    (doc.len() as f64 / (1024.0 * 1024.0)) / secs
+                );
+            });
+        }
+    });
+
+    let stats = server.shutdown();
+    println!(
+        "server: {} accepted, {} completed, {} failed, {} handshake rejects, {:.1} MB on the wire",
+        stats.accepted,
+        stats.sessions_completed,
+        stats.sessions_failed,
+        stats.handshake_rejects,
+        stats.bytes_out as f64 / 1e6
+    );
+    for conn in &stats.connections {
+        if let Some(report) = &conn.report {
+            println!(
+                "  {} stream {}: {} frames, peak retained {:.2} MiB, {} misses",
+                conn.peer,
+                conn.stream_id,
+                conn.frames,
+                report.stats.peak_retained_bytes as f64 / (1024.0 * 1024.0),
+                report.stats.payload_misses
+            );
+        } else {
+            println!(
+                "  {} stream {}: died mid-stream ({})",
+                conn.peer,
+                conn.stream_id,
+                conn.read_error.as_deref().unwrap_or("unknown")
+            );
+        }
+    }
+
+    assert_eq!(stats.sessions_completed, 2, "both honest sessions completed");
+    assert!(stats.handshake_rejects >= 1, "the mid-handshake vandal was counted");
+    assert_eq!(stats.active, 0);
+    println!("OK: honest clients served byte-identical payloads; vandals poisoned only themselves");
+}

@@ -85,9 +85,11 @@ pub mod prelude {
     pub use ppt_core::engine::{Engine, EngineBuilder, EngineConfig, QueryResult};
     pub use ppt_core::stats::RunStats;
     pub use ppt_runtime::{
-        CollectPayloadSink, CollectSink, Frame, FrameDecoder, MatchSink, MatchStream,
-        MaterializedMatch, OnlineMatch, PayloadSink, Runtime, RuntimeStats, SessionHandle,
-        SessionManager, SessionOptions, SessionReport, WireFormat, WireServed, WireSink,
+        CollectPayloadSink, CollectSink, ConnectionReport, Frame, FrameDecoder, HandshakeDecoder,
+        HandshakeError, HandshakeReply, HandshakeRequest, MatchSink, MatchStream,
+        MaterializedMatch, OnlineMatch, PayloadSink, Runtime, RuntimeStats, ServerStats,
+        SessionHandle, SessionManager, SessionOptions, SessionReport, TcpServer, TcpServerBuilder,
+        WireFormat, WireServed, WireSink,
     };
     pub use ppt_xpath::{Query, QueryPlan};
 }
