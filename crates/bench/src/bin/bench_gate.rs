@@ -13,7 +13,9 @@
 //! The parser reads exactly the schema the bench binaries emit
 //! (`"results": [{"mode": ..., "threads": ..., "mib_per_s": ..., "matches":
 //! ...}]`); unknown top-level fields are ignored so baselines can carry
-//! extra metadata.
+//! extra metadata. The serving bench sweeps *connections* rather than
+//! worker threads, so `"conns"` is accepted as an alias for the `"threads"`
+//! point key (`BENCH_serve.json` uses it).
 
 use std::process::ExitCode;
 
@@ -59,9 +61,12 @@ fn parse_points(json: &str) -> Result<Vec<Point>, String> {
             .map(|i| obj_open + i)
             .ok_or_else(|| "unterminated result object".to_string())?;
         let obj = &rest[obj_open + 1..obj_close];
+        // "threads" is the point key for the pipeline benches; the serving
+        // bench sweeps connections instead and writes "conns".
+        let key = field_num(obj, "threads").or_else(|_| field_num(obj, "conns"))?;
         points.push(Point {
             mode: field_str(obj, "mode")?,
-            threads: field_num(obj, "threads")?.round() as u64,
+            threads: key.round() as u64,
             mib_per_s: field_num(obj, "mib_per_s")?,
             matches: field_num(obj, "matches").ok().map(|v| v.round() as u64),
         });
@@ -254,6 +259,24 @@ mod tests {
         let points = parse_points(report).unwrap();
         assert_eq!(points.len(), 1);
         assert_eq!(points[0].mode, "offsets");
+    }
+
+    #[test]
+    fn accepts_conns_as_the_point_key() {
+        // The serving bench sweeps connections; its points must compare
+        // against "threads"-keyed baselines and vice versa.
+        let report = r#"{
+  "bench": "serve",
+  "results": [
+    {"mode": "reactor", "conns": 64, "mib_per_s": 40.00, "matches": 640}
+  ]
+}"#;
+        let points = parse_points(report).unwrap();
+        assert_eq!(points.len(), 1);
+        assert_eq!(points[0].threads, 64);
+        assert_eq!(points[0].matches, Some(640));
+        // And the gate matches conns-keyed points against each other.
+        assert!(gate(&points, &points, 0.25).is_empty());
     }
 
     #[test]

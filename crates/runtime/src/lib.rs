@@ -70,6 +70,8 @@
 
 mod filters;
 mod pool;
+#[cfg(unix)]
+pub mod reactor;
 mod resolver;
 mod retain;
 pub mod serve;
@@ -79,12 +81,12 @@ mod stats;
 pub mod wire;
 
 pub use resolver::{SpanEvent, SpanResolver};
-pub use serve::{ConnectionReport, ServerStats, TcpServer, TcpServerBuilder};
+pub use serve::{ConnectionReport, ServerMode, ServerStats, TcpServer, TcpServerBuilder};
 pub use session::{SessionHandle, SessionReport};
 pub use sink::{
     CollectPayloadSink, CollectSink, MatchSink, MaterializedMatch, OnlineMatch, PayloadSink,
 };
-pub use stats::RuntimeStats;
+pub use stats::{ReactorStats, RuntimeStats};
 pub use wire::{
     Frame, FrameDecoder, HandshakeDecoder, HandshakeError, HandshakeReply, HandshakeRequest,
     WireError, WireFormat, WireSink,
@@ -238,6 +240,22 @@ impl Runtime {
     /// Number of worker threads.
     pub fn workers(&self) -> usize {
         self.pool.worker_count()
+    }
+
+    /// The shared worker pool (the reactor submits chunk jobs directly).
+    pub(crate) fn worker_pool(&self) -> &Arc<pool::WorkerPool> {
+        &self.pool
+    }
+
+    /// Builds a session core with this runtime's in-flight credit window —
+    /// the reactor's entry point, which drives the feeder and joiner itself
+    /// instead of going through the blocking session APIs.
+    pub(crate) fn new_session_core(
+        &self,
+        engine: Arc<Engine>,
+        opts: &SessionOptions,
+    ) -> Arc<pool::SessionCore> {
+        Arc::new(pool::SessionCore::new(engine, self.inflight_chunks, opts))
     }
 
     /// Peak depth the shared job queue has reached across all sessions.

@@ -17,7 +17,7 @@ use ppt_xmlstream::SharedWindow;
 use std::collections::{BTreeMap, VecDeque};
 use std::ops::Range;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock};
 use std::time::Instant;
 
 /// Locks `mutex`, recovering the guard when a panicking holder poisoned it.
@@ -78,6 +78,35 @@ pub(crate) struct Mailbox {
     pub poisoned: Option<String>,
 }
 
+/// Progress callbacks a *non-blocking* session driver (the reactor)
+/// registers to learn about pipeline progress without parking a thread on
+/// the session's condvars. The blocking entry points never set these — the
+/// condvars alone carry their wakeups.
+///
+/// Implementations must be cheap and must not block: the hooks fire from
+/// worker threads (after a chunk delivery) and from the joiner (after a
+/// credit return), both on hot paths.
+pub(crate) trait SessionEvents: Send + Sync {
+    /// The joiner may be able to make progress: a chunk was delivered, the
+    /// total was announced, or the session was poisoned.
+    fn on_deliverable(&self);
+    /// An in-flight credit was returned (or the session died): a feeder
+    /// whose submissions were blocked on backpressure may resume.
+    fn on_credit(&self);
+}
+
+/// Outcome of a non-blocking mailbox poll (see [`SessionCore::try_take`]).
+pub(crate) enum TryTake {
+    /// The requested chunk is ready; fold it.
+    Ready(ChunkOutput),
+    /// The chunk has not been delivered yet; try again after the next
+    /// [`SessionEvents::on_deliverable`].
+    Pending,
+    /// The stream ended (every chunk before `seq` folded) or the session
+    /// died — the joiner must finalize.
+    Ended,
+}
+
 /// Everything the three stages of one session share.
 pub(crate) struct SessionCore {
     pub engine: Arc<Engine>,
@@ -99,6 +128,9 @@ pub(crate) struct SessionCore {
     /// never held across a blocking wait.
     pub ring: Option<Mutex<RetentionRing>>,
     pub counters: Counters,
+    /// Progress hooks for a non-blocking driver (set once, before the first
+    /// byte is fed; `None` for the blocking entry points).
+    events: OnceLock<Arc<dyn SessionEvents>>,
 }
 
 impl SessionCore {
@@ -117,6 +149,25 @@ impl SessionCore {
             stream_id: opts.stream_id,
             ring: opts.retention_budget.map(|budget| Mutex::new(RetentionRing::new(budget))),
             counters: Counters::new(),
+            events: OnceLock::new(),
+        }
+    }
+
+    /// Registers the progress hooks of a non-blocking driver. Must be called
+    /// before any chunk is submitted; a second registration is ignored.
+    pub fn set_events(&self, events: Arc<dyn SessionEvents>) {
+        let _ = self.events.set(events);
+    }
+
+    fn fire_deliverable(&self) {
+        if let Some(events) = self.events.get() {
+            events.on_deliverable();
+        }
+    }
+
+    fn fire_credit(&self) {
+        if let Some(events) = self.events.get() {
+            events.on_credit();
         }
     }
 
@@ -156,6 +207,23 @@ impl SessionCore {
         true
     }
 
+    /// Non-blocking [`SessionCore::acquire_credit`]: takes a credit if one is
+    /// available right now, `false` otherwise (backpressure — retry after the
+    /// next [`SessionEvents::on_credit`]) or when the session died.
+    pub fn try_acquire_credit(&self) -> bool {
+        let (mut credits, poisoned) = lock_recover(&self.credits);
+        if poisoned {
+            drop(credits);
+            self.poison("credit lock poisoned by a panicking pipeline stage".to_string());
+            return false;
+        }
+        if self.is_dead() || *credits == 0 {
+            return false;
+        }
+        *credits -= 1;
+        true
+    }
+
     /// Returns one in-flight credit.
     pub fn release_credit(&self) {
         let (mut credits, poisoned) = lock_recover(&self.credits);
@@ -165,6 +233,7 @@ impl SessionCore {
         if poisoned {
             self.poison("credit lock poisoned by a panicking pipeline stage".to_string());
         }
+        self.fire_credit();
     }
 
     /// Delivers a completed chunk to the joiner.
@@ -179,6 +248,7 @@ impl SessionCore {
         self.counters.raise_peak_reorder(mb.ready.len());
         drop(mb);
         self.mailbox_cv.notify_all();
+        self.fire_deliverable();
     }
 
     /// Announces that exactly `total` chunks were submitted (stream ended).
@@ -192,6 +262,7 @@ impl SessionCore {
         mb.total = Some(total);
         drop(mb);
         self.mailbox_cv.notify_all();
+        self.fire_deliverable();
     }
 
     /// Marks the session dead (a pipeline stage panicked) and wakes every
@@ -209,6 +280,10 @@ impl SessionCore {
         drop(mb);
         self.mailbox_cv.notify_all();
         self.credits_cv.notify_all();
+        // A non-blocking driver must observe the death on both sides: the
+        // joiner to finalize, the feeder to discard its pending chunks.
+        self.fire_deliverable();
+        self.fire_credit();
     }
 
     /// The poison message, if the session died.
@@ -248,6 +323,34 @@ impl SessionCore {
                 return None;
             }
         }
+    }
+
+    /// Non-blocking [`SessionCore::wait_for`]: the reactor's join executor
+    /// polls the mailbox instead of parking on the condvar, retrying after
+    /// the next [`SessionEvents::on_deliverable`] when the chunk is
+    /// [`TryTake::Pending`].
+    pub fn try_take(&self, seq: u64) -> TryTake {
+        let (mut mb, poisoned) = lock_recover(&self.mailbox);
+        if poisoned {
+            drop(mb);
+            self.poison("mailbox lock poisoned by a panicking pipeline stage".to_string());
+            return TryTake::Ended;
+        }
+        if let Some(out) = mb.ready.remove(&seq) {
+            if let Some((&highest, _)) = mb.ready.iter().next_back() {
+                self.counters.raise_peak_join_lag(highest.saturating_sub(seq));
+            }
+            return TryTake::Ready(out);
+        }
+        if mb.poisoned.is_some() {
+            return TryTake::Ended;
+        }
+        if let Some(total) = mb.total {
+            if seq >= total {
+                return TryTake::Ended;
+            }
+        }
+        TryTake::Pending
     }
 }
 

@@ -1,0 +1,1315 @@
+//! The event-driven ingest layer: one `poll(2)` loop drives every
+//! connection.
+//!
+//! The thread-per-connection front-end ([`crate::serve`]) spends an OS
+//! thread per client because the splitter blocks on `Read`. This module
+//! replaces that layer with a **reactor**: a small fixed set of ingest
+//! threads multiplexes all connections over nonblocking sockets, so one
+//! thread can feed thousands of slow network streams into the shared worker
+//! pool. Everything below the ingest layer — the handshake grammar, the
+//! credit scheme, the retention ring, the wire framing — is reused, not
+//! reimplemented.
+//!
+//! ```text
+//!                    ┌────────────── ingest thread (poll loop) ─────────────┐
+//!  client sockets ──►│ Conn: Handshaking ─► Streaming ─► Draining           │
+//!                    │   readable ─► HandshakeDecoder / Feeder (nonblocking)│
+//!                    │   writable ◄─ per-conn outbox (bounded)              │
+//!                    └──────────┬───────────────────────────▲───────────────┘
+//!                       chunk jobs                    framed matches
+//!                               ▼                           │
+//!                      shared WorkerPool ──► JoinPool (fold/resolve/filter)
+//! ```
+//!
+//! Design points:
+//!
+//! * **No blocking anywhere on the ingest threads.** The [`Feeder`] grew a
+//!   non-blocking discipline: a chunk that cannot get an in-flight credit
+//!   stays pending and the connection's `POLLIN` interest is dropped — the
+//!   kernel's socket buffer, and eventually the client, absorb the
+//!   backpressure. A credit return fires
+//!   [`crate::pool::SessionEvents::on_credit`], which wakes the loop through
+//!   an `eventfd(2)` and re-arms the read.
+//! * **No thread per session on the join side either.** The joiner state
+//!   machine ([`JoinerState`]) lives in a [`JoinTask`]; a fixed [`JoinPool`]
+//!   of executor threads runs `try_take → fold_one` steps for whichever
+//!   sessions have deliverable chunks. A session whose outbox is over its
+//!   byte cap is parked (`stalled_on_outbox`) until the reactor drains the
+//!   socket below the cap — so a slow client stalls *its own* fold frontier,
+//!   which holds its credits, which pauses its reads: backpressure
+//!   propagates through the retention ring exactly as in the blocking path.
+//! * **Dependency-free.** `poll(2)` and `eventfd(2)` are declared directly
+//!   via `extern "C"` (the same offline-shim spirit as `shims/`): no
+//!   crates.io, no async runtime. On non-Linux Unix the wake-up fd falls
+//!   back to a loopback `UdpSocket` pair — same poll semantics, std only.
+//!
+//! The public surface stays [`crate::serve::TcpServer`]; this module is the
+//! engine room behind [`crate::serve::ServerMode::Reactor`].
+
+use crate::pool::{lock_recover, panic_message, SessionCore, SessionEvents, TryTake, WorkerPool};
+use crate::serve::{ConnectionReport, Shared};
+use crate::session::{Feeder, JoinerState, SessionReport};
+use crate::sink::Materializer;
+use crate::stats::ReactorStats;
+use crate::wire::{HandshakeDecoder, HandshakeReply, WireFormat, WireSink};
+use std::collections::VecDeque;
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::os::unix::io::{AsRawFd, RawFd};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, Weak};
+use std::time::Instant;
+
+// ---------------------------------------------------------------------------
+// poll(2) / eventfd(2) FFI
+// ---------------------------------------------------------------------------
+
+/// `struct pollfd` — identical layout on every supported Unix.
+#[repr(C)]
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct PollFd {
+    pub fd: RawFd,
+    pub events: i16,
+    pub revents: i16,
+}
+
+pub(crate) const POLLIN: i16 = 0x001;
+pub(crate) const POLLOUT: i16 = 0x004;
+pub(crate) const POLLERR: i16 = 0x008;
+pub(crate) const POLLHUP: i16 = 0x010;
+pub(crate) const POLLNVAL: i16 = 0x020;
+
+#[cfg(target_os = "linux")]
+type NfdsT = std::ffi::c_ulong;
+#[cfg(not(target_os = "linux"))]
+type NfdsT = std::ffi::c_uint;
+
+extern "C" {
+    fn poll(fds: *mut PollFd, nfds: NfdsT, timeout: std::ffi::c_int) -> std::ffi::c_int;
+    #[cfg(target_os = "linux")]
+    fn eventfd(initval: std::ffi::c_uint, flags: std::ffi::c_int) -> std::ffi::c_int;
+}
+
+/// Blocks in `poll(2)` until a registered fd is ready or `timeout_ms`
+/// elapses (`-1` = forever). Returns the number of ready fds; retries
+/// `EINTR` internally.
+pub(crate) fn poll_fds(fds: &mut [PollFd], timeout_ms: i32) -> std::io::Result<usize> {
+    loop {
+        // SAFETY: `fds` is a valid, exclusively borrowed slice of `pollfd`-
+        // layout structs; the kernel writes only the `revents` fields.
+        let rc = unsafe { poll(fds.as_mut_ptr(), fds.len() as NfdsT, timeout_ms) };
+        if rc >= 0 {
+            return Ok(rc as usize);
+        }
+        let err = std::io::Error::last_os_error();
+        if err.kind() != std::io::ErrorKind::Interrupted {
+            return Err(err);
+        }
+    }
+}
+
+/// A cross-thread wake-up fd for the poll loop: `wake()` from any thread
+/// makes the fd readable, `drain()` resets it. `eventfd(2)` on Linux, a
+/// connected loopback UDP pair elsewhere.
+pub(crate) struct WakeFd {
+    #[cfg(target_os = "linux")]
+    event: std::fs::File,
+    #[cfg(not(target_os = "linux"))]
+    rx: std::net::UdpSocket,
+    #[cfg(not(target_os = "linux"))]
+    tx: std::net::UdpSocket,
+}
+
+impl WakeFd {
+    #[cfg(target_os = "linux")]
+    pub fn new() -> std::io::Result<WakeFd> {
+        const EFD_CLOEXEC: std::ffi::c_int = 0o2000000;
+        const EFD_NONBLOCK: std::ffi::c_int = 0o4000;
+        // SAFETY: eventfd takes two plain integers and returns an owned fd
+        // (or -1); the fd is immediately wrapped in a File that closes it.
+        let fd = unsafe { eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK) };
+        if fd < 0 {
+            return Err(std::io::Error::last_os_error());
+        }
+        // SAFETY: `fd` is a freshly created eventfd we exclusively own.
+        Ok(WakeFd { event: unsafe { std::os::unix::io::FromRawFd::from_raw_fd(fd) } })
+    }
+
+    #[cfg(not(target_os = "linux"))]
+    pub fn new() -> std::io::Result<WakeFd> {
+        let rx = std::net::UdpSocket::bind("127.0.0.1:0")?;
+        let tx = std::net::UdpSocket::bind("127.0.0.1:0")?;
+        tx.connect(rx.local_addr()?)?;
+        rx.set_nonblocking(true)?;
+        tx.set_nonblocking(true)?;
+        Ok(WakeFd { rx, tx })
+    }
+
+    /// Makes the fd readable. Never blocks; a saturated counter (`EAGAIN`)
+    /// already means a wake-up is pending.
+    pub fn wake(&self) {
+        #[cfg(target_os = "linux")]
+        {
+            let _ = (&self.event).write(&1u64.to_ne_bytes());
+        }
+        #[cfg(not(target_os = "linux"))]
+        {
+            let _ = self.tx.send(&[1u8]);
+        }
+    }
+
+    /// Consumes pending wake-ups so the fd stops reporting readable.
+    pub fn drain(&self) {
+        #[cfg(target_os = "linux")]
+        {
+            let mut buf = [0u8; 8];
+            let _ = (&self.event).read(&mut buf);
+        }
+        #[cfg(not(target_os = "linux"))]
+        {
+            let mut buf = [0u8; 16];
+            while self.rx.recv(&mut buf).is_ok() {}
+        }
+    }
+
+    pub fn raw_fd(&self) -> RawFd {
+        #[cfg(target_os = "linux")]
+        {
+            self.event.as_raw_fd()
+        }
+        #[cfg(not(target_os = "linux"))]
+        {
+            self.rx.as_raw_fd()
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Reactor-level accounting
+// ---------------------------------------------------------------------------
+
+/// Shared atomic counters behind [`ReactorStats`].
+#[derive(Debug, Default)]
+pub(crate) struct ReactorCounters {
+    registered_fds: AtomicUsize,
+    peak_registered_fds: AtomicUsize,
+    polls: AtomicU64,
+    wakeups: AtomicU64,
+    readiness_dispatches: AtomicU64,
+    peak_outbox_bytes: AtomicUsize,
+}
+
+impl ReactorCounters {
+    fn fd_registered(&self) {
+        let now = self.registered_fds.fetch_add(1, Ordering::Relaxed) + 1;
+        self.peak_registered_fds.fetch_max(now, Ordering::Relaxed);
+    }
+
+    fn fd_unregistered(&self) {
+        self.registered_fds.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    pub fn snapshot(&self) -> ReactorStats {
+        ReactorStats {
+            registered_fds: self.registered_fds.load(Ordering::Relaxed),
+            peak_registered_fds: self.peak_registered_fds.load(Ordering::Relaxed),
+            polls: self.polls.load(Ordering::Relaxed),
+            wakeups: self.wakeups.load(Ordering::Relaxed),
+            readiness_dispatches: self.readiness_dispatches.load(Ordering::Relaxed),
+            peak_outbox_bytes: self.peak_outbox_bytes.load(Ordering::Relaxed),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The per-connection outbox
+// ---------------------------------------------------------------------------
+
+/// The bounded per-connection egress buffer: the join executor appends
+/// framed matches (through [`OutboxWriter`] → [`WireSink`]), the reactor
+/// drains it to the socket on `POLLOUT`.
+///
+/// The byte cap is a *soft* cap enforced at fold granularity: the executor
+/// checks it before every step, so the buffer can overshoot by one chunk's
+/// worth of frames in steady state — and a stalled fold holds the session's
+/// credits, which is the backpressure path. The one larger excursion is the
+/// end-of-stream flush (matches buffered in unclosed predicate scopes are
+/// emitted in a single `finalize`), whose size is bounded by the filter
+/// bank's buffered matches — state the session already holds in *both*
+/// serving modes, so the flush adds one bounded copy, not a new unbounded
+/// class.
+pub(crate) struct OutboxShared {
+    buf: Mutex<OutboxBuf>,
+    cap: usize,
+    counters: Arc<ReactorCounters>,
+}
+
+#[derive(Default)]
+struct OutboxBuf {
+    bytes: Vec<u8>,
+    consumed: usize,
+    /// Latched when the socket write side died: further frames are refused
+    /// (the `WireSink` latches the error and the runtime counts drops).
+    closed: bool,
+}
+
+impl OutboxShared {
+    fn new(cap: usize, counters: Arc<ReactorCounters>) -> Arc<OutboxShared> {
+        Arc::new(OutboxShared { buf: Mutex::new(OutboxBuf::default()), cap, counters })
+    }
+
+    /// Bytes queued and not yet written to the socket.
+    fn len(&self) -> usize {
+        let b = lock_recover(&self.buf).0;
+        b.bytes.len() - b.consumed
+    }
+
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn over_cap(&self) -> bool {
+        self.len() >= self.cap
+    }
+
+    /// Appends raw bytes (the handshake reply takes this path directly;
+    /// frames go through [`OutboxWriter`]).
+    fn push(&self, data: &[u8]) -> std::io::Result<()> {
+        let mut b = lock_recover(&self.buf).0;
+        if b.closed {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::BrokenPipe,
+                "client connection closed",
+            ));
+        }
+        b.bytes.extend_from_slice(data);
+        let len = b.bytes.len() - b.consumed;
+        drop(b);
+        self.counters.peak_outbox_bytes.fetch_max(len, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Writes as much buffered data as the socket accepts right now.
+    /// `Ok(true)` when the buffer drained completely.
+    fn drain_to(&self, stream: &mut TcpStream) -> std::io::Result<bool> {
+        let mut b = lock_recover(&self.buf).0;
+        loop {
+            // Compact lazily, same idiom as the wire decoders.
+            if b.consumed > 0 && b.consumed >= b.bytes.len() / 2 {
+                let consumed = b.consumed;
+                b.bytes.drain(..consumed);
+                b.consumed = 0;
+            }
+            let start = b.consumed;
+            if start == b.bytes.len() {
+                return Ok(true);
+            }
+            match stream.write(&b.bytes[start..]) {
+                Ok(0) => {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::WriteZero,
+                        "socket accepted zero bytes",
+                    ));
+                }
+                Ok(n) => {
+                    b.consumed += n;
+                    if b.consumed < b.bytes.len() {
+                        continue; // partial acceptance; try once more
+                    }
+                }
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::Interrupted =>
+                {
+                    return Ok(false);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Latches the write failure: pending bytes are discarded and further
+    /// pushes are refused, so a dead client cannot accumulate frames.
+    fn close_and_clear(&self) {
+        let mut b = lock_recover(&self.buf).0;
+        b.closed = true;
+        b.bytes = Vec::new();
+        b.consumed = 0;
+    }
+}
+
+/// The [`Write`] adapter that lets a stock [`WireSink`] frame matches
+/// straight into a connection's outbox.
+pub(crate) struct OutboxWriter {
+    outbox: Arc<OutboxShared>,
+}
+
+impl Write for OutboxWriter {
+    fn write(&mut self, data: &[u8]) -> std::io::Result<usize> {
+        self.outbox.push(data)?;
+        Ok(data.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The join executor
+// ---------------------------------------------------------------------------
+
+/// One session's joiner, packaged for the shared executor.
+pub(crate) struct JoinTask {
+    core: Arc<SessionCore>,
+    inner: Mutex<JoinTaskInner>,
+    /// Deduplicates run-queue entries: set on enqueue, cleared on pop.
+    queued: AtomicBool,
+    /// Set when the executor parked this session on a full outbox; the
+    /// reactor clears it and re-enqueues after draining the socket.
+    stalled_on_outbox: AtomicBool,
+    outbox: Arc<OutboxShared>,
+    signal: Arc<ConnSignal>,
+    join: Arc<JoinShared>,
+}
+
+struct JoinTaskInner {
+    /// `None` once finalized.
+    state: Option<JoinerState>,
+    sink: Materializer<WireSink<OutboxWriter>>,
+    report: Option<SessionReport>,
+}
+
+/// What the reactor needs to know about a connection from other threads.
+pub(crate) struct ConnSignal {
+    /// A credit came back (or the session died): pump the feeder.
+    feed_ready: AtomicBool,
+    /// The joiner finalized: the session report is available.
+    done: AtomicBool,
+    /// The owning ingest thread's wake-up fd.
+    wake: Arc<WakeFd>,
+}
+
+/// The progress hooks registered on the session's [`SessionCore`]: workers
+/// and the join executor poke the reactor through these instead of condvars.
+/// Holds the task weakly — the connection owns the strong reference, so a
+/// closed connection's task is freed even while stray jobs still hold the
+/// core.
+struct ConnEvents {
+    task: Weak<JoinTask>,
+    signal: Arc<ConnSignal>,
+}
+
+impl SessionEvents for ConnEvents {
+    fn on_deliverable(&self) {
+        if let Some(task) = self.task.upgrade() {
+            enqueue_task(&task);
+        }
+    }
+
+    fn on_credit(&self) {
+        self.signal.feed_ready.store(true, Ordering::Release);
+        self.signal.wake.wake();
+    }
+}
+
+struct JoinShared {
+    queue: Mutex<VecDeque<Arc<JoinTask>>>,
+    ready: Condvar,
+    shutdown: AtomicBool,
+}
+
+/// Schedules a task exactly once until it next runs.
+fn enqueue_task(task: &Arc<JoinTask>) {
+    if task.queued.swap(true, Ordering::AcqRel) {
+        return;
+    }
+    let mut queue = lock_recover(&task.join.queue).0;
+    queue.push_back(Arc::clone(task));
+    drop(queue);
+    task.join.ready.notify_one();
+}
+
+/// The fixed pool of join-executor threads shared by every reactor session.
+pub(crate) struct JoinPool {
+    shared: Arc<JoinShared>,
+    threads: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl JoinPool {
+    fn new(threads: usize) -> JoinPool {
+        let shared = Arc::new(JoinShared {
+            queue: Mutex::new(VecDeque::new()),
+            ready: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+        });
+        let threads = (0..threads.max(1))
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("ppt-join-{i}"))
+                    .spawn(move || join_executor_loop(&shared))
+                    .expect("failed to spawn join executor")
+            })
+            .collect();
+        JoinPool { shared, threads }
+    }
+}
+
+impl Drop for JoinPool {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.ready.notify_all();
+        for handle in self.threads.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn join_executor_loop(shared: &JoinShared) {
+    loop {
+        let task = {
+            let mut queue = lock_recover(&shared.queue).0;
+            loop {
+                if let Some(task) = queue.pop_front() {
+                    break task;
+                }
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                queue = crate::pool::wait_recover(&shared.ready, queue).0;
+            }
+        };
+        // Clear the dedupe flag *before* running: progress made while the
+        // task runs re-enqueues it, so no wake-up can be lost.
+        task.queued.store(false, Ordering::Release);
+        run_join_task(&task);
+    }
+}
+
+/// Runs fold steps for one session until its mailbox runs dry, its outbox
+/// fills, or the stream ends. Panics anywhere in the fold (a sink, a filter)
+/// poison the session — same guard discipline as `joiner_guarded`.
+fn run_join_task(task: &Arc<JoinTask>) {
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| join_steps(task)));
+    if let Err(panic) = result {
+        let core = &task.core;
+        if core.counters.delivering.swap(false, Ordering::Relaxed) {
+            core.counters.dropped_matches.fetch_add(1, Ordering::Relaxed);
+        }
+        core.poison(format!("joiner stage panicked: {}", panic_message(&*panic)));
+        // Finalize defensively so the connection can wind down: the state
+        // may be inconsistent, so only the report shell is produced.
+        let mut inner = lock_recover(&task.inner).0;
+        if inner.report.is_none() {
+            inner.report = Some(SessionReport {
+                stats: core.counters.snapshot(),
+                match_counts: Vec::new(),
+                submatch_counts: Vec::new(),
+                error: core.poison_message(),
+            });
+        }
+        inner.state = None;
+        drop(inner);
+        task.signal.done.store(true, Ordering::Release);
+        task.signal.wake.wake();
+    }
+}
+
+fn join_steps(task: &Arc<JoinTask>) {
+    let mut inner = lock_recover(&task.inner).0;
+    let inner = &mut *inner;
+    let Some(state) = inner.state.as_mut() else { return };
+    loop {
+        if task.outbox.over_cap() {
+            // Park on the full outbox. Order matters: set the flag first,
+            // then re-check, so a drain racing this park re-enqueues us.
+            task.stalled_on_outbox.store(true, Ordering::SeqCst);
+            if task.outbox.over_cap() {
+                return;
+            }
+            task.stalled_on_outbox.store(false, Ordering::SeqCst);
+        }
+        match task.core.try_take(state.next_seq()) {
+            TryTake::Ready(out) => state.fold_one(&task.core, &mut inner.sink, out),
+            TryTake::Pending => return,
+            TryTake::Ended => {
+                let report = state.finalize(&task.core, &mut inner.sink);
+                inner.report = Some(report);
+                inner.state = None;
+                task.signal.done.store(true, Ordering::Release);
+                task.signal.wake.wake();
+                return;
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The connection state machine
+// ---------------------------------------------------------------------------
+
+/// Read buffer for streaming connections (per reactor thread, reused).
+const READ_BUF: usize = 32 << 10;
+
+enum Phase {
+    /// Collecting handshake lines through the incremental decoder.
+    Handshaking { decoder: HandshakeDecoder, deadline: Option<Instant> },
+    /// Session live: readable bytes feed the splitter, the outbox drains
+    /// frames.
+    Streaming,
+    /// Read side finished (EOF, read error, or dead session): flush the
+    /// outbox, wait for the joiner, then close.
+    Draining,
+    /// A structured `ERR` reply is queued: flush it, then close.
+    Rejecting,
+}
+
+struct ConnSession {
+    feeder: Feeder,
+    task: Arc<JoinTask>,
+}
+
+struct Conn {
+    stream: TcpStream,
+    peer: SocketAddr,
+    phase: Phase,
+    outbox: Arc<OutboxShared>,
+    signal: Arc<ConnSignal>,
+    session: Option<ConnSession>,
+    meta: Option<ConnMeta>,
+    read_error: Option<String>,
+    write_error: Option<String>,
+}
+
+struct ConnMeta {
+    stream_id: u64,
+    queries: Vec<String>,
+    format: WireFormat,
+}
+
+impl Conn {
+    /// The poll events this connection currently cares about; `0` means the
+    /// fd is left out of the poll set entirely (progress will come from a
+    /// wake-up, not the socket).
+    fn interest(&self) -> i16 {
+        let writable = !self.outbox.is_empty();
+        match &self.phase {
+            Phase::Handshaking { .. } => POLLIN,
+            Phase::Streaming => {
+                let mut events = 0;
+                let blocked = self.session.as_ref().is_some_and(|s| s.feeder.is_blocked());
+                if !blocked {
+                    events |= POLLIN;
+                }
+                if writable {
+                    events |= POLLOUT;
+                }
+                events
+            }
+            Phase::Draining | Phase::Rejecting => {
+                if writable {
+                    POLLOUT
+                } else {
+                    0
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The reactor proper
+// ---------------------------------------------------------------------------
+
+/// State shared by every ingest thread of one server.
+pub(crate) struct ReactorShared {
+    wakes: Vec<Arc<WakeFd>>,
+    /// Connections handed off by the accepting thread (index 0) to their
+    /// owning ingest thread.
+    inboxes: Vec<Mutex<Vec<(TcpStream, SocketAddr)>>>,
+    join: Arc<JoinShared>,
+    pub counters: Arc<ReactorCounters>,
+    round_robin: AtomicUsize,
+    /// Set by the accepting thread once the listener is dropped — after
+    /// this, no hand-off can ever be pushed again. Peer threads must not
+    /// exit before observing it, or a hand-off racing the shutdown flag
+    /// would strand an accepted connection (and its gate slot) in the inbox
+    /// of a thread that is already gone.
+    accept_closed: AtomicBool,
+}
+
+/// The running ingest layer: thread handles plus the shared state the
+/// server needs for stats and shutdown.
+pub(crate) struct ReactorHandles {
+    threads: Vec<std::thread::JoinHandle<()>>,
+    pub shared: Arc<ReactorShared>,
+    /// Dropped (and its threads joined) after the ingest threads exit.
+    join_pool: Option<JoinPool>,
+}
+
+impl ReactorHandles {
+    /// Wakes every ingest thread so the loop observes the server's
+    /// `shutting_down` flag.
+    pub fn wake_all(&self) {
+        for wake in &self.shared.wakes {
+            wake.wake();
+        }
+    }
+
+    /// Blocks until every ingest thread drained its connections and exited,
+    /// then winds the join pool down.
+    pub fn shutdown_join(&mut self) {
+        self.wake_all();
+        for handle in self.threads.drain(..) {
+            let _ = handle.join();
+        }
+        self.join_pool.take(); // Drop joins the executor threads.
+    }
+}
+
+/// Spawns the ingest threads. Thread 0 owns the listener; accepted
+/// connections are spread round-robin across all ingest threads.
+pub(crate) fn spawn(shared: Arc<Shared>, listener: TcpListener) -> std::io::Result<ReactorHandles> {
+    listener.set_nonblocking(true)?;
+    let ingest = shared.config.ingest_threads.max(1);
+    let counters = Arc::new(ReactorCounters::default());
+    let join_pool = JoinPool::new(shared.config.join_threads);
+    let wakes = (0..ingest).map(|_| WakeFd::new().map(Arc::new)).collect::<Result<Vec<_>, _>>()?;
+    let rshared = Arc::new(ReactorShared {
+        wakes,
+        inboxes: (0..ingest).map(|_| Mutex::new(Vec::new())).collect(),
+        join: Arc::clone(&join_pool.shared),
+        counters,
+        round_robin: AtomicUsize::new(0),
+        accept_closed: AtomicBool::new(false),
+    });
+    // The listener and every wake fd sit in a poll set for the server's
+    // whole life.
+    for _ in 0..=ingest {
+        rshared.counters.fd_registered();
+    }
+    let mut threads = Vec::new();
+    for idx in 0..ingest {
+        let reactor = Reactor {
+            shared: Arc::clone(&shared),
+            r: Arc::clone(&rshared),
+            idx,
+            listener: (idx == 0).then(|| listener.try_clone()).transpose()?,
+            conns: Vec::new(),
+            free: Vec::new(),
+        };
+        threads.push(
+            std::thread::Builder::new()
+                .name(format!("ppt-ingest-{idx}"))
+                .spawn(move || reactor.run())
+                .map_err(|e| std::io::Error::other(format!("failed to spawn ingest: {e}")))?,
+        );
+    }
+    drop(listener);
+    Ok(ReactorHandles { threads, shared: rshared, join_pool: Some(join_pool) })
+}
+
+/// What a pollfd slot refers to.
+#[derive(Clone, Copy)]
+enum Token {
+    Wake,
+    Listener,
+    Conn(usize),
+}
+
+struct Reactor {
+    shared: Arc<Shared>,
+    r: Arc<ReactorShared>,
+    idx: usize,
+    listener: Option<TcpListener>,
+    conns: Vec<Option<Conn>>,
+    free: Vec<usize>,
+}
+
+impl Reactor {
+    fn wake(&self) -> &Arc<WakeFd> {
+        &self.r.wakes[self.idx]
+    }
+
+    fn pool(&self) -> &Arc<WorkerPool> {
+        self.shared.runtime.worker_pool()
+    }
+
+    fn live_conns(&self) -> usize {
+        self.conns.iter().filter(|c| c.is_some()).count()
+    }
+
+    fn run(mut self) {
+        let mut pollfds: Vec<PollFd> = Vec::new();
+        let mut tokens: Vec<Token> = Vec::new();
+        let mut read_buf = vec![0u8; READ_BUF];
+        loop {
+            let shutting_down = self.shared.shutting_down.load(Ordering::SeqCst);
+            if shutting_down {
+                // Stop accepting the moment shutdown is requested; pending
+                // backlog clients are refused when the listener drops. The
+                // `accept_closed` store is the point after which no hand-off
+                // can ever be pushed again — peers must not exit before
+                // observing it, so a connection accepted just before the
+                // shutdown flag cannot be stranded in an exited thread's
+                // inbox. Waking the peers here re-runs their exit checks.
+                if self.listener.take().is_some() {
+                    self.r.counters.fd_unregistered();
+                    self.r.accept_closed.store(true, Ordering::SeqCst);
+                    for wake in &self.r.wakes {
+                        wake.wake();
+                    }
+                }
+                let drained = self.adopt_handed_off() == 0 && self.live_conns() == 0;
+                if drained && self.r.accept_closed.load(Ordering::SeqCst) {
+                    self.r.counters.fd_unregistered(); // this thread's wake fd
+                    return;
+                }
+            } else {
+                self.adopt_handed_off();
+            }
+
+            pollfds.clear();
+            tokens.clear();
+            pollfds.push(PollFd { fd: self.wake().raw_fd(), events: POLLIN, revents: 0 });
+            tokens.push(Token::Wake);
+            if let Some(listener) = &self.listener {
+                // Admission gate before accept, as in the blocking mode:
+                // with no free slot the listener leaves the poll set and
+                // pending clients queue in the kernel backlog.
+                if self.shared.gate.available() > 0 {
+                    pollfds.push(PollFd { fd: listener.as_raw_fd(), events: POLLIN, revents: 0 });
+                    tokens.push(Token::Listener);
+                }
+            }
+            let mut timeout_ms: i32 = -1;
+            let now = Instant::now();
+            for (slot, conn) in self.conns.iter().enumerate() {
+                let Some(conn) = conn else { continue };
+                if let Phase::Handshaking { deadline: Some(deadline), .. } = &conn.phase {
+                    // Clamp before narrowing: a days-long deadline must wake
+                    // the loop early and re-arm, not wrap `as_millis()` into
+                    // a negative (= infinite) poll timeout.
+                    let millis = deadline.saturating_duration_since(now).as_millis();
+                    let remaining = millis.min(60_000) as i32 + 1; // round up
+                    timeout_ms = if timeout_ms < 0 { remaining } else { timeout_ms.min(remaining) };
+                }
+                let events = conn.interest();
+                if events != 0 {
+                    pollfds.push(PollFd { fd: conn.stream.as_raw_fd(), events, revents: 0 });
+                    tokens.push(Token::Conn(slot));
+                }
+            }
+
+            self.r.counters.polls.fetch_add(1, Ordering::Relaxed);
+            if poll_fds(&mut pollfds, timeout_ms).is_err() {
+                // EINVAL and friends are programming errors; yield so a
+                // persistent failure cannot hard-spin a core, then retry.
+                std::thread::sleep(std::time::Duration::from_millis(10));
+            }
+
+            for i in 0..pollfds.len() {
+                let revents = pollfds[i].revents;
+                if revents == 0 {
+                    continue;
+                }
+                match tokens[i] {
+                    Token::Wake => {
+                        self.wake().drain();
+                        self.r.counters.wakeups.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Token::Listener => self.accept_ready(),
+                    Token::Conn(slot) => {
+                        self.r.counters.readiness_dispatches.fetch_add(1, Ordering::Relaxed);
+                        if revents & (POLLOUT | POLLERR | POLLHUP) != 0 {
+                            self.handle_writable(slot);
+                        }
+                        if revents & (POLLIN | POLLERR | POLLHUP) != 0 {
+                            self.handle_readable(slot, &mut read_buf);
+                        }
+                        if revents & POLLNVAL != 0 {
+                            // The fd is not open — unrecoverable bookkeeping
+                            // failure for this connection only.
+                            self.abort_conn(slot, "polled an invalid fd");
+                        }
+                    }
+                }
+            }
+
+            self.expire_handshakes();
+            self.sweep();
+        }
+    }
+
+    /// Takes connections handed off by the accepting thread. Returns how
+    /// many arrived (the shutdown exit check uses this so a racing hand-off
+    /// is not stranded).
+    fn adopt_handed_off(&mut self) -> usize {
+        let pending: Vec<_> = {
+            let mut inbox = lock_recover(&self.r.inboxes[self.idx]).0;
+            inbox.drain(..).collect()
+        };
+        let n = pending.len();
+        for (stream, peer) in pending {
+            self.register(stream, peer);
+        }
+        n
+    }
+
+    fn accept_ready(&mut self) {
+        loop {
+            if self.shared.shutting_down.load(Ordering::SeqCst) {
+                return;
+            }
+            if !self.shared.gate.try_acquire() {
+                return; // at capacity: the listener leaves the poll set
+            }
+            let Some(listener) = &self.listener else {
+                self.shared.gate.release();
+                return;
+            };
+            match listener.accept() {
+                Ok((stream, peer)) => {
+                    self.shared.accepted.fetch_add(1, Ordering::Relaxed);
+                    self.shared.active.fetch_add(1, Ordering::Relaxed);
+                    let ingest = self.r.inboxes.len();
+                    let target = if ingest == 1 {
+                        0
+                    } else {
+                        self.r.round_robin.fetch_add(1, Ordering::Relaxed) % ingest
+                    };
+                    if target == self.idx {
+                        self.register(stream, peer);
+                    } else {
+                        lock_recover(&self.r.inboxes[target]).0.push((stream, peer));
+                        self.r.wakes[target].wake();
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    self.shared.gate.release();
+                    return;
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {
+                    self.shared.gate.release();
+                }
+                Err(_) => {
+                    // ECONNABORTED / EMFILE: give the credit back and let
+                    // the next poll round retry instead of spinning here.
+                    self.shared.gate.release();
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Registers a freshly accepted connection in the handshake phase.
+    fn register(&mut self, stream: TcpStream, peer: SocketAddr) {
+        if stream.set_nonblocking(true).is_err() {
+            // Cannot serve a socket we cannot make nonblocking.
+            self.shared.handshake_rejects.fetch_add(1, Ordering::Relaxed);
+            self.shared.active.fetch_sub(1, Ordering::Relaxed);
+            self.shared.gate.release();
+            return;
+        }
+        let _ = stream.set_nodelay(true);
+        let cfg = &self.shared.config;
+        let conn = Conn {
+            stream,
+            peer,
+            phase: Phase::Handshaking {
+                decoder: HandshakeDecoder::with_limits(cfg.max_handshake_line, cfg.max_queries),
+                deadline: cfg.handshake_timeout.map(|t| Instant::now() + t),
+            },
+            outbox: OutboxShared::new(cfg.max_outbox_bytes, Arc::clone(&self.r.counters)),
+            signal: Arc::new(ConnSignal {
+                feed_ready: AtomicBool::new(false),
+                done: AtomicBool::new(false),
+                wake: Arc::clone(self.wake()),
+            }),
+            session: None,
+            meta: None,
+            read_error: None,
+            write_error: None,
+        };
+        self.r.counters.fd_registered();
+        match self.free.pop() {
+            Some(slot) => self.conns[slot] = Some(conn),
+            None => self.conns.push(Some(conn)),
+        }
+    }
+
+    fn handle_readable(&mut self, slot: usize, buf: &mut [u8]) {
+        let Some(conn) = self.conns.get_mut(slot).and_then(Option::as_mut) else { return };
+        match &mut conn.phase {
+            Phase::Handshaking { .. } => self.handshake_readable(slot, buf),
+            Phase::Streaming => self.stream_readable(slot, buf),
+            // Read side already finished; nothing to consume.
+            Phase::Draining | Phase::Rejecting => {}
+        }
+    }
+
+    fn handshake_readable(&mut self, slot: usize, buf: &mut [u8]) {
+        let Some(conn) = self.conns.get_mut(slot).and_then(Option::as_mut) else { return };
+        let n = match conn.stream.read(&mut buf[..4096]) {
+            Ok(0) => {
+                // Hung up mid-handshake: nothing to answer.
+                self.shared.handshake_rejects.fetch_add(1, Ordering::Relaxed);
+                self.close_conn(slot, false);
+                return;
+            }
+            Ok(n) => n,
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::Interrupted =>
+            {
+                return;
+            }
+            Err(_) => {
+                self.shared.handshake_rejects.fetch_add(1, Ordering::Relaxed);
+                self.close_conn(slot, false);
+                return;
+            }
+        };
+        let Phase::Handshaking { decoder, .. } = &mut conn.phase else { return };
+        match decoder.push(&buf[..n]) {
+            Ok(Some(request)) => self.complete_handshake(slot, request),
+            Ok(None) => {}
+            Err(e) => self.reject(slot, &e.to_string()),
+        }
+    }
+
+    /// The handshake parsed: build the engine, reply, and bring the session
+    /// up — or send a structured rejection.
+    fn complete_handshake(&mut self, slot: usize, request: crate::wire::HandshakeRequest) {
+        let engine = match crate::serve::build_engine(&self.shared.config, &request.queries) {
+            Ok(engine) => engine,
+            Err(message) => {
+                self.reject(slot, &message);
+                return;
+            }
+        };
+        let Some(conn) = self.conns.get_mut(slot).and_then(Option::as_mut) else { return };
+        let ids: Vec<u32> = (0..request.queries.len() as u32).collect();
+        if conn.outbox.push(HandshakeReply::Accepted(ids).encode().as_bytes()).is_err() {
+            self.abort_conn(slot, "handshake reply failed: outbox closed");
+            return;
+        }
+        let opts = crate::serve::session_options(&self.shared.config, &request);
+        let core = self.shared.runtime.new_session_core(Arc::clone(&engine), &opts);
+        let sink = Materializer {
+            core: Arc::clone(&core),
+            inner: WireSink::new(OutboxWriter { outbox: Arc::clone(&conn.outbox) }, request.format),
+        };
+        let task = Arc::new(JoinTask {
+            core: Arc::clone(&core),
+            inner: Mutex::new(JoinTaskInner {
+                state: Some(JoinerState::new(&core)),
+                sink,
+                report: None,
+            }),
+            queued: AtomicBool::new(false),
+            stalled_on_outbox: AtomicBool::new(false),
+            outbox: Arc::clone(&conn.outbox),
+            signal: Arc::clone(&conn.signal),
+            join: Arc::clone(&self.r.join),
+        });
+        core.set_events(Arc::new(ConnEvents {
+            task: Arc::downgrade(&task),
+            signal: Arc::clone(&conn.signal),
+        }));
+        let mut feeder = Feeder::new(core);
+        conn.meta = Some(ConnMeta {
+            stream_id: request.stream_id,
+            queries: request.queries,
+            format: request.format,
+        });
+        // Bytes that arrived in the same reads as the handshake are the head
+        // of the stream.
+        let old = std::mem::replace(&mut conn.phase, Phase::Streaming);
+        let Phase::Handshaking { decoder, .. } = old else { unreachable!("checked by caller") };
+        let remainder = decoder.take_remainder();
+        if !remainder.is_empty() {
+            feeder.feed_nonblocking(self.shared.runtime.worker_pool(), &remainder);
+        }
+        conn.session = Some(ConnSession { feeder, task });
+    }
+
+    fn stream_readable(&mut self, slot: usize, buf: &mut [u8]) {
+        let pool = Arc::clone(self.pool());
+        let Some(conn) = self.conns.get_mut(slot).and_then(Option::as_mut) else { return };
+        let Some(session) = conn.session.as_mut() else { return };
+        if session.feeder.is_blocked() {
+            return; // backpressured: leave the bytes in the kernel buffer
+        }
+        match conn.stream.read(buf) {
+            Ok(0) => {
+                // Clean end of stream: flush the splitter tail; the chunk
+                // total is announced once the pending queue drains.
+                session.feeder.request_finish();
+                session.feeder.pump_nonblocking(&pool);
+                conn.phase = Phase::Draining;
+            }
+            Ok(n) => {
+                session.feeder.feed_nonblocking(&pool, &buf[..n]);
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => {
+                // The client's stream died. Drain what was ingested — the
+                // matches already in flight still go out — and record the
+                // failure, same contract as the blocking mode.
+                conn.read_error = Some(e.to_string());
+                session.feeder.request_finish();
+                session.feeder.pump_nonblocking(&pool);
+                conn.phase = Phase::Draining;
+            }
+        }
+    }
+
+    fn handle_writable(&mut self, slot: usize) {
+        let Some(conn) = self.conns.get_mut(slot).and_then(Option::as_mut) else { return };
+        match conn.outbox.drain_to(&mut conn.stream) {
+            Ok(_) => {
+                if !conn.outbox.over_cap() {
+                    if let Some(session) = &conn.session {
+                        if session.task.stalled_on_outbox.swap(false, Ordering::SeqCst) {
+                            enqueue_task(&session.task);
+                        }
+                    }
+                }
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => {
+                // The client stopped reading for good: latch the error,
+                // refuse further frames (they count as drops), and let the
+                // session run to completion unobserved.
+                if conn.write_error.is_none() {
+                    conn.write_error = Some(e.to_string());
+                }
+                conn.outbox.close_and_clear();
+                if let Some(session) = &conn.session {
+                    if session.task.stalled_on_outbox.swap(false, Ordering::SeqCst) {
+                        enqueue_task(&session.task);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Sends a structured `ERR` and schedules the close behind it.
+    fn reject(&mut self, slot: usize, message: &str) {
+        self.shared.handshake_rejects.fetch_add(1, Ordering::Relaxed);
+        let Some(conn) = self.conns.get_mut(slot).and_then(Option::as_mut) else { return };
+        let _ = conn.outbox.push(HandshakeReply::Rejected(message.to_string()).encode().as_bytes());
+        conn.phase = Phase::Rejecting;
+    }
+
+    /// Times out handshakes that outlived their deadline.
+    fn expire_handshakes(&mut self) {
+        let now = Instant::now();
+        for slot in 0..self.conns.len() {
+            let Some(conn) = self.conns[slot].as_ref() else { continue };
+            if let Phase::Handshaking { deadline: Some(deadline), .. } = &conn.phase {
+                if *deadline <= now {
+                    self.reject(slot, "handshake timed out");
+                }
+            }
+        }
+    }
+
+    /// Post-dispatch pass: resume pumped feeders, notice finished joiners,
+    /// close connections that drained.
+    fn sweep(&mut self) {
+        let pool = Arc::clone(self.pool());
+        for slot in 0..self.conns.len() {
+            let Some(conn) = self.conns[slot].as_mut() else { continue };
+            if let Some(session) = conn.session.as_mut() {
+                if conn.signal.feed_ready.swap(false, Ordering::AcqRel) {
+                    session.feeder.pump_nonblocking(&pool);
+                }
+                if conn.signal.done.load(Ordering::Acquire)
+                    && matches!(conn.phase, Phase::Streaming)
+                {
+                    // The session ended under the client (a worker panic
+                    // poisoned it): stop reading, flush what's queued.
+                    conn.phase = Phase::Draining;
+                }
+            }
+            match conn.phase {
+                Phase::Draining
+                    if conn.signal.done.load(Ordering::Acquire) && conn.outbox.is_empty() =>
+                {
+                    // Half-close so the client's frame reader sees EOF even
+                    // if it keeps its write half open.
+                    let _ = conn.stream.shutdown(Shutdown::Write);
+                    self.close_conn(slot, true);
+                }
+                Phase::Rejecting if conn.outbox.is_empty() => {
+                    let _ = conn.stream.shutdown(Shutdown::Both);
+                    self.close_conn(slot, false);
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// Tears a connection down on an unrecoverable local error (not a
+    /// protocol rejection): the session, if any, is poisoned and reported.
+    fn abort_conn(&mut self, slot: usize, reason: &str) {
+        let Some(conn) = self.conns.get_mut(slot).and_then(Option::as_mut) else { return };
+        if let Some(session) = &conn.session {
+            session.task.core.poison(reason.to_string());
+            conn.write_error.get_or_insert_with(|| reason.to_string());
+            conn.phase = Phase::Draining;
+            conn.outbox.close_and_clear();
+        } else {
+            self.shared.handshake_rejects.fetch_add(1, Ordering::Relaxed);
+            self.close_conn(slot, false);
+        }
+    }
+
+    /// Unregisters the connection, records its report (post-handshake
+    /// connections only), and returns the admission slot.
+    fn close_conn(&mut self, slot: usize, record: bool) {
+        let Some(mut conn) = self.conns[slot].take() else { return };
+        self.free.push(slot);
+        if record {
+            if let Some(meta) = conn.meta.take() {
+                let (report, frames, bytes_out, sink_error) = match conn.session.take() {
+                    Some(session) => {
+                        let mut inner = lock_recover(&session.task.inner).0;
+                        let report = inner.report.take();
+                        let frames = inner.sink.inner.frames;
+                        let bytes = inner.sink.inner.bytes_out;
+                        let sink_error = inner.sink.inner.io_error.take().map(|e| e.to_string());
+                        (report, frames, bytes, sink_error)
+                    }
+                    None => (None, 0, 0, None),
+                };
+                self.shared.record(ConnectionReport {
+                    peer: conn.peer,
+                    stream_id: meta.stream_id,
+                    queries: meta.queries,
+                    format: meta.format,
+                    frames,
+                    bytes_out,
+                    report,
+                    write_error: conn.write_error.take().or(sink_error),
+                    read_error: conn.read_error.take(),
+                });
+            }
+        }
+        drop(conn);
+        self.r.counters.fd_unregistered();
+        self.shared.active.fetch_sub(1, Ordering::Relaxed);
+        self.shared.gate.release();
+        // A freed admission slot re-arms the listener, which lives on
+        // ingest thread 0.
+        if self.idx != 0 {
+            self.r.wakes[0].wake();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wakefd_wakes_and_drains() {
+        let wake = WakeFd::new().expect("wake fd");
+        let mut fds = [PollFd { fd: wake.raw_fd(), events: POLLIN, revents: 0 }];
+        // Nothing pending: a zero-timeout poll reports no readiness.
+        assert_eq!(poll_fds(&mut fds, 0).unwrap(), 0);
+        wake.wake();
+        wake.wake(); // coalesces, never blocks
+        assert_eq!(poll_fds(&mut fds, 1000).unwrap(), 1);
+        assert_ne!(fds[0].revents & POLLIN, 0);
+        wake.drain();
+        fds[0].revents = 0;
+        assert_eq!(poll_fds(&mut fds, 0).unwrap(), 0, "drained fd is quiet");
+        // And it can wake again after a drain.
+        wake.wake();
+        assert_eq!(poll_fds(&mut fds, 1000).unwrap(), 1);
+    }
+
+    #[test]
+    fn wakefd_crosses_threads() {
+        let wake = Arc::new(WakeFd::new().expect("wake fd"));
+        let remote = Arc::clone(&wake);
+        let handle = std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(50));
+            remote.wake();
+        });
+        let mut fds = [PollFd { fd: wake.raw_fd(), events: POLLIN, revents: 0 }];
+        assert_eq!(poll_fds(&mut fds, 5000).unwrap(), 1, "woken from another thread");
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn outbox_caps_and_latches() {
+        let counters = Arc::new(ReactorCounters::default());
+        let outbox = OutboxShared::new(16, Arc::clone(&counters));
+        assert!(outbox.is_empty());
+        assert!(!outbox.over_cap());
+        outbox.push(b"0123456789abcdef").unwrap();
+        assert!(outbox.over_cap(), "cap reached at exactly cap bytes");
+        assert_eq!(outbox.len(), 16);
+        assert_eq!(counters.snapshot().peak_outbox_bytes, 16);
+        // A latched close discards buffered bytes and refuses more.
+        outbox.close_and_clear();
+        assert!(outbox.is_empty());
+        let err = outbox.push(b"x").unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::BrokenPipe);
+        // The peak survives for the stats snapshot.
+        assert_eq!(counters.snapshot().peak_outbox_bytes, 16);
+    }
+
+    /// The interest function is the POLLOUT flip the tests care about: a
+    /// non-empty outbox arms POLLOUT, a drained one disarms it, and a
+    /// backpressured feeder drops POLLIN.
+    #[test]
+    fn interest_follows_outbox_and_feeder_state() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (server_side, peer) = listener.accept().unwrap();
+        let counters = Arc::new(ReactorCounters::default());
+        let outbox = OutboxShared::new(64, Arc::clone(&counters));
+        let wake = Arc::new(WakeFd::new().unwrap());
+        let mut conn = Conn {
+            stream: server_side,
+            peer,
+            phase: Phase::Handshaking { decoder: HandshakeDecoder::new(), deadline: None },
+            outbox: Arc::clone(&outbox),
+            signal: Arc::new(ConnSignal {
+                feed_ready: AtomicBool::new(false),
+                done: AtomicBool::new(false),
+                wake,
+            }),
+            session: None,
+            meta: None,
+            read_error: None,
+            write_error: None,
+        };
+        assert_eq!(conn.interest(), POLLIN, "handshake listens only");
+
+        conn.phase = Phase::Streaming;
+        assert_eq!(conn.interest(), POLLIN, "empty outbox: no POLLOUT");
+        outbox.push(b"frame").unwrap();
+        assert_eq!(conn.interest(), POLLIN | POLLOUT, "queued bytes arm POLLOUT");
+
+        conn.phase = Phase::Draining;
+        assert_eq!(conn.interest(), POLLOUT, "draining only flushes");
+        let mut sink = std::io::sink();
+        let _ = sink.write(b"");
+        // Drain the outbox through the real socket: POLLOUT disarms.
+        let mut stream = conn.stream.try_clone().unwrap();
+        assert!(outbox.drain_to(&mut stream).unwrap());
+        assert_eq!(conn.interest(), 0, "drained outbox leaves the poll set");
+        drop(client);
+    }
+}

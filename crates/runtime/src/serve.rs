@@ -15,14 +15,24 @@
 //!            └───────────────────────────────────────────────────────┘
 //! ```
 //!
-//! Design points, in the spirit of the paper's serving discipline:
+//! Two serving disciplines share the handshake, the admission gate, the
+//! session machinery and the accounting — pick one with
+//! [`TcpServerBuilder::mode`]:
 //!
-//! * **One thread per connection**, admission-gated by the same credit
-//!   pattern the pipeline uses for chunks ([`Gate`] mirrors
+//! * **[`ServerMode::Reactor`]** (the default on Unix): a small fixed set of
+//!   ingest threads drives every connection from a `poll(2)` event loop —
+//!   see [`crate::reactor`]. One thread feeds thousands of slow network
+//!   streams; a slow client exerts backpressure through its bounded outbox
+//!   and the retention ring instead of wedging a thread.
+//! * **[`ServerMode::ThreadPerConn`]**: one thread per connection, the
+//!   splitter blocking on `Read`. Simple, portable, and the right tool when
+//!   connections are few and fast.
+//!
+//! Shared design points, in the spirit of the paper's serving discipline:
+//!
+//! * **Admission is credit-gated** ([`Gate`] mirrors
 //!   `SessionCore::acquire_credit`): at most `max_connections` sessions run
-//!   at once, further clients wait in the listener backlog instead of
-//!   spawning unbounded threads. Async ingestion replaces this layer later;
-//!   the handshake and session binding carry over unchanged.
+//!   at once, further clients wait in the listener backlog.
 //! * **A malformed or half-closed connection poisons one session, never the
 //!   process.** Handshake failures are answered with a structured
 //!   `ERR <reason>` line, not a dropped connection; engine-build failures
@@ -31,12 +41,17 @@
 //!   every other session keeps flowing.
 //! * **Graceful shutdown**: [`TcpServer::shutdown`] stops accepting, then
 //!   drains the connections still in flight before returning the final
-//!   [`ServerStats`] — in-flight sessions finish, nobody's matches vanish.
+//!   [`ServerStats`]. The accept loop is woken through an `eventfd(2)` (the
+//!   reactor's wake fd), never by the server connecting to itself — the old
+//!   self-connect wake could block indefinitely against a full backlog
+//!   exactly when the server was busiest.
 //! * **Accounting survives the disconnect**: every connection that passed
-//!   the handshake leaves a [`ConnectionReport`] (session report, frames,
-//!   bytes, the first read/write error) in the server-level stats snapshot.
+//!   the handshake leaves a [`ConnectionReport`] in the server-level stats
+//!   snapshot; reactor servers additionally report event-loop totals
+//!   ([`ReactorStats`]).
 
 use crate::pool::{lock_recover, wait_recover};
+use crate::stats::ReactorStats;
 use crate::wire::{
     HandshakeDecoder, HandshakeReply, HandshakeRequest, WireFormat, WireSink,
     DEFAULT_MAX_HANDSHAKE_LINE, DEFAULT_MAX_QUERIES,
@@ -54,21 +69,48 @@ use std::time::Duration;
 /// first); counters keep counting beyond this.
 const MAX_REMEMBERED_REPORTS: usize = 1024;
 
+/// How a [`TcpServer`] schedules its connections.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServerMode {
+    /// One OS thread per connection; the splitter blocks on `Read`.
+    ThreadPerConn,
+    /// A fixed set of ingest threads drives all connections from a
+    /// `poll(2)` event loop (see [`crate::reactor`]). The default on Unix;
+    /// on other platforms the builder falls back to
+    /// [`ServerMode::ThreadPerConn`].
+    Reactor,
+}
+
+impl Default for ServerMode {
+    fn default() -> ServerMode {
+        if cfg!(unix) {
+            ServerMode::Reactor
+        } else {
+            ServerMode::ThreadPerConn
+        }
+    }
+}
+
 /// Builder for a [`TcpServer`].
 #[derive(Debug, Clone)]
 pub struct TcpServerBuilder {
-    max_connections: usize,
-    max_queries: usize,
-    max_retain_bytes: u64,
-    max_handshake_line: usize,
-    handshake_timeout: Option<Duration>,
-    chunk_size: Option<usize>,
-    window_size: Option<usize>,
+    pub(crate) mode: ServerMode,
+    pub(crate) max_connections: usize,
+    pub(crate) max_queries: usize,
+    pub(crate) max_retain_bytes: u64,
+    pub(crate) max_handshake_line: usize,
+    pub(crate) handshake_timeout: Option<Duration>,
+    pub(crate) chunk_size: Option<usize>,
+    pub(crate) window_size: Option<usize>,
+    pub(crate) ingest_threads: usize,
+    pub(crate) join_threads: usize,
+    pub(crate) max_outbox_bytes: usize,
 }
 
 impl Default for TcpServerBuilder {
     fn default() -> TcpServerBuilder {
         TcpServerBuilder {
+            mode: ServerMode::default(),
             max_connections: 64,
             max_queries: DEFAULT_MAX_QUERIES,
             max_retain_bytes: 64 << 20,
@@ -76,11 +118,22 @@ impl Default for TcpServerBuilder {
             handshake_timeout: Some(Duration::from_secs(10)),
             chunk_size: None,
             window_size: None,
+            ingest_threads: 1,
+            join_threads: 2,
+            max_outbox_bytes: 1 << 20,
         }
     }
 }
 
 impl TcpServerBuilder {
+    /// Picks the serving discipline (default [`ServerMode::Reactor`] on
+    /// Unix). A `Reactor` request on a platform without `poll(2)` falls
+    /// back to `ThreadPerConn`.
+    pub fn mode(mut self, mode: ServerMode) -> TcpServerBuilder {
+        self.mode = mode;
+        self
+    }
+
     /// Concurrent-connection cap (default 64). Clients beyond it wait in the
     /// listener backlog until a running session finishes.
     pub fn max_connections(mut self, n: usize) -> TcpServerBuilder {
@@ -131,8 +184,32 @@ impl TcpServerBuilder {
         self
     }
 
-    /// Binds the listener and starts the accept loop. Sessions run on the
-    /// given runtime's shared worker pool.
+    /// Ingest threads in [`ServerMode::Reactor`] (default 1 — one `poll(2)`
+    /// loop drives every connection; raise it only when handshake/engine
+    /// builds or sheer socket volume saturate a single loop).
+    pub fn ingest_threads(mut self, n: usize) -> TcpServerBuilder {
+        self.ingest_threads = n.max(1);
+        self
+    }
+
+    /// Join-executor threads in [`ServerMode::Reactor`] (default 2): the
+    /// fixed pool that folds chunk outputs for *all* reactor sessions.
+    pub fn join_threads(mut self, n: usize) -> TcpServerBuilder {
+        self.join_threads = n.max(1);
+        self
+    }
+
+    /// Per-connection outbox byte cap in [`ServerMode::Reactor`] (default
+    /// 1 MiB): frames queued beyond it park the session's fold until the
+    /// socket drains — the backpressure path for slow clients. Soft cap:
+    /// the buffer may overshoot by one chunk's worth of frames.
+    pub fn max_outbox_bytes(mut self, bytes: usize) -> TcpServerBuilder {
+        self.max_outbox_bytes = bytes.max(1);
+        self
+    }
+
+    /// Binds the listener and starts serving. Sessions run on the given
+    /// runtime's shared worker pool.
     pub fn bind<A: ToSocketAddrs>(
         self,
         addr: A,
@@ -143,7 +220,7 @@ impl TcpServerBuilder {
         let shared = Arc::new(Shared {
             runtime,
             config: self,
-            gate: Gate::new_shared(),
+            gate: Gate::new_closed(),
             shutting_down: AtomicBool::new(false),
             accepted: AtomicU64::new(0),
             handshake_rejects: AtomicU64::new(0),
@@ -156,26 +233,66 @@ impl TcpServerBuilder {
         });
         // The gate starts with max_connections slots.
         *lock_recover(&shared.gate.slots).0 = shared.config.max_connections;
-        let accept_shared = Arc::clone(&shared);
-        let accept = std::thread::Builder::new()
-            .name("ppt-accept".to_string())
-            .spawn(move || accept_loop(&accept_shared, listener))
-            .map_err(|e| std::io::Error::other(format!("failed to spawn accept thread: {e}")))?;
-        Ok(TcpServer { shared, local_addr, accept: Some(accept) })
+        let engine = match effective_mode(shared.config.mode) {
+            #[cfg(unix)]
+            ServerMode::Reactor => {
+                ModeHandles::Reactor(crate::reactor::spawn(Arc::clone(&shared), listener)?)
+            }
+            _ => spawn_thread_per_conn(Arc::clone(&shared), listener)?,
+        };
+        Ok(TcpServer { shared, local_addr, engine })
+    }
+}
+
+/// Spawns the thread-per-connection accept loop.
+#[cfg(unix)]
+fn spawn_thread_per_conn(
+    shared: Arc<Shared>,
+    listener: TcpListener,
+) -> std::io::Result<ModeHandles> {
+    let wake = Arc::new(crate::reactor::WakeFd::new()?);
+    let accept_wake = Arc::clone(&wake);
+    let accept = std::thread::Builder::new()
+        .name("ppt-accept".to_string())
+        .spawn(move || accept_loop(&shared, listener, &accept_wake))
+        .map_err(|e| std::io::Error::other(format!("failed to spawn accept thread: {e}")))?;
+    Ok(ModeHandles::ThreadPerConn { accept: Some(accept), wake })
+}
+
+/// Spawns the thread-per-connection accept loop (portable fallback).
+#[cfg(not(unix))]
+fn spawn_thread_per_conn(
+    shared: Arc<Shared>,
+    listener: TcpListener,
+) -> std::io::Result<ModeHandles> {
+    let accept = std::thread::Builder::new()
+        .name("ppt-accept".to_string())
+        .spawn(move || accept_loop(&shared, listener))
+        .map_err(|e| std::io::Error::other(format!("failed to spawn accept thread: {e}")))?;
+    Ok(ModeHandles::ThreadPerConn { accept: Some(accept) })
+}
+
+/// The mode actually served: `Reactor` needs `poll(2)`.
+fn effective_mode(requested: ServerMode) -> ServerMode {
+    if cfg!(unix) {
+        requested
+    } else {
+        ServerMode::ThreadPerConn
     }
 }
 
 /// The admission gate: the pipeline's credit pattern applied to whole
 /// connections. `acquire` blocks while `max_connections` sessions are live
-/// and returns `false` once the server is closing.
-struct Gate {
-    slots: Mutex<usize>,
+/// and returns `false` once the server is closing; `try_acquire` is the
+/// reactor's non-blocking flavor.
+pub(crate) struct Gate {
+    pub(crate) slots: Mutex<usize>,
     cv: Condvar,
     closed: AtomicBool,
 }
 
 impl Gate {
-    fn new_shared() -> Gate {
+    fn new_closed() -> Gate {
         Gate { slots: Mutex::new(0), cv: Condvar::new(), closed: AtomicBool::new(false) }
     }
 
@@ -193,7 +310,26 @@ impl Gate {
         }
     }
 
-    fn release(&self) {
+    /// Takes a slot if one is free right now; never blocks.
+    pub(crate) fn try_acquire(&self) -> bool {
+        if self.closed.load(Ordering::SeqCst) {
+            return false;
+        }
+        let (mut slots, _) = lock_recover(&self.slots);
+        if *slots == 0 {
+            return false;
+        }
+        *slots -= 1;
+        true
+    }
+
+    /// Free slots at this instant (the reactor polls the listener only when
+    /// this is non-zero).
+    pub(crate) fn available(&self) -> usize {
+        *lock_recover(&self.slots).0
+    }
+
+    pub(crate) fn release(&self) {
         *lock_recover(&self.slots).0 += 1;
         self.cv.notify_one();
     }
@@ -204,24 +340,25 @@ impl Gate {
     }
 }
 
-/// Everything the accept loop and the connection threads share.
-struct Shared {
-    runtime: Arc<Runtime>,
-    config: TcpServerBuilder,
-    gate: Gate,
-    shutting_down: AtomicBool,
-    accepted: AtomicU64,
-    handshake_rejects: AtomicU64,
+/// Everything the accept loop / ingest threads and the connection handlers
+/// share.
+pub(crate) struct Shared {
+    pub(crate) runtime: Arc<Runtime>,
+    pub(crate) config: TcpServerBuilder,
+    pub(crate) gate: Gate,
+    pub(crate) shutting_down: AtomicBool,
+    pub(crate) accepted: AtomicU64,
+    pub(crate) handshake_rejects: AtomicU64,
     sessions_completed: AtomicU64,
     sessions_failed: AtomicU64,
     frames_out: AtomicU64,
     bytes_out: AtomicU64,
-    active: AtomicUsize,
+    pub(crate) active: AtomicUsize,
     reports: Mutex<VecDeque<ConnectionReport>>,
 }
 
 impl Shared {
-    fn record(&self, report: ConnectionReport) {
+    pub(crate) fn record(&self, report: ConnectionReport) {
         let failed = report.read_error.is_some()
             || report.write_error.is_some()
             || report.report.as_ref().is_some_and(|r| r.error.is_some());
@@ -240,6 +377,36 @@ impl Shared {
     }
 }
 
+/// Builds the per-connection engine from the registered queries. The error
+/// is the structured wire message for the `ERR` reply.
+pub(crate) fn build_engine(
+    cfg: &TcpServerBuilder,
+    queries: &[String],
+) -> Result<Arc<Engine>, String> {
+    let mut builder = Engine::builder().add_queries(queries).map_err(|e| e.wire_message())?;
+    if let Some(bytes) = cfg.chunk_size {
+        builder = builder.chunk_size(bytes);
+    }
+    if let Some(bytes) = cfg.window_size {
+        builder = builder.window_size(bytes);
+    }
+    builder.build().map(Arc::new).map_err(|e| e.wire_message())
+}
+
+/// The session options a handshake request maps to (stream id, clamped
+/// retention budget).
+pub(crate) fn session_options(
+    cfg: &TcpServerBuilder,
+    request: &HandshakeRequest,
+) -> SessionOptions {
+    let mut opts = SessionOptions::new().stream_id(request.stream_id);
+    if let Some(requested) = request.retain_bytes {
+        let budget = requested.min(cfg.max_retain_bytes);
+        opts = opts.retain_bytes(usize::try_from(budget).unwrap_or(usize::MAX));
+    }
+    opts
+}
+
 /// Per-connection accounting, kept in the server's stats snapshot for every
 /// connection that passed the handshake.
 #[derive(Debug, Clone)]
@@ -252,14 +419,16 @@ pub struct ConnectionReport {
     pub queries: Vec<String>,
     /// The negotiated frame format.
     pub format: WireFormat,
-    /// Frames successfully written to the client.
+    /// Frames accepted for delivery (written to the socket, or — in reactor
+    /// mode — framed into the connection's outbox).
     pub frames: u64,
-    /// Bytes successfully written to the client.
+    /// Bytes those frames covered.
     pub bytes_out: u64,
     /// The final session report — per-query match counts and
-    /// [`crate::RuntimeStats`]. `None` only when the connection's reader
-    /// failed mid-stream (the pipeline drained, but the report went with
-    /// the error).
+    /// [`crate::RuntimeStats`]. `None` only when the connection's pipeline
+    /// never produced one (the thread-per-connection reader died
+    /// mid-stream; the reactor drains the pipeline and keeps the report
+    /// even then, with [`ConnectionReport::read_error`] set alongside).
     pub report: Option<SessionReport>,
     /// The first write error, if the client stopped reading frames.
     pub write_error: Option<String>,
@@ -286,9 +455,26 @@ pub struct ServerStats {
     pub frames_out: u64,
     /// Bytes written across all connections.
     pub bytes_out: u64,
+    /// Event-loop accounting when the server runs in
+    /// [`ServerMode::Reactor`]; `None` in thread-per-connection mode.
+    pub reactor: Option<ReactorStats>,
     /// Per-connection reports, oldest first (bounded; the counters above
     /// keep counting beyond the cap).
     pub connections: Vec<ConnectionReport>,
+}
+
+/// The serving machinery behind a bound server, by mode (accept thread +
+/// wake fd, or the reactor's ingest threads).
+enum ModeHandles {
+    #[cfg(unix)]
+    ThreadPerConn {
+        accept: Option<std::thread::JoinHandle<Vec<std::thread::JoinHandle<()>>>>,
+        wake: Arc<crate::reactor::WakeFd>,
+    },
+    #[cfg(not(unix))]
+    ThreadPerConn { accept: Option<std::thread::JoinHandle<Vec<std::thread::JoinHandle<()>>>> },
+    #[cfg(unix)]
+    Reactor(crate::reactor::ReactorHandles),
 }
 
 /// A listening TCP front-end over a [`Runtime`].
@@ -307,7 +493,7 @@ pub struct ServerStats {
 pub struct TcpServer {
     shared: Arc<Shared>,
     local_addr: SocketAddr,
-    accept: Option<std::thread::JoinHandle<Vec<std::thread::JoinHandle<()>>>>,
+    engine: ModeHandles,
 }
 
 impl TcpServer {
@@ -329,6 +515,11 @@ impl TcpServer {
     /// A live snapshot of the server's accounting.
     pub fn stats(&self) -> ServerStats {
         let s = &self.shared;
+        let reactor = match &self.engine {
+            #[cfg(unix)]
+            ModeHandles::Reactor(handles) => Some(handles.shared.counters.snapshot()),
+            _ => None,
+        };
         ServerStats {
             accepted: s.accepted.load(Ordering::Relaxed),
             active: s.active.load(Ordering::Relaxed),
@@ -337,6 +528,7 @@ impl TcpServer {
             sessions_failed: s.sessions_failed.load(Ordering::Relaxed),
             frames_out: s.frames_out.load(Ordering::Relaxed),
             bytes_out: s.bytes_out.load(Ordering::Relaxed),
+            reactor,
             connections: lock_recover(&s.reports).0.iter().cloned().collect(),
         }
     }
@@ -349,23 +541,31 @@ impl TcpServer {
     }
 
     fn shutdown_inner(&mut self) {
-        let Some(accept) = self.accept.take() else { return };
         self.shared.shutting_down.store(true, Ordering::SeqCst);
         self.shared.gate.close();
-        // Wake an accept() blocked with free slots: a throwaway connection
-        // to ourselves. Its accept is discarded by the shutting_down check.
-        let _ = TcpStream::connect(self.local_addr);
-        match accept.join() {
-            Ok(connections) => {
-                for conn in connections {
-                    let _ = conn.join();
-                }
+        #[cfg(not(unix))]
+        let local_addr = self.local_addr;
+        match &mut self.engine {
+            #[cfg(unix)]
+            ModeHandles::ThreadPerConn { accept, wake } => {
+                let Some(accept) = accept.take() else { return };
+                // Wake an accept loop parked in poll(): the eventfd makes
+                // the wake fd readable. (The old self-connect wake could
+                // block for minutes against a full backlog — exactly when
+                // the server is at max_connections with clients queued.)
+                wake.wake();
+                join_accept(accept);
             }
-            Err(_) => {
-                // The accept loop panicked; connection threads are detached
-                // but self-contained (each serves one socket), so the server
-                // object can still wind down.
+            #[cfg(not(unix))]
+            ModeHandles::ThreadPerConn { accept } => {
+                let Some(accept) = accept.take() else { return };
+                // No poll(2) here: wake a blocked accept() with a throwaway
+                // connection to ourselves, discarded by the shutdown check.
+                let _ = TcpStream::connect(local_addr);
+                join_accept(accept);
             }
+            #[cfg(unix)]
+            ModeHandles::Reactor(handles) => handles.shutdown_join(),
         }
     }
 }
@@ -376,31 +576,108 @@ impl Drop for TcpServer {
     }
 }
 
+/// Joins the accept thread and drains its in-flight connection handles.
+fn join_accept(accept: std::thread::JoinHandle<Vec<std::thread::JoinHandle<()>>>) {
+    match accept.join() {
+        Ok(connections) => {
+            for conn in connections {
+                let _ = conn.join();
+            }
+        }
+        Err(_) => {
+            // The accept loop panicked; connection threads are detached but
+            // self-contained (each serves one socket), so the server object
+            // can still wind down.
+        }
+    }
+}
+
 /// Accepts until shutdown; returns the handles of connections still in
-/// flight so `shutdown` can drain them.
+/// flight so `shutdown` can drain them. The listener is nonblocking and
+/// multiplexed with the wake fd so shutdown never needs a wake-up
+/// connection.
+#[cfg(unix)]
+fn accept_loop(
+    shared: &Arc<Shared>,
+    listener: TcpListener,
+    wake: &crate::reactor::WakeFd,
+) -> Vec<std::thread::JoinHandle<()>> {
+    use crate::reactor::{poll_fds, PollFd, POLLIN};
+    use std::os::unix::io::AsRawFd;
+
+    let mut connections: Vec<std::thread::JoinHandle<()>> = Vec::new();
+    if listener.set_nonblocking(true).is_err() {
+        return connections;
+    }
+    loop {
+        // Admission gate *before* accept: beyond max_connections, pending
+        // clients queue in the listener backlog, no thread is spawned. A
+        // closed gate (shutdown) returns false and ends the loop.
+        if !shared.gate.acquire() {
+            break;
+        }
+        let accepted = loop {
+            if shared.shutting_down.load(Ordering::SeqCst) {
+                break None;
+            }
+            match listener.accept() {
+                Ok(pair) => break Some(pair),
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    let mut fds = [
+                        PollFd { fd: listener.as_raw_fd(), events: POLLIN, revents: 0 },
+                        PollFd { fd: wake.raw_fd(), events: POLLIN, revents: 0 },
+                    ];
+                    if poll_fds(&mut fds, -1).is_err() {
+                        // A persistently failing poll must degrade, not
+                        // hard-spin the accept thread (same guard as the
+                        // reactor's own loop).
+                        std::thread::sleep(Duration::from_millis(10));
+                    }
+                    if fds[1].revents != 0 {
+                        wake.drain();
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                // Per-connection accept errors (ECONNABORTED) and resource
+                // exhaustion (EMFILE — likely exactly when many connection
+                // threads hold fds) must not kill the listener; the pause
+                // keeps a persistent failure from busy-spinning a core.
+                Err(_) => {
+                    std::thread::sleep(Duration::from_millis(50));
+                    break None;
+                }
+            }
+        };
+        let Some((stream, peer)) = accepted else {
+            shared.gate.release();
+            if shared.shutting_down.load(Ordering::SeqCst) {
+                break;
+            }
+            continue;
+        };
+        spawn_connection(shared, &mut connections, stream, peer);
+    }
+    connections
+}
+
+/// The portable fallback accept loop: blocking `accept`, woken by the
+/// shutdown path's self-connect.
+#[cfg(not(unix))]
 fn accept_loop(shared: &Arc<Shared>, listener: TcpListener) -> Vec<std::thread::JoinHandle<()>> {
     let mut connections: Vec<std::thread::JoinHandle<()>> = Vec::new();
     loop {
-        // Admission gate *before* accept: beyond max_connections, pending
-        // clients queue in the listener backlog, no thread is spawned.
         if !shared.gate.acquire() {
             break;
         }
         let accepted = match listener.accept() {
             Ok((stream, peer)) => Some((stream, peer)),
             Err(e) if e.kind() == std::io::ErrorKind::Interrupted => None,
-            // Per-connection accept errors (ECONNABORTED) and resource
-            // exhaustion (EMFILE — likely exactly when many connection
-            // threads hold fds) must not kill the listener; the pause keeps
-            // a persistent failure from busy-spinning a core.
             Err(_) => {
                 std::thread::sleep(Duration::from_millis(50));
                 None
             }
         };
         if shared.shutting_down.load(Ordering::SeqCst) {
-            // `accepted` here is the shutdown wake-up (or a client racing
-            // the close) — drop it.
             shared.gate.release();
             break;
         }
@@ -408,25 +685,34 @@ fn accept_loop(shared: &Arc<Shared>, listener: TcpListener) -> Vec<std::thread::
             shared.gate.release();
             continue;
         };
-        shared.accepted.fetch_add(1, Ordering::Relaxed);
-        let conn_shared = Arc::clone(shared);
-        let spawned =
-            std::thread::Builder::new().name(format!("ppt-conn-{peer}")).spawn(move || {
-                conn_shared.active.fetch_add(1, Ordering::Relaxed);
-                serve_connection(&conn_shared, stream, peer);
-                conn_shared.active.fetch_sub(1, Ordering::Relaxed);
-                conn_shared.gate.release();
-            });
-        match spawned {
-            Ok(handle) => connections.push(handle),
-            Err(_) => shared.gate.release(), // thread exhaustion: drop the conn
-        }
-        // Reap finished connections so a long-lived server doesn't
-        // accumulate handles (dropping a finished handle detaches nothing —
-        // the thread is already gone).
-        connections.retain(|h| !h.is_finished());
+        spawn_connection(shared, &mut connections, stream, peer);
     }
     connections
+}
+
+/// Spawns (and reaps) one connection thread in thread-per-connection mode.
+fn spawn_connection(
+    shared: &Arc<Shared>,
+    connections: &mut Vec<std::thread::JoinHandle<()>>,
+    stream: TcpStream,
+    peer: SocketAddr,
+) {
+    shared.accepted.fetch_add(1, Ordering::Relaxed);
+    let conn_shared = Arc::clone(shared);
+    let spawned = std::thread::Builder::new().name(format!("ppt-conn-{peer}")).spawn(move || {
+        conn_shared.active.fetch_add(1, Ordering::Relaxed);
+        serve_connection(&conn_shared, stream, peer);
+        conn_shared.active.fetch_sub(1, Ordering::Relaxed);
+        conn_shared.gate.release();
+    });
+    match spawned {
+        Ok(handle) => connections.push(handle),
+        Err(_) => shared.gate.release(), // thread exhaustion: drop the conn
+    }
+    // Reap finished connections so a long-lived server doesn't accumulate
+    // handles (dropping a finished handle detaches nothing — the thread is
+    // already gone).
+    connections.retain(|h| !h.is_finished());
 }
 
 /// Serves one accepted connection end to end: handshake, engine build,
@@ -434,6 +720,9 @@ fn accept_loop(shared: &Arc<Shared>, listener: TcpListener) -> Vec<std::thread::
 fn serve_connection(shared: &Shared, mut stream: TcpStream, peer: SocketAddr) {
     let cfg = &shared.config;
     let _ = stream.set_nodelay(true);
+    // The sockets are nonblocking out of the unix accept loop; this path
+    // wants the classic blocking reads.
+    let _ = stream.set_nonblocking(false);
 
     // --- Handshake ---------------------------------------------------------
     // The timeout is a *deadline*, not a per-read allowance: the socket
@@ -487,26 +776,11 @@ fn serve_connection(shared: &Shared, mut stream: TcpStream, peer: SocketAddr) {
     let _ = stream.set_read_timeout(None);
 
     // --- Engine build (query parse errors go back over the wire) -----------
-    let engine = {
-        let mut builder = match Engine::builder().add_queries(&request.queries) {
-            Ok(builder) => builder,
-            Err(e) => {
-                reject(shared, &mut stream, &e.wire_message());
-                return;
-            }
-        };
-        if let Some(bytes) = cfg.chunk_size {
-            builder = builder.chunk_size(bytes);
-        }
-        if let Some(bytes) = cfg.window_size {
-            builder = builder.window_size(bytes);
-        }
-        match builder.build() {
-            Ok(engine) => Arc::new(engine),
-            Err(e) => {
-                reject(shared, &mut stream, &e.wire_message());
-                return;
-            }
+    let engine = match build_engine(cfg, &request.queries) {
+        Ok(engine) => engine,
+        Err(message) => {
+            reject(shared, &mut stream, &message);
+            return;
         }
     };
 
@@ -542,11 +816,7 @@ fn serve_connection(shared: &Shared, mut stream: TcpStream, peer: SocketAddr) {
     };
 
     // --- Session ------------------------------------------------------------
-    let mut opts = SessionOptions::new().stream_id(request.stream_id);
-    if let Some(requested) = request.retain_bytes {
-        let budget = requested.min(cfg.max_retain_bytes);
-        opts = opts.retain_bytes(usize::try_from(budget).unwrap_or(usize::MAX));
-    }
+    let opts = session_options(cfg, &request);
     // Bytes that arrived in the same reads as the handshake are the head of
     // the stream; chain them in front of the socket.
     let remainder = decoder.take_remainder();

@@ -21,8 +21,11 @@ use crate::pool::{Job, SessionCore, WorkerPool};
 use crate::resolver::{SpanEvent, SpanResolver};
 use crate::sink::{MatchSink, OnlineMatch};
 use crate::stats::RuntimeStats;
+use ppt_core::chunk::ChunkOutput;
 use ppt_core::join::PrefixFolder;
 use ppt_xmlstream::{split_chunks, SharedWindow, WindowSplitter};
+use std::collections::VecDeque;
+use std::ops::Range;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
@@ -41,13 +44,50 @@ pub struct SessionReport {
     pub error: Option<String>,
 }
 
+/// One chunk waiting for an in-flight credit before it can be submitted.
+struct PendingChunk {
+    window: SharedWindow,
+    range: Range<usize>,
+    /// First chunk of its window: submitting it is the moment the window is
+    /// pushed into the retention ring. Retaining at *submission* (not when
+    /// the splitter popped the window) keeps the ring's occupancy coupled to
+    /// the credit scheme — a deep pending queue must not flood the ring with
+    /// windows whose chunks cannot fold yet.
+    first_of_window: bool,
+}
+
 /// The splitter stage: windows the byte stream and submits chunk jobs.
+///
+/// Two driving disciplines share this struct:
+///
+/// * **Blocking** ([`Feeder::feed`]/[`Feeder::finish`]) — the classic
+///   reader-driven entry points: a chunk that cannot get a credit parks the
+///   calling thread on the credit condvar.
+/// * **Non-blocking** ([`Feeder::feed_nonblocking`],
+///   [`Feeder::request_finish`], [`Feeder::pump_nonblocking`]) — the
+///   reactor's discipline: chunks that cannot get a credit stay in a pending
+///   queue, the call returns `Blocked`, and the driver retries after the
+///   joiner returns a credit ([`crate::pool::SessionEvents::on_credit`]).
+///   A blocked feeder is the signal to stop reading the connection — that is
+///   how socket backpressure propagates without wedging the reactor thread.
 pub(crate) struct Feeder {
     core: Arc<SessionCore>,
     splitter: WindowSplitter,
     chunk_size: usize,
     next_seq: u64,
-    finished: bool,
+    pending: VecDeque<PendingChunk>,
+    finish_requested: bool,
+    announced: bool,
+}
+
+/// Whether a non-blocking feed landed every chunk or left some pending.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum FeedProgress {
+    /// Every produced chunk was submitted; keep feeding.
+    Drained,
+    /// Chunks are pending on backpressure; stop reading the source and call
+    /// [`Feeder::pump_nonblocking`] after the next credit return.
+    Blocked,
 }
 
 impl Feeder {
@@ -59,7 +99,9 @@ impl Feeder {
             splitter: WindowSplitter::new(window_size),
             chunk_size,
             next_seq: 0,
-            finished: false,
+            pending: VecDeque::new(),
+            finish_requested: false,
+            announced: false,
         }
     }
 
@@ -70,68 +112,146 @@ impl Feeder {
     /// Pushes stream bytes, submitting every window that completes. May block
     /// on backpressure. Bytes fed after the session died are dropped.
     pub fn feed(&mut self, pool: &WorkerPool, bytes: &[u8]) {
-        debug_assert!(!self.finished, "feed after finish");
-        if self.core.is_dead() {
-            return;
-        }
-        self.splitter.push(bytes);
-        while let Some(window) = self.splitter.pop_shared() {
-            self.submit_window(pool, window);
-        }
+        self.push_bytes(bytes);
+        self.pump(pool, true);
     }
 
     /// Flushes the tail window and announces the final chunk count to the
     /// joiner. Idempotent.
     pub fn finish(&mut self, pool: &WorkerPool) {
-        if self.finished {
-            return;
-        }
-        self.finished = true;
-        if let Some(window) = self.splitter.finish_shared() {
-            if !self.core.is_dead() {
-                self.submit_window(pool, window);
-            }
-        }
-        self.core.announce_total(self.next_seq);
+        self.request_finish();
+        self.pump(pool, true);
     }
 
-    fn submit_window(&mut self, pool: &WorkerPool, window: SharedWindow) {
+    /// Non-blocking [`Feeder::feed`]: windows and enqueues the bytes, then
+    /// submits as many chunks as there are credits available right now.
+    pub fn feed_nonblocking(&mut self, pool: &WorkerPool, bytes: &[u8]) -> FeedProgress {
+        self.push_bytes(bytes);
+        self.pump(pool, false)
+    }
+
+    /// Declares end of input without blocking: the splitter's tail window is
+    /// flushed into the pending queue. The final chunk total is announced by
+    /// the pump once the queue drains — keep calling
+    /// [`Feeder::pump_nonblocking`] until it reports `Drained`.
+    pub fn request_finish(&mut self) {
+        if self.finish_requested {
+            return;
+        }
+        self.finish_requested = true;
+        if let Some(window) = self.splitter.finish_shared() {
+            if !self.core.is_dead() {
+                self.enqueue_window(window);
+            }
+        }
+    }
+
+    /// Retries pending submissions without blocking (call after a credit
+    /// came back).
+    pub fn pump_nonblocking(&mut self, pool: &WorkerPool) -> FeedProgress {
+        self.pump(pool, false)
+    }
+
+    /// `true` while chunks are queued waiting for credits — the non-blocking
+    /// driver must not read more input.
+    pub fn is_blocked(&self) -> bool {
+        !self.pending.is_empty() && !self.core.is_dead()
+    }
+
+    /// Splits new bytes into windows and enqueues their chunks.
+    fn push_bytes(&mut self, bytes: &[u8]) {
+        debug_assert!(!self.finish_requested, "feed after finish");
+        if self.core.is_dead() {
+            self.pending.clear();
+            return;
+        }
+        self.splitter.push(bytes);
+        while let Some(window) = self.splitter.pop_shared() {
+            self.enqueue_window(window);
+        }
+    }
+
+    /// Accounts a completed window and queues its chunks for submission.
+    fn enqueue_window(&mut self, window: SharedWindow) {
         let counters = &self.core.counters;
         counters.windows.fetch_add(1, Ordering::Relaxed);
         counters.bytes_in.fetch_add(window.len() as u64, Ordering::Relaxed);
-        if let Some(ring) = &self.core.ring {
-            // Clone-on-retain: the ring takes a refcount on the same bytes
-            // the chunk jobs slice into. The byte budget evicts inside push.
-            let (mut guard, poisoned) = crate::pool::lock_recover(ring);
-            if poisoned {
-                // A panic under the ring lock concerns this session only:
-                // kill it and stop feeding instead of unwinding the caller.
-                drop(guard);
-                self.core.poison("retention ring lock poisoned".to_string());
-                return;
-            }
-            let (evicted, retained) = (guard.push(window.clone()), guard.retained_bytes());
-            drop(guard);
-            counters.windows_evicted.fetch_add(evicted.windows, Ordering::Relaxed);
-            counters.bytes_evicted.fetch_add(evicted.bytes, Ordering::Relaxed);
-            counters.peak_retained_bytes.fetch_max(retained, Ordering::Relaxed);
-        }
+        let mut first = true;
         for chunk in split_chunks(window.bytes(), self.chunk_size) {
+            self.pending.push_back(PendingChunk {
+                window: window.clone(),
+                range: chunk.range,
+                first_of_window: first,
+            });
+            first = false;
+        }
+    }
+
+    /// Pushes `window` into the retention ring (clone-on-retain: the ring
+    /// takes a refcount on the same bytes the chunk jobs slice into; the
+    /// byte budget evicts inside push). Returns `false` when the ring lock
+    /// was poisoned — the session is dead.
+    fn retain_window(&self, window: &SharedWindow) -> bool {
+        let Some(ring) = &self.core.ring else { return true };
+        let counters = &self.core.counters;
+        let (mut guard, poisoned) = crate::pool::lock_recover(ring);
+        if poisoned {
+            // A panic under the ring lock concerns this session only:
+            // kill it and stop feeding instead of unwinding the caller.
+            drop(guard);
+            self.core.poison("retention ring lock poisoned".to_string());
+            return false;
+        }
+        let (evicted, retained) = (guard.push(window.clone()), guard.retained_bytes());
+        drop(guard);
+        counters.windows_evicted.fetch_add(evicted.windows, Ordering::Relaxed);
+        counters.bytes_evicted.fetch_add(evicted.bytes, Ordering::Relaxed);
+        counters.peak_retained_bytes.fetch_max(retained, Ordering::Relaxed);
+        true
+    }
+
+    /// Submits pending chunks in order, one credit each. `blocking` parks on
+    /// the credit condvar; non-blocking stops at the first missing credit.
+    /// Announces the chunk total once the stream ended and the queue drained.
+    fn pump(&mut self, pool: &WorkerPool, blocking: bool) -> FeedProgress {
+        while !self.pending.is_empty() {
+            if self.core.is_dead() {
+                self.pending.clear();
+                break;
+            }
             // Backpressure: wait for the joiner to return a credit before
             // admitting another chunk into the pipeline.
-            if !self.core.acquire_credit() {
-                return; // session died while we were blocked
+            let admitted =
+                if blocking { self.core.acquire_credit() } else { self.core.try_acquire_credit() };
+            if !admitted {
+                if self.core.is_dead() {
+                    self.pending.clear();
+                    break;
+                }
+                debug_assert!(!blocking, "blocking acquire fails only on death");
+                return FeedProgress::Blocked;
             }
-            counters.chunks_submitted.fetch_add(1, Ordering::Relaxed);
+            let chunk = self.pending.pop_front().expect("pending is non-empty");
+            if chunk.first_of_window && !self.retain_window(&chunk.window) {
+                self.core.release_credit();
+                self.pending.clear();
+                break;
+            }
+            self.core.counters.chunks_submitted.fetch_add(1, Ordering::Relaxed);
             pool.submit(Job {
                 session: Arc::clone(&self.core),
-                window: window.clone(),
+                window: chunk.window,
                 range: chunk.range,
                 seq: self.next_seq,
                 first: self.next_seq == 0,
             });
             self.next_seq += 1;
         }
+        if self.finish_requested && !self.announced {
+            self.announced = true;
+            self.core.announce_total(self.next_seq);
+        }
+        FeedProgress::Drained
     }
 }
 
@@ -157,25 +277,114 @@ pub(crate) fn joiner_guarded(
     result
 }
 
-/// The joiner stage: folds chunk outputs in order the moment each next-in-line
-/// chunk completes, resolves spans, filters, and pushes matches into the sink.
-/// Runs until the feeder has announced the total and every chunk is folded.
-pub(crate) fn joiner_loop(core: &SessionCore, sink: &mut dyn MatchSink) -> SessionReport {
-    let engine = &core.engine;
-    let plan = engine.plan();
-    let mut folder = PrefixFolder::new(engine.transducer());
-    let mut resolver = SpanResolver::new(core.resolve_spans);
-    let mut bank = FilterBank::new(plan, core.resolve_spans);
-    let mut events: Vec<SpanEvent> = Vec::new();
+/// The joiner stage as an explicit state machine: folds chunk outputs in
+/// order, resolves spans, filters, and pushes matches into the sink.
+///
+/// Two drivers share it:
+///
+/// * [`joiner_loop`] parks on the mailbox condvar between chunks — the
+///   classic one-thread-per-session joiner;
+/// * the reactor's join executor calls [`JoinerState::fold_one`] /
+///   [`JoinerState::finalize`] from a small shared pool, polling the mailbox
+///   with [`SessionCore::try_take`] — hundreds of sessions, a handful of
+///   threads, nothing ever blocked.
+pub(crate) struct JoinerState {
+    folder: PrefixFolder,
+    resolver: SpanResolver,
+    bank: FilterBank,
+    events: Vec<SpanEvent>,
+    seq: u64,
+}
 
-    // Pushes drained span events (and, at the end of the stream, the final
-    // filter flush) into the sink, counting emissions. One code path for the
-    // steady-state loop and the finish step so the accounting cannot diverge.
-    let drain_events = |events: &mut Vec<SpanEvent>,
-                        bank: &mut FilterBank,
-                        sink: &mut dyn MatchSink,
-                        flush: bool| {
+impl JoinerState {
+    pub fn new(core: &SessionCore) -> JoinerState {
+        let engine = &core.engine;
+        JoinerState {
+            folder: PrefixFolder::new(engine.transducer()),
+            resolver: SpanResolver::new(core.resolve_spans),
+            bank: FilterBank::new(engine.plan(), core.resolve_spans),
+            events: Vec::new(),
+            seq: 0,
+        }
+    }
+
+    /// The sequence number of the next chunk this joiner needs.
+    pub fn next_seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// Folds one **in-order** chunk output: fold, resolve, filter, emit,
+    /// release the retained windows below the new frontier, and return the
+    /// chunk's credit.
+    pub fn fold_one(&mut self, core: &SessionCore, sink: &mut dyn MatchSink, out: ChunkOutput) {
+        let folded_upto = out.end_offset;
+        let mut delta = self.folder.fold(out.mapping, out.depth_delta, out.ladder);
+        let matches = delta.take_resolved_matches();
+        core.counters.submatches.fetch_add(matches.len() as u64, Ordering::Relaxed);
+        self.resolver.feed(matches, &delta.ladder, &mut self.events);
+        if !self.events.is_empty() {
+            self.drain_events(core, sink, false);
+        }
+        if let Some(ring) = &core.ring {
+            // Everything below the fold frontier is final — except spans
+            // still open in the resolver or buffered in an unclosed anchor
+            // scope, which will be materialized later. Windows entirely
+            // below the earliest such offset can never be needed again.
+            let frontier = folded_upto
+                .min(self.resolver.min_pending_pos().unwrap_or(usize::MAX))
+                .min(self.bank.min_buffered_pos().unwrap_or(usize::MAX));
+            let (mut guard, poisoned) = crate::pool::lock_recover(ring);
+            guard.release_below(frontier);
+            drop(guard);
+            if poisoned {
+                // Kill this session only; the next mailbox poll sees the
+                // poison and finalizes.
+                core.poison("retention ring lock poisoned".to_string());
+            }
+        }
+        core.counters.chunks_joined.fetch_add(1, Ordering::Relaxed);
+        core.release_credit();
+        self.seq += 1;
+    }
+
+    /// Ends the join: flushes the resolver and filter state (clean end only),
+    /// frees the retained windows and takes the final report. Call exactly
+    /// once, after the mailbox reported the stream ended or the session died.
+    pub fn finalize(&mut self, core: &SessionCore, sink: &mut dyn MatchSink) -> SessionReport {
+        let error = core.poison_message();
+        if error.is_none() {
+            // Stream ended cleanly: cap unclosed elements at the stream
+            // length and flush any scope still open. On an abort this step
+            // is skipped — `bytes_in` may count windows that were never
+            // transduced, and closing pending matches at invented offsets
+            // would fabricate results the stream never produced.
+            let total_len = core.counters.bytes_in.load(Ordering::Relaxed) as usize;
+            self.resolver.finish(total_len, &mut self.events);
+            self.drain_events(core, sink, true);
+        }
+        if let Some(ring) = &core.ring {
+            // The stream is over and every match was delivered (or dropped):
+            // free the retained windows before the report is taken.
+            // Poisoning is ignored on this final cleanup — the ring is about
+            // to be dropped.
+            crate::pool::lock_recover(ring).0.release_below(usize::MAX);
+        }
+        SessionReport {
+            stats: core.counters.snapshot(),
+            match_counts: std::mem::take(&mut self.bank.match_counts),
+            submatch_counts: std::mem::take(&mut self.bank.submatch_counts),
+            error,
+        }
+    }
+
+    /// Pushes drained span events (and, at the end of the stream, the final
+    /// filter flush) into the sink, counting emissions. One code path for
+    /// the steady-state fold and the finish step so the accounting cannot
+    /// diverge.
+    fn drain_events(&mut self, core: &SessionCore, sink: &mut dyn MatchSink, flush: bool) {
+        let plan = core.engine.plan();
         let counters = &core.counters;
+        let bank = &mut self.bank;
         let mut emit = |m: OnlineMatch| {
             // `delivering` flags the window during which the match is in the
             // sink's hands: if the sink *panics* there, the panic guard
@@ -192,70 +401,23 @@ pub(crate) fn joiner_loop(core: &SessionCore, sink: &mut dyn MatchSink) -> Sessi
                 counters.dropped_matches.fetch_add(1, Ordering::Relaxed);
             }
         };
-        for event in events.drain(..) {
+        for event in self.events.drain(..) {
             bank.on_event(plan, &event, &mut emit);
         }
         if flush {
             bank.finish(plan, &mut emit);
         }
-    };
+    }
+}
 
-    let mut seq = 0u64;
-    while let Some(out) = core.wait_for(seq) {
-        let folded_upto = out.end_offset;
-        let mut delta = folder.fold(out.mapping, out.depth_delta, out.ladder);
-        let matches = delta.take_resolved_matches();
-        core.counters.submatches.fetch_add(matches.len() as u64, Ordering::Relaxed);
-        resolver.feed(matches, &delta.ladder, &mut events);
-        if !events.is_empty() {
-            drain_events(&mut events, &mut bank, &mut *sink, false);
-        }
-        if let Some(ring) = &core.ring {
-            // Everything below the fold frontier is final — except spans
-            // still open in the resolver or buffered in an unclosed anchor
-            // scope, which will be materialized later. Windows entirely
-            // below the earliest such offset can never be needed again.
-            let frontier = folded_upto
-                .min(resolver.min_pending_pos().unwrap_or(usize::MAX))
-                .min(bank.min_buffered_pos().unwrap_or(usize::MAX));
-            let (mut guard, poisoned) = crate::pool::lock_recover(ring);
-            guard.release_below(frontier);
-            drop(guard);
-            if poisoned {
-                // Kill this session only; the next `wait_for` sees the
-                // poison and ends the loop.
-                core.poison("retention ring lock poisoned".to_string());
-            }
-        }
-        core.counters.chunks_joined.fetch_add(1, Ordering::Relaxed);
-        core.release_credit();
-        seq += 1;
+/// The joiner stage driven to completion on the calling thread, parking on
+/// the mailbox condvar between chunks.
+pub(crate) fn joiner_loop(core: &SessionCore, sink: &mut dyn MatchSink) -> SessionReport {
+    let mut state = JoinerState::new(core);
+    while let Some(out) = core.wait_for(state.next_seq()) {
+        state.fold_one(core, sink, out);
     }
-
-    let error = core.poison_message();
-    if error.is_none() {
-        // Stream ended cleanly: cap unclosed elements at the stream length
-        // and flush any scope still open. On an abort this step is skipped —
-        // `bytes_in` may count windows that were never transduced, and
-        // closing pending matches at invented offsets would fabricate
-        // results the stream never produced.
-        let total_len = core.counters.bytes_in.load(Ordering::Relaxed) as usize;
-        resolver.finish(total_len, &mut events);
-        drain_events(&mut events, &mut bank, &mut *sink, true);
-    }
-    if let Some(ring) = &core.ring {
-        // The stream is over and every match was delivered (or dropped):
-        // free the retained windows before the report is taken. Poisoning is
-        // ignored on this final cleanup — the ring is about to be dropped.
-        crate::pool::lock_recover(ring).0.release_below(usize::MAX);
-    }
-
-    SessionReport {
-        stats: core.counters.snapshot(),
-        match_counts: bank.match_counts,
-        submatch_counts: bank.submatch_counts,
-        error,
-    }
+    state.finalize(core, sink)
 }
 
 /// A live query session with an owned sink (push API).

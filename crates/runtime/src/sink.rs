@@ -129,6 +129,18 @@ impl<F: FnMut(MaterializedMatch) + Send> PayloadSink for F {
     }
 }
 
+impl PayloadSink for Box<dyn PayloadSink> {
+    fn on_match(&mut self, m: MaterializedMatch) -> bool {
+        (**self).on_match(m)
+    }
+}
+
+impl PayloadSink for &mut dyn PayloadSink {
+    fn on_match(&mut self, m: MaterializedMatch) -> bool {
+        (**self).on_match(m)
+    }
+}
+
 /// A sink that appends every materialized match to a vector.
 #[derive(Debug, Default)]
 pub struct CollectPayloadSink {
@@ -153,7 +165,8 @@ impl PayloadSink for CollectPayloadSink {
 /// The joiner-side adapter that turns offset matches into materialized
 /// matches: it slices the payload out of the session's retention ring and
 /// forwards to a [`PayloadSink`]. `S` is the sink handle — borrowed for the
-/// reader-driven entry points, owned for push-style sessions.
+/// reader-driven entry points, owned (boxed or concrete, as the reactor's
+/// outbox sink is) for push-style sessions.
 pub(crate) struct Materializer<S> {
     pub core: Arc<SessionCore>,
     pub inner: S,
@@ -194,14 +207,8 @@ fn deliver(core: &SessionCore, inner: &mut dyn PayloadSink, m: OnlineMatch) -> b
     inner.on_match(MaterializedMatch { stream: core.stream_id, m, payload })
 }
 
-impl MatchSink for Materializer<&mut dyn PayloadSink> {
+impl<S: PayloadSink> MatchSink for Materializer<S> {
     fn on_match(&mut self, m: OnlineMatch) -> bool {
-        deliver(&self.core, self.inner, m)
-    }
-}
-
-impl MatchSink for Materializer<Box<dyn PayloadSink>> {
-    fn on_match(&mut self, m: OnlineMatch) -> bool {
-        deliver(&self.core, &mut *self.inner, m)
+        deliver(&self.core, &mut self.inner, m)
     }
 }

@@ -144,6 +144,31 @@ pub struct RuntimeStats {
     pub elapsed: Duration,
 }
 
+/// A point-in-time snapshot of the reactor's event-loop accounting (all
+/// ingest threads summed), carried in
+/// [`crate::serve::ServerStats::reactor`] when the server runs in
+/// [`crate::serve::ServerMode::Reactor`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ReactorStats {
+    /// File descriptors currently registered with the event loop
+    /// (connections plus the listener and the wake fd of each ingest
+    /// thread).
+    pub registered_fds: usize,
+    /// Peak number of registered file descriptors.
+    pub peak_registered_fds: usize,
+    /// `poll(2)` calls made across all ingest threads.
+    pub polls: u64,
+    /// Cross-thread wake-ups observed on the eventfd (credit returns,
+    /// joiner completions, shutdown, connection hand-offs).
+    pub wakeups: u64,
+    /// Readiness events dispatched to connection state machines (one per
+    /// ready fd per poll round).
+    pub readiness_dispatches: u64,
+    /// Peak bytes any single connection's outbox held at once (framed
+    /// matches waiting for the socket to accept them).
+    pub peak_outbox_bytes: usize,
+}
+
 impl RuntimeStats {
     /// Sustained ingest throughput in MiB/s over the session's lifetime.
     pub fn throughput_mib_s(&self) -> f64 {

@@ -6,7 +6,9 @@
 
 use ppt_core::Engine;
 use ppt_runtime::serve::{register, ClientError, TcpServer};
-use ppt_runtime::{Frame, FrameDecoder, HandshakeDecoder, HandshakeRequest, Runtime, WireFormat};
+use ppt_runtime::{
+    Frame, FrameDecoder, HandshakeDecoder, HandshakeRequest, Runtime, ServerMode, WireFormat,
+};
 use proptest::prelude::*;
 use std::collections::HashMap;
 use std::io::{Read, Write};
@@ -128,14 +130,15 @@ fn assert_frames_match(
     assert!(expected.is_empty(), "batch matches never served: {expected:?}");
 }
 
-#[test]
-fn serves_json_and_binary_clients_concurrently() {
+/// The end-to-end equivalence run, shared by both serving modes.
+fn serves_json_and_binary_clients_concurrently(mode: ServerMode) {
     let queries = ["//item/k", "/stream/item/id"];
     let doc = Arc::new(make_doc(300));
     let expected = batch_reference(&queries, &doc);
 
     let runtime = Arc::new(Runtime::builder().workers(2).inflight_chunks(8).build());
     let server = TcpServer::builder()
+        .mode(mode)
         .chunk_size(512)
         .window_size(4096)
         .bind("127.0.0.1:0", runtime)
@@ -165,12 +168,23 @@ fn serves_json_and_binary_clients_concurrently() {
     assert_eq!(stats.sessions_failed, 0);
     assert_eq!(stats.active, 0);
     assert_eq!(stats.connections.len(), 2);
+    assert_eq!(stats.reactor.is_some(), mode == ServerMode::Reactor && cfg!(unix));
     for conn in &stats.connections {
         let report = conn.report.as_ref().expect("clean close keeps the report");
         assert!(report.error.is_none());
         assert_eq!(report.stats.payload_misses, 0);
         assert_eq!(conn.queries, queries);
     }
+}
+
+#[test]
+fn serves_json_and_binary_clients_concurrently_reactor() {
+    serves_json_and_binary_clients_concurrently(ServerMode::default());
+}
+
+#[test]
+fn serves_json_and_binary_clients_concurrently_thread_per_conn() {
+    serves_json_and_binary_clients_concurrently(ServerMode::ThreadPerConn);
 }
 
 #[test]

@@ -87,9 +87,9 @@ pub mod prelude {
     pub use ppt_runtime::{
         CollectPayloadSink, CollectSink, ConnectionReport, Frame, FrameDecoder, HandshakeDecoder,
         HandshakeError, HandshakeReply, HandshakeRequest, MatchSink, MatchStream,
-        MaterializedMatch, OnlineMatch, PayloadSink, Runtime, RuntimeStats, ServerStats,
-        SessionHandle, SessionManager, SessionOptions, SessionReport, TcpServer, TcpServerBuilder,
-        WireFormat, WireServed, WireSink,
+        MaterializedMatch, OnlineMatch, PayloadSink, ReactorStats, Runtime, RuntimeStats,
+        ServerMode, ServerStats, SessionHandle, SessionManager, SessionOptions, SessionReport,
+        TcpServer, TcpServerBuilder, WireFormat, WireServed, WireSink,
     };
     pub use ppt_xpath::{Query, QueryPlan};
 }
