@@ -76,17 +76,21 @@ mod resolver;
 mod retain;
 pub mod serve;
 mod session;
+pub mod shard;
 mod sink;
 mod stats;
 pub mod wire;
 
 pub use resolver::{SpanEvent, SpanResolver};
-pub use serve::{ConnectionReport, ServerMode, ServerStats, TcpServer, TcpServerBuilder};
+pub use serve::{
+    ConnectionReport, Registration, ServerMode, ServerStats, ShardSpec, TcpServer, TcpServerBuilder,
+};
 pub use session::{SessionHandle, SessionReport};
+pub use shard::{ForwardReport, HashRing, ShardRouter};
 pub use sink::{
     CollectPayloadSink, CollectSink, MatchSink, MaterializedMatch, OnlineMatch, PayloadSink,
 };
-pub use stats::{ReactorStats, RuntimeStats};
+pub use stats::{ReactorStats, RouterStats, RuntimeStats, ShardStats};
 pub use wire::{
     Frame, FrameDecoder, HandshakeDecoder, HandshakeError, HandshakeReply, HandshakeRequest,
     WireError, WireFormat, WireSink,

@@ -289,10 +289,13 @@ impl OutboxShared {
         Ok(())
     }
 
-    /// Writes as much buffered data as the socket accepts right now.
-    /// `Ok(true)` when the buffer drained completely.
-    fn drain_to(&self, stream: &mut TcpStream) -> std::io::Result<bool> {
+    /// Writes as much buffered data as the socket accepts right now; returns
+    /// the bytes actually written. Callers treat `written > 0` as socket
+    /// progress — comparing queue lengths before/after would miss progress
+    /// whenever a concurrently running fold refills the outbox mid-drain.
+    fn drain_to(&self, stream: &mut TcpStream) -> std::io::Result<usize> {
         let mut b = lock_recover(&self.buf).0;
+        let mut written = 0usize;
         loop {
             // Compact lazily, same idiom as the wire decoders.
             if b.consumed > 0 && b.consumed >= b.bytes.len() / 2 {
@@ -302,7 +305,7 @@ impl OutboxShared {
             }
             let start = b.consumed;
             if start == b.bytes.len() {
-                return Ok(true);
+                return Ok(written);
             }
             match stream.write(&b.bytes[start..]) {
                 Ok(0) => {
@@ -313,6 +316,7 @@ impl OutboxShared {
                 }
                 Ok(n) => {
                     b.consumed += n;
+                    written += n;
                     if b.consumed < b.bytes.len() {
                         continue; // partial acceptance; try once more
                     }
@@ -321,7 +325,7 @@ impl OutboxShared {
                     if e.kind() == std::io::ErrorKind::WouldBlock
                         || e.kind() == std::io::ErrorKind::Interrupted =>
                 {
-                    return Ok(false);
+                    return Ok(written);
                 }
                 Err(e) => return Err(e),
             }
@@ -568,6 +572,9 @@ enum Phase {
 struct ConnSession {
     feeder: Feeder,
     task: Arc<JoinTask>,
+    /// The worker pool of the shard this stream was placed on: chunk jobs
+    /// go here, not to a global pool.
+    pool: Arc<WorkerPool>,
 }
 
 struct Conn {
@@ -580,15 +587,33 @@ struct Conn {
     meta: Option<ConnMeta>,
     read_error: Option<String>,
     write_error: Option<String>,
+    /// Last instant the *socket* made progress (bytes read from the client,
+    /// or bytes accepted by its send buffer) — the clock the optional
+    /// idle-timeout liveness check reads.
+    last_progress: Instant,
 }
 
 struct ConnMeta {
     stream_id: u64,
+    shard: usize,
     queries: Vec<String>,
     format: WireFormat,
 }
 
 impl Conn {
+    /// Whether the idle-timeout clock applies right now: always while
+    /// streaming (a dead client neither sends bytes nor drains frames), and
+    /// while draining/rejecting only when queued bytes wait on the client to
+    /// read them. Handshaking has its own deadline; a drained outbox waiting
+    /// on the *pipeline* (not the client) must never be timed out.
+    fn idle_eligible(&self) -> bool {
+        match self.phase {
+            Phase::Handshaking { .. } => false,
+            Phase::Streaming => true,
+            Phase::Draining | Phase::Rejecting => !self.outbox.is_empty(),
+        }
+    }
+
     /// The poll events this connection currently cares about; `0` means the
     /// fd is left out of the poll set entirely (progress will come from a
     /// wake-up, not the socket).
@@ -628,7 +653,9 @@ pub(crate) struct ReactorShared {
     /// Connections handed off by the accepting thread (index 0) to their
     /// owning ingest thread.
     inboxes: Vec<Mutex<Vec<(TcpStream, SocketAddr)>>>,
-    join: Arc<JoinShared>,
+    /// One join-executor queue per shard: a connection's fold runs on the
+    /// pool of the shard its stream id was placed on.
+    joins: Vec<Arc<JoinShared>>,
     pub counters: Arc<ReactorCounters>,
     round_robin: AtomicUsize,
     /// Set by the accepting thread once the listener is dropped — after
@@ -644,8 +671,9 @@ pub(crate) struct ReactorShared {
 pub(crate) struct ReactorHandles {
     threads: Vec<std::thread::JoinHandle<()>>,
     pub shared: Arc<ReactorShared>,
-    /// Dropped (and its threads joined) after the ingest threads exit.
-    join_pool: Option<JoinPool>,
+    /// Dropped (and their threads joined) after the ingest threads exit —
+    /// one pool per shard.
+    join_pools: Option<Vec<JoinPool>>,
 }
 
 impl ReactorHandles {
@@ -664,7 +692,7 @@ impl ReactorHandles {
         for handle in self.threads.drain(..) {
             let _ = handle.join();
         }
-        self.join_pool.take(); // Drop joins the executor threads.
+        self.join_pools.take(); // Drop joins the executor threads.
     }
 }
 
@@ -674,12 +702,16 @@ pub(crate) fn spawn(shared: Arc<Shared>, listener: TcpListener) -> std::io::Resu
     listener.set_nonblocking(true)?;
     let ingest = shared.config.ingest_threads.max(1);
     let counters = Arc::new(ReactorCounters::default());
-    let join_pool = JoinPool::new(shared.config.join_threads);
+    // One join pool per shard: a slow fold on one shard never steals the
+    // executor threads of another.
+    let join_pools: Vec<JoinPool> = (0..shared.router.shard_count())
+        .map(|_| JoinPool::new(shared.config.join_threads))
+        .collect();
     let wakes = (0..ingest).map(|_| WakeFd::new().map(Arc::new)).collect::<Result<Vec<_>, _>>()?;
     let rshared = Arc::new(ReactorShared {
         wakes,
         inboxes: (0..ingest).map(|_| Mutex::new(Vec::new())).collect(),
-        join: Arc::clone(&join_pool.shared),
+        joins: join_pools.iter().map(|p| Arc::clone(&p.shared)).collect(),
         counters,
         round_robin: AtomicUsize::new(0),
         accept_closed: AtomicBool::new(false),
@@ -707,7 +739,7 @@ pub(crate) fn spawn(shared: Arc<Shared>, listener: TcpListener) -> std::io::Resu
         );
     }
     drop(listener);
-    Ok(ReactorHandles { threads, shared: rshared, join_pool: Some(join_pool) })
+    Ok(ReactorHandles { threads, shared: rshared, join_pools: Some(join_pools) })
 }
 
 /// What a pollfd slot refers to.
@@ -730,10 +762,6 @@ struct Reactor {
 impl Reactor {
     fn wake(&self) -> &Arc<WakeFd> {
         &self.r.wakes[self.idx]
-    }
-
-    fn pool(&self) -> &Arc<WorkerPool> {
-        self.shared.runtime.worker_pool()
     }
 
     fn live_conns(&self) -> usize {
@@ -785,9 +813,18 @@ impl Reactor {
             }
             let mut timeout_ms: i32 = -1;
             let now = Instant::now();
+            let idle_timeout = self.shared.config.idle_timeout;
             for (slot, conn) in self.conns.iter().enumerate() {
                 let Some(conn) = conn else { continue };
-                if let Phase::Handshaking { deadline: Some(deadline), .. } = &conn.phase {
+                // The poll must wake in time for whichever deadline governs
+                // this connection: the handshake deadline, or — once
+                // streaming — the optional idle-timeout liveness deadline.
+                let deadline = match &conn.phase {
+                    Phase::Handshaking { deadline, .. } => *deadline,
+                    _ if conn.idle_eligible() => idle_timeout.map(|t| conn.last_progress + t),
+                    _ => None,
+                };
+                if let Some(deadline) = deadline {
                     // Clamp before narrowing: a days-long deadline must wake
                     // the loop early and re-arm, not wrap `as_millis()` into
                     // a negative (= infinite) poll timeout.
@@ -838,6 +875,7 @@ impl Reactor {
             }
 
             self.expire_handshakes();
+            self.expire_idle();
             self.sweep();
         }
     }
@@ -931,6 +969,7 @@ impl Reactor {
             meta: None,
             read_error: None,
             write_error: None,
+            last_progress: Instant::now(),
         };
         self.r.counters.fd_registered();
         match self.free.pop() {
@@ -971,6 +1010,7 @@ impl Reactor {
                 return;
             }
         };
+        conn.last_progress = Instant::now();
         let Phase::Handshaking { decoder, .. } = &mut conn.phase else { return };
         match decoder.push(&buf[..n]) {
             Ok(Some(request)) => self.complete_handshake(slot, request),
@@ -979,8 +1019,9 @@ impl Reactor {
         }
     }
 
-    /// The handshake parsed: build the engine, reply, and bring the session
-    /// up — or send a structured rejection.
+    /// The handshake parsed: resolve the stream id, place the stream on its
+    /// shard, build the engine, reply, and bring the session up on the
+    /// shard's pools — or send a structured rejection.
     fn complete_handshake(&mut self, slot: usize, request: crate::wire::HandshakeRequest) {
         let engine = match crate::serve::build_engine(&self.shared.config, &request.queries) {
             Ok(engine) => engine,
@@ -989,14 +1030,31 @@ impl Reactor {
                 return;
             }
         };
+        // The stream id is the partition key: the client's requested one, or
+        // a process-unique assignment (a default of 0 for everyone would put
+        // every default stream on one shard and make their frames
+        // indistinguishable to an aggregating consumer).
+        let stream_id = request.stream_id.unwrap_or_else(crate::serve::assign_stream_id);
+        let shard = self.shared.place_stream(stream_id);
+        let runtime = Arc::clone(self.shared.router.shard(shard));
         let Some(conn) = self.conns.get_mut(slot).and_then(Option::as_mut) else { return };
+        // Meta (and with it the shard placement) is set before anything can
+        // fail, so every exit path below releases the shard accounting
+        // through `close_conn`.
+        conn.meta = Some(ConnMeta {
+            stream_id,
+            shard,
+            queries: request.queries.clone(),
+            format: request.format,
+        });
         let ids: Vec<u32> = (0..request.queries.len() as u32).collect();
-        if conn.outbox.push(HandshakeReply::Accepted(ids).encode().as_bytes()).is_err() {
+        let reply = HandshakeReply::Accepted { stream: stream_id, queries: ids };
+        if conn.outbox.push(reply.encode().as_bytes()).is_err() {
             self.abort_conn(slot, "handshake reply failed: outbox closed");
             return;
         }
-        let opts = crate::serve::session_options(&self.shared.config, &request);
-        let core = self.shared.runtime.new_session_core(Arc::clone(&engine), &opts);
+        let opts = crate::serve::session_options(&self.shared.config, &request, stream_id);
+        let core = runtime.new_session_core(Arc::clone(&engine), &opts);
         let sink = Materializer {
             core: Arc::clone(&core),
             inner: WireSink::new(OutboxWriter { outbox: Arc::clone(&conn.outbox) }, request.format),
@@ -1012,45 +1070,43 @@ impl Reactor {
             stalled_on_outbox: AtomicBool::new(false),
             outbox: Arc::clone(&conn.outbox),
             signal: Arc::clone(&conn.signal),
-            join: Arc::clone(&self.r.join),
+            join: Arc::clone(&self.r.joins[shard]),
         });
         core.set_events(Arc::new(ConnEvents {
             task: Arc::downgrade(&task),
             signal: Arc::clone(&conn.signal),
         }));
         let mut feeder = Feeder::new(core);
-        conn.meta = Some(ConnMeta {
-            stream_id: request.stream_id,
-            queries: request.queries,
-            format: request.format,
-        });
+        let pool = Arc::clone(runtime.worker_pool());
         // Bytes that arrived in the same reads as the handshake are the head
         // of the stream.
         let old = std::mem::replace(&mut conn.phase, Phase::Streaming);
         let Phase::Handshaking { decoder, .. } = old else { unreachable!("checked by caller") };
         let remainder = decoder.take_remainder();
         if !remainder.is_empty() {
-            feeder.feed_nonblocking(self.shared.runtime.worker_pool(), &remainder);
+            feeder.feed_nonblocking(&pool, &remainder);
         }
-        conn.session = Some(ConnSession { feeder, task });
+        conn.session = Some(ConnSession { feeder, task, pool });
     }
 
     fn stream_readable(&mut self, slot: usize, buf: &mut [u8]) {
-        let pool = Arc::clone(self.pool());
         let Some(conn) = self.conns.get_mut(slot).and_then(Option::as_mut) else { return };
         let Some(session) = conn.session.as_mut() else { return };
         if session.feeder.is_blocked() {
             return; // backpressured: leave the bytes in the kernel buffer
         }
+        let pool = Arc::clone(&session.pool);
         match conn.stream.read(buf) {
             Ok(0) => {
                 // Clean end of stream: flush the splitter tail; the chunk
                 // total is announced once the pending queue drains.
+                conn.last_progress = Instant::now();
                 session.feeder.request_finish();
                 session.feeder.pump_nonblocking(&pool);
                 conn.phase = Phase::Draining;
             }
             Ok(n) => {
+                conn.last_progress = Instant::now();
                 session.feeder.feed_nonblocking(&pool, &buf[..n]);
             }
             Err(e)
@@ -1071,7 +1127,10 @@ impl Reactor {
     fn handle_writable(&mut self, slot: usize) {
         let Some(conn) = self.conns.get_mut(slot).and_then(Option::as_mut) else { return };
         match conn.outbox.drain_to(&mut conn.stream) {
-            Ok(_) => {
+            Ok(written) => {
+                if written > 0 {
+                    conn.last_progress = Instant::now();
+                }
                 if !conn.outbox.over_cap() {
                     if let Some(session) = &conn.session {
                         if session.task.stalled_on_outbox.swap(false, Ordering::SeqCst) {
@@ -1121,14 +1180,75 @@ impl Reactor {
         }
     }
 
+    /// Times out post-handshake connections whose socket made no progress
+    /// for the configured [`crate::serve::TcpServerBuilder::idle_timeout`].
+    ///
+    /// This is the liveness backstop the handshake deadline does not cover:
+    /// a dead-but-open client (NAT-idled, no FIN ever delivered) in
+    /// `Streaming` would otherwise hold its session, its admission-gate
+    /// credit and its retained windows forever. Expiry poisons *that
+    /// session only* — the joiner finalizes with the error in its report,
+    /// the sweep closes the socket, and the gate credit comes back.
+    fn expire_idle(&mut self) {
+        let Some(idle) = self.shared.config.idle_timeout else { return };
+        let now = Instant::now();
+        for slot in 0..self.conns.len() {
+            let Some(conn) = self.conns[slot].as_mut() else { continue };
+            // A *pipeline-side* stall is not client death: while the
+            // session has chunks the server still owes work on — pending in
+            // a blocked feeder, or submitted but not yet folded — no socket
+            // progress proves nothing about the client. Its bytes may sit
+            // unread in the kernel buffer (POLLIN interest is off while the
+            // feeder is blocked) and its frames have simply not been
+            // produced yet behind a busy shard. Restart the clock so the
+            // deadline measures from the moment the pipeline catches up.
+            //
+            // The discriminator is the outbox: a backed-up outbox means the
+            // *client* is not draining its frames — that is exactly the
+            // dead-but-open shape this timeout exists to reclaim, so there
+            // the clock keeps running regardless of pipeline state.
+            let pipeline_busy = conn.session.as_ref().is_some_and(|s| {
+                let counters = &s.task.core.counters;
+                s.feeder.is_blocked()
+                    || counters.chunks_submitted.load(Ordering::Relaxed)
+                        > counters.chunks_joined.load(Ordering::Relaxed)
+            });
+            if pipeline_busy && !conn.outbox.over_cap() {
+                conn.last_progress = now;
+                continue;
+            }
+            if !conn.idle_eligible() || now.saturating_duration_since(conn.last_progress) < idle {
+                continue;
+            }
+            let reason = crate::serve::idle_timeout_error(idle);
+            if let Some(session) = &conn.session {
+                // Order matters: discard the queued frames (a dead client
+                // will never read them) *before* poisoning, and unpark a
+                // fold parked on the now-cleared outbox — with the outbox
+                // empty, POLLOUT disarms and nothing else would ever
+                // re-enqueue it to observe the poison and finalize.
+                conn.outbox.close_and_clear();
+                session.task.core.poison(reason.clone());
+                if session.task.stalled_on_outbox.swap(false, Ordering::SeqCst) {
+                    enqueue_task(&session.task);
+                }
+                conn.read_error.get_or_insert(reason);
+                conn.phase = Phase::Draining;
+            } else {
+                // A rejecting connection that never read its ERR line.
+                self.close_conn(slot, false);
+            }
+        }
+    }
+
     /// Post-dispatch pass: resume pumped feeders, notice finished joiners,
     /// close connections that drained.
     fn sweep(&mut self) {
-        let pool = Arc::clone(self.pool());
         for slot in 0..self.conns.len() {
             let Some(conn) = self.conns[slot].as_mut() else { continue };
             if let Some(session) = conn.session.as_mut() {
                 if conn.signal.feed_ready.swap(false, Ordering::AcqRel) {
+                    let pool = Arc::clone(&session.pool);
                     session.feeder.pump_nonblocking(&pool);
                 }
                 if conn.signal.done.load(Ordering::Acquire)
@@ -1162,10 +1282,16 @@ impl Reactor {
     fn abort_conn(&mut self, slot: usize, reason: &str) {
         let Some(conn) = self.conns.get_mut(slot).and_then(Option::as_mut) else { return };
         if let Some(session) = &conn.session {
+            // Same ordering discipline as `expire_idle`: clear first, then
+            // poison and unpark, so a fold parked on the outbox cannot stay
+            // parked forever once POLLOUT disarms.
+            conn.outbox.close_and_clear();
             session.task.core.poison(reason.to_string());
+            if session.task.stalled_on_outbox.swap(false, Ordering::SeqCst) {
+                enqueue_task(&session.task);
+            }
             conn.write_error.get_or_insert_with(|| reason.to_string());
             conn.phase = Phase::Draining;
-            conn.outbox.close_and_clear();
         } else {
             self.shared.handshake_rejects.fetch_add(1, Ordering::Relaxed);
             self.close_conn(slot, false);
@@ -1177,8 +1303,8 @@ impl Reactor {
     fn close_conn(&mut self, slot: usize, record: bool) {
         let Some(mut conn) = self.conns[slot].take() else { return };
         self.free.push(slot);
-        if record {
-            if let Some(meta) = conn.meta.take() {
+        if let Some(meta) = conn.meta.take() {
+            if record {
                 let (report, frames, bytes_out, sink_error) = match conn.session.take() {
                     Some(session) => {
                         let mut inner = lock_recover(&session.task.inner).0;
@@ -1190,9 +1316,11 @@ impl Reactor {
                     }
                     None => (None, 0, 0, None),
                 };
+                // `record` balances the shard placement accounting.
                 self.shared.record(ConnectionReport {
                     peer: conn.peer,
                     stream_id: meta.stream_id,
+                    shard: meta.shard,
                     queries: meta.queries,
                     format: meta.format,
                     frames,
@@ -1201,6 +1329,11 @@ impl Reactor {
                     write_error: conn.write_error.take().or(sink_error),
                     read_error: conn.read_error.take(),
                 });
+            } else {
+                // Placed but closed without a report (e.g. the outbox died
+                // before the reply could be queued): still release the
+                // shard's live-session accounting.
+                self.shared.shard_closed(meta.shard);
             }
         }
         drop(conn);
@@ -1294,6 +1427,7 @@ mod tests {
             meta: None,
             read_error: None,
             write_error: None,
+            last_progress: Instant::now(),
         };
         assert_eq!(conn.interest(), POLLIN, "handshake listens only");
 
@@ -1306,9 +1440,11 @@ mod tests {
         assert_eq!(conn.interest(), POLLOUT, "draining only flushes");
         let mut sink = std::io::sink();
         let _ = sink.write(b"");
-        // Drain the outbox through the real socket: POLLOUT disarms.
+        // Drain the outbox through the real socket: POLLOUT disarms, and
+        // the written-byte count is the progress signal.
         let mut stream = conn.stream.try_clone().unwrap();
-        assert!(outbox.drain_to(&mut stream).unwrap());
+        assert_eq!(outbox.drain_to(&mut stream).unwrap(), 5);
+        assert!(outbox.is_empty());
         assert_eq!(conn.interest(), 0, "drained outbox leaves the poll set");
         drop(client);
     }

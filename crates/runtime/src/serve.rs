@@ -48,10 +48,21 @@
 //! * **Accounting survives the disconnect**: every connection that passed
 //!   the handshake leaves a [`ConnectionReport`] in the server-level stats
 //!   snapshot; reactor servers additionally report event-loop totals
-//!   ([`ReactorStats`]).
+//!   ([`ReactorStats`]) and per-shard/router accounting ([`ShardStats`],
+//!   [`RouterStats`]).
+//! * **Streams are placed by identity.** Every post-handshake connection is
+//!   routed to the shard owning its stream id on a consistent-hash ring
+//!   (see [`crate::shard`] and [`TcpServerBuilder::shards`]); with the
+//!   default single shard that is simply the runtime passed to `bind`, but
+//!   the identity rules hold regardless: a handshake without `STREAM` gets
+//!   a process-unique, never-zero id, echoed in the `OK` reply.
+//! * **Liveness is optional but total**: [`TcpServerBuilder::idle_timeout`]
+//!   times out post-handshake connections with no socket progress — the
+//!   dead-but-open-client case the handshake deadline cannot see.
 
 use crate::pool::{lock_recover, wait_recover};
-use crate::stats::ReactorStats;
+use crate::shard::ShardRouter;
+use crate::stats::{ReactorStats, RouterStats, ShardStats};
 use crate::wire::{
     HandshakeDecoder, HandshakeReply, HandshakeRequest, WireFormat, WireSink,
     DEFAULT_MAX_HANDSHAKE_LINE, DEFAULT_MAX_QUERIES,
@@ -64,6 +75,35 @@ use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
+
+/// Server-assigned stream ids live at and above bit 52. Clients pick small
+/// integers in practice; carving the ranges apart means an assigned id can
+/// never collide with an explicitly requested one — without it, the
+/// counter's `1` would collide with the first client that asks for
+/// `STREAM 1`, and an aggregating consumer could not demux the two
+/// sessions the assignment exists to distinguish. Bit 52 (not 63) keeps
+/// every realistic assignment below `2^53`, exactly representable as an
+/// IEEE-754 double — a JSON-lines consumer whose parser reads numbers as
+/// doubles must not see distinct assigned ids collapse into one value.
+const ASSIGNED_STREAM_ID_BASE: u64 = 1 << 52;
+
+/// The process-wide stream-id assigner: ids handed to connections whose
+/// handshake carried no `STREAM` line.
+static NEXT_STREAM_ID: AtomicU64 = AtomicU64::new(1);
+
+/// Takes the next process-unique assigned stream id: never 0 (the base bit
+/// is always set), never equal to another assignment, and never inside the
+/// explicit range below [`ASSIGNED_STREAM_ID_BASE`].
+pub(crate) fn assign_stream_id() -> u64 {
+    ASSIGNED_STREAM_ID_BASE | NEXT_STREAM_ID.fetch_add(1, Ordering::Relaxed)
+}
+
+/// The structured liveness verdict, worded once for every path that can
+/// reach a report (reactor expiry, thread-mode read and write deadlines) —
+/// tests and operators match on this text.
+pub(crate) fn idle_timeout_error(idle: Duration) -> String {
+    format!("idle timeout: no socket progress for {idle:?}")
+}
 
 /// Completed connections remembered in the stats snapshot (oldest dropped
 /// first); counters keep counting beyond this.
@@ -91,6 +131,26 @@ impl Default for ServerMode {
     }
 }
 
+/// The in-process sharding shape of a server: how many shards, and how each
+/// shard's pools are sized (see [`crate::shard`]).
+#[derive(Debug, Clone)]
+pub struct ShardSpec {
+    /// Number of shards (1 = the classic single-runtime server).
+    pub shards: usize,
+    /// Worker threads per *additional* shard runtime; `None` copies the
+    /// worker count of the runtime passed to `bind` (which serves as
+    /// shard 0).
+    pub workers: Option<usize>,
+    /// Virtual nodes per shard on the placement ring.
+    pub vnodes: usize,
+}
+
+impl Default for ShardSpec {
+    fn default() -> ShardSpec {
+        ShardSpec { shards: 1, workers: None, vnodes: crate::shard::DEFAULT_VNODES }
+    }
+}
+
 /// Builder for a [`TcpServer`].
 #[derive(Debug, Clone)]
 pub struct TcpServerBuilder {
@@ -100,11 +160,13 @@ pub struct TcpServerBuilder {
     pub(crate) max_retain_bytes: u64,
     pub(crate) max_handshake_line: usize,
     pub(crate) handshake_timeout: Option<Duration>,
+    pub(crate) idle_timeout: Option<Duration>,
     pub(crate) chunk_size: Option<usize>,
     pub(crate) window_size: Option<usize>,
     pub(crate) ingest_threads: usize,
     pub(crate) join_threads: usize,
     pub(crate) max_outbox_bytes: usize,
+    pub(crate) shard: ShardSpec,
 }
 
 impl Default for TcpServerBuilder {
@@ -116,11 +178,13 @@ impl Default for TcpServerBuilder {
             max_retain_bytes: 64 << 20,
             max_handshake_line: DEFAULT_MAX_HANDSHAKE_LINE,
             handshake_timeout: Some(Duration::from_secs(10)),
+            idle_timeout: None,
             chunk_size: None,
             window_size: None,
             ingest_threads: 1,
             join_threads: 2,
             max_outbox_bytes: 1 << 20,
+            shard: ShardSpec::default(),
         }
     }
 }
@@ -163,10 +227,75 @@ impl TcpServerBuilder {
     }
 
     /// Deadline for the *whole* handshake, trickling clients included
-    /// (default 10 s; `None` disables it). The stream phase is never timed
-    /// out — slow streams are the normal case.
+    /// (default 10 s; `None` disables it). The stream phase is only timed
+    /// out by [`TcpServerBuilder::idle_timeout`] — slow streams are the
+    /// normal case.
     pub fn handshake_timeout(mut self, timeout: Option<Duration>) -> TcpServerBuilder {
         self.handshake_timeout = timeout;
+        self
+    }
+
+    /// Post-handshake liveness deadline (default **off**): a connection with
+    /// no socket progress — no bytes read from the client and none written
+    /// to it — for this long is timed out, poisoning *its own* session only
+    /// and freeing its admission slot, gate credit and retention.
+    ///
+    /// Without it, a dead-but-open client (NAT-idled, no FIN ever arrives)
+    /// in the streaming phase holds all three forever — the handshake
+    /// deadline machinery only covers connections still handshaking. A slow
+    /// but live client is safe at any rate: every read or write resets the
+    /// clock. In **reactor mode** two refinements pin "progress" down:
+    ///
+    /// * A **pipeline-side stall** never counts against the client: a
+    ///   connection the server still owes work on (chunks pending in a
+    ///   blocked feeder or submitted but not yet folded) while its own
+    ///   outbox is *not* backed up (the stall is a busy shard, not the
+    ///   client) has its clock reset.
+    /// * A client that **stops draining its frames** past the deadline is
+    ///   treated as dead — indistinguishable from the NAT-idled case. The
+    ///   session is poisoned and the connection closed.
+    ///
+    /// **Thread-per-connection mode** is cruder: the deadline maps onto
+    /// per-operation socket timeouts. The read deadline measures the
+    /// client's quiet time directly (and does not tick while the server is
+    /// busy inside the pipeline), but it is *not* reset by write-side
+    /// progress — a client that holds its stream open without sending for
+    /// longer than the deadline is timed out even while it drains frames.
+    /// The write deadline latches the sink on expiry (later frames count as
+    /// dropped) and the session drains. Workloads needing the refined
+    /// semantics should serve in reactor mode (the default on Unix).
+    ///
+    /// Set it comfortably above the longest quiet period the workload's
+    /// streams legitimately have.
+    pub fn idle_timeout(mut self, timeout: Option<Duration>) -> TcpServerBuilder {
+        self.idle_timeout = timeout;
+        self
+    }
+
+    /// Serves over `n` shards (default 1): each shard is an independent
+    /// [`Runtime`] — its own worker pool, join executors and retention
+    /// accounting — and every connection is placed on the shard owning its
+    /// stream id on a consistent-hash ring (see [`crate::shard`]). The
+    /// runtime passed to [`TcpServerBuilder::bind`] becomes shard 0;
+    /// additional shards are built to match it (or to
+    /// [`TcpServerBuilder::shard_workers`]).
+    pub fn shards(mut self, n: usize) -> TcpServerBuilder {
+        self.shard.shards = n.max(1);
+        self
+    }
+
+    /// Worker threads for each additional shard's runtime (default: the
+    /// worker count of the runtime passed to `bind`).
+    pub fn shard_workers(mut self, n: usize) -> TcpServerBuilder {
+        self.shard.workers = Some(n.max(1));
+        self
+    }
+
+    /// Virtual nodes per shard on the placement ring (default
+    /// [`crate::shard::DEFAULT_VNODES`]). More points = tighter balance,
+    /// larger ring.
+    pub fn shard_vnodes(mut self, n: usize) -> TcpServerBuilder {
+        self.shard.vnodes = n.max(1);
         self
     }
 
@@ -193,7 +322,9 @@ impl TcpServerBuilder {
     }
 
     /// Join-executor threads in [`ServerMode::Reactor`] (default 2): the
-    /// fixed pool that folds chunk outputs for *all* reactor sessions.
+    /// fixed pool that folds chunk outputs for the reactor sessions. A
+    /// sharded server runs one such pool **per shard**, each `n` threads
+    /// wide, so shards never contend on each other's folds.
     pub fn join_threads(mut self, n: usize) -> TcpServerBuilder {
         self.join_threads = n.max(1);
         self
@@ -209,7 +340,9 @@ impl TcpServerBuilder {
     }
 
     /// Binds the listener and starts serving. Sessions run on the given
-    /// runtime's shared worker pool.
+    /// runtime's shared worker pool — or, with [`TcpServerBuilder::shards`]
+    /// above 1, on the pools of the shard their stream id hashes to (the
+    /// given runtime serves as shard 0).
     pub fn bind<A: ToSocketAddrs>(
         self,
         addr: A,
@@ -217,8 +350,22 @@ impl TcpServerBuilder {
     ) -> std::io::Result<TcpServer> {
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
+        let mut shards = vec![runtime];
+        for _ in 1..self.shard.shards {
+            let seed = &shards[0];
+            shards.push(Arc::new(
+                Runtime::builder()
+                    .workers(self.shard.workers.unwrap_or_else(|| seed.workers()))
+                    .inflight_chunks(seed.inflight_chunks)
+                    .match_buffer(seed.match_buffer)
+                    .build(),
+            ));
+        }
+        let accounting = (0..shards.len()).map(|_| ShardAccounting::default()).collect();
+        let router = ShardRouter::with_vnodes(shards, self.shard.vnodes);
         let shared = Arc::new(Shared {
-            runtime,
+            router,
+            accounting,
             config: self,
             gate: Gate::new_closed(),
             shutting_down: AtomicBool::new(false),
@@ -340,10 +487,22 @@ impl Gate {
     }
 }
 
+/// Per-shard accounting the serving layer keeps alongside the router's
+/// placement counters (see [`ShardStats`]).
+#[derive(Default)]
+pub(crate) struct ShardAccounting {
+    active: AtomicUsize,
+    matches: AtomicU64,
+    frames: AtomicU64,
+    bytes_out: AtomicU64,
+    peak_retained: AtomicUsize,
+}
+
 /// Everything the accept loop / ingest threads and the connection handlers
 /// share.
 pub(crate) struct Shared {
-    pub(crate) runtime: Arc<Runtime>,
+    pub(crate) router: ShardRouter,
+    accounting: Vec<ShardAccounting>,
     pub(crate) config: TcpServerBuilder,
     pub(crate) gate: Gate,
     pub(crate) shutting_down: AtomicBool,
@@ -358,6 +517,20 @@ pub(crate) struct Shared {
 }
 
 impl Shared {
+    /// Places a post-handshake connection on its stream id's shard and
+    /// counts it live there. Balanced by [`Shared::shard_closed`] (called
+    /// from [`Shared::record`] for recorded connections).
+    pub(crate) fn place_stream(&self, stream_id: u64) -> usize {
+        let shard = self.router.place(stream_id);
+        self.accounting[shard].active.fetch_add(1, Ordering::Relaxed);
+        shard
+    }
+
+    /// Counts a placed connection's departure from its shard.
+    pub(crate) fn shard_closed(&self, shard: usize) {
+        self.accounting[shard].active.fetch_sub(1, Ordering::Relaxed);
+    }
+
     pub(crate) fn record(&self, report: ConnectionReport) {
         let failed = report.read_error.is_some()
             || report.write_error.is_some()
@@ -369,6 +542,14 @@ impl Shared {
         }
         self.frames_out.fetch_add(report.frames, Ordering::Relaxed);
         self.bytes_out.fetch_add(report.bytes_out, Ordering::Relaxed);
+        let shard = &self.accounting[report.shard];
+        shard.frames.fetch_add(report.frames, Ordering::Relaxed);
+        shard.bytes_out.fetch_add(report.bytes_out, Ordering::Relaxed);
+        if let Some(session) = &report.report {
+            shard.matches.fetch_add(session.stats.matches, Ordering::Relaxed);
+            shard.peak_retained.fetch_max(session.stats.peak_retained_bytes, Ordering::Relaxed);
+        }
+        self.shard_closed(report.shard);
         let (mut reports, _) = lock_recover(&self.reports);
         if reports.len() == MAX_REMEMBERED_REPORTS {
             reports.pop_front();
@@ -393,13 +574,16 @@ pub(crate) fn build_engine(
     builder.build().map(Arc::new).map_err(|e| e.wire_message())
 }
 
-/// The session options a handshake request maps to (stream id, clamped
-/// retention budget).
+/// The session options a handshake request maps to. `stream_id` is the
+/// *resolved* id — the client's requested one, or the server-assigned unique
+/// one (see [`assign_stream_id`]) when the handshake carried no `STREAM`
+/// line.
 pub(crate) fn session_options(
     cfg: &TcpServerBuilder,
     request: &HandshakeRequest,
+    stream_id: u64,
 ) -> SessionOptions {
-    let mut opts = SessionOptions::new().stream_id(request.stream_id);
+    let mut opts = SessionOptions::new().stream_id(stream_id);
     if let Some(requested) = request.retain_bytes {
         let budget = requested.min(cfg.max_retain_bytes);
         opts = opts.retain_bytes(usize::try_from(budget).unwrap_or(usize::MAX));
@@ -413,8 +597,12 @@ pub(crate) fn session_options(
 pub struct ConnectionReport {
     /// The client's address.
     pub peer: SocketAddr,
-    /// Stream id the client registered (0 if none).
+    /// The connection's stream id — the one the client registered, or the
+    /// server-assigned unique id when the handshake had no `STREAM` line.
     pub stream_id: u64,
+    /// The shard the stream was placed on (always 0 on an unsharded
+    /// server).
+    pub shard: usize,
     /// The registered query texts, in id order.
     pub queries: Vec<String>,
     /// The negotiated frame format.
@@ -458,6 +646,11 @@ pub struct ServerStats {
     /// Event-loop accounting when the server runs in
     /// [`ServerMode::Reactor`]; `None` in thread-per-connection mode.
     pub reactor: Option<ReactorStats>,
+    /// Per-shard accounting, ring order (a single entry on an unsharded
+    /// server).
+    pub shards: Vec<ShardStats>,
+    /// Placement-ring counters (placements, lookups, imbalance).
+    pub router: RouterStats,
     /// Per-connection reports, oldest first (bounded; the counters above
     /// keep counting beyond the cap).
     pub connections: Vec<ConnectionReport>,
@@ -520,6 +713,24 @@ impl TcpServer {
             ModeHandles::Reactor(handles) => Some(handles.shared.counters.snapshot()),
             _ => None,
         };
+        let router = s.router.stats();
+        let shards = (0..s.router.shard_count())
+            .map(|idx| {
+                let runtime = s.router.shard(idx);
+                let acc = &s.accounting[idx];
+                ShardStats {
+                    shard: idx,
+                    workers: runtime.workers(),
+                    active_sessions: acc.active.load(Ordering::Relaxed),
+                    sessions: router.per_shard_placements.get(idx).copied().unwrap_or(0),
+                    matches: acc.matches.load(Ordering::Relaxed),
+                    frames_out: acc.frames.load(Ordering::Relaxed),
+                    bytes_out: acc.bytes_out.load(Ordering::Relaxed),
+                    peak_retained_bytes: acc.peak_retained.load(Ordering::Relaxed),
+                    peak_queue_depth: runtime.peak_queue_depth(),
+                }
+            })
+            .collect();
         ServerStats {
             accepted: s.accepted.load(Ordering::Relaxed),
             active: s.active.load(Ordering::Relaxed),
@@ -529,6 +740,8 @@ impl TcpServer {
             frames_out: s.frames_out.load(Ordering::Relaxed),
             bytes_out: s.bytes_out.load(Ordering::Relaxed),
             reactor,
+            shards,
+            router,
             connections: lock_recover(&s.reports).0.iter().cloned().collect(),
         }
     }
@@ -773,7 +986,14 @@ fn serve_connection(shared: &Shared, mut stream: TcpStream, peer: SocketAddr) {
             }
         }
     };
-    let _ = stream.set_read_timeout(None);
+    // After the handshake the read clock switches from the handshake
+    // deadline to the liveness deadline: with `idle_timeout` set, a read
+    // that sits longer than that with no bytes fails the session (a live
+    // client resets the clock with every read). The write half gets the
+    // same deadline so a dead client cannot wedge the joiner's frame writes
+    // either. `None` (the default) restores the classic blocking reads.
+    let _ = stream.set_read_timeout(cfg.idle_timeout);
+    let _ = stream.set_write_timeout(cfg.idle_timeout);
 
     // --- Engine build (query parse errors go back over the wire) -----------
     let engine = match build_engine(cfg, &request.queries) {
@@ -789,10 +1009,20 @@ fn serve_connection(shared: &Shared, mut stream: TcpStream, peer: SocketAddr) {
     // (recorded with a report, counted in `sessions_failed`), not handshake
     // rejects — an operator watching `handshake_rejects` for protocol abuse
     // must not see phantom rejects from clients that vanished post-accept.
+    //
+    // The stream id is resolved here — the client's requested one, or a
+    // process-unique assignment (two default handshakes used to both get 0,
+    // making their frames indistinguishable to an aggregating consumer) —
+    // and it is the partition key: the connection runs on the pools of the
+    // shard its id hashes to.
+    let stream_id = request.stream_id.unwrap_or_else(assign_stream_id);
+    let shard = shared.place_stream(stream_id);
+    let runtime = Arc::clone(shared.router.shard(shard));
     let session_setup_failed = |error: String| {
         shared.record(ConnectionReport {
             peer,
-            stream_id: request.stream_id,
+            stream_id,
+            shard,
             queries: request.queries.clone(),
             format: request.format,
             frames: 0,
@@ -803,7 +1033,8 @@ fn serve_connection(shared: &Shared, mut stream: TcpStream, peer: SocketAddr) {
         });
     };
     let ids: Vec<u32> = (0..request.queries.len() as u32).collect();
-    if let Err(e) = stream.write_all(HandshakeReply::Accepted(ids).encode().as_bytes()) {
+    let reply = HandshakeReply::Accepted { stream: stream_id, queries: ids };
+    if let Err(e) = stream.write_all(reply.encode().as_bytes()) {
         session_setup_failed(format!("handshake reply failed: {e}"));
         return;
     }
@@ -816,7 +1047,7 @@ fn serve_connection(shared: &Shared, mut stream: TcpStream, peer: SocketAddr) {
     };
 
     // --- Session ------------------------------------------------------------
-    let opts = session_options(cfg, &request);
+    let opts = session_options(cfg, &request, stream_id);
     // Bytes that arrived in the same reads as the handshake are the head of
     // the stream; chain them in front of the socket.
     let remainder = decoder.take_remainder();
@@ -824,25 +1055,36 @@ fn serve_connection(shared: &Shared, mut stream: TcpStream, peer: SocketAddr) {
     // Own the sink (rather than `serve_reader`) so the report and the write
     // error survive even when the *reader* side of the connection dies.
     let mut sink = WireSink::new(writer, request.format);
-    let result = shared.runtime.process_materialized(engine, &opts, reader, &mut sink);
+    let result = runtime.process_materialized(engine, &opts, reader, &mut sink);
     let (frames, bytes_out) = (sink.frames, sink.bytes_out);
     let (writer, write_error) = sink.into_parts();
     // Half-close so the client's frame reader sees EOF even if the client
     // keeps its write half open.
     let _ = writer.shutdown(Shutdown::Write);
+    // A socket-deadline expiry on either side *is* the liveness verdict in
+    // this mode: name it as such instead of leaking the kernel's
+    // would-block phrasing into the report.
+    let name_verdict = |e: std::io::Error| match (cfg.idle_timeout, e.kind()) {
+        (Some(idle), std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut) => {
+            idle_timeout_error(idle)
+        }
+        _ => e.to_string(),
+    };
     let (report, read_error) = match result {
         Ok(report) => (Some(report), None),
-        Err(e) => (None, Some(e.to_string())),
+        Err(e) => (None, Some(name_verdict(e))),
     };
+    let write_error = write_error.map(name_verdict);
     shared.record(ConnectionReport {
         peer,
-        stream_id: request.stream_id,
+        stream_id,
+        shard,
         queries: request.queries,
         format: request.format,
         frames,
         bytes_out,
         report,
-        write_error: write_error.map(|e| e.to_string()),
+        write_error,
         read_error,
     });
 }
@@ -885,17 +1127,27 @@ impl From<std::io::Error> for ClientError {
     }
 }
 
+/// A successful registration: what the server's `OK` line carried.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Registration {
+    /// The stream id every frame of this session will carry — the requested
+    /// one, or the server's unique assignment when the request had none.
+    pub stream_id: u64,
+    /// Per-query ids, in registration order.
+    pub query_ids: Vec<u32>,
+}
+
 /// Client-side helper: writes `request`'s handshake onto `stream` and reads
-/// the server's one-line verdict. On acceptance the per-query ids come back;
-/// every byte after the reply line is left unread in the socket for the
-/// caller's frame decoder.
+/// the server's one-line verdict. On acceptance the session's stream id and
+/// the per-query ids come back; every byte after the reply line is left
+/// unread in the socket for the caller's frame decoder.
 ///
 /// (The reply is read byte-by-byte up to the first `\n` — a buffered reader
 /// here would swallow the head of the frame stream.)
 pub fn register(
     stream: &mut TcpStream,
     request: &HandshakeRequest,
-) -> Result<Vec<u32>, ClientError> {
+) -> Result<Registration, ClientError> {
     stream.write_all(&request.encode())?;
     stream.flush()?;
     let mut line = Vec::new();
@@ -916,7 +1168,9 @@ pub fn register(
     }
     let text = String::from_utf8_lossy(&line);
     match HandshakeReply::decode(&text) {
-        Ok(HandshakeReply::Accepted(ids)) => Ok(ids),
+        Ok(HandshakeReply::Accepted { stream, queries }) => {
+            Ok(Registration { stream_id: stream, query_ids: queries })
+        }
         Ok(HandshakeReply::Rejected(reason)) => Err(ClientError::Rejected(reason)),
         Err(_) => Err(ClientError::BadReply(text.into())),
     }

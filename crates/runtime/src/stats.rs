@@ -169,6 +169,49 @@ pub struct ReactorStats {
     pub peak_outbox_bytes: usize,
 }
 
+/// Accounting for one shard of a sharded server (see [`crate::shard`]),
+/// carried in [`crate::serve::ServerStats::shards`]. A one-shard server
+/// reports a single entry, so dashboards read the same shape at every
+/// scale.
+#[derive(Debug, Clone, Default)]
+pub struct ShardStats {
+    /// The shard's index on the ring.
+    pub shard: usize,
+    /// Transducer worker threads this shard's runtime owns.
+    pub workers: usize,
+    /// Sessions currently being served on this shard.
+    pub active_sessions: usize,
+    /// Sessions ever placed on this shard.
+    pub sessions: u64,
+    /// Query matches the shard's completed sessions emitted.
+    pub matches: u64,
+    /// Frames written by this shard's sessions.
+    pub frames_out: u64,
+    /// Bytes those frames covered.
+    pub bytes_out: u64,
+    /// The largest retention-ring occupancy any one of this shard's sessions
+    /// reached.
+    pub peak_retained_bytes: usize,
+    /// Peak depth of this shard's worker-pool job queue.
+    pub peak_queue_depth: usize,
+}
+
+/// Router-level counters of a sharded server (see
+/// [`crate::shard::ShardRouter`]), carried in
+/// [`crate::serve::ServerStats::router`].
+#[derive(Debug, Clone, Default)]
+pub struct RouterStats {
+    /// Streams placed on a shard (one per accepted session).
+    pub placements: u64,
+    /// Ring lookups performed (placements plus bare routing queries).
+    pub ring_lookups: u64,
+    /// Placements per shard, ring order.
+    pub per_shard_placements: Vec<u64>,
+    /// Max per-shard placements over the per-shard mean (1.0 = perfectly
+    /// balanced; also 1.0 before any placement).
+    pub imbalance: f64,
+}
+
 impl RuntimeStats {
     /// Sustained ingest throughput in MiB/s over the session's lifetime.
     pub fn throughput_mib_s(&self) -> f64 {

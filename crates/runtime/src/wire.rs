@@ -598,11 +598,14 @@ impl<W: Write + Send> PayloadSink for WireSink<W> {
 //   PPT/1 json|binary        protocol version + frame format (first line)
 //   QUERY <xpath>            one line per query, at least one
 //   RETAIN <bytes>           optional: payload-retention budget (decimal)
-//   STREAM <id>              optional: stream id stamped on frames (decimal)
+//   STREAM <id>              optional: stream id stamped on frames (decimal;
+//                            omitted = the server assigns a unique one)
 //   GO                       ends the handshake; XML stream bytes follow
 //
 // server → client, exactly one line, then frames in the negotiated format
-//   OK <id0> <id1> …         per-query ids, in the order the QUERYs arrived
+//   OK STREAM <sid> <id0> …  the session's stream id (requested or
+//                            server-assigned), then per-query ids in the
+//                            order the QUERYs arrived
 //   ERR <message>            structured rejection; the server then closes
 // ```
 //
@@ -627,14 +630,18 @@ pub struct HandshakeRequest {
     pub queries: Vec<String>,
     /// Requested payload-retention budget in bytes; `None` = offsets only.
     pub retain_bytes: Option<u64>,
-    /// Stream id to stamp on frames (defaults to 0).
-    pub stream_id: u64,
+    /// Stream id to stamp on frames. `None` means the client sent no
+    /// `STREAM` line and the server assigns a process-unique id (echoed in
+    /// the `OK` reply). `Some(0)` is a *request* for stream 0 and is carried
+    /// on the wire — an explicit 0 used to be indistinguishable from "no
+    /// request" because the encoder skipped it.
+    pub stream_id: Option<u64>,
 }
 
 impl HandshakeRequest {
     /// A request for `format` with no queries yet.
     pub fn new(format: WireFormat) -> HandshakeRequest {
-        HandshakeRequest { format, queries: Vec::new(), retain_bytes: None, stream_id: 0 }
+        HandshakeRequest { format, queries: Vec::new(), retain_bytes: None, stream_id: None }
     }
 
     /// Adds one query.
@@ -649,9 +656,12 @@ impl HandshakeRequest {
         self
     }
 
-    /// Sets the stream id stamped on frames.
+    /// Requests a specific stream id for the frames (0 included; ids must
+    /// stay below `2^52` — everything above is reserved for server
+    /// assignment, and a server rejects requests into it). Without it the
+    /// server assigns a process-unique id from that reserved range.
     pub fn stream_id(mut self, id: u64) -> HandshakeRequest {
-        self.stream_id = id;
+        self.stream_id = Some(id);
         self
     }
 
@@ -669,8 +679,11 @@ impl HandshakeRequest {
         if let Some(budget) = self.retain_bytes {
             out.extend_from_slice(format!("RETAIN {budget}\n").as_bytes());
         }
-        if self.stream_id != 0 {
-            out.extend_from_slice(format!("STREAM {}\n", self.stream_id).as_bytes());
+        // Emit whatever was set — `Some(0)` included. The old
+        // `if stream_id != 0` guard silently turned an explicit request for
+        // stream 0 into "no request".
+        if let Some(id) = self.stream_id {
+            out.extend_from_slice(format!("STREAM {id}\n").as_bytes());
         }
         out.extend_from_slice(b"GO\n");
         out
@@ -701,6 +714,14 @@ pub enum HandshakeError {
         command: &'static str,
         /// The offending argument text.
         value: String,
+    },
+    /// `STREAM` asked for an id in the server-assigned range (at or above
+    /// bit 52). Ids there are handed out to `STREAM`-less handshakes, and
+    /// the no-collision guarantee between assigned and requested ids only
+    /// holds if requests cannot reach into that range.
+    ReservedStreamId {
+        /// The rejected id.
+        id: u64,
     },
     /// `GO` arrived before any `QUERY`.
     NoQueries,
@@ -736,6 +757,9 @@ impl std::fmt::Display for HandshakeError {
             HandshakeError::UnknownCommand(cmd) => write!(f, "unknown handshake command `{cmd}`"),
             HandshakeError::BadArgument { command, value } => {
                 write!(f, "{command} takes a decimal integer, got `{value}`")
+            }
+            HandshakeError::ReservedStreamId { id } => {
+                write!(f, "stream id {id} is in the server-assigned range (ids below 2^52 only)")
             }
             HandshakeError::NoQueries => write!(f, "GO before any QUERY was registered"),
             HandshakeError::TooManyQueries { limit } => {
@@ -777,7 +801,7 @@ pub struct HandshakeDecoder {
     format: Option<WireFormat>,
     queries: Vec<String>,
     retain_bytes: Option<u64>,
-    stream_id: u64,
+    stream_id: Option<u64>,
     complete: bool,
     failed: Option<HandshakeError>,
 }
@@ -809,7 +833,7 @@ impl HandshakeDecoder {
             format: None,
             queries: Vec::new(),
             retain_bytes: None,
-            stream_id: 0,
+            stream_id: None,
             complete: false,
             failed: None,
         }
@@ -914,10 +938,17 @@ impl HandshakeDecoder {
                 })?);
             }
             "STREAM" => {
-                self.stream_id = rest.trim().parse().map_err(|_| HandshakeError::BadArgument {
+                let id: u64 = rest.trim().parse().map_err(|_| HandshakeError::BadArgument {
                     command: "STREAM",
                     value: rest.trim().into(),
                 })?;
+                // Ids at and above bit 52 belong to server assignment;
+                // accepting requests there would break the
+                // assigned-vs-requested no-collision guarantee.
+                if id >= 1 << 52 {
+                    return Err(HandshakeError::ReservedStreamId { id });
+                }
+                self.stream_id = Some(id);
             }
             "GO" => {
                 if self.queries.is_empty() {
@@ -934,9 +965,16 @@ impl HandshakeDecoder {
 /// The server's one-line handshake reply.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum HandshakeReply {
-    /// The queries were registered; frames follow. Carries the per-query
-    /// ids, in registration order.
-    Accepted(Vec<u32>),
+    /// The queries were registered; frames follow.
+    Accepted {
+        /// The stream id every frame of this session will carry — the
+        /// client's requested id, or the server-assigned unique one when the
+        /// handshake had no `STREAM` line. Echoed so a default-handshake
+        /// client learns which id to demux on.
+        stream: u64,
+        /// Per-query ids, in registration order.
+        queries: Vec<u32>,
+    },
     /// The handshake was rejected; the message is the structured reason and
     /// the server closes after sending it.
     Rejected(String),
@@ -951,9 +989,9 @@ impl HandshakeReply {
     /// `ppt_xpath::XPathError::wire_message`.
     pub fn encode(&self) -> String {
         match self {
-            HandshakeReply::Accepted(ids) => {
-                let mut line = String::from("OK");
-                for id in ids {
+            HandshakeReply::Accepted { stream, queries } => {
+                let mut line = format!("OK STREAM {stream}");
+                for id in queries {
                     line.push(' ');
                     line.push_str(&id.to_string());
                 }
@@ -968,17 +1006,28 @@ impl HandshakeReply {
         }
     }
 
-    /// Parses one reply line (with or without the line terminator).
+    /// Parses one reply line (with or without the line terminator). The
+    /// pre-assignment form `OK <id0> <id1> …` (no `STREAM` token) is still
+    /// accepted with stream 0, so a new client can read an old server.
     pub fn decode(line: &str) -> Result<HandshakeReply, HandshakeError> {
         let line = line.trim_end_matches(['\n', '\r']);
         if let Some(rest) = line.strip_prefix("OK") {
-            let ids = rest
-                .split_whitespace()
+            let mut tokens = rest.split_whitespace().peekable();
+            let stream = if tokens.peek() == Some(&"STREAM") {
+                tokens.next();
+                tokens
+                    .next()
+                    .and_then(|tok| tok.parse::<u64>().ok())
+                    .ok_or_else(|| HandshakeError::BadReply(line.to_string()))?
+            } else {
+                0
+            };
+            let queries = tokens
                 .map(|tok| {
                     tok.parse::<u32>().map_err(|_| HandshakeError::BadReply(line.to_string()))
                 })
                 .collect::<Result<Vec<u32>, HandshakeError>>()?;
-            return Ok(HandshakeReply::Accepted(ids));
+            return Ok(HandshakeReply::Accepted { stream, queries });
         }
         if let Some(rest) = line.strip_prefix("ERR ") {
             return Ok(HandshakeReply::Rejected(rest.to_string()));
@@ -1166,7 +1215,7 @@ mod tests {
 
     #[test]
     fn handshake_rejects_malformed_lines_with_structured_errors() {
-        let cases: [(&[u8], HandshakeError); 6] = [
+        let cases: [(&[u8], HandshakeError); 7] = [
             (b"HTTP/1.1 GET /\n", HandshakeError::BadVersion("HTTP/1.1 GET /".into())),
             (b"PPT/1 xml\n", HandshakeError::BadFormat("xml".into())),
             (b"PPT/1 json\nFETCH //a\n", HandshakeError::UnknownCommand("FETCH".into())),
@@ -1176,6 +1225,10 @@ mod tests {
             ),
             (b"PPT/1 json\nGO\n", HandshakeError::NoQueries),
             (b"PPT/1 json\nQUERY \xff\xfe\n", HandshakeError::NotUtf8),
+            (
+                b"PPT/1 json\nSTREAM 4503599627370496\n",
+                HandshakeError::ReservedStreamId { id: 1 << 52 },
+            ),
         ];
         for (bytes, expected) in cases {
             let mut dec = HandshakeDecoder::new();
@@ -1226,9 +1279,15 @@ mod tests {
 
     #[test]
     fn handshake_reply_round_trips() {
-        let ok = HandshakeReply::Accepted(vec![0, 1, 2]);
-        assert_eq!(ok.encode(), "OK 0 1 2\n");
+        let ok = HandshakeReply::Accepted { stream: 42, queries: vec![0, 1, 2] };
+        assert_eq!(ok.encode(), "OK STREAM 42 0 1 2\n");
         assert_eq!(HandshakeReply::decode(&ok.encode()).unwrap(), ok);
+
+        // The pre-assignment reply form still decodes (stream defaults 0).
+        assert_eq!(
+            HandshakeReply::decode("OK 0 1 2").unwrap(),
+            HandshakeReply::Accepted { stream: 0, queries: vec![0, 1, 2] }
+        );
 
         let err = HandshakeReply::Rejected("bad\nquery".into());
         assert_eq!(err.encode(), "ERR bad query\n", "rejection must stay one line");
@@ -1239,6 +1298,31 @@ mod tests {
 
         assert!(HandshakeReply::decode("HELLO").is_err());
         assert!(HandshakeReply::decode("OK one two").is_err());
+        assert!(HandshakeReply::decode("OK STREAM").is_err());
+        assert!(HandshakeReply::decode("OK STREAM nope 0").is_err());
+    }
+
+    #[test]
+    fn explicit_stream_zero_survives_the_handshake_round_trip() {
+        // `STREAM 0` must be carried, not silently dropped: an explicit
+        // request for stream 0 and "no request" are different things now
+        // that unset ids are server-assigned.
+        let req = HandshakeRequest::new(WireFormat::JsonLines).query("//a").stream_id(0);
+        let encoded = req.encode();
+        assert!(
+            String::from_utf8_lossy(&encoded).contains("STREAM 0\n"),
+            "explicit stream 0 must be emitted: {:?}",
+            String::from_utf8_lossy(&encoded)
+        );
+        let mut dec = HandshakeDecoder::new();
+        let parsed = dec.push(&encoded).unwrap().expect("complete");
+        assert_eq!(parsed.stream_id, Some(0));
+
+        // And an omitted STREAM line decodes as None, not 0.
+        let req = HandshakeRequest::new(WireFormat::JsonLines).query("//a");
+        let mut dec = HandshakeDecoder::new();
+        let parsed = dec.push(&req.encode()).unwrap().expect("complete");
+        assert_eq!(parsed.stream_id, None);
     }
 
     #[test]

@@ -74,8 +74,8 @@ fn run_client(
     read_delay: Option<Duration>,
 ) -> Vec<Frame> {
     let mut stream = TcpStream::connect(addr).expect("connect");
-    let ids = register(&mut stream, &request).expect("handshake accepted");
-    assert_eq!(ids, (0..request.queries.len() as u32).collect::<Vec<u32>>());
+    let reg = register(&mut stream, &request).expect("handshake accepted");
+    assert_eq!(reg.query_ids, (0..request.queries.len() as u32).collect::<Vec<u32>>());
 
     let format = request.format;
     let writer_stream = stream.try_clone().expect("clone for writer");
@@ -222,7 +222,15 @@ fn partial_handshake_lines_across_many_readiness_events() {
     // The reply line comes first on this socket; split it off.
     let newline = raw.iter().position(|&b| b == b'\n').expect("reply line");
     let reply = std::str::from_utf8(&raw[..newline]).unwrap();
-    assert_eq!(reply, "OK 0", "fragmented handshake accepted: {reply:?}");
+    // A default handshake (no STREAM line) gets a server-assigned id, so
+    // only the reply's shape is fixed.
+    match ppt_runtime::HandshakeReply::decode(reply).expect("well-formed reply") {
+        ppt_runtime::HandshakeReply::Accepted { stream, queries } => {
+            assert_ne!(stream, 0, "assigned stream ids are never 0");
+            assert_eq!(queries, vec![0]);
+        }
+        other => panic!("fragmented handshake rejected: {other:?}"),
+    }
     let frames = decode_frames(WireFormat::JsonLines, &raw[newline + 1..]);
     assert_frames_match(&frames, expected, None);
 

@@ -51,9 +51,14 @@ fn run_client(
     read_delay: Option<Duration>,
 ) -> Vec<Frame> {
     let mut stream = TcpStream::connect(addr).expect("connect");
-    let ids = register(&mut stream, &request).expect("handshake accepted");
-    assert_eq!(ids.len(), request.queries.len(), "one id per registered query");
-    assert_eq!(ids, (0..request.queries.len() as u32).collect::<Vec<u32>>());
+    let reg = register(&mut stream, &request).expect("handshake accepted");
+    assert_eq!(reg.query_ids.len(), request.queries.len(), "one id per registered query");
+    assert_eq!(reg.query_ids, (0..request.queries.len() as u32).collect::<Vec<u32>>());
+    if let Some(requested) = request.stream_id {
+        assert_eq!(reg.stream_id, requested, "the OK line echoes the requested stream id");
+    } else {
+        assert_ne!(reg.stream_id, 0, "a default handshake gets a server-assigned nonzero id");
+    }
 
     let format = request.format;
     let writer_stream = stream.try_clone().expect("clone for writer");
@@ -333,6 +338,226 @@ fn slow_client_backpressure_bounds_retention_under_its_budget() {
     assert_eq!(conn.frames, frames.len() as u64);
 }
 
+/// Regression (stream-id collisions): two connections that omit `STREAM`
+/// used to both get stream 0 — indistinguishable to a consumer aggregating
+/// several connections. The server must assign distinct, nonzero ids, echo
+/// them in the `OK` line, and stamp them on every frame.
+fn default_handshakes_get_distinct_stream_ids(mode: ServerMode) {
+    let doc = Arc::new(make_doc(40));
+    let runtime = Arc::new(Runtime::builder().workers(1).build());
+    let server = TcpServer::builder().mode(mode).bind("127.0.0.1:0", runtime).expect("bind");
+    let addr = server.local_addr();
+
+    let mut seen = Vec::new();
+    for _ in 0..2 {
+        let request = HandshakeRequest::new(WireFormat::JsonLines).query("//item/k");
+        assert_eq!(request.stream_id, None, "no STREAM line in this handshake");
+        let frames = run_client(addr, request, Arc::clone(&doc), None);
+        assert!(!frames.is_empty());
+        let id = frames[0].stream;
+        assert_ne!(id, 0, "assigned ids are never 0");
+        assert!(frames.iter().all(|f| f.stream == id), "one id per connection");
+        seen.push(id);
+    }
+    assert_ne!(seen[0], seen[1], "two default handshakes must get distinct stream ids");
+
+    let stats = server.shutdown();
+    let reported: Vec<u64> = stats.connections.iter().map(|c| c.stream_id).collect();
+    assert_eq!(reported.len(), 2);
+    assert_ne!(reported[0], reported[1], "reports carry the assigned ids too");
+}
+
+#[test]
+fn default_handshakes_get_distinct_stream_ids_reactor() {
+    default_handshakes_get_distinct_stream_ids(ServerMode::default());
+}
+
+#[test]
+fn default_handshakes_get_distinct_stream_ids_thread_per_conn() {
+    default_handshakes_get_distinct_stream_ids(ServerMode::ThreadPerConn);
+}
+
+/// Regression (post-handshake liveness): a client that registers and then
+/// goes silent — no FIN, no bytes, never reads — used to hold its session,
+/// its gate credit and its retention forever; the deadline machinery only
+/// covered the handshake phase. With `idle_timeout` set, the session is
+/// poisoned (alone) and the admission slot comes back.
+fn silent_client_is_timed_out_and_frees_its_slot(mode: ServerMode) {
+    let doc = Arc::new(make_doc(60));
+    let expected = batch_reference(&["//item/k"], &doc);
+
+    let runtime = Arc::new(Runtime::builder().workers(1).build());
+    let server = TcpServer::builder()
+        .mode(mode)
+        .max_connections(1) // the silent client holds the only slot
+        .idle_timeout(Some(Duration::from_millis(200)))
+        .bind("127.0.0.1:0", runtime)
+        .expect("bind");
+    let addr = server.local_addr();
+
+    // The silent client: registers, then does nothing at all. Keep the
+    // socket alive for the whole test — the server must act on the
+    // *timeout*, not on a close it never receives.
+    let mut silent = TcpStream::connect(addr).expect("connect");
+    let request = HandshakeRequest::new(WireFormat::JsonLines).query("//item/k");
+    register(&mut silent, &request).expect("handshake accepted");
+
+    // A well-behaved client behind it: it can only be admitted once the
+    // idle timeout frees the silent client's gate credit.
+    let request = HandshakeRequest::new(WireFormat::JsonLines).query("//item/k");
+    let frames = run_client(addr, request, Arc::clone(&doc), None);
+    assert_frames_match(&frames, expected, None);
+
+    let stats = server.shutdown();
+    assert_eq!(stats.sessions_completed, 1, "the live client finished: {stats:?}");
+    assert_eq!(stats.sessions_failed, 1, "the silent client was failed: {stats:?}");
+    assert_eq!(stats.active, 0);
+    let failed = stats
+        .connections
+        .iter()
+        .find(|c| c.read_error.is_some() || c.write_error.is_some())
+        .expect("the timed-out connection left a report");
+    let error = failed
+        .read_error
+        .clone()
+        .or_else(|| failed.write_error.clone())
+        .unwrap_or_default()
+        .to_lowercase();
+    assert!(
+        error.contains("idle") || error.contains("timed out") || error.contains("timeout"),
+        "the report names the liveness timeout: {error:?}"
+    );
+    drop(silent);
+}
+
+/// A document whose `//item/k` matches are sparse relative to its bytes
+/// (a ~200-byte pad per item), so multi-MiB pipeline runs don't drown the
+/// test in frame traffic.
+fn make_sparse_doc(items: usize) -> Vec<u8> {
+    let pad = "x".repeat(200);
+    let mut doc = Vec::new();
+    doc.extend_from_slice(b"<stream>");
+    for i in 0..items {
+        doc.extend_from_slice(
+            format!("<item><pad>{pad}</pad><k>element {i}</k></item>").as_bytes(),
+        );
+    }
+    doc.extend_from_slice(b"</stream>");
+    doc
+}
+
+/// Regression (idle timeout vs pipeline stall): a *live* client whose
+/// connection stalls because the shard is busy with ANOTHER session's
+/// chunks — its feeder blocked on in-flight credits, its outbox empty, so
+/// neither a read nor a write can possibly happen on its socket — must NOT
+/// be timed out: the stall is the server's, not the client's. (A client
+/// whose own outbox is backed up is the opposite case: it is not draining
+/// its frames, which is indistinguishable from death and IS timed out.)
+#[test]
+fn pipeline_stalled_live_client_is_not_idle_killed() {
+    let idle = Duration::from_millis(200);
+    let doc = Arc::new(make_sparse_doc(16_000));
+    let expected = batch_reference(&["//item/k"], &doc);
+
+    // One worker, 1 MiB chunks, three hog sessions each holding four
+    // in-flight chunks: the victim's first chunk queues behind up to a
+    // dozen megabyte-sized transduces, which holds the shard's only worker
+    // for far longer than the idle timeout (debug-profile speeds). On a
+    // much faster box the stall may stay under the timeout — the test then
+    // passes trivially rather than flaking.
+    let runtime = Arc::new(Runtime::builder().workers(1).inflight_chunks(4).build());
+    let server = TcpServer::builder()
+        .mode(ServerMode::default())
+        .chunk_size(1 << 20)
+        .window_size(2 << 20)
+        .idle_timeout(Some(idle))
+        .bind("127.0.0.1:0", runtime)
+        .expect("bind");
+    let addr = server.local_addr();
+
+    // The hogs: ordinary clients that read their frames promptly (their
+    // own stalls are pipeline-side too — the guard must protect them as
+    // well).
+    let hogs: Vec<_> = (0..3)
+        .map(|_| {
+            let hog_doc = Arc::clone(&doc);
+            let hog_expected = expected.clone();
+            std::thread::spawn(move || {
+                let request = HandshakeRequest::new(WireFormat::JsonLines).query("//item/k");
+                let frames = run_client(addr, request, hog_doc, None);
+                assert_frames_match(&frames, hog_expected, None);
+            })
+        })
+        .collect();
+    std::thread::sleep(Duration::from_millis(50));
+
+    // The victim: registers second, streams its whole document, then sits
+    // with the write half open (a live stream with nothing more to say)
+    // while its chunks queue behind the hog's. No frame can be produced
+    // for it during the stall, so there is no socket activity to reset the
+    // clock — only the pipeline-stall exemption keeps it alive.
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    let request = HandshakeRequest::new(WireFormat::JsonLines).query("//item/k");
+    register(&mut stream, &request).expect("handshake accepted");
+    let saw_frame = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let writer_doc = Arc::clone(&doc);
+    let writer_saw = Arc::clone(&saw_frame);
+    let writer_stream = stream.try_clone().expect("clone");
+    let writer = std::thread::spawn(move || {
+        let mut writer_stream = writer_stream;
+        let _ = writer_stream.write_all(&writer_doc);
+        // Hold the write half open until frames prove the stall is over,
+        // so the connection stays in the streaming phase throughout it.
+        // The deadline only exists so a regression (the victim killed, no
+        // frame ever arriving) fails the test instead of hanging it.
+        let bail = std::time::Instant::now() + Duration::from_secs(30);
+        while !writer_saw.load(std::sync::atomic::Ordering::Acquire)
+            && std::time::Instant::now() < bail
+        {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        let _ = writer_stream.shutdown(Shutdown::Write);
+    });
+    let mut raw = Vec::new();
+    let mut buf = [0u8; 16 << 10];
+    loop {
+        match stream.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => {
+                raw.extend_from_slice(&buf[..n]);
+                saw_frame.store(true, std::sync::atomic::Ordering::Release);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => panic!("victim read failed: {e}"),
+        }
+    }
+    writer.join().expect("writer thread");
+    let text = std::str::from_utf8(&raw).expect("wire JSON is ASCII");
+    let frames: Vec<Frame> =
+        text.lines().map(|l| Frame::decode_json(l).expect("every line parses")).collect();
+    assert_frames_match(&frames, expected, None);
+    for hog in hogs {
+        hog.join().expect("hog client");
+    }
+
+    let stats = server.shutdown();
+    assert_eq!(stats.sessions_completed, 4, "all live clients finished: {stats:?}");
+    assert_eq!(
+        stats.sessions_failed, 0,
+        "a pipeline stall must not read as client death: {stats:?}"
+    );
+}
+
+#[test]
+fn silent_client_is_timed_out_and_frees_its_slot_reactor() {
+    silent_client_is_timed_out_and_frees_its_slot(ServerMode::default());
+}
+
+#[test]
+fn silent_client_is_timed_out_and_frees_its_slot_thread_per_conn() {
+    silent_client_is_timed_out_and_frees_its_slot(ServerMode::ThreadPerConn);
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(256))]
 
@@ -371,7 +596,7 @@ proptest! {
     fn handshake_decoder_is_fragmentation_invariant(
         step in 1usize..23,
         retain in 1u64..1_000_000,
-        stream_id in any::<u64>(),
+        stream_id in 0u64..1 << 52, // ids above are reserved for assignment
         tail in prop::collection::vec(any::<u8>(), 0..64),
     ) {
         let request = HandshakeRequest::new(WireFormat::Binary)

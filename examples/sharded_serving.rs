@@ -1,0 +1,283 @@
+//! Sharded serving: the consistent-hash shard router, demonstrated in both
+//! topologies and verified byte-identical to the batch engine.
+//!
+//! 1. **In-process sharding**: one `TcpServer` over four shards (four
+//!    independent runtimes); five concurrent clients — four with explicit
+//!    stream ids, one default-handshake client that learns its
+//!    server-assigned id from the `OK` line — each stream the same XMark
+//!    document and verify every served payload is byte-identical to what
+//!    `Engine::run` selects. Per-shard stats and the router's placement
+//!    spread are printed from `ServerStats`.
+//! 2. **2-process forwarded topology**: this binary re-execs itself as a
+//!    backend server in a *child process*; the parent then uses the same
+//!    `HashRing` over the two sites, serving ring-local streams against its
+//!    own server and `shard::forward`-ing the others to the child over the
+//!    ordinary wire handshake. Both routes must produce byte-identical
+//!    frames.
+//!
+//! ```sh
+//! cargo run --release --example sharded_serving -- [size-mb] [budget-mb]
+//! # defaults: 8 MB document, 16 MiB retention budget per client
+//! ```
+
+use pp_xml::datasets::XmarkConfig;
+use pp_xml::prelude::*;
+use pp_xml::runtime::serve::{register, TcpServer};
+use pp_xml::runtime::shard::forward;
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::Instant;
+
+type Expected = HashMap<(u32, u64, u64, Vec<u8>), usize>;
+
+const QUERIES: [&str; 3] = ["/s/cs/c/a/d/t/k", "//c//k", "/s/cs/c[a/d/t/k]/d"];
+
+fn build_server(runtime: Arc<Runtime>, shards: usize) -> TcpServer {
+    let mut builder = TcpServer::builder().chunk_size(256 << 10).window_size(1 << 20);
+    if shards > 1 {
+        builder = builder.shards(shards).shard_workers(2);
+    }
+    builder.bind("127.0.0.1:0", runtime).expect("bind loopback")
+}
+
+/// The backend child process: serves until the parent closes its stdin.
+fn run_backend() {
+    let runtime = Arc::new(Runtime::builder().workers(2).inflight_chunks(8).build());
+    let server = build_server(runtime, 1);
+    // The parent parses this line to learn where to forward.
+    println!("ADDR {}", server.local_addr());
+    std::io::stdout().flush().expect("flush addr line");
+    // Serve until the parent hangs up.
+    let mut sink = Vec::new();
+    let _ = std::io::stdin().read_to_end(&mut sink);
+    let stats = server.shutdown();
+    eprintln!(
+        "backend: {} sessions, {} frames, {:.1} KB on the wire",
+        stats.sessions_completed,
+        stats.frames_out,
+        stats.bytes_out as f64 / 1e3
+    );
+    assert_eq!(stats.sessions_failed, 0, "backend served every forwarded stream cleanly");
+}
+
+/// Streams `doc` through one registered connection, returning the confirmed
+/// stream id and the decoded frames.
+fn run_client(
+    addr: SocketAddr,
+    request: HandshakeRequest,
+    doc: &Arc<Vec<u8>>,
+) -> (u64, Vec<Frame>) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    let reg = register(&mut stream, &request).expect("handshake accepted");
+    let writer_doc = Arc::clone(doc);
+    let writer_stream = stream.try_clone().expect("clone");
+    let writer = std::thread::spawn(move || {
+        let mut writer_stream = writer_stream;
+        for piece in writer_doc.chunks(64 << 10) {
+            if writer_stream.write_all(piece).is_err() {
+                return;
+            }
+        }
+        let _ = writer_stream.shutdown(Shutdown::Write);
+    });
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).expect("read frames to EOF");
+    writer.join().expect("writer thread");
+    (reg.stream_id, decode_binary(&raw))
+}
+
+fn decode_binary(raw: &[u8]) -> Vec<Frame> {
+    let mut decoder = FrameDecoder::new();
+    decoder.push(raw);
+    let mut frames = Vec::new();
+    while let Some(frame) = decoder.next_frame().expect("well-formed frames") {
+        frames.push(frame);
+    }
+    decoder.finish().expect("no truncated tail on a clean close");
+    frames
+}
+
+/// Checks one stream's frames off against the batch reference: every frame
+/// must match a batch result with byte-identical payload, every batch
+/// result must be served, and every frame must carry `stream_id`.
+fn verify(frames: &[Frame], stream_id: u64, expected: &Expected, label: &str) {
+    let mut remaining = expected.clone();
+    for f in frames {
+        assert_eq!(f.stream, stream_id, "{label}: frames carry the session's stream id");
+        let payload = f.payload.clone().expect("retention on: payload present");
+        let key = (f.query, f.start, f.end, payload);
+        let n = remaining
+            .get_mut(&key)
+            .unwrap_or_else(|| panic!("{label}: frame has no batch counterpart"));
+        *n -= 1;
+        if *n == 0 {
+            remaining.remove(&key);
+        }
+    }
+    assert!(remaining.is_empty(), "{label}: {} batch results never served", remaining.len());
+}
+
+fn main() {
+    if std::env::args().any(|a| a == "--backend") {
+        run_backend();
+        return;
+    }
+    let size_mb: f64 = std::env::args().nth(1).and_then(|v| v.parse().ok()).unwrap_or(8.0);
+    let budget_mb: f64 = std::env::args().nth(2).and_then(|v| v.parse().ok()).unwrap_or(16.0);
+    let budget = (budget_mb * 1024.0 * 1024.0) as u64;
+
+    println!("generating a ~{size_mb} MB xmark document...");
+    let doc = Arc::new(XmarkConfig::with_target_size((size_mb * 1_000_000.0) as usize).generate());
+    println!("  {} bytes", doc.len());
+
+    println!("batch reference run (Engine::run)...");
+    let reference = Engine::builder()
+        .add_queries(&QUERIES)
+        .expect("valid queries")
+        .build()
+        .expect("engine compiles");
+    let batch = reference.run(&doc);
+    let mut expected: Expected = HashMap::new();
+    for (qi, ms) in batch.query_matches.iter().enumerate() {
+        for m in ms {
+            let payload = doc[m.start..m.end].to_vec();
+            *expected.entry((qi as u32, m.start as u64, m.end as u64, payload)).or_default() += 1;
+        }
+    }
+    println!("  {} matches across {} queries", batch.total_matches(), QUERIES.len());
+
+    let request_for = |stream_id: Option<u64>| {
+        let mut request = HandshakeRequest::new(WireFormat::Binary).retain_bytes(budget);
+        for q in QUERIES {
+            request = request.query(q);
+        }
+        if let Some(id) = stream_id {
+            request = request.stream_id(id);
+        }
+        request
+    };
+
+    // --- Topology 1: in-process, four shards --------------------------------
+    let runtime = Arc::new(Runtime::builder().workers(2).inflight_chunks(8).build());
+    let server = build_server(runtime, 4);
+    let addr = server.local_addr();
+    println!("\n[1/2] in-process 4-shard server on {addr}");
+    let started = Instant::now();
+    std::thread::scope(|scope| {
+        // Four explicit stream ids spread over the ring, plus one default
+        // handshake whose unique id the server assigns and echoes.
+        for stream_id in [Some(2u64), Some(5), Some(11), Some(17), None] {
+            let doc = &doc;
+            let expected = &expected;
+            let request = request_for(stream_id);
+            scope.spawn(move || {
+                let (confirmed, frames) = run_client(addr, request, doc);
+                match stream_id {
+                    Some(id) => assert_eq!(confirmed, id, "requested ids are honored"),
+                    None => assert_ne!(confirmed, 0, "assigned ids are never 0"),
+                }
+                verify(&frames, confirmed, expected, "sharded client");
+                println!("  stream {confirmed}: {} frames byte-identical to batch", frames.len());
+            });
+        }
+    });
+    println!("  served 5 concurrent streams in {:.1}s", started.elapsed().as_secs_f64());
+
+    let stats = server.shutdown();
+    assert_eq!(stats.shards.len(), 4);
+    assert_eq!(stats.router.placements, 5);
+    assert_eq!(stats.sessions_completed, 5);
+    println!(
+        "  router: {} placements, {} ring lookups, imbalance {:.2}",
+        stats.router.placements, stats.router.ring_lookups, stats.router.imbalance
+    );
+    for shard in &stats.shards {
+        println!(
+            "  shard {}: {} sessions, {} matches, {} frames, peak retained {:.2} MiB, \
+             peak queue {}",
+            shard.shard,
+            shard.sessions,
+            shard.matches,
+            shard.frames_out,
+            shard.peak_retained_bytes as f64 / (1024.0 * 1024.0),
+            shard.peak_queue_depth
+        );
+    }
+
+    // --- Topology 2: two processes, ring-routed forwarding ------------------
+    println!("\n[2/2] 2-process topology: local site + forwarded backend");
+    let exe = std::env::current_exe().expect("own path");
+    let mut child = std::process::Command::new(exe)
+        .arg("--backend")
+        .stdin(std::process::Stdio::piped())
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .expect("spawn backend process");
+    let child_stdout = child.stdout.take().expect("child stdout");
+    let mut addr_line = String::new();
+    BufReader::new(child_stdout).read_line(&mut addr_line).expect("backend addr line");
+    let backend_addr: SocketAddr = addr_line
+        .trim()
+        .strip_prefix("ADDR ")
+        .expect("ADDR line")
+        .parse()
+        .expect("backend address");
+    println!("  backend process listening on {backend_addr}");
+
+    let runtime = Arc::new(Runtime::builder().workers(2).inflight_chunks(8).build());
+    let local = build_server(runtime, 1);
+    // The same ring both processes could compute independently: site 0 is
+    // the local server, site 1 the backend process.
+    let ring = HashRing::new(2, 64);
+    let mut served_local = 0usize;
+    let mut served_remote = 0usize;
+    for stream_id in 100u64.. {
+        if served_local >= 2 && served_remote >= 2 {
+            break;
+        }
+        let site = ring.route(stream_id);
+        if site == 0 {
+            if served_local >= 2 {
+                continue;
+            }
+            served_local += 1;
+            let (confirmed, frames) =
+                run_client(local.local_addr(), request_for(Some(stream_id)), &doc);
+            verify(&frames, confirmed, &expected, "local site");
+            println!("  stream {stream_id} → site 0 (local): {} frames", frames.len());
+        } else {
+            if served_remote >= 2 {
+                continue;
+            }
+            served_remote += 1;
+            let mut relayed = Vec::new();
+            let report =
+                forward(backend_addr, &request_for(Some(stream_id)), &doc[..], &mut relayed)
+                    .expect("forward to the backend");
+            assert_eq!(report.stream_id, stream_id);
+            assert_eq!(report.bytes_up, doc.len() as u64);
+            let frames = decode_binary(&relayed);
+            verify(&frames, stream_id, &expected, "forwarded site");
+            println!(
+                "  stream {stream_id} → site 1 (forwarded): {} frames, {:.1} KB relayed",
+                frames.len(),
+                report.bytes_down as f64 / 1e3
+            );
+        }
+    }
+    let local_stats = local.shutdown();
+    assert_eq!(local_stats.sessions_completed, served_local as u64);
+
+    // Hang up on the backend; it drains and exits.
+    drop(child.stdin.take());
+    let status = child.wait().expect("backend exit");
+    assert!(status.success(), "backend process exited cleanly");
+
+    println!(
+        "\nOK: 4-shard and 2-process topologies byte-identical to Engine::run \
+         ({} matches per stream)",
+        batch.total_matches()
+    );
+}

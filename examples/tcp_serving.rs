@@ -47,8 +47,9 @@ fn honest_client(
     for q in queries {
         request = request.query(*q);
     }
-    let ids = register(&mut stream, &request).expect("handshake accepted");
-    assert_eq!(ids, (0..queries.len() as u32).collect::<Vec<u32>>());
+    let reg = register(&mut stream, &request).expect("handshake accepted");
+    assert_eq!(reg.stream_id, stream_id, "the OK line echoes the requested stream id");
+    assert_eq!(reg.query_ids, (0..queries.len() as u32).collect::<Vec<u32>>());
 
     let writer_doc = Arc::clone(&doc);
     let writer_stream = stream.try_clone().expect("clone");

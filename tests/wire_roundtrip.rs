@@ -1,9 +1,11 @@
 //! Property tests of the wire protocol: both framings must round-trip any
 //! frame byte-identically — payloads are raw XML bytes (quotes, control
-//! characters, non-UTF-8), and the binary decoder must reassemble frames
-//! from arbitrary read boundaries.
+//! characters, non-UTF-8), the binary decoder must reassemble frames from
+//! arbitrary read boundaries, and the registration handshake must carry
+//! every field faithfully — including the distinction between "stream 0,
+//! explicitly" and "no stream requested".
 
-use pp_xml::runtime::{Frame, FrameDecoder};
+use pp_xml::runtime::{Frame, FrameDecoder, HandshakeDecoder, HandshakeRequest, WireFormat};
 use proptest::prelude::*;
 
 /// Strategy: a frame with adversarial payload bytes (or no payload at all).
@@ -52,5 +54,66 @@ proptest! {
         }
         prop_assert_eq!(got, frames);
         prop_assert_eq!(decoder.buffered(), 0);
+    }
+
+    /// The handshake round-trips every combination of fields at any read
+    /// fragmentation. The stream id is the interesting one: `Some(0)` must
+    /// come back as `Some(0)` (an explicit request for stream 0), never
+    /// collapse into `None` ("assign me one") — the encoder used to skip
+    /// `STREAM 0`, making the two indistinguishable on the wire.
+    #[test]
+    fn handshake_round_trips_option_stream_id(
+        // None, an explicit Some(0), or an arbitrary requestable id (below
+        // 2^52 — ids above are reserved for server assignment) — each
+        // case weighted in so Some(0) is exercised every few cases, not
+        // once in 2^64.
+        stream_id in (0u64..4, 0u64..1 << 52).prop_map(|(tag, raw)| match tag {
+            0 => None,
+            1 => Some(0),
+            _ => Some(raw),
+        }),
+        retain in (any::<bool>(), 1u64..1 << 40).prop_map(|(set, v)| set.then_some(v)),
+        binary in any::<bool>(),
+        queries in prop::collection::vec(
+            prop::sample::select(&["/a/b", "//k", "/s/cs/c", "//item/k"] as &[&str]),
+            1..5,
+        ),
+        step in 1usize..23,
+    ) {
+        let mut request = HandshakeRequest::new(if binary {
+            WireFormat::Binary
+        } else {
+            WireFormat::JsonLines
+        });
+        for q in &queries {
+            request = request.query(*q);
+        }
+        if let Some(budget) = retain {
+            request = request.retain_bytes(budget);
+        }
+        if let Some(id) = stream_id {
+            request = request.stream_id(id);
+        }
+
+        let encoded = request.encode();
+        let stream_line = format!("STREAM {}\n", stream_id.unwrap_or(0));
+        let text = String::from_utf8(encoded.clone()).unwrap();
+        prop_assert_eq!(
+            text.contains(&stream_line),
+            stream_id.is_some(),
+            "STREAM is emitted exactly when a stream id was set: {:?}",
+            text
+        );
+
+        let mut decoder = HandshakeDecoder::new();
+        let mut parsed = None;
+        for piece in encoded.chunks(step) {
+            if let Some(req) = decoder.push(piece).expect("valid handshake") {
+                prop_assert!(parsed.is_none(), "the request completes exactly once");
+                parsed = Some(req);
+            }
+        }
+        prop_assert_eq!(parsed.as_ref(), Some(&request));
+        prop_assert_eq!(parsed.unwrap().stream_id, stream_id);
     }
 }
