@@ -98,7 +98,8 @@ fn write_baseline(path: &str) {
     }
     let json = format!(
         "{{\n  \"bench\": \"runtime\",\n  \"dataset\": \"xmark\",\n  \"dataset_bytes\": {},\n  \
-         \"queries\": {},\n  \"iters_per_point\": {iters},\n  \"results\": [\n{}\n  ]\n}}\n",
+         \"queries\": {},\n  \"iters_per_point\": {iters},\n  \"telemetry\": true,\n  \
+         \"results\": [\n{}\n  ]\n}}\n",
         data.len(),
         queries.len(),
         rows.join(",\n")

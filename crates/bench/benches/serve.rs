@@ -158,7 +158,8 @@ fn write_baseline(path: &str) {
     let json = format!(
         "{{\n  \"bench\": \"serve\",\n  \"dataset\": \"xmark\",\n  \"dataset_bytes\": {},\n  \
          \"queries\": {},\n  \"retention_budget\": {RETAIN_BUDGET},\n  \
-         \"iters_per_point\": {iters},\n  \"results\": [\n{}\n  ]\n}}\n",
+         \"iters_per_point\": {iters},\n  \"telemetry\": true,\n  \
+         \"results\": [\n{}\n  ]\n}}\n",
         doc.len(),
         queries.len(),
         rows.join(",\n")

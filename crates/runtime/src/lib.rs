@@ -79,6 +79,7 @@ mod session;
 pub mod shard;
 mod sink;
 mod stats;
+pub mod telemetry;
 pub mod wire;
 
 pub use resolver::{SpanEvent, SpanResolver};
@@ -91,6 +92,9 @@ pub use sink::{
     CollectPayloadSink, CollectSink, MatchSink, MaterializedMatch, OnlineMatch, PayloadSink,
 };
 pub use stats::{ReactorStats, RouterStats, RuntimeStats, ShardStats};
+pub use telemetry::{
+    EventJournal, EventKind, Histogram, HistogramSnapshot, MetricKind, Registry, RuntimeTelemetry,
+};
 pub use wire::{
     Frame, FrameDecoder, HandshakeDecoder, HandshakeError, HandshakeReply, HandshakeRequest,
     WireError, WireFormat, WireSink,
@@ -193,6 +197,7 @@ impl RuntimeBuilder {
             pool: Arc::new(WorkerPool::new(workers)),
             inflight_chunks: inflight,
             match_buffer: self.match_buffer.unwrap_or(1024),
+            telemetry: Arc::new(telemetry::RuntimeTelemetry::new()),
         }
     }
 }
@@ -224,6 +229,7 @@ pub struct Runtime {
     pool: Arc<WorkerPool>,
     inflight_chunks: usize,
     match_buffer: usize,
+    telemetry: Arc<telemetry::RuntimeTelemetry>,
 }
 
 /// `Runtime` *is* the session manager; this alias keeps call sites that talk
@@ -251,6 +257,12 @@ impl Runtime {
         &self.pool
     }
 
+    /// This runtime's pipeline histograms. Every session records into them;
+    /// a sharded server aggregates one instance per shard at scrape time.
+    pub fn telemetry(&self) -> &Arc<telemetry::RuntimeTelemetry> {
+        &self.telemetry
+    }
+
     /// Builds a session core with this runtime's in-flight credit window —
     /// the reactor's entry point, which drives the feeder and joiner itself
     /// instead of going through the blocking session APIs.
@@ -259,7 +271,12 @@ impl Runtime {
         engine: Arc<Engine>,
         opts: &SessionOptions,
     ) -> Arc<pool::SessionCore> {
-        Arc::new(pool::SessionCore::new(engine, self.inflight_chunks, opts))
+        Arc::new(pool::SessionCore::new(
+            engine,
+            self.inflight_chunks,
+            opts,
+            Arc::clone(&self.telemetry),
+        ))
     }
 
     /// Peak depth the shared job queue has reached across all sessions.
@@ -284,7 +301,12 @@ impl Runtime {
         opts: &SessionOptions,
         sink: Box<dyn MatchSink>,
     ) -> SessionHandle {
-        let core = Arc::new(SessionCore::new(engine, self.inflight_chunks, opts));
+        let core = Arc::new(SessionCore::new(
+            engine,
+            self.inflight_chunks,
+            opts,
+            Arc::clone(&self.telemetry),
+        ));
         self.spawn_session(core, sink)
     }
 
@@ -301,7 +323,12 @@ impl Runtime {
         opts: &SessionOptions,
         sink: Box<dyn PayloadSink>,
     ) -> SessionHandle {
-        let core = Arc::new(SessionCore::new(engine, self.inflight_chunks, opts));
+        let core = Arc::new(SessionCore::new(
+            engine,
+            self.inflight_chunks,
+            opts,
+            Arc::clone(&self.telemetry),
+        ));
         let materializer = Materializer { core: Arc::clone(&core), inner: sink };
         self.spawn_session(core, Box::new(materializer))
     }
@@ -337,7 +364,12 @@ impl Runtime {
         reader: R,
         sink: &mut dyn MatchSink,
     ) -> std::io::Result<SessionReport> {
-        let core = Arc::new(SessionCore::new(engine, self.inflight_chunks, &SessionOptions::new()));
+        let core = Arc::new(SessionCore::new(
+            engine,
+            self.inflight_chunks,
+            &SessionOptions::new(),
+            Arc::clone(&self.telemetry),
+        ));
         self.run_session(core, reader, sink)
     }
 
@@ -357,7 +389,12 @@ impl Runtime {
         reader: R,
         sink: &mut dyn PayloadSink,
     ) -> std::io::Result<SessionReport> {
-        let core = Arc::new(SessionCore::new(engine, self.inflight_chunks, opts));
+        let core = Arc::new(SessionCore::new(
+            engine,
+            self.inflight_chunks,
+            opts,
+            Arc::clone(&self.telemetry),
+        ));
         let mut materializer = Materializer { core: Arc::clone(&core), inner: sink };
         self.run_session(core, reader, &mut materializer)
     }

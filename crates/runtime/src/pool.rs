@@ -10,6 +10,7 @@
 
 use crate::retain::RetentionRing;
 use crate::stats::Counters;
+use crate::telemetry::RuntimeTelemetry;
 use crate::SessionOptions;
 use ppt_core::chunk::{process_chunk, ChunkOutput, EngineKind};
 use ppt_core::Engine;
@@ -128,13 +129,22 @@ pub(crate) struct SessionCore {
     /// never held across a blocking wait.
     pub ring: Option<Mutex<RetentionRing>>,
     pub counters: Counters,
+    /// The owning runtime's (= shard's) pipeline histograms. Shared by every
+    /// session of that runtime; recording is relaxed atomics only, so the
+    /// stages write into it straight from their hot loops.
+    pub telemetry: Arc<RuntimeTelemetry>,
     /// Progress hooks for a non-blocking driver (set once, before the first
     /// byte is fed; `None` for the blocking entry points).
     events: OnceLock<Arc<dyn SessionEvents>>,
 }
 
 impl SessionCore {
-    pub fn new(engine: Arc<Engine>, inflight_chunks: usize, opts: &SessionOptions) -> SessionCore {
+    pub fn new(
+        engine: Arc<Engine>,
+        inflight_chunks: usize,
+        opts: &SessionOptions,
+        telemetry: Arc<RuntimeTelemetry>,
+    ) -> SessionCore {
         let kind = engine.config().engine;
         let resolve_spans = engine.config().resolve_spans;
         SessionCore {
@@ -149,6 +159,7 @@ impl SessionCore {
             stream_id: opts.stream_id,
             ring: opts.retention_budget.map(|budget| Mutex::new(RetentionRing::new(budget))),
             counters: Counters::new(),
+            telemetry,
             events: OnceLock::new(),
         }
     }
@@ -473,9 +484,9 @@ fn worker_loop(shared: &PoolShared) {
                 core.resolve_spans,
             )
         }));
-        core.counters
-            .worker_busy_nanos
-            .fetch_add(started.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        let busy = started.elapsed();
+        core.counters.worker_busy_nanos.fetch_add(busy.as_nanos() as u64, Ordering::Relaxed);
+        core.telemetry.transduce_nanos.record_duration(busy);
         match result {
             Ok(out) => core.deliver(job.seq, out),
             Err(panic) => {
@@ -496,7 +507,12 @@ mod tests {
 
     fn test_core() -> Arc<SessionCore> {
         let engine = Arc::new(Engine::builder().add_query("//a").unwrap().build().unwrap());
-        Arc::new(SessionCore::new(engine, 2, &SessionOptions::new()))
+        Arc::new(SessionCore::new(
+            engine,
+            2,
+            &SessionOptions::new(),
+            Arc::new(RuntimeTelemetry::new()),
+        ))
     }
 
     /// Panics while holding `mutex` on another thread, leaving it poisoned.

@@ -47,7 +47,7 @@
 //! engine room behind [`crate::serve::ServerMode::Reactor`].
 
 use crate::pool::{lock_recover, panic_message, SessionCore, SessionEvents, TryTake, WorkerPool};
-use crate::serve::{ConnectionReport, Shared};
+use crate::serve::{ConnectionReport, ServeTelemetry, Shared};
 use crate::session::{Feeder, JoinerState, SessionReport};
 use crate::sink::Materializer;
 use crate::stats::ReactorStats;
@@ -242,6 +242,7 @@ pub(crate) struct OutboxShared {
     buf: Mutex<OutboxBuf>,
     cap: usize,
     counters: Arc<ReactorCounters>,
+    telemetry: Arc<ServeTelemetry>,
 }
 
 #[derive(Default)]
@@ -251,11 +252,18 @@ struct OutboxBuf {
     /// Latched when the socket write side died: further frames are refused
     /// (the `WireSink` latches the error and the runtime counts drops).
     closed: bool,
+    /// When the buffer went from empty to non-empty: the start of the
+    /// residency interval recorded once the socket drains it empty again.
+    oldest_pending: Option<Instant>,
 }
 
 impl OutboxShared {
-    fn new(cap: usize, counters: Arc<ReactorCounters>) -> Arc<OutboxShared> {
-        Arc::new(OutboxShared { buf: Mutex::new(OutboxBuf::default()), cap, counters })
+    fn new(
+        cap: usize,
+        counters: Arc<ReactorCounters>,
+        telemetry: Arc<ServeTelemetry>,
+    ) -> Arc<OutboxShared> {
+        Arc::new(OutboxShared { buf: Mutex::new(OutboxBuf::default()), cap, counters, telemetry })
     }
 
     /// Bytes queued and not yet written to the socket.
@@ -282,6 +290,9 @@ impl OutboxShared {
                 "client connection closed",
             ));
         }
+        if b.bytes.len() == b.consumed {
+            b.oldest_pending = Some(Instant::now());
+        }
         b.bytes.extend_from_slice(data);
         let len = b.bytes.len() - b.consumed;
         drop(b);
@@ -305,6 +316,11 @@ impl OutboxShared {
             }
             let start = b.consumed;
             if start == b.bytes.len() {
+                // Drained empty: close the residency interval opened when
+                // the buffer last went non-empty.
+                if let Some(since) = b.oldest_pending.take() {
+                    self.telemetry.outbox_residency_nanos.record_duration(since.elapsed());
+                }
                 return Ok(written);
             }
             match stream.write(&b.bytes[start..]) {
@@ -339,6 +355,7 @@ impl OutboxShared {
         b.closed = true;
         b.bytes = Vec::new();
         b.consumed = 0;
+        b.oldest_pending = None;
     }
 }
 
@@ -591,6 +608,9 @@ struct Conn {
     /// or bytes accepted by its send buffer) — the clock the optional
     /// idle-timeout liveness check reads.
     last_progress: Instant,
+    /// When the connection was registered — the handshake-duration
+    /// histogram's start mark.
+    accepted_at: Instant,
 }
 
 struct ConnMeta {
@@ -702,6 +722,9 @@ pub(crate) fn spawn(shared: Arc<Shared>, listener: TcpListener) -> std::io::Resu
     listener.set_nonblocking(true)?;
     let ingest = shared.config.ingest_threads.max(1);
     let counters = Arc::new(ReactorCounters::default());
+    // Every scrape surface reads the event-loop counters through `Shared` —
+    // one source of truth with `TcpServer::stats`.
+    shared.set_reactor_counters(Arc::clone(&counters));
     // One join pool per shard: a slow fold on one shard never steals the
     // executor threads of another.
     let join_pools: Vec<JoinPool> = (0..shared.router.shard_count())
@@ -846,11 +869,16 @@ impl Reactor {
                 std::thread::sleep(std::time::Duration::from_millis(10));
             }
 
+            // Wakeup→dispatch latency: poll has returned; time how long this
+            // round takes to hand every ready fd to its state machine.
+            let dispatch_started = Instant::now();
+            let mut dispatched = false;
             for i in 0..pollfds.len() {
                 let revents = pollfds[i].revents;
                 if revents == 0 {
                     continue;
                 }
+                dispatched = true;
                 match tokens[i] {
                     Token::Wake => {
                         self.wake().drain();
@@ -872,6 +900,9 @@ impl Reactor {
                         }
                     }
                 }
+            }
+            if dispatched {
+                self.shared.telemetry.dispatch_nanos.record_duration(dispatch_started.elapsed());
             }
 
             self.expire_handshakes();
@@ -959,7 +990,11 @@ impl Reactor {
                 decoder: HandshakeDecoder::with_limits(cfg.max_handshake_line, cfg.max_queries),
                 deadline: cfg.handshake_timeout.map(|t| Instant::now() + t),
             },
-            outbox: OutboxShared::new(cfg.max_outbox_bytes, Arc::clone(&self.r.counters)),
+            outbox: OutboxShared::new(
+                cfg.max_outbox_bytes,
+                Arc::clone(&self.r.counters),
+                Arc::clone(&self.shared.telemetry),
+            ),
             signal: Arc::new(ConnSignal {
                 feed_ready: AtomicBool::new(false),
                 done: AtomicBool::new(false),
@@ -970,6 +1005,7 @@ impl Reactor {
             read_error: None,
             write_error: None,
             last_progress: Instant::now(),
+            accepted_at: Instant::now(),
         };
         self.r.counters.fd_registered();
         match self.free.pop() {
@@ -1023,6 +1059,23 @@ impl Reactor {
     /// shard, build the engine, reply, and bring the session up on the
     /// shard's pools — or send a structured rejection.
     fn complete_handshake(&mut self, slot: usize, request: crate::wire::HandshakeRequest) {
+        if request.stats {
+            // An in-band scrape: queue the snapshot page and flush-close via
+            // the `Rejecting` phase machinery. Not a session (nothing is
+            // placed, no report recorded) and not a protocol rejection —
+            // `handshake_rejects` stays untouched, `ppt_scrapes_total` is
+            // its accounting.
+            let telemetry = Arc::clone(&self.shared.telemetry);
+            telemetry.scrapes.inc();
+            let page = self.shared.render_metrics();
+            let Some(conn) = self.conns.get_mut(slot).and_then(Option::as_mut) else { return };
+            telemetry.handshake_nanos.record_duration(conn.accepted_at.elapsed());
+            let mut reply = format!("OK STATS {}\n", page.len()).into_bytes();
+            reply.extend_from_slice(page.as_bytes());
+            let _ = conn.outbox.push(&reply);
+            conn.phase = Phase::Rejecting;
+            return;
+        }
         let engine = match crate::serve::build_engine(&self.shared.config, &request.queries) {
             Ok(engine) => engine,
             Err(message) => {
@@ -1047,6 +1100,7 @@ impl Reactor {
             queries: request.queries.clone(),
             format: request.format,
         });
+        self.shared.telemetry.handshake_nanos.record_duration(conn.accepted_at.elapsed());
         let ids: Vec<u32> = (0..request.queries.len() as u32).collect();
         let reply = HandshakeReply::Accepted { stream: stream_id, queries: ids };
         if conn.outbox.push(reply.encode().as_bytes()).is_err() {
@@ -1386,7 +1440,8 @@ mod tests {
     #[test]
     fn outbox_caps_and_latches() {
         let counters = Arc::new(ReactorCounters::default());
-        let outbox = OutboxShared::new(16, Arc::clone(&counters));
+        let telemetry = Arc::new(ServeTelemetry::default());
+        let outbox = OutboxShared::new(16, Arc::clone(&counters), telemetry);
         assert!(outbox.is_empty());
         assert!(!outbox.over_cap());
         outbox.push(b"0123456789abcdef").unwrap();
@@ -1411,7 +1466,8 @@ mod tests {
         let client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
         let (server_side, peer) = listener.accept().unwrap();
         let counters = Arc::new(ReactorCounters::default());
-        let outbox = OutboxShared::new(64, Arc::clone(&counters));
+        let telemetry = Arc::new(ServeTelemetry::default());
+        let outbox = OutboxShared::new(64, Arc::clone(&counters), Arc::clone(&telemetry));
         let wake = Arc::new(WakeFd::new().unwrap());
         let mut conn = Conn {
             stream: server_side,
@@ -1428,6 +1484,7 @@ mod tests {
             read_error: None,
             write_error: None,
             last_progress: Instant::now(),
+            accepted_at: Instant::now(),
         };
         assert_eq!(conn.interest(), POLLIN, "handshake listens only");
 

@@ -86,16 +86,21 @@ impl RetentionRing {
 
     /// Drops windows lying entirely below `frontier` — every span that could
     /// still be materialized starts at or past it. Not counted as evictions:
-    /// these windows can no longer be needed.
-    pub fn release_below(&mut self, frontier: usize) {
+    /// these windows can no longer be needed. Returns the bytes released so
+    /// the caller can sample occupancy only when it actually moved (the
+    /// joiner records the drain side of the occupancy histogram this way).
+    pub fn release_below(&mut self, frontier: usize) -> usize {
+        let mut released = 0usize;
         while let Some(front) = self.windows.front() {
             if front.end() <= frontier {
                 self.retained -= front.len();
+                released += front.len();
                 self.windows.pop_front();
             } else {
                 break;
             }
         }
+        released
     }
 
     /// Clones the windows overlapping `range` (absolute stream offsets) —

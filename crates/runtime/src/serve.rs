@@ -63,6 +63,7 @@
 use crate::pool::{lock_recover, wait_recover};
 use crate::shard::ShardRouter;
 use crate::stats::{ReactorStats, RouterStats, ShardStats};
+use crate::telemetry::{Counter, EventJournal, EventKind, Histogram, Registry};
 use crate::wire::{
     HandshakeDecoder, HandshakeReply, HandshakeRequest, WireFormat, WireSink,
     DEFAULT_MAX_HANDSHAKE_LINE, DEFAULT_MAX_QUERIES,
@@ -167,6 +168,7 @@ pub struct TcpServerBuilder {
     pub(crate) join_threads: usize,
     pub(crate) max_outbox_bytes: usize,
     pub(crate) shard: ShardSpec,
+    pub(crate) admin_addr: Option<String>,
 }
 
 impl Default for TcpServerBuilder {
@@ -185,6 +187,7 @@ impl Default for TcpServerBuilder {
             join_threads: 2,
             max_outbox_bytes: 1 << 20,
             shard: ShardSpec::default(),
+            admin_addr: None,
         }
     }
 }
@@ -339,6 +342,20 @@ impl TcpServerBuilder {
         self
     }
 
+    /// Binds an **admin listener** on `addr` (default: none): a minimal
+    /// plain-text HTTP endpoint serving the live metrics page at `/metrics`
+    /// (and `/`) and the session event journal at `/journal`, readable with
+    /// `curl` or bare `nc` (a non-HTTP request gets the metrics page raw).
+    /// It renders from the same [`crate::telemetry::Registry`] assembly as
+    /// the in-band `STATS` verb, so both surfaces always agree. Serving is
+    /// serial — one scrape at a time, each bounded by a short read timeout —
+    /// because a metrics plane must never compete with the data plane for
+    /// threads.
+    pub fn admin_addr<A: Into<String>>(mut self, addr: A) -> TcpServerBuilder {
+        self.admin_addr = Some(addr.into());
+        self
+    }
+
     /// Binds the listener and starts serving. Sessions run on the given
     /// runtime's shared worker pool — or, with [`TcpServerBuilder::shards`]
     /// above 1, on the pools of the shard their stream id hashes to (the
@@ -377,6 +394,10 @@ impl TcpServerBuilder {
             bytes_out: AtomicU64::new(0),
             active: AtomicUsize::new(0),
             reports: Mutex::new(VecDeque::new()),
+            telemetry: Arc::new(ServeTelemetry::default()),
+            record_epoch: AtomicU64::new(0),
+            #[cfg(unix)]
+            reactor_counters: std::sync::OnceLock::new(),
         });
         // The gate starts with max_connections slots.
         *lock_recover(&shared.gate.slots).0 = shared.config.max_connections;
@@ -387,7 +408,11 @@ impl TcpServerBuilder {
             }
             _ => spawn_thread_per_conn(Arc::clone(&shared), listener)?,
         };
-        Ok(TcpServer { shared, local_addr, engine })
+        let admin = match shared.config.admin_addr.clone() {
+            Some(addr) => Some(spawn_admin(Arc::clone(&shared), &addr)?),
+            None => None,
+        };
+        Ok(TcpServer { shared, local_addr, engine, admin })
     }
 }
 
@@ -498,6 +523,28 @@ pub(crate) struct ShardAccounting {
     peak_retained: AtomicUsize,
 }
 
+/// Serving-layer telemetry shared by every scrape surface (the in-band
+/// `STATS` verb and the admin listener): handshake/dispatch/outbox
+/// histograms that have no per-shard home, the scrape counter, and the
+/// session lifecycle journal. Pipeline-stage histograms live per shard on
+/// [`crate::telemetry::RuntimeTelemetry`].
+#[derive(Debug, Default)]
+pub(crate) struct ServeTelemetry {
+    /// Accept-to-acceptance handshake duration (nanoseconds), both modes.
+    pub handshake_nanos: Histogram,
+    /// Reactor poll-return-to-dispatch-complete latency per round with at
+    /// least one ready fd (nanoseconds).
+    pub dispatch_nanos: Histogram,
+    /// How long queued egress bytes sat in a reactor outbox before the
+    /// socket drained it empty (nanoseconds).
+    pub outbox_residency_nanos: Histogram,
+    /// Metrics pages served (STATS verb plus admin endpoint).
+    pub scrapes: Counter,
+    /// Bounded ring of session lifecycle events, dumpable via the admin
+    /// endpoint's `/journal`.
+    pub journal: EventJournal,
+}
+
 /// Everything the accept loop / ingest threads and the connection handlers
 /// share.
 pub(crate) struct Shared {
@@ -514,6 +561,18 @@ pub(crate) struct Shared {
     bytes_out: AtomicU64,
     pub(crate) active: AtomicUsize,
     reports: Mutex<VecDeque<ConnectionReport>>,
+    pub(crate) telemetry: Arc<ServeTelemetry>,
+    /// Seqlock epoch over [`Shared::record`]'s multi-counter update: odd
+    /// while a record is mid-flight, bumped even when it settles. Snapshot
+    /// readers retry (bounded) on a torn window instead of locking the
+    /// record path.
+    record_epoch: AtomicU64,
+    /// The reactor's event-loop counters, set once by
+    /// [`crate::reactor::spawn`] so every scrape surface (in-band `STATS`,
+    /// admin listener, [`TcpServer::stats`]) reads the same source of truth.
+    /// Never set in thread-per-connection mode.
+    #[cfg(unix)]
+    reactor_counters: std::sync::OnceLock<Arc<crate::reactor::ReactorCounters>>,
 }
 
 impl Shared {
@@ -523,6 +582,8 @@ impl Shared {
     pub(crate) fn place_stream(&self, stream_id: u64) -> usize {
         let shard = self.router.place(stream_id);
         self.accounting[shard].active.fetch_add(1, Ordering::Relaxed);
+        self.telemetry.journal.record(EventKind::Registered, stream_id, shard);
+        self.telemetry.journal.record(EventKind::Placed, stream_id, shard);
         shard
     }
 
@@ -535,6 +596,26 @@ impl Shared {
         let failed = report.read_error.is_some()
             || report.write_error.is_some()
             || report.report.as_ref().is_some_and(|r| r.error.is_some());
+        // An idle reap is a failure with a known shape: the liveness verdict
+        // string every expiry path words through `idle_timeout_error`.
+        let idled =
+            |e: &Option<String>| e.as_deref().is_some_and(|e| e.starts_with("idle timeout:"));
+        let kind = if !failed {
+            EventKind::Drained
+        } else if idled(&report.read_error)
+            || idled(&report.write_error)
+            || report.report.as_ref().is_some_and(|r| idled(&r.error))
+        {
+            EventKind::IdleReaped
+        } else {
+            EventKind::Poisoned
+        };
+        self.telemetry.journal.record(kind, report.stream_id, report.shard);
+        // Seqlock write side: a stats snapshot taken mid-record could see
+        // e.g. the session counted completed but its frames not yet added —
+        // a torn tuple. The epoch is odd while the counter group updates;
+        // readers retry until they bracket an even, unchanged epoch.
+        self.record_epoch.fetch_add(1, Ordering::AcqRel);
         if failed {
             self.sessions_failed.fetch_add(1, Ordering::Relaxed);
         } else {
@@ -550,11 +631,310 @@ impl Shared {
             shard.peak_retained.fetch_max(session.stats.peak_retained_bytes, Ordering::Relaxed);
         }
         self.shard_closed(report.shard);
+        self.record_epoch.fetch_add(1, Ordering::AcqRel);
         let (mut reports, _) = lock_recover(&self.reports);
         if reports.len() == MAX_REMEMBERED_REPORTS {
             reports.pop_front();
         }
         reports.push_back(report);
+    }
+
+    /// Hands the reactor's counters to the scrape surfaces (called once from
+    /// [`crate::reactor::spawn`]; subsequent sets are ignored).
+    #[cfg(unix)]
+    pub(crate) fn set_reactor_counters(&self, counters: Arc<crate::reactor::ReactorCounters>) {
+        let _ = self.reactor_counters.set(counters);
+    }
+
+    /// The reactor's event-loop snapshot, when this server runs one.
+    fn reactor_stats(&self) -> Option<ReactorStats> {
+        #[cfg(unix)]
+        {
+            self.reactor_counters.get().map(|c| c.snapshot())
+        }
+        #[cfg(not(unix))]
+        {
+            None
+        }
+    }
+
+    /// A live snapshot of the server's accounting — the single assembly
+    /// behind [`TcpServer::stats`], the `STATS` verb and the admin listener.
+    pub(crate) fn server_stats(&self) -> ServerStats {
+        // Seqlock read side: retry while a `record` is mid-update so the
+        // snapshot never shows half of one connection's accounting. Bounded:
+        // under a pathological record storm the last attempt is taken as-is
+        // (each field is still individually atomic).
+        for _ in 0..64 {
+            let before = self.record_epoch.load(Ordering::Acquire);
+            if before & 1 == 1 {
+                std::hint::spin_loop();
+                continue;
+            }
+            let snap = self.server_stats_unsynced();
+            if self.record_epoch.load(Ordering::Acquire) == before {
+                return snap;
+            }
+        }
+        self.server_stats_unsynced()
+    }
+
+    fn server_stats_unsynced(&self) -> ServerStats {
+        let router = self.router.stats();
+        let shards = (0..self.router.shard_count())
+            .map(|idx| {
+                let runtime = self.router.shard(idx);
+                let acc = &self.accounting[idx];
+                ShardStats {
+                    shard: idx,
+                    workers: runtime.workers(),
+                    active_sessions: acc.active.load(Ordering::Relaxed),
+                    sessions: router.per_shard_placements.get(idx).copied().unwrap_or(0),
+                    matches: acc.matches.load(Ordering::Relaxed),
+                    frames_out: acc.frames.load(Ordering::Relaxed),
+                    bytes_out: acc.bytes_out.load(Ordering::Relaxed),
+                    peak_retained_bytes: acc.peak_retained.load(Ordering::Relaxed),
+                    peak_queue_depth: runtime.peak_queue_depth(),
+                }
+            })
+            .collect();
+        ServerStats {
+            accepted: self.accepted.load(Ordering::Relaxed),
+            active: self.active.load(Ordering::Relaxed),
+            handshake_rejects: self.handshake_rejects.load(Ordering::Relaxed),
+            sessions_completed: self.sessions_completed.load(Ordering::Relaxed),
+            sessions_failed: self.sessions_failed.load(Ordering::Relaxed),
+            frames_out: self.frames_out.load(Ordering::Relaxed),
+            bytes_out: self.bytes_out.load(Ordering::Relaxed),
+            reactor: self.reactor_stats(),
+            shards,
+            router,
+            connections: lock_recover(&self.reports).0.iter().cloned().collect(),
+        }
+    }
+
+    /// Assembles the live metrics [`Registry`]: the [`ServerStats`] snapshot
+    /// (one source of truth with [`TcpServer::stats`]) re-exported as
+    /// `ppt_*` families, plus the per-shard pipeline histograms and the
+    /// serving-layer histograms. Built fresh per scrape; recorders never
+    /// block.
+    pub(crate) fn build_registry(&self) -> Registry {
+        let stats = self.server_stats();
+        let mut reg = Registry::new();
+        reg.counter(
+            "ppt_accepted_total",
+            "Connections accepted (handshake outcome regardless).",
+            vec![],
+            stats.accepted,
+        );
+        reg.gauge(
+            "ppt_active_connections",
+            "Connections currently being served.",
+            vec![],
+            stats.active as f64,
+        );
+        reg.counter(
+            "ppt_handshake_rejects_total",
+            "Connections that never produced a valid handshake.",
+            vec![],
+            stats.handshake_rejects,
+        );
+        reg.counter(
+            "ppt_sessions_completed_total",
+            "Sessions that served their stream to the end without an error.",
+            vec![],
+            stats.sessions_completed,
+        );
+        reg.counter(
+            "ppt_sessions_failed_total",
+            "Sessions that ended with a read, write, or pipeline error.",
+            vec![],
+            stats.sessions_failed,
+        );
+        reg.counter(
+            "ppt_frames_out_total",
+            "Match frames written across all connections.",
+            vec![],
+            stats.frames_out,
+        );
+        reg.counter(
+            "ppt_bytes_out_total",
+            "Frame bytes written across all connections.",
+            vec![],
+            stats.bytes_out,
+        );
+        reg.counter(
+            "ppt_scrapes_total",
+            "Metrics pages served (STATS verb plus admin endpoint).",
+            vec![],
+            self.telemetry.scrapes.get(),
+        );
+        for shard in &stats.shards {
+            let label = |key| vec![(key, shard.shard.to_string())];
+            reg.gauge(
+                "ppt_shard_active_sessions",
+                "Sessions currently being served, by shard.",
+                label("shard"),
+                shard.active_sessions as f64,
+            );
+            reg.counter(
+                "ppt_shard_sessions_total",
+                "Sessions ever placed, by shard.",
+                label("shard"),
+                shard.sessions,
+            );
+            reg.counter(
+                "ppt_shard_matches_total",
+                "Query matches emitted by completed sessions, by shard.",
+                label("shard"),
+                shard.matches,
+            );
+            reg.counter(
+                "ppt_shard_frames_out_total",
+                "Match frames written, by shard.",
+                label("shard"),
+                shard.frames_out,
+            );
+            reg.counter(
+                "ppt_shard_bytes_out_total",
+                "Frame bytes written, by shard.",
+                label("shard"),
+                shard.bytes_out,
+            );
+            reg.gauge(
+                "ppt_shard_peak_retained_bytes",
+                "Largest retention-ring occupancy any one session reached, by shard.",
+                label("shard"),
+                shard.peak_retained_bytes as f64,
+            );
+            reg.gauge(
+                "ppt_shard_peak_queue_depth",
+                "Peak worker-pool job-queue depth, by shard.",
+                label("shard"),
+                shard.peak_queue_depth as f64,
+            );
+            reg.gauge(
+                "ppt_shard_workers",
+                "Transducer worker threads, by shard.",
+                label("shard"),
+                shard.workers as f64,
+            );
+        }
+        reg.counter(
+            "ppt_router_placements_total",
+            "Streams placed on a shard (one per accepted session).",
+            vec![],
+            stats.router.placements,
+        );
+        reg.counter(
+            "ppt_router_ring_lookups_total",
+            "Consistent-hash ring lookups (placements plus bare routes).",
+            vec![],
+            stats.router.ring_lookups,
+        );
+        reg.gauge(
+            "ppt_router_imbalance",
+            "Max per-shard placements over the per-shard mean (1.0 = balanced).",
+            vec![],
+            stats.router.imbalance,
+        );
+        if let Some(reactor) = &stats.reactor {
+            reg.gauge(
+                "ppt_reactor_registered_fds",
+                "File descriptors currently registered with the event loop.",
+                vec![],
+                reactor.registered_fds as f64,
+            );
+            reg.gauge(
+                "ppt_reactor_peak_registered_fds",
+                "Peak registered file descriptors.",
+                vec![],
+                reactor.peak_registered_fds as f64,
+            );
+            reg.counter(
+                "ppt_reactor_polls_total",
+                "poll(2) calls across all ingest threads.",
+                vec![],
+                reactor.polls,
+            );
+            reg.counter(
+                "ppt_reactor_wakeups_total",
+                "Cross-thread wake-ups observed on the event fds.",
+                vec![],
+                reactor.wakeups,
+            );
+            reg.counter(
+                "ppt_reactor_dispatches_total",
+                "Readiness events dispatched to connection state machines.",
+                vec![],
+                reactor.readiness_dispatches,
+            );
+            reg.gauge(
+                "ppt_reactor_peak_outbox_bytes",
+                "Peak bytes any single connection's outbox held at once.",
+                vec![],
+                reactor.peak_outbox_bytes as f64,
+            );
+        }
+        for (idx, telemetry) in self.router.telemetries().iter().enumerate() {
+            for (stage, hist) in telemetry.stages() {
+                reg.histogram(
+                    "ppt_stage_seconds",
+                    "Pipeline stage latency (split/transduce/fold/finalize), by shard.",
+                    vec![("stage", stage.to_string()), ("shard", idx.to_string())],
+                    hist.snapshot(),
+                    1e-9,
+                );
+            }
+            reg.histogram(
+                "ppt_chunk_bytes",
+                "Bytes per chunk submitted to the worker pool, by shard.",
+                vec![("shard", idx.to_string())],
+                telemetry.chunk_bytes.snapshot(),
+                1.0,
+            );
+            reg.histogram(
+                "ppt_ring_occupancy_bytes",
+                "Retention-ring occupancy sampled at retain and release, by shard.",
+                vec![("shard", idx.to_string())],
+                telemetry.ring_occupancy_bytes.snapshot(),
+                1.0,
+            );
+        }
+        let serve = &self.telemetry;
+        reg.histogram(
+            "ppt_handshake_seconds",
+            "Accept-to-acceptance handshake duration.",
+            vec![],
+            serve.handshake_nanos.snapshot(),
+            1e-9,
+        );
+        reg.histogram(
+            "ppt_dispatch_seconds",
+            "Reactor poll-return-to-dispatch-complete latency per ready round.",
+            vec![],
+            serve.dispatch_nanos.snapshot(),
+            1e-9,
+        );
+        reg.histogram(
+            "ppt_outbox_residency_seconds",
+            "Time queued egress bytes sat in a reactor outbox before draining.",
+            vec![],
+            serve.outbox_residency_nanos.snapshot(),
+            1e-9,
+        );
+        reg.counter(
+            "ppt_journal_dropped_total",
+            "Event-journal entries evicted because the ring was full.",
+            vec![],
+            serve.journal.dropped(),
+        );
+        reg
+    }
+
+    /// The metrics page both scrape surfaces serve.
+    pub(crate) fn render_metrics(&self) -> String {
+        self.build_registry().render_text()
     }
 }
 
@@ -687,6 +1067,13 @@ pub struct TcpServer {
     shared: Arc<Shared>,
     local_addr: SocketAddr,
     engine: ModeHandles,
+    admin: Option<AdminHandle>,
+}
+
+/// The running admin listener (see [`TcpServerBuilder::admin_addr`]).
+struct AdminHandle {
+    addr: SocketAddr,
+    thread: Option<std::thread::JoinHandle<()>>,
 }
 
 impl TcpServer {
@@ -705,45 +1092,22 @@ impl TcpServer {
         self.local_addr
     }
 
-    /// A live snapshot of the server's accounting.
+    /// A live snapshot of the server's accounting (the same assembly the
+    /// `STATS` verb and the admin listener render from).
     pub fn stats(&self) -> ServerStats {
-        let s = &self.shared;
-        let reactor = match &self.engine {
-            #[cfg(unix)]
-            ModeHandles::Reactor(handles) => Some(handles.shared.counters.snapshot()),
-            _ => None,
-        };
-        let router = s.router.stats();
-        let shards = (0..s.router.shard_count())
-            .map(|idx| {
-                let runtime = s.router.shard(idx);
-                let acc = &s.accounting[idx];
-                ShardStats {
-                    shard: idx,
-                    workers: runtime.workers(),
-                    active_sessions: acc.active.load(Ordering::Relaxed),
-                    sessions: router.per_shard_placements.get(idx).copied().unwrap_or(0),
-                    matches: acc.matches.load(Ordering::Relaxed),
-                    frames_out: acc.frames.load(Ordering::Relaxed),
-                    bytes_out: acc.bytes_out.load(Ordering::Relaxed),
-                    peak_retained_bytes: acc.peak_retained.load(Ordering::Relaxed),
-                    peak_queue_depth: runtime.peak_queue_depth(),
-                }
-            })
-            .collect();
-        ServerStats {
-            accepted: s.accepted.load(Ordering::Relaxed),
-            active: s.active.load(Ordering::Relaxed),
-            handshake_rejects: s.handshake_rejects.load(Ordering::Relaxed),
-            sessions_completed: s.sessions_completed.load(Ordering::Relaxed),
-            sessions_failed: s.sessions_failed.load(Ordering::Relaxed),
-            frames_out: s.frames_out.load(Ordering::Relaxed),
-            bytes_out: s.bytes_out.load(Ordering::Relaxed),
-            reactor,
-            shards,
-            router,
-            connections: lock_recover(&s.reports).0.iter().cloned().collect(),
-        }
+        self.shared.server_stats()
+    }
+
+    /// The live metrics page (Prometheus-style text exposition) — what a
+    /// `STATS` handshake or `GET /metrics` on the admin listener returns.
+    pub fn metrics_text(&self) -> String {
+        self.shared.render_metrics()
+    }
+
+    /// The admin listener's bound address, when one was configured (useful
+    /// with port 0).
+    pub fn admin_local_addr(&self) -> Option<SocketAddr> {
+        self.admin.as_ref().map(|a| a.addr)
     }
 
     /// Graceful shutdown: stop accepting, drain every in-flight session
@@ -756,6 +1120,14 @@ impl TcpServer {
     fn shutdown_inner(&mut self) {
         self.shared.shutting_down.store(true, Ordering::SeqCst);
         self.shared.gate.close();
+        if let Some(admin) = &mut self.admin {
+            if let Some(thread) = admin.thread.take() {
+                // Unblock the admin accept loop; the connection is discarded
+                // by its shutdown check.
+                let _ = TcpStream::connect(admin.addr);
+                let _ = thread.join();
+            }
+        }
         #[cfg(not(unix))]
         let local_addr = self.local_addr;
         match &mut self.engine {
@@ -942,6 +1314,7 @@ fn serve_connection(shared: &Shared, mut stream: TcpStream, peer: SocketAddr) {
     // read-timeout is re-armed with the time remaining before every read, so
     // a client trickling one byte per interval cannot hold its connection
     // slot forever.
+    let handshake_started = std::time::Instant::now();
     let deadline = cfg.handshake_timeout.map(|t| std::time::Instant::now() + t);
     let mut decoder = HandshakeDecoder::with_limits(cfg.max_handshake_line, cfg.max_queries);
     let mut buf = [0u8; 4096];
@@ -986,6 +1359,19 @@ fn serve_connection(shared: &Shared, mut stream: TcpStream, peer: SocketAddr) {
             }
         }
     };
+    shared.telemetry.handshake_nanos.record_duration(handshake_started.elapsed());
+    if request.stats {
+        // An in-band scrape: one snapshot page, then close. Not a session
+        // (nothing is placed, no report recorded) and not a protocol
+        // rejection — `ppt_scrapes_total` is its accounting.
+        shared.telemetry.scrapes.inc();
+        let page = shared.render_metrics();
+        let _ = stream.write_all(format!("OK STATS {}\n", page.len()).as_bytes());
+        let _ = stream.write_all(page.as_bytes());
+        let _ = stream.flush();
+        let _ = stream.shutdown(Shutdown::Both);
+        return;
+    }
     // After the handshake the read clock switches from the handshake
     // deadline to the liveness deadline: with `idle_timeout` set, a read
     // that sits longer than that with no bytes fails the session (a live
@@ -1098,6 +1484,100 @@ fn reject(shared: &Shared, stream: &mut TcpStream, message: &str) {
     let _ = stream.shutdown(Shutdown::Both);
 }
 
+/// Binds and spawns the admin listener thread (see
+/// [`TcpServerBuilder::admin_addr`]).
+fn spawn_admin(shared: Arc<Shared>, addr: &str) -> std::io::Result<AdminHandle> {
+    let listener = TcpListener::bind(addr)?;
+    let local = listener.local_addr()?;
+    let thread = std::thread::Builder::new()
+        .name("ppt-admin".to_string())
+        .spawn(move || admin_loop(&shared, &listener))
+        .map_err(|e| std::io::Error::other(format!("failed to spawn admin thread: {e}")))?;
+    Ok(AdminHandle { addr: local, thread: Some(thread) })
+}
+
+/// Serves admin scrapes serially until shutdown. Blocking `accept`, woken
+/// by the shutdown path's throwaway self-connect (the admin plane has no
+/// reactor to borrow a wake fd from, and serial accept means the connect
+/// is always consumed promptly).
+fn admin_loop(shared: &Shared, listener: &TcpListener) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _peer)) => Some(stream),
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => None,
+            Err(_) => {
+                std::thread::sleep(Duration::from_millis(50));
+                None
+            }
+        };
+        if shared.shutting_down.load(Ordering::SeqCst) {
+            return;
+        }
+        if let Some(stream) = stream {
+            serve_admin_conn(shared, stream);
+        }
+    }
+}
+
+/// Answers one admin request: `GET /metrics` (or `/`) returns the metrics
+/// page, `GET /journal` the event journal, anything else HTTP 404. A
+/// non-HTTP request (bare `nc`, a lone newline) gets the metrics page raw.
+/// Every read is bounded by a short timeout so a stalled scraper cannot
+/// wedge the admin plane.
+fn serve_admin_conn(shared: &Shared, mut stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(2)));
+    let _ = stream.set_nodelay(true);
+    let mut request = Vec::new();
+    let mut buf = [0u8; 1024];
+    // Read until the header terminator (HTTP) or the first newline (bare
+    // line), capped — an admin request is one line plus a few headers.
+    loop {
+        match stream.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => {
+                request.extend_from_slice(&buf[..n]);
+                let is_http = request.starts_with(b"GET ");
+                let headers_done = request.windows(4).any(|w| w == b"\r\n\r\n")
+                    || request.windows(2).any(|w| w == b"\n\n");
+                if (is_http && headers_done)
+                    || (!is_http && request.contains(&b'\n'))
+                    || request.len() >= 8 << 10
+                {
+                    break;
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => break,
+        }
+    }
+    let text = String::from_utf8_lossy(&request);
+    let first = text.lines().next().unwrap_or("");
+    if let Some(rest) = first.strip_prefix("GET ") {
+        let path = rest.split_whitespace().next().unwrap_or("/");
+        let (status, body) = match path {
+            "/" | "/metrics" => {
+                shared.telemetry.scrapes.inc();
+                ("200 OK", shared.render_metrics())
+            }
+            "/journal" => ("200 OK", shared.telemetry.journal.render_text()),
+            _ => ("404 Not Found", "not found: try /metrics or /journal\n".to_string()),
+        };
+        let header = format!(
+            "HTTP/1.0 {status}\r\nContent-Type: text/plain; version=0.0.4; charset=utf-8\r\n\
+             Content-Length: {}\r\nConnection: close\r\n\r\n",
+            body.len()
+        );
+        let _ = stream.write_all(header.as_bytes());
+        let _ = stream.write_all(body.as_bytes());
+    } else {
+        shared.telemetry.scrapes.inc();
+        let _ = stream.write_all(shared.render_metrics().as_bytes());
+    }
+    let _ = stream.flush();
+    let _ = stream.shutdown(Shutdown::Both);
+}
+
 /// A client-side registration failure.
 #[derive(Debug)]
 pub enum ClientError {
@@ -1174,4 +1654,40 @@ pub fn register(
         Ok(HandshakeReply::Rejected(reason)) => Err(ClientError::Rejected(reason)),
         Err(_) => Err(ClientError::BadReply(text.into())),
     }
+}
+
+/// Client-side scrape helper: performs a `STATS` handshake against `addr`
+/// and returns the server's live metrics page (the same Prometheus-style
+/// text the admin listener serves at `/metrics`).
+pub fn scrape<A: ToSocketAddrs>(addr: A) -> Result<String, ClientError> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.write_all(&HandshakeRequest::stats().encode())?;
+    stream.flush()?;
+    let mut line = Vec::new();
+    let mut byte = [0u8; 1];
+    loop {
+        match stream.read(&mut byte) {
+            Ok(0) => return Err(ClientError::BadReply(String::from_utf8_lossy(&line).into())),
+            Ok(_) if byte[0] == b'\n' => break,
+            Ok(_) => {
+                if line.len() > DEFAULT_MAX_HANDSHAKE_LINE {
+                    return Err(ClientError::BadReply("reply line never ended".to_string()));
+                }
+                line.push(byte[0]);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(ClientError::Io(e)),
+        }
+    }
+    let text = String::from_utf8_lossy(&line).into_owned();
+    let Some(rest) = text.strip_prefix("OK STATS ") else {
+        return match text.strip_prefix("ERR ") {
+            Some(reason) => Err(ClientError::Rejected(reason.to_string())),
+            None => Err(ClientError::BadReply(text)),
+        };
+    };
+    let len: usize = rest.trim().parse().map_err(|_| ClientError::BadReply(text.clone()))?;
+    let mut page = vec![0u8; len];
+    stream.read_exact(&mut page)?;
+    Ok(String::from_utf8_lossy(&page).into_owned())
 }

@@ -165,10 +165,12 @@ impl Feeder {
             self.pending.clear();
             return;
         }
+        let split_started = std::time::Instant::now();
         self.splitter.push(bytes);
         while let Some(window) = self.splitter.pop_shared() {
             self.enqueue_window(window);
         }
+        self.core.telemetry.split_nanos.record_duration(split_started.elapsed());
     }
 
     /// Accounts a completed window and queues its chunks for submission.
@@ -178,6 +180,7 @@ impl Feeder {
         counters.bytes_in.fetch_add(window.len() as u64, Ordering::Relaxed);
         let mut first = true;
         for chunk in split_chunks(window.bytes(), self.chunk_size) {
+            self.core.telemetry.chunk_bytes.record(chunk.range.len() as u64);
             self.pending.push_back(PendingChunk {
                 window: window.clone(),
                 range: chunk.range,
@@ -207,6 +210,7 @@ impl Feeder {
         counters.windows_evicted.fetch_add(evicted.windows, Ordering::Relaxed);
         counters.bytes_evicted.fetch_add(evicted.bytes, Ordering::Relaxed);
         counters.peak_retained_bytes.fetch_max(retained, Ordering::Relaxed);
+        self.core.telemetry.ring_occupancy_bytes.record(retained as u64);
         true
     }
 
@@ -317,6 +321,7 @@ impl JoinerState {
     /// release the retained windows below the new frontier, and return the
     /// chunk's credit.
     pub fn fold_one(&mut self, core: &SessionCore, sink: &mut dyn MatchSink, out: ChunkOutput) {
+        let fold_started = std::time::Instant::now();
         let folded_upto = out.end_offset;
         let mut delta = self.folder.fold(out.mapping, out.depth_delta, out.ladder);
         let matches = delta.take_resolved_matches();
@@ -334,8 +339,14 @@ impl JoinerState {
                 .min(self.resolver.min_pending_pos().unwrap_or(usize::MAX))
                 .min(self.bank.min_buffered_pos().unwrap_or(usize::MAX));
             let (mut guard, poisoned) = crate::pool::lock_recover(ring);
-            guard.release_below(frontier);
+            let released = guard.release_below(frontier);
+            let retained = guard.retained_bytes();
             drop(guard);
+            if released > 0 {
+                // Sample the drain side of the occupancy histogram too —
+                // push-only sampling would bias it toward the high-water mark.
+                core.telemetry.ring_occupancy_bytes.record(retained as u64);
+            }
             if poisoned {
                 // Kill this session only; the next mailbox poll sees the
                 // poison and finalizes.
@@ -343,6 +354,7 @@ impl JoinerState {
             }
         }
         core.counters.chunks_joined.fetch_add(1, Ordering::Relaxed);
+        core.telemetry.fold_nanos.record_duration(fold_started.elapsed());
         core.release_credit();
         self.seq += 1;
     }
@@ -351,6 +363,7 @@ impl JoinerState {
     /// frees the retained windows and takes the final report. Call exactly
     /// once, after the mailbox reported the stream ended or the session died.
     pub fn finalize(&mut self, core: &SessionCore, sink: &mut dyn MatchSink) -> SessionReport {
+        let finalize_started = std::time::Instant::now();
         let error = core.poison_message();
         if error.is_none() {
             // Stream ended cleanly: cap unclosed elements at the stream
@@ -369,6 +382,7 @@ impl JoinerState {
             // to be dropped.
             crate::pool::lock_recover(ring).0.release_below(usize::MAX);
         }
+        core.telemetry.finalize_nanos.record_duration(finalize_started.elapsed());
         SessionReport {
             stats: core.counters.snapshot(),
             match_counts: std::mem::take(&mut self.bank.match_counts),

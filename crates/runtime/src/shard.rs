@@ -161,6 +161,13 @@ impl ShardRouter {
         &self.shards[idx]
     }
 
+    /// Per-shard pipeline telemetry, ring order — scrape surfaces label each
+    /// instance with `shard=<idx>` and merge the snapshots for totals (see
+    /// [`crate::telemetry::HistogramSnapshot::merge`]).
+    pub fn telemetries(&self) -> Vec<Arc<crate::telemetry::RuntimeTelemetry>> {
+        self.shards.iter().map(|s| Arc::clone(s.telemetry())).collect()
+    }
+
     /// The ring itself (e.g. to mirror the placement across processes).
     pub fn ring(&self) -> &HashRing {
         &self.ring

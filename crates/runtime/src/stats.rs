@@ -77,13 +77,23 @@ impl Counters {
     }
 
     pub fn snapshot(&self) -> RuntimeStats {
+        // Torn-tuple discipline: counters advance upstream-first (a chunk is
+        // submitted before it is joined; a submatch is drained before its
+        // match is emitted), so a live snapshot must load the *downstream*
+        // counter of each pair first. Reading `chunks_submitted` before
+        // `chunks_joined` could observe a join that happened between the two
+        // loads and report `chunks_joined > chunks` — an impossible tuple.
+        let chunks_joined = self.chunks_joined.load(Ordering::Relaxed);
+        let chunks = self.chunks_submitted.load(Ordering::Relaxed);
+        let matches = self.matches.load(Ordering::Relaxed);
+        let submatches = self.submatches.load(Ordering::Relaxed);
         RuntimeStats {
             bytes_in: self.bytes_in.load(Ordering::Relaxed),
             windows: self.windows.load(Ordering::Relaxed),
-            chunks: self.chunks_submitted.load(Ordering::Relaxed),
-            chunks_joined: self.chunks_joined.load(Ordering::Relaxed),
-            submatches: self.submatches.load(Ordering::Relaxed),
-            matches: self.matches.load(Ordering::Relaxed),
+            chunks,
+            chunks_joined,
+            submatches,
+            matches,
             dropped_matches: self.dropped_matches.load(Ordering::Relaxed),
             payload_misses: self.payload_misses.load(Ordering::Relaxed),
             windows_evicted: self.windows_evicted.load(Ordering::Relaxed),

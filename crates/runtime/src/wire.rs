@@ -609,6 +609,21 @@ impl<W: Write + Send> PayloadSink for WireSink<W> {
 //   ERR <message>            structured rejection; the server then closes
 // ```
 //
+// A connection can also ask for a one-shot telemetry snapshot instead of a
+// session — the `STATS` verb replaces `QUERY …`/`GO` entirely:
+//
+// ```text
+// client → server
+//   PPT/1 json|binary        (format line required, format ignored)
+//   STATS                    completes the handshake immediately; must be
+//                            the only verb (no QUERY/RETAIN/STREAM/GO)
+//
+// server → client
+//   OK STATS <bytes>         then exactly <bytes> of Prometheus-style
+//                            text exposition, then the server closes
+//   ERR <message>            rejection (e.g. STATS mixed with other verbs)
+// ```
+//
 // Every byte after the `GO` line's `\n` belongs to the XML stream —
 // [`HandshakeDecoder::take_remainder`] hands those back so no read boundary
 // can lose them.
@@ -636,12 +651,31 @@ pub struct HandshakeRequest {
     /// on the wire — an explicit 0 used to be indistinguishable from "no
     /// request" because the encoder skipped it.
     pub stream_id: Option<u64>,
+    /// `true` for a `STATS` handshake: the connection wants a one-shot
+    /// telemetry snapshot, not a session. Mutually exclusive with every
+    /// other verb (the decoder enforces it).
+    pub stats: bool,
 }
 
 impl HandshakeRequest {
     /// A request for `format` with no queries yet.
     pub fn new(format: WireFormat) -> HandshakeRequest {
-        HandshakeRequest { format, queries: Vec::new(), retain_bytes: None, stream_id: None }
+        HandshakeRequest {
+            format,
+            queries: Vec::new(),
+            retain_bytes: None,
+            stream_id: None,
+            stats: false,
+        }
+    }
+
+    /// A `STATS` request: a one-shot telemetry scrape instead of a session.
+    /// The format line is still sent (the grammar requires one) but the
+    /// reply is always text.
+    pub fn stats() -> HandshakeRequest {
+        let mut request = HandshakeRequest::new(WireFormat::JsonLines);
+        request.stats = true;
+        request
     }
 
     /// Adds one query.
@@ -673,6 +707,11 @@ impl HandshakeRequest {
             WireFormat::Binary => "binary",
         };
         let mut out = format!("PPT/1 {format}\n").into_bytes();
+        if self.stats {
+            // STATS completes the handshake by itself — no GO, no queries.
+            out.extend_from_slice(b"STATS\n");
+            return out;
+        }
         for q in &self.queries {
             out.extend_from_slice(format!("QUERY {q}\n").as_bytes());
         }
@@ -725,6 +764,10 @@ pub enum HandshakeError {
     },
     /// `GO` arrived before any `QUERY`.
     NoQueries,
+    /// `STATS` was mixed with session verbs (`QUERY`/`RETAIN`/`STREAM`) —
+    /// a scrape connection carries no session state, so the combination is
+    /// a protocol error, not a silent choice between the two.
+    StatsConflict,
     /// The connection registered more queries than the server allows.
     TooManyQueries {
         /// The configured cap.
@@ -762,6 +805,9 @@ impl std::fmt::Display for HandshakeError {
                 write!(f, "stream id {id} is in the server-assigned range (ids below 2^52 only)")
             }
             HandshakeError::NoQueries => write!(f, "GO before any QUERY was registered"),
+            HandshakeError::StatsConflict => {
+                write!(f, "STATS must be the only handshake verb (no QUERY/RETAIN/STREAM)")
+            }
             HandshakeError::TooManyQueries { limit } => {
                 write!(f, "more than {limit} queries registered")
             }
@@ -802,6 +848,7 @@ pub struct HandshakeDecoder {
     queries: Vec<String>,
     retain_bytes: Option<u64>,
     stream_id: Option<u64>,
+    stats: bool,
     complete: bool,
     failed: Option<HandshakeError>,
 }
@@ -834,6 +881,7 @@ impl HandshakeDecoder {
             queries: Vec::new(),
             retain_bytes: None,
             stream_id: None,
+            stats: false,
             complete: false,
             failed: None,
         }
@@ -885,6 +933,7 @@ impl HandshakeDecoder {
             queries: self.queries.clone(),
             retain_bytes: self.retain_bytes,
             stream_id: self.stream_id,
+            stats: self.stats,
         }))
     }
 
@@ -954,6 +1003,18 @@ impl HandshakeDecoder {
                 if self.queries.is_empty() {
                     return Err(HandshakeError::NoQueries);
                 }
+                self.complete = true;
+            }
+            "STATS" => {
+                if !self.queries.is_empty()
+                    || self.retain_bytes.is_some()
+                    || self.stream_id.is_some()
+                {
+                    return Err(HandshakeError::StatsConflict);
+                }
+                self.stats = true;
+                // A scrape has no stream: the handshake is complete here,
+                // no GO line follows.
                 self.complete = true;
             }
             other => return Err(HandshakeError::UnknownCommand(other.to_string())),
@@ -1211,6 +1272,45 @@ mod tests {
             assert_eq!(got.as_ref(), Some(&req), "step {step}");
             assert_eq!(dec.take_remainder(), b"<stream>the xml follows immediately", "step {step}");
         }
+    }
+
+    #[test]
+    fn stats_handshake_completes_without_go_and_round_trips() {
+        let req = HandshakeRequest::stats();
+        let encoded = req.encode();
+        assert_eq!(encoded, b"PPT/1 json\nSTATS\n");
+        for step in [1usize, 3, encoded.len()] {
+            let mut dec = HandshakeDecoder::new();
+            let mut got = None;
+            for piece in encoded.chunks(step) {
+                if let Some(r) = dec.push(piece).unwrap() {
+                    got = Some(r);
+                }
+            }
+            let got = got.expect("STATS completes the handshake by itself");
+            assert!(got.stats, "step {step}");
+            assert!(got.queries.is_empty());
+            assert_eq!(got, req);
+        }
+    }
+
+    #[test]
+    fn stats_mixed_with_session_verbs_is_rejected() {
+        for bytes in [
+            &b"PPT/1 json\nQUERY //a\nSTATS\n"[..],
+            &b"PPT/1 json\nRETAIN 1024\nSTATS\n"[..],
+            &b"PPT/1 json\nSTREAM 7\nSTATS\n"[..],
+        ] {
+            let mut dec = HandshakeDecoder::new();
+            assert_eq!(dec.push(bytes).unwrap_err(), HandshakeError::StatsConflict);
+        }
+        // The other order too: STATS completes the handshake, so a QUERY
+        // after it is stream remainder, not a verb — the conflict can only
+        // arise with session verbs first.
+        let mut dec = HandshakeDecoder::new();
+        let req = dec.push(b"PPT/1 json\nSTATS\nQUERY //a\n").unwrap().unwrap();
+        assert!(req.stats);
+        assert_eq!(dec.take_remainder(), b"QUERY //a\n");
     }
 
     #[test]

@@ -40,14 +40,14 @@ use std::time::{Duration, Instant};
 /// the scenario the reactor exists for.
 const WRITE_SLICE: usize = 257;
 
-/// The fixed thread ceiling for `shards` shards: main + 1 ingest + per
-/// shard (2 join + 2 workers), plus headroom for the runtime's own
-/// bookkeeping — 16 at one shard, unchanged from before sharding existed.
-/// The essential property: the ceiling depends on the *configuration*, not
-/// on the connection count; a thread-per-connection server would sit at
-/// ~`clients` threads during the storm.
+/// The fixed thread ceiling for `shards` shards: main + 1 ingest + 1 admin
+/// listener + per shard (2 join + 2 workers), plus headroom for the
+/// runtime's own bookkeeping — 17 at one shard. The essential property: the
+/// ceiling depends on the *configuration*, not on the connection count; a
+/// thread-per-connection server would sit at ~`clients` threads during the
+/// storm.
 fn thread_ceiling(shards: usize) -> usize {
-    12 + 4 * shards
+    13 + 4 * shards
 }
 
 /// One slow client, driven round-robin by the main thread.
@@ -71,6 +71,25 @@ fn client_doc(id: usize, items: usize) -> Vec<u8> {
     }
     doc.extend_from_slice(b"</stream>");
     doc
+}
+
+/// One blocking GET against the admin listener; returns the body.
+fn admin_get(addr: std::net::SocketAddr, path: &str) -> String {
+    let mut stream = TcpStream::connect(addr).expect("connect admin");
+    write!(stream, "GET {path} HTTP/1.0\r\n\r\n").expect("send admin request");
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).expect("read admin response");
+    let text = String::from_utf8_lossy(&raw).into_owned();
+    let (head, body) = text.split_once("\r\n\r\n").expect("admin response has headers");
+    assert!(head.starts_with("HTTP/1.0 200"), "admin scrape not OK: {head}");
+    body.to_string()
+}
+
+/// The unlabelled sample value of `name` on a metrics page.
+fn metric(page: &str, name: &str) -> Option<f64> {
+    page.lines()
+        .find_map(|line| line.strip_prefix(name).and_then(|rest| rest.strip_prefix(' ')))
+        .and_then(|v| v.trim().parse().ok())
 }
 
 /// Current thread count of this process; `None` off Linux.
@@ -115,9 +134,11 @@ fn main() {
         .max_connections(clients.max(1))
         .chunk_size(512)
         .window_size(2048)
+        .admin_addr("127.0.0.1:0")
         .bind("127.0.0.1:0", runtime)
         .expect("bind loopback");
     let addr = server.local_addr();
+    let admin_addr = server.admin_local_addr().expect("admin listener bound");
     println!(
         "storming {addr} with {clients} slow clients over {shards} shard(s) \
          ({total_bytes} bytes total)..."
@@ -152,7 +173,38 @@ fn main() {
     let mut peak_threads = baseline_threads.unwrap_or(0);
     let mut buf = [0u8; 4096];
     let deadline = Instant::now() + Duration::from_secs(240);
+    let mut round = 0usize;
+    let mut scrape: Option<String> = None;
     loop {
+        round += 1;
+        // Scrape the admin endpoint *mid-storm* — round 3 is after every
+        // client connected but before any finished writing its document, so
+        // the page must show a live, fully-loaded server.
+        if round == 3 {
+            let page = admin_get(admin_addr, "/metrics");
+            let accepted = metric(&page, "ppt_accepted_total").expect("accepted on page");
+            let active = metric(&page, "ppt_active_connections").expect("active on page");
+            let failed = metric(&page, "ppt_sessions_failed_total").expect("failed on page");
+            println!(
+                "mid-storm scrape: accepted {accepted}, active {active}, failed {failed} \
+                 ({} clients live driver-side)",
+                storm.iter().filter(|c| !c.done).count()
+            );
+            // Liveness invariants under load: the registered-connection
+            // gauge is consistent with the driver's view, nothing has been
+            // poisoned, and handshake latency is being measured. The gauge
+            // checks only hold while no client has half-closed (tiny custom
+            // documents can finish before round 3 — then they are vacuous).
+            if storm.iter().all(|c| !c.half_closed) {
+                assert!(active <= accepted, "more registered conns than accepts: {page}");
+                assert!(accepted as usize <= clients);
+                assert!(active >= 1.0, "a loaded server must show registered connections");
+            }
+            assert_eq!(failed, 0.0, "no session may fail mid-storm");
+            let p99 = metric(&page, "ppt_handshake_seconds_p99").expect("handshake p99 on page");
+            assert!(p99.is_finite() && p99 > 0.0, "p99 handshake latency must be finite: {p99}");
+            scrape = Some(page);
+        }
         let mut all_done = true;
         for client in storm.iter_mut() {
             if client.done {
@@ -196,6 +248,15 @@ fn main() {
         std::thread::sleep(Duration::from_millis(1));
     }
     let elapsed = started.elapsed();
+
+    // A very small storm can drain before round 3 — scrape now so the
+    // artifact exists either way, and persist it when CI asks for it.
+    let scrape = scrape.unwrap_or_else(|| admin_get(admin_addr, "/metrics"));
+    if let Ok(path) = std::env::var("STORM_SCRAPE") {
+        let journal = admin_get(admin_addr, "/journal");
+        std::fs::write(&path, format!("{scrape}\n{journal}")).expect("write scrape artifact");
+        println!("scrape + journal written to {path}");
+    }
 
     // Byte-correctness: every client got exactly its own document's batch
     // matches, payloads byte-identical, stream ids un-crossed.
