@@ -19,6 +19,11 @@
 //!    byte stream; the semantic reference that the out-of-order
 //!    PP-Transducer in `ppt-core` is differentially tested against.
 
+// PR-8 hardening: no unsafe code belongs in this crate, and every public
+// type must be debuggable from test failures and operator logs.
+#![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
+
 pub mod dfa;
 pub mod exec;
 pub mod nfa;

@@ -33,6 +33,9 @@ static ALLOC_GATE: std::sync::Mutex<()> = std::sync::Mutex::new(());
 
 fn alloc_name(name: &[u8], contended: bool) -> Vec<u8> {
     if contended {
+        // UNWRAP-OK: the guarded region cannot panic (a `to_vec` clone), so
+        // the gate is never poisoned; this baseline deliberately models a
+        // contended global allocator lock.
         let _guard = ALLOC_GATE.lock().unwrap();
         name.to_vec()
     } else {

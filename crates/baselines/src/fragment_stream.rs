@@ -48,6 +48,8 @@ where
     let pool = rayon::ThreadPoolBuilder::new()
         .num_threads(threads.max(1))
         .build()
+        // UNWRAP-OK: pool construction only fails on thread-spawn exhaustion,
+        // which is unrecoverable for a benchmark baseline.
         .expect("failed to build rayon pool");
     let query_start = Instant::now();
     let timed: Vec<(T, Duration)> = pool.install(|| {

@@ -109,6 +109,7 @@ impl IndexedEngine {
         if !upward_exact {
             return eval_query(&store.doc, query).len();
         }
+        // UNWRAP-OK: the parser rejects empty paths, so `steps` is non-empty.
         let last = match &steps.last().expect("non-empty path").test {
             NodeTest::Name(n) => n.as_bytes(),
             _ => return eval_query(&store.doc, query).len(),

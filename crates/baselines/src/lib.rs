@@ -18,6 +18,11 @@
 //! powering the DOM and indexed baselines it doubles as the semantic oracle
 //! for the integration test-suite.
 
+// PR-8 hardening: no unsafe code belongs in this crate, and every public
+// type must be debuggable from test failures and operator logs.
+#![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
+
 pub mod domxpath;
 pub mod fragment_dom;
 pub mod fragment_sax;

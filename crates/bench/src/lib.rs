@@ -6,6 +6,11 @@
 //! ([`workloads`]), the experiment implementations ([`experiments`]) and a
 //! small plain-text/JSON table reporter ([`report`]).
 
+// PR-8 hardening: no unsafe code belongs in this crate, and every public
+// type must be debuggable from test failures and operator logs.
+#![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
+
 pub mod experiments;
 pub mod report;
 pub mod workloads;

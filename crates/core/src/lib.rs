@@ -28,6 +28,11 @@
 //! * [`engine`] — the public façade: build an [`engine::Engine`] from query
 //!   strings, run it over byte slices or readers.
 
+// PR-8 hardening: no unsafe code belongs in this crate, and every public
+// type must be debuggable from test failures and operator logs.
+#![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
+
 pub mod chunk;
 pub mod engine;
 pub mod filter;

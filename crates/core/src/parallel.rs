@@ -60,6 +60,7 @@ impl Default for ParallelConfig {
 
 /// Incremental parallel processor. Feed contiguous windows of the stream in
 /// order, then call [`StreamProcessor::finish`].
+#[derive(Debug)]
 pub struct StreamProcessor<'t> {
     transducer: &'t Transducer,
     config: ParallelConfig,
@@ -82,6 +83,8 @@ impl<'t> StreamProcessor<'t> {
             rayon::ThreadPoolBuilder::new()
                 .num_threads(n.max(1))
                 .build()
+                // UNWRAP-OK: pool construction only fails on thread-spawn
+                // exhaustion; there is no degraded mode to fall back to.
                 .expect("failed to build rayon pool")
         });
         let threads = config.threads.unwrap_or_else(rayon::current_num_threads);

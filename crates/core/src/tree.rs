@@ -287,6 +287,7 @@ impl DoubleTree {
                 upward.push(i);
                 cur = self.start_nodes[i].parent;
             }
+            // UNWRAP-OK: the loop above pushed at least `leaf` into `upward`.
             let start_state = self.start_nodes[*upward.last().expect("non-empty path")].symbol;
             let start_stack: Vec<StateId> = upward
                 .iter()

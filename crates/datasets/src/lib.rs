@@ -21,6 +21,11 @@
 //! [`queries`] provides the XPathMark A/B query set, the Twitter filter query
 //! and the random Treebank query generator used by Fig 14.
 
+// PR-8 hardening: no unsafe code belongs in this crate, and every public
+// type must be debuggable from test failures and operator logs.
+#![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
+
 pub mod queries;
 pub mod skew;
 pub mod stats;

@@ -1,0 +1,8 @@
+//! L1 fixture: an `unsafe` block with no `// SAFETY:` rationale.
+//! (This directory is excluded from the workspace scan; fixtures are fed to
+//! the checker explicitly by `crates/lint/tests/fixtures.rs` under synthetic
+//! library paths.)
+
+pub fn read_first(p: *const u8) -> u8 {
+    unsafe { p.read() }
+}

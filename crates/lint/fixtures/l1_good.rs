@@ -1,0 +1,12 @@
+//! L1 fixture: every `unsafe` block carries a `// SAFETY:` rationale,
+//! either on the preceding comment block or on the same line.
+
+pub fn read_first(p: *const u8) -> u8 {
+    // SAFETY: the caller guarantees `p` is non-null, aligned, and valid
+    // for reads (fixture prose — nothing here runs).
+    unsafe { p.read() }
+}
+
+pub fn read_inline(p: *const u8) -> u8 {
+    unsafe { p.read() } // SAFETY: caller contract, as above.
+}

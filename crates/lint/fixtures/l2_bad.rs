@@ -1,0 +1,8 @@
+//! L2 fixture: `Ordering::Relaxed` outside the telemetry/stats allowlist
+//! with no `// RELAXED-OK:` justification.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn bump(counter: &AtomicU64) {
+    counter.fetch_add(1, Ordering::Relaxed);
+}

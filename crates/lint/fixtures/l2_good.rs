@@ -1,0 +1,14 @@
+//! L2 fixture: each `Ordering::Relaxed` is either justified in place or the
+//! file would live on the allowlist (`telemetry.rs`/`stats.rs` — the test
+//! feeds this same content under both kinds of path).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn bump(counter: &AtomicU64) {
+    // RELAXED-OK: monotonic stat counter; orders nothing.
+    counter.fetch_add(1, Ordering::Relaxed);
+}
+
+pub fn publish(flag: &AtomicU64) {
+    flag.store(1, Ordering::Release);
+}

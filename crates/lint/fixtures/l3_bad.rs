@@ -1,0 +1,9 @@
+//! L3 fixture: `.unwrap()` / `.expect()` in non-test library code.
+
+pub fn first(xs: &[u32]) -> u32 {
+    *xs.first().unwrap()
+}
+
+pub fn parsed(s: &str) -> u32 {
+    s.parse().expect("caller promised digits")
+}

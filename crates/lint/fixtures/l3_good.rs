@@ -1,0 +1,19 @@
+//! L3 fixture: unwraps are either waived with a reason, live in a test
+//! region, or avoided entirely.
+
+pub fn first(xs: &[u32]) -> u32 {
+    // UNWRAP-OK: callers uphold the non-empty contract (fixture prose).
+    *xs.first().unwrap()
+}
+
+pub fn first_or_zero(xs: &[u32]) -> u32 {
+    xs.first().copied().unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_is_fine_in_tests() {
+        assert_eq!(Some(1).unwrap(), 1);
+    }
+}

@@ -1,0 +1,13 @@
+//! L4 fixture: raw `Mutex::lock` / `Condvar::wait` in runtime code instead
+//! of the `lock_recover` / `wait_recover` poison-recovery helpers.
+
+use std::sync::{Condvar, Mutex, MutexGuard};
+
+pub fn drain(queue: &Mutex<Vec<u32>>) -> Vec<u32> {
+    let mut guard = queue.lock().unwrap_or_else(|p| p.into_inner());
+    std::mem::take(&mut *guard)
+}
+
+pub fn park<'a>(cv: &Condvar, guard: MutexGuard<'a, Vec<u32>>) -> MutexGuard<'a, Vec<u32>> {
+    cv.wait(guard).unwrap_or_else(|p| p.into_inner())
+}

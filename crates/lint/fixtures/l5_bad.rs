@@ -1,0 +1,9 @@
+//! L5 fixture: bare `as` numeric narrowing on a wire-path file.
+
+pub fn frame_len(total: u64) -> u32 {
+    total as u32
+}
+
+pub fn flag_byte(bits: u16) -> u8 {
+    bits as u8
+}

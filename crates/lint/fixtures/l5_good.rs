@@ -1,0 +1,15 @@
+//! L5 fixture: narrowing goes through `try_from`, is justified in place, or
+//! is a widening cast (always allowed).
+
+pub fn frame_len(total: u64) -> Option<u32> {
+    u32::try_from(total).ok()
+}
+
+pub fn clamped(total: u64) -> u32 {
+    // CAST-OK: clamped to u32::MAX on the same expression.
+    total.min(u32::MAX as u64) as u32
+}
+
+pub fn widen(b: u8) -> u64 {
+    b as u64
+}

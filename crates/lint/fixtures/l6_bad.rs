@@ -1,0 +1,11 @@
+//! L6 fixture: an `extern "C"` call whose return value is dropped on the
+//! floor (bare statement position).
+
+extern "C" {
+    fn close(fd: i32) -> i32;
+}
+
+pub fn close_quietly(fd: i32) {
+    // SAFETY: fd is owned by the caller (fixture prose).
+    unsafe { close(fd) };
+}

@@ -1,0 +1,22 @@
+//! L6 fixture: every `extern "C"` return value is consumed or the call is
+//! explicitly waived.
+
+extern "C" {
+    fn close(fd: i32) -> i32;
+}
+
+pub fn close_checked(fd: i32) -> std::io::Result<()> {
+    // SAFETY: fd is owned by the caller (fixture prose).
+    let rc = unsafe { close(fd) };
+    if rc == 0 {
+        Ok(())
+    } else {
+        Err(std::io::Error::last_os_error())
+    }
+}
+
+pub fn close_waived(fd: i32) {
+    // SAFETY: fd is owned by the caller (fixture prose).
+    // FFI-OK: double-close is the only failure and the fd is being abandoned.
+    unsafe { close(fd) };
+}

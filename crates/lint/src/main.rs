@@ -1,0 +1,71 @@
+//! `ppt-lint` CLI: `cargo run -p ppt-lint -- check [ROOT]`.
+//!
+//! Exit codes: 0 clean, 1 violations found, 2 usage/IO error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "ppt-lint — workspace invariant checker\n\
+         \n\
+         USAGE:\n\
+         \x20   ppt-lint check [ROOT]   scan the workspace (default: enclosing workspace root)\n\
+         \x20   ppt-lint rules          print the rule catalogue\n\
+         \n\
+         A nonzero exit (1) means violations were found; fix them or add a\n\
+         justification comment (see `ppt-lint rules` for per-rule markers)."
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("rules") => {
+            for rule in ppt_lint::Rule::ALL {
+                println!("{rule}  [waiver: // {}]\n    {}\n", rule.marker(), rule.describe());
+            }
+            ExitCode::SUCCESS
+        }
+        Some("check") => {
+            let root = match args.get(1) {
+                Some(path) => PathBuf::from(path),
+                None => {
+                    let cwd = match std::env::current_dir() {
+                        Ok(cwd) => cwd,
+                        Err(e) => {
+                            eprintln!("ppt-lint: cannot resolve current dir: {e}");
+                            return ExitCode::from(2);
+                        }
+                    };
+                    match ppt_lint::find_workspace_root(&cwd) {
+                        Some(root) => root,
+                        None => {
+                            eprintln!("ppt-lint: no enclosing Cargo workspace found");
+                            return ExitCode::from(2);
+                        }
+                    }
+                }
+            };
+            match ppt_lint::check_workspace(&root) {
+                Ok(diags) if diags.is_empty() => {
+                    println!("ppt-lint: workspace clean ({})", root.display());
+                    ExitCode::SUCCESS
+                }
+                Ok(diags) => {
+                    for d in &diags {
+                        println!("{d}");
+                    }
+                    println!("ppt-lint: {} violation(s)", diags.len());
+                    ExitCode::FAILURE
+                }
+                Err(e) => {
+                    eprintln!("ppt-lint: scan failed: {e}");
+                    ExitCode::from(2)
+                }
+            }
+        }
+        _ => usage(),
+    }
+}

@@ -1,0 +1,93 @@
+//! Fixture tests: feed the checker known-bad and known-good source files
+//! (from `crates/lint/fixtures/`, which the workspace scan skips) and pin
+//! down exactly which rule fires where.
+//!
+//! Fixtures are parsed under *synthetic* paths, because several rules are
+//! path-scoped (L4 to `crates/runtime/src/`, L5 to the wire/serve/reactor
+//! files, L2's allowlist to `telemetry.rs`/`stats.rs`): the same bytes must
+//! fire in scope and stay silent out of scope.
+
+use ppt_lint::{check_files, Rule, SourceFile};
+use std::path::Path;
+
+fn fixture(name: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures").join(name);
+    std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("cannot read fixture {}: {e}", path.display()))
+}
+
+/// Rules fired by `name` when parsed as if it lived at `as_path`.
+fn fire(name: &str, as_path: &str) -> Vec<(Rule, u32)> {
+    let src = fixture(name);
+    check_files(&[SourceFile::parse(as_path, &src)]).into_iter().map(|d| (d.rule, d.line)).collect()
+}
+
+const LIB: &str = "crates/fixture/src/lib.rs";
+const RUNTIME: &str = "crates/runtime/src/pool.rs";
+const WIRE: &str = "crates/runtime/src/wire.rs";
+
+#[test]
+fn l1_fixtures() {
+    assert_eq!(fire("l1_bad.rs", LIB), vec![(Rule::L1, 7)]);
+    assert_eq!(fire("l1_good.rs", LIB), vec![]);
+}
+
+#[test]
+fn l2_fixtures() {
+    assert_eq!(fire("l2_bad.rs", LIB), vec![(Rule::L2, 7)]);
+    assert_eq!(fire("l2_good.rs", LIB), vec![]);
+    // The same unjustified content is fine on an allowlisted file.
+    assert_eq!(fire("l2_bad.rs", "crates/runtime/src/telemetry.rs"), vec![]);
+    assert_eq!(fire("l2_bad.rs", "crates/runtime/src/stats.rs"), vec![]);
+}
+
+#[test]
+fn l3_fixtures() {
+    assert_eq!(fire("l3_bad.rs", LIB), vec![(Rule::L3, 4), (Rule::L3, 8)]);
+    assert_eq!(fire("l3_good.rs", LIB), vec![]);
+    // Outside library code (a tests/ directory) the rule does not apply.
+    assert_eq!(fire("l3_bad.rs", "crates/fixture/tests/t.rs"), vec![]);
+}
+
+#[test]
+fn l4_fixtures() {
+    assert_eq!(fire("l4_bad.rs", RUNTIME), vec![(Rule::L4, 7), (Rule::L4, 12)]);
+    assert_eq!(fire("l4_good.rs", RUNTIME), vec![]);
+    // The lock discipline is scoped to the runtime crate.
+    assert_eq!(fire("l4_bad.rs", LIB), vec![]);
+}
+
+#[test]
+fn l5_fixtures() {
+    assert_eq!(fire("l5_bad.rs", WIRE), vec![(Rule::L5, 4), (Rule::L5, 8)]);
+    assert_eq!(fire("l5_good.rs", WIRE), vec![]);
+    // Only the wire/serve/reactor files are cast-audited.
+    assert_eq!(fire("l5_bad.rs", "crates/runtime/src/session.rs"), vec![]);
+    assert_eq!(fire("l5_bad.rs", LIB), vec![]);
+}
+
+#[test]
+fn l6_fixtures() {
+    assert_eq!(fire("l6_bad.rs", LIB), vec![(Rule::L6, 10)]);
+    assert_eq!(fire("l6_good.rs", LIB), vec![]);
+}
+
+/// The bad fixtures double as a wholesale regression set: every rule fires
+/// at least once across them, so a lexer or classifier regression that
+/// silently disables a rule cannot pass.
+#[test]
+fn every_rule_fires_on_some_fixture() {
+    let scoped = [
+        ("l1_bad.rs", LIB),
+        ("l2_bad.rs", LIB),
+        ("l3_bad.rs", LIB),
+        ("l4_bad.rs", RUNTIME),
+        ("l5_bad.rs", WIRE),
+        ("l6_bad.rs", LIB),
+    ];
+    let mut fired: Vec<Rule> =
+        scoped.iter().flat_map(|(name, path)| fire(name, path)).map(|(rule, _)| rule).collect();
+    fired.sort();
+    fired.dedup();
+    assert_eq!(fired, Rule::ALL.to_vec());
+}

@@ -68,6 +68,12 @@
 //! assert_eq!(stream.count(), 2);
 //! ```
 
+// PR-8 hardening: the only sanctioned unsafe is the reactor's poll(2)/
+// eventfd FFI, and every unsafe operation there must sit in an explicit
+// `unsafe {}` block with its own `// SAFETY:` rationale (lint rule L1).
+#![deny(unsafe_op_in_unsafe_fn)]
+#![deny(missing_debug_implementations)]
+
 mod filters;
 mod pool;
 #[cfg(unix)]
@@ -232,6 +238,15 @@ pub struct Runtime {
     telemetry: Arc<telemetry::RuntimeTelemetry>,
 }
 
+impl std::fmt::Debug for Runtime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Runtime")
+            .field("inflight_chunks", &self.inflight_chunks)
+            .field("match_buffer", &self.match_buffer)
+            .finish_non_exhaustive()
+    }
+}
+
 /// `Runtime` *is* the session manager; this alias keeps call sites that talk
 /// about session management readable.
 pub type SessionManager = Runtime;
@@ -343,6 +358,8 @@ impl Runtime {
                 let result = joiner_guarded(&joiner_core, &mut *sink);
                 (result, sink)
             })
+            // UNWRAP-OK: thread-spawn failure is process-level resource
+            // exhaustion; there is no session-scoped recovery to offer.
             .expect("failed to spawn joiner");
         SessionHandle {
             feeder: Feeder::new(core),
@@ -457,11 +474,13 @@ impl Runtime {
             });
             // Always announce the end so the joiner terminates, error or not.
             feeder.finish(pool);
-            let report = match joiner.join().expect("joiner thread died") {
-                Ok(report) => report,
+            let report = match joiner.join() {
+                Ok(Ok(report)) => report,
                 // Re-raise a sink/joiner panic on the caller's thread, now
-                // that the pipeline is drained.
-                Err(panic) => std::panic::resume_unwind(panic),
+                // that the pipeline is drained. `joiner_guarded` catches
+                // panics itself, so a failed join (a panic that escaped the
+                // guard) re-raises through the same arm.
+                Ok(Err(panic)) | Err(panic) => std::panic::resume_unwind(panic),
             };
             io_result.map(|()| report)
         })
@@ -491,7 +510,10 @@ impl Runtime {
                 let mut reader = reader;
                 let io_result = pump_reader(&mut reader, |bytes| {
                     session.feed(bytes);
-                    !cancel_driver.load(Ordering::Relaxed) && !session.is_dead()
+                    // Acquire pairs with the Release store in finish()/Drop:
+                    // observing the cancel flag must also make any state the
+                    // canceller wrote before it visible to this driver.
+                    !cancel_driver.load(Ordering::Acquire) && !session.is_dead()
                 });
                 // A sink panic cannot happen here (ChannelSink never panics),
                 // but a fold/filter panic would: let finish() resume it on
@@ -499,6 +521,8 @@ impl Runtime {
                 let (report, _sink) = session.finish();
                 io_result.map(|()| report)
             })
+            // UNWRAP-OK: thread-spawn failure is process-level resource
+            // exhaustion; there is no session-scoped recovery to offer.
             .expect("failed to spawn feeder");
         MatchStream { rx: Some(rx), cancel, driver: Some(driver) }
     }
@@ -517,6 +541,15 @@ pub struct MatchStream {
     driver: Option<std::thread::JoinHandle<std::io::Result<SessionReport>>>,
 }
 
+impl std::fmt::Debug for MatchStream {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MatchStream")
+            .field("cancelled", &self.cancel.load(Ordering::Acquire))
+            .field("finished", &self.driver.is_none())
+            .finish_non_exhaustive()
+    }
+}
+
 impl Iterator for MatchStream {
     type Item = OnlineMatch;
 
@@ -531,8 +564,11 @@ impl MatchStream {
     /// not yet consumed are discarded; after a cancellation the report
     /// covers the prefix that was processed.
     pub fn finish(mut self) -> std::io::Result<SessionReport> {
+        // UNWRAP-OK: `finish` consumes `self`, and `Drop` (the only other
+        // taker) has not run yet — the driver is always present here.
         let driver = self.driver.take().expect("finish called once");
-        self.cancel.store(true, Ordering::Relaxed);
+        // Release pairs with the driver's Acquire load of the cancel flag.
+        self.cancel.store(true, Ordering::Release);
         // Dropping the receiver lets the sink's sends fail fast instead of
         // blocking on a full channel nobody reads.
         drop(self.rx.take());
@@ -547,7 +583,8 @@ impl MatchStream {
 
 impl Drop for MatchStream {
     fn drop(&mut self) {
-        self.cancel.store(true, Ordering::Relaxed);
+        // Release pairs with the driver's Acquire load of the cancel flag.
+        self.cancel.store(true, Ordering::Release);
         drop(self.rx.take());
         if let Some(driver) = self.driver.take() {
             let _ = driver.join();

@@ -99,6 +99,8 @@ pub(crate) fn poll_fds(fds: &mut [PollFd], timeout_ms: i32) -> std::io::Result<u
         // layout structs; the kernel writes only the `revents` fields.
         let rc = unsafe { poll(fds.as_mut_ptr(), fds.len() as NfdsT, timeout_ms) };
         if rc >= 0 {
+            // CAST-OK: `rc >= 0` just checked; a non-negative c_int always
+            // fits usize.
             return Ok(rc as usize);
         }
         let err = std::io::Error::last_os_error();
@@ -201,21 +203,32 @@ pub(crate) struct ReactorCounters {
 
 impl ReactorCounters {
     fn fd_registered(&self) {
+        // RELAXED-OK: live gauge + high-watermark stat; order nothing.
         let now = self.registered_fds.fetch_add(1, Ordering::Relaxed) + 1;
+        // RELAXED-OK: racy high-watermark stat; orders nothing.
         self.peak_registered_fds.fetch_max(now, Ordering::Relaxed);
     }
 
     fn fd_unregistered(&self) {
+        // RELAXED-OK: live gauge; orders nothing.
         self.registered_fds.fetch_sub(1, Ordering::Relaxed);
     }
 
     pub fn snapshot(&self) -> ReactorStats {
+        // RELAXED-OK (whole group): stat snapshot of independent event-loop
+        // counters; each field is self-consistent and staleness is fine.
         ReactorStats {
+            // RELAXED-OK: stat snapshot (see group note above).
             registered_fds: self.registered_fds.load(Ordering::Relaxed),
+            // RELAXED-OK: stat snapshot (see group note above).
             peak_registered_fds: self.peak_registered_fds.load(Ordering::Relaxed),
+            // RELAXED-OK: stat snapshot (see group note above).
             polls: self.polls.load(Ordering::Relaxed),
+            // RELAXED-OK: stat snapshot (see group note above).
             wakeups: self.wakeups.load(Ordering::Relaxed),
+            // RELAXED-OK: stat snapshot (see group note above).
             readiness_dispatches: self.readiness_dispatches.load(Ordering::Relaxed),
+            // RELAXED-OK: stat snapshot (see group note above).
             peak_outbox_bytes: self.peak_outbox_bytes.load(Ordering::Relaxed),
         }
     }
@@ -296,6 +309,7 @@ impl OutboxShared {
         b.bytes.extend_from_slice(data);
         let len = b.bytes.len() - b.consumed;
         drop(b);
+        // RELAXED-OK: racy high-watermark stat; orders nothing.
         self.counters.peak_outbox_bytes.fetch_max(len, Ordering::Relaxed);
         Ok(())
     }
@@ -470,6 +484,8 @@ impl JoinPool {
                 std::thread::Builder::new()
                     .name(format!("ppt-join-{i}"))
                     .spawn(move || join_executor_loop(&shared))
+                    // UNWRAP-OK: thread-spawn failure is process-level
+                    // resource exhaustion; no pool-scoped recovery exists.
                     .expect("failed to spawn join executor")
             })
             .collect();
@@ -515,7 +531,11 @@ fn run_join_task(task: &Arc<JoinTask>) {
     let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| join_steps(task)));
     if let Err(panic) = result {
         let core = &task.core;
-        if core.counters.delivering.swap(false, Ordering::Relaxed) {
+        // AcqRel: the swap decides which thread accounts the in-flight
+        // delivery as dropped (same protocol as `joiner_guarded`); the
+        // winner must also observe the state written before the flag.
+        if core.counters.delivering.swap(false, Ordering::AcqRel) {
+            // RELAXED-OK: stat counter; the swap above already arbitrates.
             core.counters.dropped_matches.fetch_add(1, Ordering::Relaxed);
         }
         core.poison(format!("joiner stage panicked: {}", panic_message(&*panic)));
@@ -852,6 +872,7 @@ impl Reactor {
                     // the loop early and re-arm, not wrap `as_millis()` into
                     // a negative (= infinite) poll timeout.
                     let millis = deadline.saturating_duration_since(now).as_millis();
+                    // CAST-OK: clamped to 60_000 on the line above.
                     let remaining = millis.min(60_000) as i32 + 1; // round up
                     timeout_ms = if timeout_ms < 0 { remaining } else { timeout_ms.min(remaining) };
                 }
@@ -862,6 +883,7 @@ impl Reactor {
                 }
             }
 
+            // RELAXED-OK: monotonic stat counter; orders nothing.
             self.r.counters.polls.fetch_add(1, Ordering::Relaxed);
             if poll_fds(&mut pollfds, timeout_ms).is_err() {
                 // EINVAL and friends are programming errors; yield so a
@@ -882,10 +904,12 @@ impl Reactor {
                 match tokens[i] {
                     Token::Wake => {
                         self.wake().drain();
+                        // RELAXED-OK: monotonic stat counter; orders nothing.
                         self.r.counters.wakeups.fetch_add(1, Ordering::Relaxed);
                     }
                     Token::Listener => self.accept_ready(),
                     Token::Conn(slot) => {
+                        // RELAXED-OK: monotonic stat counter; orders nothing.
                         self.r.counters.readiness_dispatches.fetch_add(1, Ordering::Relaxed);
                         if revents & (POLLOUT | POLLERR | POLLHUP) != 0 {
                             self.handle_writable(slot);
@@ -940,12 +964,16 @@ impl Reactor {
             };
             match listener.accept() {
                 Ok((stream, peer)) => {
+                    // RELAXED-OK: monotonic stat counter; orders nothing.
                     self.shared.accepted.fetch_add(1, Ordering::Relaxed);
+                    // RELAXED-OK: live gauge; readers tolerate skew.
                     self.shared.active.fetch_add(1, Ordering::Relaxed);
                     let ingest = self.r.inboxes.len();
                     let target = if ingest == 1 {
                         0
                     } else {
+                        // RELAXED-OK: load-spreading tick; any distribution
+                        // is correct, orders nothing.
                         self.r.round_robin.fetch_add(1, Ordering::Relaxed) % ingest
                     };
                     if target == self.idx {
@@ -976,7 +1004,9 @@ impl Reactor {
     fn register(&mut self, stream: TcpStream, peer: SocketAddr) {
         if stream.set_nonblocking(true).is_err() {
             // Cannot serve a socket we cannot make nonblocking.
+            // RELAXED-OK: monotonic stat counter; orders nothing.
             self.shared.handshake_rejects.fetch_add(1, Ordering::Relaxed);
+            // RELAXED-OK: live gauge; readers tolerate skew.
             self.shared.active.fetch_sub(1, Ordering::Relaxed);
             self.shared.gate.release();
             return;
@@ -1029,6 +1059,7 @@ impl Reactor {
         let n = match conn.stream.read(&mut buf[..4096]) {
             Ok(0) => {
                 // Hung up mid-handshake: nothing to answer.
+                // RELAXED-OK: monotonic stat counter; orders nothing.
                 self.shared.handshake_rejects.fetch_add(1, Ordering::Relaxed);
                 self.close_conn(slot, false);
                 return;
@@ -1041,6 +1072,7 @@ impl Reactor {
                 return;
             }
             Err(_) => {
+                // RELAXED-OK: monotonic stat counter; orders nothing.
                 self.shared.handshake_rejects.fetch_add(1, Ordering::Relaxed);
                 self.close_conn(slot, false);
                 return;
@@ -1101,6 +1133,8 @@ impl Reactor {
             format: request.format,
         });
         self.shared.telemetry.handshake_nanos.record_duration(conn.accepted_at.elapsed());
+        // CAST-OK: query count is admission-capped (max_queries) far below
+        // 2^32 by the handshake decoder.
         let ids: Vec<u32> = (0..request.queries.len() as u32).collect();
         let reply = HandshakeReply::Accepted { stream: stream_id, queries: ids };
         if conn.outbox.push(reply.encode().as_bytes()).is_err() {
@@ -1215,6 +1249,7 @@ impl Reactor {
 
     /// Sends a structured `ERR` and schedules the close behind it.
     fn reject(&mut self, slot: usize, message: &str) {
+        // RELAXED-OK: monotonic stat counter; orders nothing.
         self.shared.handshake_rejects.fetch_add(1, Ordering::Relaxed);
         let Some(conn) = self.conns.get_mut(slot).and_then(Option::as_mut) else { return };
         let _ = conn.outbox.push(HandshakeReply::Rejected(message.to_string()).encode().as_bytes());
@@ -1264,8 +1299,13 @@ impl Reactor {
             let pipeline_busy = conn.session.as_ref().is_some_and(|s| {
                 let counters = &s.task.core.counters;
                 s.feeder.is_blocked()
-                    || counters.chunks_submitted.load(Ordering::Relaxed)
-                        > counters.chunks_joined.load(Ordering::Relaxed)
+                    // Acquire pairs with the Release fetch_adds in the
+                    // feeder/joiner: the liveness verdict (bill the stall to
+                    // the server, not the client) must see a submission no
+                    // later than the pipeline state behind it (upgraded from
+                    // Relaxed in the PR-8 concurrency audit).
+                    || counters.chunks_submitted.load(Ordering::Acquire)
+                        > counters.chunks_joined.load(Ordering::Acquire)
             });
             if pipeline_busy && !conn.outbox.over_cap() {
                 conn.last_progress = now;
@@ -1347,6 +1387,7 @@ impl Reactor {
             conn.write_error.get_or_insert_with(|| reason.to_string());
             conn.phase = Phase::Draining;
         } else {
+            // RELAXED-OK: monotonic stat counter; orders nothing.
             self.shared.handshake_rejects.fetch_add(1, Ordering::Relaxed);
             self.close_conn(slot, false);
         }
@@ -1392,6 +1433,7 @@ impl Reactor {
         }
         drop(conn);
         self.r.counters.fd_unregistered();
+        // RELAXED-OK: live gauge; readers tolerate skew.
         self.shared.active.fetch_sub(1, Ordering::Relaxed);
         self.shared.gate.release();
         // A freed admission slot re-arms the listener, which lives on

@@ -117,6 +117,8 @@ impl SpanResolver {
                 Pending::Ladder(depth_after) => {
                     while let Some(last) = self.pending.last() {
                         if (last.depth as i64) > depth_after {
+                            // UNWRAP-OK: `last()` on the line above proved
+                            // the stack is non-empty.
                             let mut m = self.pending.pop().expect("non-empty");
                             m.end = pos;
                             out.push(SpanEvent::Close(m));

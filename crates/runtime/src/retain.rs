@@ -76,6 +76,7 @@ impl RetentionRing {
         self.windows.push_back(window);
         let mut evicted = Evicted::default();
         while self.retained > self.budget && self.windows.len() > 1 {
+            // UNWRAP-OK: the loop condition guarantees `windows.len() > 1`.
             let old = self.windows.pop_front().expect("len > 1");
             self.retained -= old.len();
             evicted.windows += 1;

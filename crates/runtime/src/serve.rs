@@ -96,6 +96,7 @@ static NEXT_STREAM_ID: AtomicU64 = AtomicU64::new(1);
 /// is always set), never equal to another assignment, and never inside the
 /// explicit range below [`ASSIGNED_STREAM_ID_BASE`].
 pub(crate) fn assign_stream_id() -> u64 {
+    // RELAXED-OK: uniqueness needs only RMW atomicity; orders nothing.
     ASSIGNED_STREAM_ID_BASE | NEXT_STREAM_ID.fetch_add(1, Ordering::Relaxed)
 }
 
@@ -581,6 +582,8 @@ impl Shared {
     /// from [`Shared::record`] for recorded connections).
     pub(crate) fn place_stream(&self, stream_id: u64) -> usize {
         let shard = self.router.place(stream_id);
+        // RELAXED-OK: live gauge; departures rebalance under the seqlock
+        // bracket in `record`, and readers tolerate transient skew.
         self.accounting[shard].active.fetch_add(1, Ordering::Relaxed);
         self.telemetry.journal.record(EventKind::Registered, stream_id, shard);
         self.telemetry.journal.record(EventKind::Placed, stream_id, shard);
@@ -589,6 +592,8 @@ impl Shared {
 
     /// Counts a placed connection's departure from its shard.
     pub(crate) fn shard_closed(&self, shard: usize) {
+        // RELAXED-OK: gauge decrement; called from `record` inside the
+        // record_epoch seqlock bracket, which orders it for snapshots.
         self.accounting[shard].active.fetch_sub(1, Ordering::Relaxed);
     }
 
@@ -611,28 +616,48 @@ impl Shared {
             EventKind::Poisoned
         };
         self.telemetry.journal.record(kind, report.stream_id, report.shard);
+        // Writer side: `record` runs concurrently in thread-per-connection
+        // mode (each connection thread records its own departure), and two
+        // in-flight writers would break the epoch's odd/even parity — the
+        // epoch turns even while counters are still mid-update, and a reader
+        // would validate a torn snapshot (found by the PR-8 interleaving
+        // model; see crates/runtime/tests/model.rs::seqlock_two_writers_*).
+        // The reports mutex, which `record` takes anyway, is acquired early
+        // to serialize writers; snapshot readers never touch it.
+        let (mut reports, _) = lock_recover(&self.reports);
         // Seqlock write side: a stats snapshot taken mid-record could see
         // e.g. the session counted completed but its frames not yet added —
         // a torn tuple. The epoch is odd while the counter group updates;
         // readers retry until they bracket an even, unchanged epoch.
         self.record_epoch.fetch_add(1, Ordering::AcqRel);
+        // RELAXED-OK (whole group): these updates are bracketed by the
+        // record_epoch AcqRel edges above/below; snapshot readers validate
+        // the bracket, so the interior needs only per-field atomicity.
+        // (Model-checked in crates/runtime/tests/model.rs::seqlock.)
         if failed {
+            // RELAXED-OK: seqlock-bracketed (see group note above).
             self.sessions_failed.fetch_add(1, Ordering::Relaxed);
         } else {
+            // RELAXED-OK: seqlock-bracketed (see group note above).
             self.sessions_completed.fetch_add(1, Ordering::Relaxed);
         }
+        // RELAXED-OK: seqlock-bracketed (see group note above).
         self.frames_out.fetch_add(report.frames, Ordering::Relaxed);
+        // RELAXED-OK: seqlock-bracketed (see group note above).
         self.bytes_out.fetch_add(report.bytes_out, Ordering::Relaxed);
         let shard = &self.accounting[report.shard];
+        // RELAXED-OK: seqlock-bracketed (see group note above).
         shard.frames.fetch_add(report.frames, Ordering::Relaxed);
+        // RELAXED-OK: seqlock-bracketed (see group note above).
         shard.bytes_out.fetch_add(report.bytes_out, Ordering::Relaxed);
         if let Some(session) = &report.report {
+            // RELAXED-OK: seqlock-bracketed (see group note above).
             shard.matches.fetch_add(session.stats.matches, Ordering::Relaxed);
+            // RELAXED-OK: seqlock-bracketed (see group note above).
             shard.peak_retained.fetch_max(session.stats.peak_retained_bytes, Ordering::Relaxed);
         }
         self.shard_closed(report.shard);
         self.record_epoch.fetch_add(1, Ordering::AcqRel);
-        let (mut reports, _) = lock_recover(&self.reports);
         if reports.len() == MAX_REMEMBERED_REPORTS {
             reports.pop_front();
         }
@@ -688,24 +713,27 @@ impl Shared {
                 ShardStats {
                     shard: idx,
                     workers: runtime.workers(),
-                    active_sessions: acc.active.load(Ordering::Relaxed),
+                    active_sessions: acc.active.load(Ordering::Acquire),
                     sessions: router.per_shard_placements.get(idx).copied().unwrap_or(0),
-                    matches: acc.matches.load(Ordering::Relaxed),
-                    frames_out: acc.frames.load(Ordering::Relaxed),
-                    bytes_out: acc.bytes_out.load(Ordering::Relaxed),
-                    peak_retained_bytes: acc.peak_retained.load(Ordering::Relaxed),
+                    matches: acc.matches.load(Ordering::Acquire),
+                    frames_out: acc.frames.load(Ordering::Acquire),
+                    bytes_out: acc.bytes_out.load(Ordering::Acquire),
+                    peak_retained_bytes: acc.peak_retained.load(Ordering::Acquire),
                     peak_queue_depth: runtime.peak_queue_depth(),
                 }
             })
             .collect();
         ServerStats {
-            accepted: self.accepted.load(Ordering::Relaxed),
-            active: self.active.load(Ordering::Relaxed),
-            handshake_rejects: self.handshake_rejects.load(Ordering::Relaxed),
-            sessions_completed: self.sessions_completed.load(Ordering::Relaxed),
-            sessions_failed: self.sessions_failed.load(Ordering::Relaxed),
-            frames_out: self.frames_out.load(Ordering::Relaxed),
-            bytes_out: self.bytes_out.load(Ordering::Relaxed),
+            // Acquire on the seqlock read side: these loads must not drift
+            // past the epoch re-validation in `server_stats` (upgraded from
+            // Relaxed in the PR-8 concurrency audit).
+            accepted: self.accepted.load(Ordering::Acquire),
+            active: self.active.load(Ordering::Acquire),
+            handshake_rejects: self.handshake_rejects.load(Ordering::Acquire),
+            sessions_completed: self.sessions_completed.load(Ordering::Acquire),
+            sessions_failed: self.sessions_failed.load(Ordering::Acquire),
+            frames_out: self.frames_out.load(Ordering::Acquire),
+            bytes_out: self.bytes_out.load(Ordering::Acquire),
             reactor: self.reactor_stats(),
             shards,
             router,
@@ -1070,6 +1098,15 @@ pub struct TcpServer {
     admin: Option<AdminHandle>,
 }
 
+impl std::fmt::Debug for TcpServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TcpServer")
+            .field("local_addr", &self.local_addr)
+            .field("admin", &self.admin.is_some())
+            .finish_non_exhaustive()
+    }
+}
+
 /// The running admin listener (see [`TcpServerBuilder::admin_addr`]).
 struct AdminHandle {
     addr: SocketAddr,
@@ -1282,11 +1319,14 @@ fn spawn_connection(
     stream: TcpStream,
     peer: SocketAddr,
 ) {
+    // RELAXED-OK: monotonic stat counter; orders nothing.
     shared.accepted.fetch_add(1, Ordering::Relaxed);
     let conn_shared = Arc::clone(shared);
     let spawned = std::thread::Builder::new().name(format!("ppt-conn-{peer}")).spawn(move || {
+        // RELAXED-OK: live gauge; readers tolerate transient skew.
         conn_shared.active.fetch_add(1, Ordering::Relaxed);
         serve_connection(&conn_shared, stream, peer);
+        // RELAXED-OK: live gauge; readers tolerate transient skew.
         conn_shared.active.fetch_sub(1, Ordering::Relaxed);
         conn_shared.gate.release();
     });
@@ -1330,6 +1370,7 @@ fn serve_connection(shared: &Shared, mut stream: TcpStream, peer: SocketAddr) {
         let n = match stream.read(&mut buf) {
             Ok(0) => {
                 // Hung up (or was killed) mid-handshake: nothing to answer.
+                // RELAXED-OK: monotonic stat counter; orders nothing.
                 shared.handshake_rejects.fetch_add(1, Ordering::Relaxed);
                 return;
             }
@@ -1344,6 +1385,7 @@ fn serve_connection(shared: &Shared, mut stream: TcpStream, peer: SocketAddr) {
                 return;
             }
             Err(_) => {
+                // RELAXED-OK: monotonic stat counter; orders nothing.
                 shared.handshake_rejects.fetch_add(1, Ordering::Relaxed);
                 return;
             }
@@ -1418,6 +1460,8 @@ fn serve_connection(shared: &Shared, mut stream: TcpStream, peer: SocketAddr) {
             read_error: None,
         });
     };
+    // CAST-OK: query count is admission-capped (max_queries) far below
+    // 2^32 by the handshake decoder before we get here.
     let ids: Vec<u32> = (0..request.queries.len() as u32).collect();
     let reply = HandshakeReply::Accepted { stream: stream_id, queries: ids };
     if let Err(e) = stream.write_all(reply.encode().as_bytes()) {
@@ -1478,6 +1522,7 @@ fn serve_connection(shared: &Shared, mut stream: TcpStream, peer: SocketAddr) {
 /// Writes a structured `ERR` reply (best effort — the client may already be
 /// gone) and counts the rejection.
 fn reject(shared: &Shared, stream: &mut TcpStream, message: &str) {
+    // RELAXED-OK: monotonic stat counter; orders nothing.
     shared.handshake_rejects.fetch_add(1, Ordering::Relaxed);
     let _ = stream.write_all(HandshakeReply::Rejected(message.to_string()).encode().as_bytes());
     let _ = stream.flush();

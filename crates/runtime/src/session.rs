@@ -176,7 +176,10 @@ impl Feeder {
     /// Accounts a completed window and queues its chunks for submission.
     fn enqueue_window(&mut self, window: SharedWindow) {
         let counters = &self.core.counters;
+        // RELAXED-OK: every reader (joiner finalize, stats snapshot) is
+        // ordered after these writes by the queue/mailbox mutex chain.
         counters.windows.fetch_add(1, Ordering::Relaxed);
+        // RELAXED-OK: same mutex-chain ordering as `windows` above.
         counters.bytes_in.fetch_add(window.len() as u64, Ordering::Relaxed);
         let mut first = true;
         for chunk in split_chunks(window.bytes(), self.chunk_size) {
@@ -207,8 +210,11 @@ impl Feeder {
         }
         let (evicted, retained) = (guard.push(window.clone()), guard.retained_bytes());
         drop(guard);
+        // RELAXED-OK: monotonic stat counters; order nothing.
         counters.windows_evicted.fetch_add(evicted.windows, Ordering::Relaxed);
+        // RELAXED-OK: monotonic stat counter; orders nothing.
         counters.bytes_evicted.fetch_add(evicted.bytes, Ordering::Relaxed);
+        // RELAXED-OK: racy high-watermark stat; orders nothing.
         counters.peak_retained_bytes.fetch_max(retained, Ordering::Relaxed);
         self.core.telemetry.ring_occupancy_bytes.record(retained as u64);
         true
@@ -235,13 +241,18 @@ impl Feeder {
                 debug_assert!(!blocking, "blocking acquire fails only on death");
                 return FeedProgress::Blocked;
             }
+            // UNWRAP-OK: the enclosing loop only runs while `pending` is
+            // non-empty (checked at the top of each iteration).
             let chunk = self.pending.pop_front().expect("pending is non-empty");
             if chunk.first_of_window && !self.retain_window(&chunk.window) {
                 self.core.release_credit();
                 self.pending.clear();
                 break;
             }
-            self.core.counters.chunks_submitted.fetch_add(1, Ordering::Relaxed);
+            // Release pairs with the reactor's Acquire reads in its
+            // pipeline-stall liveness verdict (`expire_idle`): a submission
+            // observed there must also carry the chunk state before it.
+            self.core.counters.chunks_submitted.fetch_add(1, Ordering::Release);
             pool.submit(Job {
                 session: Arc::clone(&self.core),
                 window: chunk.window,
@@ -273,7 +284,11 @@ pub(crate) fn joiner_guarded(
         // A panic that unwound out of a sink delivery leaves `delivering`
         // set: that match was handed over but never completed — count it as
         // dropped, not delivered.
-        if core.counters.delivering.swap(false, Ordering::Relaxed) {
+        // AcqRel: the swap decides *which thread* accounts the in-flight
+        // delivery as dropped (see the same protocol in reactor::abort);
+        // the winner must also observe the state written before the flag.
+        if core.counters.delivering.swap(false, Ordering::AcqRel) {
+            // RELAXED-OK: stat counter; the swap above already arbitrates.
             core.counters.dropped_matches.fetch_add(1, Ordering::Relaxed);
         }
         core.poison(format!("joiner stage panicked: {}", crate::pool::panic_message(&**panic)));
@@ -325,6 +340,7 @@ impl JoinerState {
         let folded_upto = out.end_offset;
         let mut delta = self.folder.fold(out.mapping, out.depth_delta, out.ladder);
         let matches = delta.take_resolved_matches();
+        // RELAXED-OK: monotonic stat counter; orders nothing.
         core.counters.submatches.fetch_add(matches.len() as u64, Ordering::Relaxed);
         self.resolver.feed(matches, &delta.ladder, &mut self.events);
         if !self.events.is_empty() {
@@ -353,7 +369,9 @@ impl JoinerState {
                 core.poison("retention ring lock poisoned".to_string());
             }
         }
-        core.counters.chunks_joined.fetch_add(1, Ordering::Relaxed);
+        // Release pairs with the reactor's Acquire reads in its
+        // pipeline-stall liveness verdict (`expire_idle`).
+        core.counters.chunks_joined.fetch_add(1, Ordering::Release);
         core.telemetry.fold_nanos.record_duration(fold_started.elapsed());
         core.release_credit();
         self.seq += 1;
@@ -371,6 +389,8 @@ impl JoinerState {
             // is skipped — `bytes_in` may count windows that were never
             // transduced, and closing pending matches at invented offsets
             // would fabricate results the stream never produced.
+            // RELAXED-OK: the feeder's writes are ordered before this read
+            // by the mailbox mutex (finish() announces the total under it).
             let total_len = core.counters.bytes_in.load(Ordering::Relaxed) as usize;
             self.resolver.finish(total_len, &mut self.events);
             self.drain_events(core, sink, true);
@@ -406,12 +426,16 @@ impl JoinerState {
             // so `matches` only ever counts completed deliveries — without
             // live stats transiently reporting a phantom drop on the healthy
             // path.
-            counters.delivering.store(true, Ordering::Relaxed);
+            // Release on both edges: a poisoning thread that swaps the flag
+            // (AcqRel) must observe the delivery state written before it.
+            counters.delivering.store(true, Ordering::Release);
             let delivered = sink.on_match(m);
-            counters.delivering.store(false, Ordering::Relaxed);
+            counters.delivering.store(false, Ordering::Release);
             if delivered {
+                // RELAXED-OK: stat counter; orders nothing.
                 counters.matches.fetch_add(1, Ordering::Relaxed);
             } else {
+                // RELAXED-OK: stat counter; orders nothing.
                 counters.dropped_matches.fetch_add(1, Ordering::Relaxed);
             }
         };
@@ -452,6 +476,14 @@ pub struct SessionHandle {
     >,
 }
 
+impl std::fmt::Debug for SessionHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SessionHandle")
+            .field("finish_pending", &self.joiner.is_some())
+            .finish_non_exhaustive()
+    }
+}
+
 impl SessionHandle {
     /// Pushes stream bytes into the pipeline. Blocks while backpressured.
     /// Bytes fed after the session died (see [`SessionReport::error`]) are
@@ -478,8 +510,15 @@ impl SessionHandle {
     /// resumed here, on the session owner's thread.
     pub fn finish(mut self) -> (SessionReport, Box<dyn MatchSink>) {
         self.feeder.finish(&self.pool);
-        let (result, sink) =
-            self.joiner.take().expect("finish called once").join().expect("joiner thread died");
+        // UNWRAP-OK: `finish` consumes `self`, and `Drop` (the only other
+        // taker) has not run yet — the joiner handle is always present.
+        let joiner = self.joiner.take().expect("finish called once");
+        let (result, sink) = match joiner.join() {
+            Ok(pair) => pair,
+            // `joiner_guarded` catches sink panics; a failed join means a
+            // panic escaped the guard — re-raise it here, like any other.
+            Err(panic) => std::panic::resume_unwind(panic),
+        };
         match result {
             Ok(report) => (report, sink),
             Err(panic) => std::panic::resume_unwind(panic),

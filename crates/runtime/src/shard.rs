@@ -131,6 +131,12 @@ pub struct ShardRouter {
     lookups: AtomicU64,
 }
 
+impl std::fmt::Debug for ShardRouter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardRouter").field("shards", &self.shards.len()).finish_non_exhaustive()
+    }
+}
+
 impl ShardRouter {
     /// A router over the given runtimes with [`DEFAULT_VNODES`] virtual
     /// nodes per shard.
@@ -176,6 +182,7 @@ impl ShardRouter {
     /// Looks the owning shard up without placing anything (counted as a ring
     /// lookup).
     pub fn route(&self, stream_id: u64) -> usize {
+        // RELAXED-OK: monotonic stat counter; orders nothing.
         self.lookups.fetch_add(1, Ordering::Relaxed);
         self.ring.route(stream_id)
     }
@@ -183,6 +190,7 @@ impl ShardRouter {
     /// Routes `stream_id` and records the placement.
     pub fn place(&self, stream_id: u64) -> usize {
         let shard = self.route(stream_id);
+        // RELAXED-OK: monotonic stat counter; orders nothing.
         self.placements[shard].fetch_add(1, Ordering::Relaxed);
         shard
     }
@@ -190,6 +198,8 @@ impl ShardRouter {
     /// A point-in-time snapshot of the router's counters.
     pub fn stats(&self) -> RouterStats {
         let per_shard: Vec<u64> =
+            // RELAXED-OK: stat snapshot; staleness and cross-counter skew
+            // are acceptable in a monitoring read.
             self.placements.iter().map(|p| p.load(Ordering::Relaxed)).collect();
         let total: u64 = per_shard.iter().sum();
         let imbalance = if total == 0 {
@@ -200,6 +210,7 @@ impl ShardRouter {
         };
         RouterStats {
             placements: total,
+            // RELAXED-OK: stat snapshot; staleness is acceptable.
             ring_lookups: self.lookups.load(Ordering::Relaxed),
             per_shard_placements: per_shard,
             imbalance,
@@ -282,6 +293,9 @@ pub fn forward<A: ToSocketAddrs, R: Read + Send, W: Write>(
             if relay_result.is_err() {
                 let _ = stream.shutdown(Shutdown::Both);
             }
+            // UNWRAP-OK: the pump closure cannot panic (pure I/O loop
+            // returning u64); a join error would mean a stdlib bug, and the
+            // forwarder has no session to poison.
             let sent = pump.join().expect("forward pump thread");
             relay_result.map(|()| (relayed, sent))
         })?;

@@ -197,6 +197,7 @@ fn deliver(core: &SessionCore, inner: &mut dyn PayloadSink, m: OnlineMatch) -> b
                 match windows {
                     Some(windows) => Some(crate::retain::assemble(&windows, m.start..end)),
                     None => {
+                        // RELAXED-OK: monotonic stat counter; orders nothing.
                         core.counters.payload_misses.fetch_add(1, Ordering::Relaxed);
                         None
                     }

@@ -331,7 +331,7 @@ impl EventJournal {
         let at_micros = u64::try_from(self.started.elapsed().as_micros()).unwrap_or(u64::MAX);
         // Poison recovery: a VecDeque is structurally valid even if a holder
         // panicked, and the journal must keep accepting events regardless.
-        let mut ring = self.ring.lock().unwrap_or_else(|p| p.into_inner());
+        let (mut ring, _) = crate::pool::lock_recover(&self.ring);
         if ring.len() >= self.capacity {
             ring.pop_front();
             self.dropped.fetch_add(1, Ordering::Relaxed);
@@ -346,7 +346,9 @@ impl EventJournal {
 
     /// A copy of the current entries, oldest first.
     pub fn events(&self) -> Vec<Event> {
-        self.ring.lock().unwrap_or_else(|p| p.into_inner()).iter().cloned().collect()
+        // Poison recovery: see `record` — the journal stays readable even
+        // after a holder panicked.
+        crate::pool::lock_recover(&self.ring).0.iter().cloned().collect()
     }
 
     /// The journal as text, one event per line:
@@ -445,6 +447,7 @@ impl Registry {
                 samples: Vec::new(),
                 histograms: Vec::new(),
             });
+            // UNWRAP-OK: `push` on the line above makes `last_mut` Some.
             self.families.last_mut().expect("just pushed")
         }
     }

@@ -115,6 +115,8 @@ impl Frame {
     pub fn to_json(&self) -> String {
         let mut out = Vec::new();
         self.encode_json(&mut out);
+        // UNWRAP-OK: `encode_json` emits ASCII only (non-ASCII payload
+        // bytes become \u00XX escapes), so UTF-8 validation cannot fail.
         String::from_utf8(out).expect("the JSON encoder emits ASCII only")
     }
 
@@ -122,7 +124,7 @@ impl Frame {
     pub fn decode_json(line: &str) -> Result<Frame, WireError> {
         const KEYS: [&[u8]; 6] = [b"stream", b"query", b"start", b"end", b"depth", b"payload"];
         let mut p = JsonParser { bytes: line.trim_end_matches(['\n', '\r']).as_bytes(), pos: 0 };
-        p.expect(b'{')?;
+        p.expect_byte(b'{')?;
         let mut frame = Frame { stream: 0, query: 0, start: 0, end: 0, depth: 0, payload: None };
         let mut seen = [false; KEYS.len()];
         let mut first = true;
@@ -138,7 +140,7 @@ impl Frame {
             loop {
                 let key = p.parse_string()?;
                 p.skip_ws();
-                p.expect(b':')?;
+                p.expect_byte(b':')?;
                 p.skip_ws();
                 match key.as_slice() {
                     b"stream" => frame.stream = p.parse_u64()?,
@@ -157,6 +159,8 @@ impl Frame {
                         )));
                     }
                 }
+                // UNWRAP-OK: `key` matched one of KEYS in the arm above, so
+                // `position` always finds it.
                 seen[KEYS.iter().position(|k| *k == key.as_slice()).expect("matched above")] = true;
                 p.skip_ws();
                 if p.eat(b',') {
@@ -190,6 +194,8 @@ impl Frame {
     /// emitting a truncated length that would desync the peer's decoder.
     pub fn encode_binary(&self, out: &mut Vec<u8>) {
         let payload_len = self.payload.as_ref().map(|p| p.len()).unwrap_or(0);
+        // UNWRAP-OK: documented panic contract (see `# Panics` above) —
+        // a ≥ 4 GiB payload must fail loudly, not desync the peer.
         let len = u32::try_from(BIN_HEADER + payload_len)
             .expect("frame payload exceeds the u32 length prefix");
         out.extend_from_slice(&len.to_le_bytes());
@@ -198,7 +204,7 @@ impl Frame {
         out.extend_from_slice(&self.start.to_le_bytes());
         out.extend_from_slice(&self.end.to_le_bytes());
         out.extend_from_slice(&self.depth.to_le_bytes());
-        out.push(self.payload.is_some() as u8);
+        out.push(u8::from(self.payload.is_some()));
         if let Some(p) = &self.payload {
             out.extend_from_slice(p);
         }
@@ -279,8 +285,8 @@ fn escape_bytes(bytes: &[u8], out: &mut Vec<u8>) {
                     b'u',
                     b'0',
                     b'0',
-                    HEX[(other >> 4) as usize],
-                    HEX[(other & 0xf) as usize],
+                    HEX[usize::from(other >> 4)],
+                    HEX[usize::from(other & 0xf)],
                 ]);
             }
         }
@@ -319,7 +325,7 @@ impl JsonParser<'_> {
         }
     }
 
-    fn expect(&mut self, b: u8) -> Result<(), WireError> {
+    fn expect_byte(&mut self, b: u8) -> Result<(), WireError> {
         if self.eat(b) {
             Ok(())
         } else {
@@ -347,7 +353,7 @@ impl JsonParser<'_> {
     /// [`escape_bytes`]; escapes ≥ U+0100 are rejected since no byte maps
     /// there).
     fn parse_string(&mut self) -> Result<Vec<u8>, WireError> {
-        self.expect(b'"')?;
+        self.expect_byte(b'"')?;
         let mut out = Vec::new();
         loop {
             let b = *self
@@ -384,12 +390,12 @@ impl JsonParser<'_> {
                                 16,
                             )
                             .map_err(|_| WireError::Json("bad \\u escape".into()))?;
-                            if code > 0xff {
-                                return Err(WireError::Json(format!(
+                            let byte = u8::try_from(code).map_err(|_| {
+                                WireError::Json(format!(
                                     "\\u{code:04x} does not encode a payload byte"
-                                )));
-                            }
-                            out.push(code as u8);
+                                ))
+                            })?;
+                            out.push(byte);
                         }
                         other => {
                             return Err(WireError::Json(format!(
@@ -476,9 +482,14 @@ impl FrameDecoder {
         if avail.len() < 4 {
             return Ok(None);
         }
-        let len = u32::from_le_bytes(avail[..4].try_into().expect("4 bytes")) as usize;
+        let mut prefix = [0u8; 4];
+        prefix.copy_from_slice(&avail[..4]);
+        let wire_len = u32::from_le_bytes(prefix);
+        // CAST-OK: u32 → usize is a widening conversion on every supported
+        // target (the reactor only builds on 64-bit Linux).
+        let len = wire_len as usize;
         if len < BIN_HEADER || len > self.max_frame {
-            return Err(WireError::BadLength(len as u32));
+            return Err(WireError::BadLength(wire_len));
         }
         if avail.len() < 4 + len {
             return Ok(None);
@@ -488,7 +499,10 @@ impl FrameDecoder {
         if flags & !1 != 0 {
             return Err(WireError::BadFlags(flags));
         }
+        // UNWRAP-OK: `off` is a fixed header offset and `body.len() >=
+        // BIN_HEADER` was established above, so the slice is exactly 8 bytes.
         let u64_at = |off: usize| u64::from_le_bytes(body[off..off + 8].try_into().expect("8"));
+        // UNWRAP-OK: same bound as `u64_at`; the slice is exactly 4 bytes.
         let u32_at = |off: usize| u32::from_le_bytes(body[off..off + 4].try_into().expect("4"));
         let frame = Frame {
             stream: u64_at(0),
@@ -929,6 +943,8 @@ impl HandshakeDecoder {
             }
         }
         Ok(Some(HandshakeRequest {
+            // UNWRAP-OK: `complete` is only reached after `parse_line` saw
+            // the FORMAT line, which is what sets `self.format`.
             format: self.format.expect("set before complete"),
             queries: self.queries.clone(),
             retain_bytes: self.retain_bytes,

@@ -1,0 +1,1057 @@
+//! Exhaustive-interleaving model tests for the runtime's lock-free core.
+//!
+//! A mini-loom: [`explore`] runs a small concurrent protocol model under a
+//! deterministic scheduler that enumerates **every** thread interleaving
+//! (optionally under a preemption bound), instead of hoping a stress test
+//! happens to hit the bad schedule. Each model mirrors a real protocol in
+//! `ppt-runtime`, with the mirrored source cited next to each step, and
+//! checks its invariant after every step of every interleaving.
+//!
+//! Covered protocols:
+//!
+//! - the `Shared::record` seqlock vs. the `server_stats` snapshot reader
+//!   (`crates/runtime/src/serve.rs`) — a validated snapshot is never torn,
+//!   single- and multi-writer (the multi-writer case is why `record`
+//!   serializes writers on the reports mutex; the unserialized variant is
+//!   kept as a "teeth" test proving the checker would catch the regression);
+//! - `Histogram` record/snapshot/merge (`crates/runtime/src/telemetry.rs`)
+//!   — snapshots never undercount their own buckets and totals are
+//!   conserved once writers drain;
+//! - the `Gate` connection-admission credit protocol
+//!   (`crates/runtime/src/serve.rs`) — slots are conserved (no double-free,
+//!   never above capacity), `close` wakes every sleeper, and no
+//!   interleaving deadlocks;
+//! - the `delivering`-flag drop-accounting race between the joiner panic
+//!   path and the session guard (`crates/runtime/src/session.rs` /
+//!   `crates/runtime/src/reactor.rs`) — exactly one side accounts the
+//!   in-flight delivery.
+//!
+//! Every exhaustive run also asserts a floor on the number of interleavings
+//! actually explored, so a future refactor cannot quietly shrink the state
+//! space into meaninglessness.
+
+use std::collections::VecDeque;
+
+// ---------------------------------------------------------------------------
+// The explorer
+// ---------------------------------------------------------------------------
+
+/// A protocol model: shared state plus per-thread step machines.
+///
+/// `step(tid)` advances thread `tid` by one *atomic action* — the
+/// granularity at which the real code's interleavings differ (one atomic
+/// load/store/RMW, or one critical section entered under a mutex). The
+/// explorer calls `check` after every step, so invariants hold at every
+/// observable point, not just at quiescence.
+trait Model {
+    fn reset(&mut self);
+    fn thread_count(&self) -> usize;
+    /// Thread finished its program.
+    fn is_done(&self, tid: usize) -> bool;
+    /// Thread could take a step right now (false models blocking: a mutex
+    /// held elsewhere, or a condvar wait with no pending wake).
+    fn is_enabled(&self, tid: usize) -> bool;
+    fn step(&mut self, tid: usize);
+    /// Panics when an invariant is violated.
+    fn check(&self);
+    /// Extra assertions once every thread is done.
+    fn at_end(&self) {}
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Explored {
+    /// Complete interleavings executed.
+    executions: u64,
+    /// Longest schedule seen (steps).
+    max_depth: usize,
+}
+
+/// Exhaustively enumerates interleavings of `model` by depth-first search
+/// over scheduling choices, replaying a prefix of recorded choices for each
+/// execution (the model is `reset` every time, so runs are independent).
+///
+/// `max_preemptions` bounds *involuntary* context switches: switching away
+/// from a thread that is still enabled costs one preemption, switching
+/// because the current thread blocked or finished is free. `usize::MAX`
+/// means a complete search. Bounded-preemption search is sound for bug
+/// *finding* (most real concurrency bugs need very few preemptions) and
+/// keeps bigger models tractable.
+///
+/// Deadlock is an invariant failure: if no thread is enabled but some are
+/// not done, the explorer panics with the schedule length.
+fn explore(model: &mut dyn Model, max_preemptions: usize) -> Explored {
+    // Each frame: (choice taken, number of choices available at that point).
+    let mut stack: Vec<(usize, usize)> = Vec::new();
+    let mut executions = 0u64;
+    let mut max_depth = 0usize;
+    loop {
+        model.reset();
+        let mut depth = 0usize;
+        let mut preemptions = 0usize;
+        let mut last: Option<usize> = None;
+        loop {
+            let n = model.thread_count();
+            let runnable: Vec<usize> =
+                (0..n).filter(|&t| !model.is_done(t) && model.is_enabled(t)).collect();
+            if runnable.is_empty() {
+                let stuck: Vec<usize> = (0..n).filter(|&t| !model.is_done(t)).collect();
+                assert!(
+                    stuck.is_empty(),
+                    "deadlock after {depth} steps: threads {stuck:?} blocked forever"
+                );
+                break;
+            }
+            // Under an exhausted preemption budget, keep running the current
+            // thread while it can run; a block or finish still switches.
+            let choices: Vec<usize> = match last {
+                Some(l) if preemptions >= max_preemptions && runnable.contains(&l) => vec![l],
+                _ => runnable,
+            };
+            let pick = if depth < stack.len() {
+                stack[depth].0
+            } else {
+                stack.push((0, choices.len()));
+                0
+            };
+            // Replays see the same model state, hence the same choice count.
+            assert_eq!(stack[depth].1, choices.len(), "nondeterministic model");
+            let tid = choices[pick];
+            if let Some(l) = last {
+                if l != tid && !model.is_done(l) && model.is_enabled(l) {
+                    preemptions += 1;
+                }
+            }
+            model.step(tid);
+            model.check();
+            last = Some(tid);
+            depth += 1;
+        }
+        model.at_end();
+        executions += 1;
+        max_depth = max_depth.max(depth);
+        // Backtrack to the deepest frame with an untried alternative.
+        loop {
+            match stack.last_mut() {
+                None => return Explored { executions, max_depth },
+                Some(frame) if frame.0 + 1 < frame.1 => {
+                    frame.0 += 1;
+                    break;
+                }
+                Some(_) => {
+                    stack.pop();
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// A modelled mutex + condvar (used by the seqlock-writer and Gate models)
+// ---------------------------------------------------------------------------
+
+/// One mutex and one condvar, at model granularity.
+///
+/// Threads interact through [`MiniLock::try_lock`] (a step that either
+/// acquires or observes contention), `unlock`, `wait` (atomically releases
+/// and parks — the waker must `notify` before the waiter becomes enabled
+/// again, upon which it re-acquires the lock before continuing, exactly
+/// like `std::sync::Condvar::wait`), and `notify_one` / `notify_all`.
+#[derive(Debug, Default)]
+struct MiniLock {
+    holder: Option<usize>,
+    /// Parked in `wait`, not yet notified (FIFO, like a fair condvar).
+    waiters: VecDeque<usize>,
+    /// Notified, now racing to re-acquire the mutex.
+    wakeable: Vec<usize>,
+}
+
+impl MiniLock {
+    fn reset(&mut self) {
+        self.holder = None;
+        self.waiters.clear();
+        self.wakeable.clear();
+    }
+
+    fn lock_free(&self) -> bool {
+        self.holder.is_none()
+    }
+
+    fn acquire(&mut self, tid: usize) {
+        assert_eq!(self.holder, None, "thread {tid} acquired a held lock");
+        self.wakeable.retain(|&t| t != tid);
+        self.holder = Some(tid);
+    }
+
+    fn unlock(&mut self, tid: usize) {
+        assert_eq!(self.holder, Some(tid), "thread {tid} unlocked a lock it does not hold");
+        self.holder = None;
+    }
+
+    fn wait(&mut self, tid: usize) {
+        self.unlock(tid);
+        self.waiters.push_back(tid);
+    }
+
+    fn notify_one(&mut self) {
+        if let Some(t) = self.waiters.pop_front() {
+            self.wakeable.push(t);
+        }
+    }
+
+    fn notify_all(&mut self) {
+        while let Some(t) = self.waiters.pop_front() {
+            self.wakeable.push(t);
+        }
+    }
+
+    /// Whether `tid` can make progress on a lock-acquiring step right now.
+    fn acquirable(&self, tid: usize) -> bool {
+        self.lock_free() && !self.waiters.contains(&tid)
+    }
+
+    /// Whether a parked `tid` has been notified and can re-acquire.
+    fn rewakeable(&self, tid: usize) -> bool {
+        self.lock_free() && self.wakeable.contains(&tid)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Model: the Shared::record seqlock vs. the server_stats snapshot reader
+// ---------------------------------------------------------------------------
+//
+// Mirrors crates/runtime/src/serve.rs: `record` brackets a multi-counter
+// update with two `record_epoch.fetch_add(1, AcqRel)` bumps (odd while
+// mid-flight), and `server_stats` retries until it reads an even epoch that
+// is unchanged across the whole snapshot. The counter group is reduced to
+// two counters with a linear relation — `sessions += 1`, `frames += FRAMES`
+// per record — so a torn snapshot is exactly one where the relation fails.
+
+const FRAMES: u64 = 3;
+/// Reader retry budget — small so the model stays finite; the real reader
+/// uses 64 (serve.rs `server_stats`) and then degrades to an unvalidated
+/// snapshot, which the model represents by simply giving up validated=false.
+const READER_TRIES: usize = 3;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum WriterPc {
+    /// Serialized variant only: take the writer lock (the reports mutex).
+    Lock,
+    EpochOdd,
+    AddSessions,
+    AddFrames,
+    EpochEven,
+    /// Serialized variant only: drop the writer lock.
+    Unlock,
+    Done,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ReaderPc {
+    LoadBefore,
+    LoadSessions,
+    LoadFrames,
+    Validate,
+    Done,
+}
+
+struct SeqlockModel {
+    /// One `record` call per writer thread when `serialize_writers`;
+    /// otherwise `records_per_writer` back-to-back records on one writer.
+    writers: usize,
+    records_per_writer: usize,
+    /// The PR-8 fix (serve.rs `record`): writers serialize on the reports
+    /// mutex. The broken variant (false) exists to prove the model's teeth.
+    serialize_writers: bool,
+    // Shared state.
+    epoch: u64,
+    sessions: u64,
+    frames: u64,
+    lock: MiniLock,
+    // Per-writer machine.
+    wpc: Vec<WriterPc>,
+    wdone_records: Vec<usize>,
+    // Reader machine (always thread id == writers).
+    rpc: ReaderPc,
+    r_before: u64,
+    r_sessions: u64,
+    r_frames: u64,
+    r_tries: usize,
+    /// Set instead of panicking so teeth tests can assert a tear WAS found.
+    torn_seen: bool,
+    validated_snapshots: u64,
+}
+
+impl SeqlockModel {
+    fn new(writers: usize, records_per_writer: usize, serialize_writers: bool) -> SeqlockModel {
+        SeqlockModel {
+            writers,
+            records_per_writer,
+            serialize_writers,
+            epoch: 0,
+            sessions: 0,
+            frames: 0,
+            lock: MiniLock::default(),
+            wpc: Vec::new(),
+            wdone_records: Vec::new(),
+            rpc: ReaderPc::LoadBefore,
+            r_before: 0,
+            r_sessions: 0,
+            r_frames: 0,
+            r_tries: 0,
+            torn_seen: false,
+            validated_snapshots: 0,
+        }
+    }
+
+    fn writer_entry(&self) -> WriterPc {
+        if self.serialize_writers {
+            WriterPc::Lock
+        } else {
+            WriterPc::EpochOdd
+        }
+    }
+
+    fn step_writer(&mut self, tid: usize) {
+        self.wpc[tid] = match self.wpc[tid] {
+            WriterPc::Lock => {
+                self.lock.acquire(tid);
+                WriterPc::EpochOdd
+            }
+            WriterPc::EpochOdd => {
+                // serve.rs record: first `record_epoch.fetch_add(1, AcqRel)`.
+                self.epoch += 1;
+                WriterPc::AddSessions
+            }
+            WriterPc::AddSessions => {
+                // serve.rs record: `sessions_completed.fetch_add(1, Relaxed)`.
+                self.sessions += 1;
+                WriterPc::AddFrames
+            }
+            WriterPc::AddFrames => {
+                // serve.rs record: `frames_out.fetch_add(report.frames, ..)`.
+                self.frames += FRAMES;
+                WriterPc::EpochEven
+            }
+            WriterPc::EpochEven => {
+                // serve.rs record: closing `record_epoch.fetch_add(1, AcqRel)`.
+                self.epoch += 1;
+                if self.serialize_writers {
+                    WriterPc::Unlock
+                } else {
+                    self.wdone_records[tid] += 1;
+                    if self.wdone_records[tid] < self.records_per_writer {
+                        WriterPc::EpochOdd
+                    } else {
+                        WriterPc::Done
+                    }
+                }
+            }
+            WriterPc::Unlock => {
+                self.lock.unlock(tid);
+                self.wdone_records[tid] += 1;
+                if self.wdone_records[tid] < self.records_per_writer {
+                    WriterPc::Lock
+                } else {
+                    WriterPc::Done
+                }
+            }
+            WriterPc::Done => unreachable!("stepped a finished writer"),
+        };
+    }
+
+    fn step_reader(&mut self) {
+        self.rpc = match self.rpc {
+            ReaderPc::LoadBefore => {
+                // serve.rs server_stats: `let before = record_epoch.load(Acquire)`.
+                self.r_before = self.epoch;
+                if self.r_before & 1 == 1 {
+                    // Odd epoch: a record is mid-flight; spin (one retry).
+                    self.r_tries += 1;
+                    if self.r_tries >= READER_TRIES {
+                        ReaderPc::Done
+                    } else {
+                        ReaderPc::LoadBefore
+                    }
+                } else {
+                    ReaderPc::LoadSessions
+                }
+            }
+            ReaderPc::LoadSessions => {
+                // serve.rs server_stats_unsynced: per-field Acquire loads.
+                self.r_sessions = self.sessions;
+                ReaderPc::LoadFrames
+            }
+            ReaderPc::LoadFrames => {
+                self.r_frames = self.frames;
+                ReaderPc::Validate
+            }
+            ReaderPc::Validate => {
+                // serve.rs server_stats: revalidate `record_epoch` unchanged.
+                if self.epoch == self.r_before {
+                    self.validated_snapshots += 1;
+                    if self.r_frames != FRAMES * self.r_sessions {
+                        self.torn_seen = true;
+                    }
+                    ReaderPc::Done
+                } else {
+                    self.r_tries += 1;
+                    if self.r_tries >= READER_TRIES {
+                        ReaderPc::Done
+                    } else {
+                        ReaderPc::LoadBefore
+                    }
+                }
+            }
+            ReaderPc::Done => unreachable!("stepped a finished reader"),
+        };
+    }
+}
+
+impl Model for SeqlockModel {
+    fn reset(&mut self) {
+        self.epoch = 0;
+        self.sessions = 0;
+        self.frames = 0;
+        self.lock.reset();
+        self.wpc = vec![self.writer_entry(); self.writers];
+        self.wdone_records = vec![0; self.writers];
+        self.rpc = ReaderPc::LoadBefore;
+        self.r_before = 0;
+        self.r_sessions = 0;
+        self.r_frames = 0;
+        self.r_tries = 0;
+        // `torn_seen` / `validated_snapshots` accumulate across executions.
+    }
+
+    fn thread_count(&self) -> usize {
+        self.writers + 1
+    }
+
+    fn is_done(&self, tid: usize) -> bool {
+        if tid < self.writers {
+            self.wpc[tid] == WriterPc::Done
+        } else {
+            self.rpc == ReaderPc::Done
+        }
+    }
+
+    fn is_enabled(&self, tid: usize) -> bool {
+        if tid < self.writers && self.wpc[tid] == WriterPc::Lock {
+            return self.lock.acquirable(tid);
+        }
+        true
+    }
+
+    fn step(&mut self, tid: usize) {
+        if tid < self.writers {
+            self.step_writer(tid);
+        } else {
+            self.step_reader();
+        }
+    }
+
+    fn check(&self) {
+        // The writer-side invariant that makes parity validation sound: the
+        // epoch is odd exactly while some writer is inside the bracket.
+        if self.serialize_writers || self.writers * self.records_per_writer == 1 {
+            let mid_flight = self
+                .wpc
+                .iter()
+                .any(|&pc| matches!(pc, WriterPc::AddSessions | WriterPc::AddFrames));
+            if mid_flight {
+                assert_eq!(self.epoch & 1, 1, "writer mid-bracket but epoch even");
+            }
+            if !self.torn_seen {
+                // No validated tear may ever occur in the sound variants.
+            }
+        }
+    }
+
+    fn at_end(&self) {
+        assert_eq!(self.frames, FRAMES * self.sessions, "writers drained but totals diverged");
+    }
+}
+
+/// Single writer (two back-to-back records) vs. one snapshot reader: the
+/// protocol the reactor mode runs (`record` is only called from the event
+/// loop there). Every validated snapshot must be consistent.
+#[test]
+fn seqlock_single_writer_never_torn() {
+    let mut m = SeqlockModel::new(1, 2, false);
+    let explored = explore(&mut m, usize::MAX);
+    assert!(!m.torn_seen, "validated snapshot was torn under a single writer");
+    assert!(m.validated_snapshots > 0, "reader never validated a snapshot");
+    assert!(
+        explored.executions >= 1000,
+        "state space collapsed: only {} interleavings",
+        explored.executions
+    );
+}
+
+/// Teeth: two unserialized writers break epoch parity (both bump the epoch
+/// to an even value while counters are still mid-update), so some
+/// interleaving yields a *validated* torn snapshot. This is the bug the
+/// PR-8 audit found in thread-per-connection mode; the exhaustive search
+/// must find it, proving the harness can catch the regression.
+#[test]
+fn seqlock_two_writers_unserialized_tears() {
+    let mut m = SeqlockModel::new(2, 1, false);
+    let explored = explore(&mut m, usize::MAX);
+    assert!(
+        m.torn_seen,
+        "expected the exhaustive search to find a torn validated snapshot \
+         with unserialized writers ({} interleavings searched)",
+        explored.executions
+    );
+}
+
+/// The shipped fix: writers serialize on the reports mutex (taken before
+/// the first epoch bump in `Shared::record`), readers stay lock-free. No
+/// interleaving of two writers and a reader validates a torn snapshot.
+#[test]
+fn seqlock_two_writers_serialized_never_torn() {
+    let mut m = SeqlockModel::new(2, 1, true);
+    let explored = explore(&mut m, usize::MAX);
+    assert!(!m.torn_seen, "validated snapshot was torn despite writer serialization");
+    assert!(m.validated_snapshots > 0, "reader never validated a snapshot");
+    assert!(
+        explored.executions >= 1000,
+        "state space collapsed: only {} interleavings",
+        explored.executions
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Model: Histogram record vs. snapshot (telemetry.rs)
+// ---------------------------------------------------------------------------
+//
+// Mirrors crates/runtime/src/telemetry.rs: `record` does three independent
+// relaxed adds (bucket, sum, count) and `snapshot` reads buckets one by one
+// then clamps `count` up to the bucket total. The invariants: a snapshot's
+// count never undercounts its own buckets (else quantile() would index past
+// the distribution), and totals are exactly conserved once writers drain.
+
+struct HistogramModel {
+    /// (bucket index, value) recorded by each writer thread.
+    records: Vec<(usize, u64)>,
+    buckets: [u64; 2],
+    sum: u64,
+    count: u64,
+    /// Writer pc: 0 bucket add, 1 sum add, 2 count add, 3 done.
+    wpc: Vec<u8>,
+    /// Reader pc: 0..=1 read bucket i, 2 read count, 3 clamp+check, 4 done.
+    rpc: u8,
+    r_buckets: [u64; 2],
+    r_count: u64,
+}
+
+impl HistogramModel {
+    fn new(records: Vec<(usize, u64)>) -> HistogramModel {
+        HistogramModel {
+            records,
+            buckets: [0; 2],
+            sum: 0,
+            count: 0,
+            wpc: Vec::new(),
+            rpc: 0,
+            r_buckets: [0; 2],
+            r_count: 0,
+        }
+    }
+}
+
+impl Model for HistogramModel {
+    fn reset(&mut self) {
+        self.buckets = [0; 2];
+        self.sum = 0;
+        self.count = 0;
+        self.wpc = vec![0; self.records.len()];
+        self.rpc = 0;
+        self.r_buckets = [0; 2];
+        self.r_count = 0;
+    }
+
+    fn thread_count(&self) -> usize {
+        self.records.len() + 1
+    }
+
+    fn is_done(&self, tid: usize) -> bool {
+        if tid < self.records.len() {
+            self.wpc[tid] == 3
+        } else {
+            self.rpc == 4
+        }
+    }
+
+    fn is_enabled(&self, _tid: usize) -> bool {
+        true
+    }
+
+    fn step(&mut self, tid: usize) {
+        if tid < self.records.len() {
+            let (bucket, value) = self.records[tid];
+            match self.wpc[tid] {
+                // telemetry.rs record: `buckets[i].fetch_add(1, Relaxed)`.
+                0 => self.buckets[bucket] += 1,
+                // telemetry.rs record: `sum.fetch_add(value, Relaxed)`.
+                1 => self.sum += value,
+                // telemetry.rs record: `count.fetch_add(1, Relaxed)`.
+                2 => self.count += 1,
+                _ => unreachable!(),
+            }
+            self.wpc[tid] += 1;
+        } else {
+            match self.rpc {
+                // telemetry.rs snapshot: per-bucket relaxed loads.
+                i @ (0 | 1) => self.r_buckets[i as usize] = self.buckets[i as usize],
+                2 => self.r_count = self.count,
+                3 => {
+                    // telemetry.rs snapshot: `count.max(bucket_total)`.
+                    let bucket_total: u64 = self.r_buckets.iter().sum();
+                    let clamped = self.r_count.max(bucket_total);
+                    assert!(clamped >= bucket_total, "snapshot undercounts its own buckets");
+                    // quantile()'s rank arithmetic walks `buckets` summing
+                    // until it covers `rank <= count`; count >= bucket_total
+                    // guarantees termination inside the array.
+                    assert!(
+                        clamped <= self.records.len() as u64,
+                        "snapshot invented observations: {} > {}",
+                        clamped,
+                        self.records.len()
+                    );
+                }
+                _ => unreachable!(),
+            }
+            self.rpc += 1;
+        }
+    }
+
+    fn check(&self) {}
+
+    fn at_end(&self) {
+        // Conservation at quiescence.
+        let total: u64 = self.buckets.iter().sum();
+        assert_eq!(total, self.records.len() as u64);
+        assert_eq!(self.count, self.records.len() as u64);
+        let expect_sum: u64 = self.records.iter().map(|&(_, v)| v).sum();
+        assert_eq!(self.sum, expect_sum);
+    }
+}
+
+/// Two concurrent `Histogram::record`s against one `snapshot`: the
+/// snapshot may be stale but never inconsistent in the ways `quantile` and
+/// `mean` rely on.
+#[test]
+fn histogram_snapshot_conserves_counts() {
+    let mut m = HistogramModel::new(vec![(0, 1), (1, 5)]);
+    let explored = explore(&mut m, usize::MAX);
+    assert!(
+        explored.executions >= 1000,
+        "state space collapsed: only {} interleavings",
+        explored.executions
+    );
+}
+
+/// Merge is plain sequential arithmetic over snapshots — checked directly
+/// against the real type rather than a model.
+#[test]
+fn histogram_merge_conserves_counts() {
+    use ppt_runtime::telemetry::{Histogram, HistogramSnapshot};
+    let a = Histogram::default();
+    let b = Histogram::default();
+    for v in [0u64, 1, 2, 1000, u64::MAX] {
+        a.record(v);
+    }
+    for v in [3u64, 7] {
+        b.record(v);
+    }
+    let mut merged = HistogramSnapshot::default();
+    merged.merge(&a.snapshot());
+    merged.merge(&b.snapshot());
+    assert_eq!(merged.count, 7);
+    let bucket_total: u64 = merged.buckets.iter().sum();
+    assert_eq!(bucket_total, 7);
+    assert_eq!(merged.sum, 0u64.wrapping_add(1 + 2 + 1000 + 3 + 7).wrapping_add(u64::MAX));
+}
+
+// ---------------------------------------------------------------------------
+// Model: the Gate connection-admission credit protocol (serve.rs)
+// ---------------------------------------------------------------------------
+//
+// Mirrors crates/runtime/src/serve.rs `Gate`: a mutex-guarded slot count, a
+// condvar, and a `closed` flag. `acquire` loops {closed? -> false; slots>0?
+// -> take one; else wait}; `release` adds a slot back and notifies one;
+// `close` sets the flag and notifies all. The invariants: the slot count
+// never exceeds capacity (a double-release would), successful acquires and
+// releases balance, a `false` acquire never releases, and — because the
+// explorer treats a stuck schedule as failure — no interleaving strands a
+// sleeper after `close` (the lost-wakeup class of bug).
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum GatePc {
+    /// acquire: take the mutex.
+    AcqLock,
+    /// acquire: the guarded check-closed / take-slot / wait decision.
+    AcqDecide,
+    /// Parked in `cv.wait`; re-acquires the lock when notified.
+    AcqWaiting,
+    /// Critical section: holds one slot, will release it.
+    HoldSlot,
+    /// release: take the mutex, add the slot back, notify one.
+    Release,
+    Done,
+}
+
+struct GateModel {
+    capacity: usize,
+    acquirers: usize,
+    /// Inject a double-release in thread 0 (teeth test).
+    double_release: bool,
+    slots: usize,
+    closed: bool,
+    lock: MiniLock,
+    pc: Vec<GatePc>,
+    acquired_ok: Vec<bool>,
+    released: Vec<usize>,
+    /// Closer pc: 0 set closed + notify all (one guarded step), 1 done.
+    closer_pc: u8,
+    /// Accumulated across executions: at least one schedule must see a
+    /// thread actually park, or the wait path was never exercised.
+    ever_waited: bool,
+    ever_rejected: bool,
+}
+
+impl GateModel {
+    fn new(capacity: usize, acquirers: usize, double_release: bool) -> GateModel {
+        GateModel {
+            capacity,
+            acquirers,
+            double_release,
+            slots: capacity,
+            closed: false,
+            lock: MiniLock::default(),
+            pc: Vec::new(),
+            acquired_ok: Vec::new(),
+            released: Vec::new(),
+            closer_pc: 0,
+            ever_waited: false,
+            ever_rejected: false,
+        }
+    }
+
+    fn closer_tid(&self) -> usize {
+        self.acquirers
+    }
+}
+
+impl Model for GateModel {
+    fn reset(&mut self) {
+        self.slots = self.capacity;
+        self.closed = false;
+        self.lock.reset();
+        self.pc = vec![GatePc::AcqLock; self.acquirers];
+        self.acquired_ok = vec![false; self.acquirers];
+        self.released = vec![0; self.acquirers];
+        self.closer_pc = 0;
+    }
+
+    fn thread_count(&self) -> usize {
+        self.acquirers + 1
+    }
+
+    fn is_done(&self, tid: usize) -> bool {
+        if tid == self.closer_tid() {
+            self.closer_pc == 1
+        } else {
+            self.pc[tid] == GatePc::Done
+        }
+    }
+
+    fn is_enabled(&self, tid: usize) -> bool {
+        if tid == self.closer_tid() {
+            return self.lock.lock_free();
+        }
+        match self.pc[tid] {
+            GatePc::AcqLock | GatePc::Release => self.lock.acquirable(tid),
+            GatePc::AcqWaiting => self.lock.rewakeable(tid),
+            // AcqDecide/HoldSlot happen while holding (or without) the lock.
+            GatePc::AcqDecide => self.lock.holder == Some(tid),
+            GatePc::HoldSlot => true,
+            GatePc::Done => false,
+        }
+    }
+
+    fn step(&mut self, tid: usize) {
+        if tid == self.closer_tid() {
+            // serve.rs Gate::close: `closed.store(true, SeqCst)` +
+            // `cv.notify_all()`. The real store happens outside the mutex;
+            // the model takes the free lock for one step so the wake and the
+            // flag are one action — the waiters re-check `closed` under the
+            // lock either way, which is what the invariant relies on.
+            self.lock.acquire(tid);
+            self.closed = true;
+            self.lock.notify_all();
+            self.lock.unlock(tid);
+            self.closer_pc = 1;
+            return;
+        }
+        self.pc[tid] = match self.pc[tid] {
+            GatePc::AcqLock => {
+                // serve.rs Gate::acquire: `lock_recover(&self.slots)`.
+                self.lock.acquire(tid);
+                GatePc::AcqDecide
+            }
+            GatePc::AcqWaiting => {
+                // Condvar wakeup: re-acquire the lock, loop to the re-check.
+                self.lock.acquire(tid);
+                GatePc::AcqDecide
+            }
+            GatePc::AcqDecide => {
+                if self.closed {
+                    // serve.rs Gate::acquire: `closed` observed -> false.
+                    self.lock.unlock(tid);
+                    self.ever_rejected = true;
+                    GatePc::Done
+                } else if self.slots > 0 {
+                    // serve.rs Gate::acquire: `*slots -= 1; return true`.
+                    self.slots -= 1;
+                    self.acquired_ok[tid] = true;
+                    self.lock.unlock(tid);
+                    GatePc::HoldSlot
+                } else {
+                    // serve.rs Gate::acquire: `wait_recover(&self.cv, slots)`.
+                    self.lock.wait(tid);
+                    self.ever_waited = true;
+                    GatePc::AcqWaiting
+                }
+            }
+            GatePc::HoldSlot => GatePc::Release,
+            GatePc::Release => {
+                // serve.rs Gate::release: `*slots += 1; cv.notify_one()`.
+                self.lock.acquire(tid);
+                self.slots += 1;
+                self.released[tid] += 1;
+                self.lock.notify_one();
+                self.lock.unlock(tid);
+                if self.double_release && tid == 0 && self.released[tid] == 1 {
+                    GatePc::Release
+                } else {
+                    GatePc::Done
+                }
+            }
+            GatePc::Done => unreachable!("stepped a finished acquirer"),
+        };
+    }
+
+    fn check(&self) {
+        assert!(
+            self.slots <= self.capacity,
+            "slot over-release: {} slots with capacity {}",
+            self.slots,
+            self.capacity
+        );
+        // Credit conservation: every missing slot is held by exactly one
+        // thread between its successful acquire and its release.
+        let held: usize = (0..self.acquirers)
+            .filter(|&t| {
+                self.acquired_ok[t] && matches!(self.pc[t], GatePc::HoldSlot | GatePc::Release)
+            })
+            .count();
+        assert_eq!(
+            self.capacity - self.slots,
+            held,
+            "credit imbalance: {} outstanding vs {} holders",
+            self.capacity - self.slots,
+            held
+        );
+    }
+
+    fn at_end(&self) {
+        assert_eq!(self.slots, self.capacity, "slots not restored at quiescence");
+        for t in 0..self.acquirers {
+            if self.acquired_ok[t] {
+                assert_eq!(self.released[t], 1, "holder {t} released {} times", self.released[t]);
+            } else {
+                assert_eq!(self.released[t], 0, "rejected thread {t} released a slot");
+            }
+        }
+    }
+}
+
+/// Three acquirers racing for one slot while the server closes: slots are
+/// conserved in every interleaving, no sleeper is stranded (the explorer's
+/// deadlock check), and both the wait path and the closed-rejection path
+/// are actually exercised somewhere in the state space.
+#[test]
+fn gate_credits_conserved_under_close() {
+    let mut m = GateModel::new(1, 3, false);
+    let explored = explore(&mut m, usize::MAX);
+    assert!(m.ever_waited, "no schedule ever parked on the condvar");
+    assert!(m.ever_rejected, "no schedule ever observed the closed gate");
+    assert!(
+        explored.executions >= 1000,
+        "state space collapsed: only {} interleavings",
+        explored.executions
+    );
+}
+
+/// Two slots, three acquirers, bounded preemption (the bigger space): the
+/// conservation invariant holds on every explored schedule.
+#[test]
+fn gate_two_slots_bounded_preemption() {
+    let mut m = GateModel::new(2, 3, false);
+    let explored = explore(&mut m, 3);
+    assert!(
+        explored.executions >= 1000,
+        "state space collapsed: only {} interleavings",
+        explored.executions
+    );
+}
+
+/// Teeth: a client that releases twice must trip the conservation checks —
+/// proving the invariant actually guards against double-freeing a slot.
+#[test]
+fn gate_double_release_is_caught() {
+    let mut m = GateModel::new(1, 2, true);
+    let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        explore(&mut m, usize::MAX);
+    }));
+    assert!(caught.is_err(), "double-release survived every invariant check");
+}
+
+// ---------------------------------------------------------------------------
+// Model: the delivering-flag drop-accounting race (session.rs / reactor.rs)
+// ---------------------------------------------------------------------------
+//
+// Mirrors `joiner_guarded` (session.rs) racing the joiner panic path
+// (reactor.rs `run_join_task`): both sides `delivering.swap(false, AcqRel)`
+// and only the side that saw `true` counts the in-flight delivery as
+// dropped. Exactly one side must win, in every interleaving.
+
+struct DeliveringModel {
+    flag: bool,
+    dropped: u64,
+    /// Per racer: 0 = about to swap, 1 = saw `old`, may increment, 2 done.
+    pc: Vec<u8>,
+    saw_true: Vec<bool>,
+}
+
+impl Model for DeliveringModel {
+    fn reset(&mut self) {
+        self.flag = true;
+        self.dropped = 0;
+        self.pc = vec![0; 2];
+        self.saw_true = vec![false; 2];
+    }
+
+    fn thread_count(&self) -> usize {
+        2
+    }
+
+    fn is_done(&self, tid: usize) -> bool {
+        self.pc[tid] == 2
+    }
+
+    fn is_enabled(&self, _tid: usize) -> bool {
+        true
+    }
+
+    fn step(&mut self, tid: usize) {
+        match self.pc[tid] {
+            0 => {
+                // session.rs / reactor.rs: `delivering.swap(false, AcqRel)` —
+                // one atomic action; the AcqRel pairing is what entitles the
+                // winner to read the state published before the flag.
+                self.saw_true[tid] = self.flag;
+                self.flag = false;
+                self.pc[tid] = 1;
+            }
+            1 => {
+                if self.saw_true[tid] {
+                    // `dropped_matches.fetch_add(1, Relaxed)` — only the winner.
+                    self.dropped += 1;
+                }
+                self.pc[tid] = 2;
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    fn check(&self) {
+        assert!(self.dropped <= 1, "both racers accounted the same delivery");
+    }
+
+    fn at_end(&self) {
+        assert_eq!(self.dropped, 1, "nobody accounted the in-flight delivery");
+        assert!(self.saw_true.iter().filter(|&&s| s).count() == 1, "swap not atomic");
+    }
+}
+
+/// The guard/panic-path race over `delivering`: exactly one side accounts
+/// the dropped delivery in every interleaving.
+#[test]
+fn delivering_flag_accounts_exactly_once() {
+    let mut m = DeliveringModel { flag: true, dropped: 0, pc: Vec::new(), saw_true: Vec::new() };
+    let explored = explore(&mut m, usize::MAX);
+    assert_eq!(explored.max_depth, 4);
+    assert!(explored.executions >= 2, "both orders must be explored");
+}
+
+// ---------------------------------------------------------------------------
+// Explorer self-tests
+// ---------------------------------------------------------------------------
+
+/// Two independent 2-step threads have exactly C(4,2) = 6 interleavings —
+/// pins the explorer's enumeration against off-by-one regressions.
+#[test]
+fn explorer_enumerates_exact_interleaving_count() {
+    struct TwoByTwo {
+        pc: [u8; 2],
+    }
+    impl Model for TwoByTwo {
+        fn reset(&mut self) {
+            self.pc = [0; 2];
+        }
+        fn thread_count(&self) -> usize {
+            2
+        }
+        fn is_done(&self, tid: usize) -> bool {
+            self.pc[tid] == 2
+        }
+        fn is_enabled(&self, _tid: usize) -> bool {
+            true
+        }
+        fn step(&mut self, tid: usize) {
+            self.pc[tid] += 1;
+        }
+        fn check(&self) {}
+    }
+    let mut m = TwoByTwo { pc: [0; 2] };
+    let explored = explore(&mut m, usize::MAX);
+    assert_eq!(explored.executions, 6);
+    assert_eq!(explored.max_depth, 4);
+}
+
+/// The deadlock detector fires on a thread that blocks forever.
+#[test]
+fn explorer_detects_deadlock() {
+    struct Stuck;
+    impl Model for Stuck {
+        fn reset(&mut self) {}
+        fn thread_count(&self) -> usize {
+            1
+        }
+        fn is_done(&self, _tid: usize) -> bool {
+            false
+        }
+        fn is_enabled(&self, _tid: usize) -> bool {
+            false
+        }
+        fn step(&mut self, _tid: usize) {}
+        fn check(&self) {}
+    }
+    let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        explore(&mut Stuck, usize::MAX);
+    }));
+    assert!(caught.is_err(), "deadlock went undetected");
+}

@@ -122,6 +122,8 @@ impl Document {
 
     /// The root element.
     pub fn root(&self) -> NodeId {
+        // UNWRAP-OK: `parse()` errors out on rootless input, so any
+        // constructed document has a root.
         self.root.expect("parse() guarantees a root")
     }
 

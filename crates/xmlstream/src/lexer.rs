@@ -38,6 +38,7 @@ impl LexerConfig {
 }
 
 /// Streaming lexer over a byte slice. See the module documentation.
+#[derive(Debug)]
 pub struct Lexer<'a> {
     input: &'a [u8],
     pos: usize,

@@ -27,6 +27,11 @@
 //! sequential lexer used on whole documents does skip comments, processing
 //! instructions, DOCTYPE declarations and CDATA sections.
 
+// PR-8 hardening: no unsafe code belongs in this crate, and every public
+// type must be debuggable from test failures and operator logs.
+#![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
+
 pub mod dom;
 pub mod error;
 pub mod event;

@@ -69,6 +69,8 @@ impl XmlWriter {
     /// # Panics
     /// Panics if no element is open — a generator bug, not a data error.
     pub fn close(&mut self) {
+        // UNWRAP-OK: documented panic contract (see `# Panics` above) — an
+        // unbalanced close is a generator bug, not a data error.
         let name = self.stack.pop().expect("close() without a matching open()");
         self.buf.extend_from_slice(b"</");
         self.buf.extend_from_slice(&name);

@@ -20,6 +20,11 @@
 //! sub-queries (what the automaton is built from) plus, for every user query,
 //! which sub-queries produce its results and which boolean filter must hold.
 
+// PR-8 hardening: no unsafe code belongs in this crate, and every public
+// type must be debuggable from test failures and operator logs.
+#![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
+
 pub mod ast;
 pub mod error;
 pub mod parser;

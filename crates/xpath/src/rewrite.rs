@@ -121,6 +121,8 @@ fn compile_predicated(
     q: &Query,
     pi: usize,
 ) -> Result<CompiledQuery, XPathError> {
+    // UNWRAP-OK: the caller selects `pi` as a step with a predicate (see
+    // `compile`), so `predicate` is always Some here.
     let pred = q.path.steps[pi].predicate.clone().expect("step pi carries a predicate");
     let leaves = pred.leaves();
     let all_parent_leaves = !leaves.is_empty()

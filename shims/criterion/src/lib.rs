@@ -10,6 +10,11 @@
 //! one was declared. There are no plots, no significance tests and no saved
 //! baselines.
 
+// PR-8 hardening: no unsafe code belongs in this crate, and every public
+// type must be debuggable from test failures and operator logs.
+#![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
+
 use std::fmt::Display;
 use std::hint;
 use std::time::{Duration, Instant};
@@ -54,11 +59,13 @@ impl Display for BenchmarkId {
 
 /// Passed to the closure of `bench_function`/`bench_with_input`; `iter` runs
 /// and times the workload.
+#[derive(Debug)]
 pub struct Bencher<'m> {
     measurement: &'m mut Measurement,
 }
 
 /// One benchmark's collected samples.
+#[derive(Debug)]
 struct Measurement {
     samples: Vec<Duration>,
     iters_per_sample: u64,
@@ -106,6 +113,7 @@ thread_local! {
 }
 
 /// A named group of related benchmarks.
+#[derive(Debug)]
 pub struct BenchmarkGroup<'c> {
     name: String,
     sample_size: usize,
@@ -209,7 +217,7 @@ fn fmt_duration(d: Duration) -> String {
 }
 
 /// The top-level benchmark context.
-#[derive(Default)]
+#[derive(Default, Debug)]
 pub struct Criterion {}
 
 impl Criterion {

@@ -11,6 +11,11 @@
 //! number. **There is no shrinking**: a failing case reports its inputs (via
 //! `Debug` in the assertion message) and its case index, nothing more.
 
+// PR-8 hardening: no unsafe code belongs in this crate, and every public
+// type must be debuggable from test failures and operator logs.
+#![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
+
 use std::ops::Range;
 use std::rc::Rc;
 
@@ -158,6 +163,12 @@ pub trait Strategy {
 /// A type-erased, reference-counted strategy (cheap to clone).
 pub struct BoxedStrategy<T>(Rc<dyn Strategy<Value = T>>);
 
+impl<T> std::fmt::Debug for BoxedStrategy<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BoxedStrategy").finish_non_exhaustive()
+    }
+}
+
 impl<T> Clone for BoxedStrategy<T> {
     fn clone(&self) -> Self {
         BoxedStrategy(Rc::clone(&self.0))
@@ -175,6 +186,12 @@ impl<T> Strategy for BoxedStrategy<T> {
 pub struct Map<S, F> {
     inner: S,
     f: F,
+}
+
+impl<S, F> std::fmt::Debug for Map<S, F> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Map").finish_non_exhaustive()
+    }
 }
 
 impl<S, F, U> Strategy for Map<S, F>
@@ -261,6 +278,7 @@ impl Arbitrary for u64 {
 }
 
 /// The `any::<T>()` strategy.
+#[derive(Debug)]
 pub struct Any<T> {
     _marker: std::marker::PhantomData<fn() -> T>,
 }
@@ -292,6 +310,12 @@ pub mod prop {
             size: Range<usize>,
         }
 
+        impl<S> std::fmt::Debug for VecStrategy<S> {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                f.debug_struct("VecStrategy").field("size", &self.size).finish_non_exhaustive()
+            }
+        }
+
         /// `vec(element, len_range)`.
         pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
             assert!(size.start < size.end, "empty length range");
@@ -316,6 +340,12 @@ pub mod prop {
         /// Strategy picking one element of a static slice.
         pub struct Select<T: 'static> {
             items: &'static [T],
+        }
+
+        impl<T> std::fmt::Debug for Select<T> {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                f.debug_struct("Select").field("len", &self.items.len()).finish_non_exhaustive()
+            }
         }
 
         /// `select(items)`: uniform choice from `items`.

@@ -8,6 +8,11 @@
 //! deterministic per seed — which is all the generators rely on — but are not
 //! bit-compatible with the real `rand` crate.
 
+// PR-8 hardening: no unsafe code belongs in this crate, and every public
+// type must be debuggable from test failures and operator logs.
+#![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
+
 use std::ops::{Range, RangeInclusive};
 
 /// Core of every generator: a source of `u64`s.

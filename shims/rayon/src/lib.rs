@@ -19,6 +19,11 @@
 //! intentionally absent; swap the real crate back in by deleting the
 //! `[patch]`-style path dependency once registry access exists.
 
+// PR-8 hardening: no unsafe code belongs in this crate, and every public
+// type must be debuggable from test failures and operator logs.
+#![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
+
 use std::cell::Cell;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -139,6 +144,7 @@ where
 }
 
 /// Borrowing parallel iterator over a slice.
+#[derive(Debug)]
 pub struct ParIter<'data, T> {
     items: &'data [T],
 }
@@ -158,6 +164,12 @@ impl<'data, T: Sync> ParIter<'data, T> {
 pub struct ParMap<'data, T, F> {
     items: &'data [T],
     f: F,
+}
+
+impl<T, F> std::fmt::Debug for ParMap<'_, T, F> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ParMap").field("len", &self.items.len()).finish_non_exhaustive()
+    }
 }
 
 impl<'data, T, F, R> ParMap<'data, T, F>

@@ -70,6 +70,11 @@
 //! * [`datasets`] — synthetic XMark/Treebank/Twitter/Synth dataset generators
 //!   and the XPathMark query workload.
 
+// PR-8 hardening: no unsafe code belongs in this crate, and every public
+// type must be debuggable from test failures and operator logs.
+#![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
+
 pub use ppt_automaton as automaton;
 pub use ppt_baselines as baselines;
 pub use ppt_core as core;
