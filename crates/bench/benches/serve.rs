@@ -23,9 +23,24 @@ use std::time::Instant;
 
 const CONN_SWEEP: [usize; 3] = [1, 8, 64];
 const RETAIN_BUDGET: u64 = 1 << 20;
+/// The large-payload point: 64 elements of 256 KiB each — every frame
+/// carries a ≥ 64 KiB payload, so the reactor's zero-copy vectored egress
+/// is measured against the thread mode's copying writes end-to-end. 16 MiB
+/// per pass keeps a single measurement long enough to be stable under the
+/// gate.
+const LARGE_ELEMS: usize = 64;
+const LARGE_ELEM_BYTES: usize = 256 << 10;
 
 fn dataset() -> Vec<u8> {
     ppt_bench::workloads::xmark(128 << 10)
+}
+
+fn large_dataset() -> Vec<u8> {
+    ppt_bench::workloads::large_elements(LARGE_ELEMS, LARGE_ELEM_BYTES)
+}
+
+fn large_queries() -> Vec<String> {
+    vec!["//item/desc".to_string()]
 }
 
 fn queries() -> Vec<String> {
@@ -124,6 +139,17 @@ fn bench_serve(c: &mut Criterion) {
             drop(server);
         }
     }
+    let large = large_dataset();
+    let large_queries = large_queries();
+    group.throughput(Throughput::Bytes(large.len() as u64));
+    for (name, mode) in modes() {
+        let server = bind_server(mode, 1);
+        let addr = server.local_addr();
+        group.bench_with_input(BenchmarkId::new(&format!("{name}-large"), 1), &large, |b, doc| {
+            b.iter(|| run_storm(addr, 1, &large_queries, doc))
+        });
+        drop(server);
+    }
     group.finish();
 }
 
@@ -155,8 +181,32 @@ fn write_baseline(path: &str) {
             ));
         }
     }
+    // The large-payload points: one connection, 256 KiB elements. The
+    // reactor row rides the zero-copy vectored outbox; the thread row keeps
+    // the copying write path — the gate guards both.
+    let large = large_dataset();
+    let large_queries = large_queries();
+    let large_mib = large.len() as f64 / (1024.0 * 1024.0);
+    for (name, mode) in modes() {
+        let server = bind_server(mode, 1);
+        let addr = server.local_addr();
+        run_storm(addr, 1, &large_queries, &large); // warm-up
+        let start = Instant::now();
+        let mut matches = 0u64;
+        for _ in 0..iters {
+            matches = run_storm(addr, 1, &large_queries, &large);
+        }
+        let secs = start.elapsed().as_secs_f64() / iters as f64;
+        drop(server);
+        rows.push(format!(
+            "    {{\"mode\": \"{name}-large\", \"conns\": 1, \"mib_per_s\": {:.2}, \
+             \"matches\": {matches}}}",
+            large_mib / secs
+        ));
+    }
     let json = format!(
         "{{\n  \"bench\": \"serve\",\n  \"dataset\": \"xmark\",\n  \"dataset_bytes\": {},\n  \
+         \"large_dataset\": \"large_elements({LARGE_ELEMS}, {LARGE_ELEM_BYTES})\",\n  \
          \"queries\": {},\n  \"retention_budget\": {RETAIN_BUDGET},\n  \
          \"iters_per_point\": {iters},\n  \"telemetry\": true,\n  \
          \"results\": [\n{}\n  ]\n}}\n",

@@ -10,15 +10,26 @@
 
 use criterion::{BenchmarkId, Criterion, Throughput};
 use ppt_core::{Engine, EngineConfig};
-use ppt_runtime::{OnlineMatch, Runtime, SessionOptions, WireFormat};
+use ppt_runtime::{
+    FrameRef, FrameWrite, OnlineMatch, Runtime, SessionOptions, WireFormat, WireSink,
+};
 use std::sync::Arc;
 use std::time::Instant;
 
 const THREAD_SWEEP: [usize; 3] = [1, 2, 4];
 const RETAIN_BUDGET: usize = 8 << 20;
+/// The large-payload point: 128 elements of 256 KiB each (≥ the 64 KiB the
+/// bench gate's copy-path point requires). 32 MiB per pass keeps a single
+/// measurement long enough (tens of ms) to be stable under the gate.
+const LARGE_ELEMS: usize = 128;
+const LARGE_ELEM_BYTES: usize = 256 << 10;
 
 fn dataset() -> Vec<u8> {
     ppt_bench::workloads::xmark(4 << 20)
+}
+
+fn large_dataset() -> Vec<u8> {
+    ppt_bench::workloads::large_elements(LARGE_ELEMS, LARGE_ELEM_BYTES)
 }
 
 fn queries() -> Vec<String> {
@@ -54,6 +65,27 @@ fn run_wire(runtime: &Runtime, engine: &Arc<Engine>, data: &[u8], format: WireFo
     served.report.stats.matches
 }
 
+/// Frame consumer for the zero-copy mode: accepts each frame and drops it —
+/// header encoded, payload handed over as borrowed windows and released,
+/// never copied. The copying counterpart (`run_wire`) assembles every
+/// payload and encodes it into the frame buffer before discarding, so the
+/// two modes isolate exactly the payload-copy cost.
+#[derive(Debug)]
+struct DiscardFrames;
+
+impl FrameWrite for DiscardFrames {
+    fn write_frame(&mut self, _frame: FrameRef<'_>) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+fn run_wire_zc(runtime: &Runtime, engine: &Arc<Engine>, data: &[u8], format: WireFormat) -> u64 {
+    let opts = SessionOptions::new().retain_bytes(RETAIN_BUDGET);
+    let mut sink = WireSink::new_vectored(std::io::sink(), format, Box::new(DiscardFrames));
+    let report = runtime.process_materialized(Arc::clone(engine), &opts, data, &mut sink).unwrap();
+    report.stats.matches
+}
+
 type Measured<'a> = Box<dyn Fn() -> u64 + 'a>;
 
 fn modes<'a>(
@@ -66,6 +98,27 @@ fn modes<'a>(
         ("json", Box::new(move || run_wire(runtime, engine, data, WireFormat::JsonLines))),
         ("binary", Box::new(move || run_wire(runtime, engine, data, WireFormat::Binary))),
     ]
+}
+
+/// The large-payload comparison: copying egress vs zero-copy borrowed
+/// frames over the same `//item/desc` stream (single-threaded, binary
+/// framing — the format whose zero-copy path needs no payload scan).
+fn large_modes<'a>(
+    runtime: &'a Runtime,
+    engine: &'a Arc<Engine>,
+    data: &'a [u8],
+) -> Vec<(&'static str, Measured<'a>)> {
+    vec![
+        ("binary-large", Box::new(move || run_wire(runtime, engine, data, WireFormat::Binary))),
+        (
+            "binary-large-zc",
+            Box::new(move || run_wire_zc(runtime, engine, data, WireFormat::Binary)),
+        ),
+    ]
+}
+
+fn large_queries() -> Vec<String> {
+    vec!["//item/desc".to_string()]
 }
 
 fn bench_wire(c: &mut Criterion) {
@@ -81,6 +134,13 @@ fn bench_wire(c: &mut Criterion) {
         for (mode, run) in modes(&runtime, &engine, &data) {
             group.bench_with_input(BenchmarkId::new(mode, threads), &data, |b, _data| b.iter(&run));
         }
+    }
+    let large = large_dataset();
+    group.throughput(Throughput::Bytes(large.len() as u64));
+    let engine = engine_for(1, &large_queries());
+    let runtime = Runtime::builder().workers(1).build();
+    for (mode, run) in large_modes(&runtime, &engine, &large) {
+        group.bench_with_input(BenchmarkId::new(mode, 1), &large, |b, _data| b.iter(&run));
     }
     group.finish();
 }
@@ -111,8 +171,29 @@ fn write_baseline(path: &str) {
             ));
         }
     }
+    // The large-payload points: copying vs zero-copy egress over 256 KiB
+    // elements, single-threaded, so the gate guards the payload-copy path.
+    let large = large_dataset();
+    let large_mib = large.len() as f64 / (1024.0 * 1024.0);
+    let engine = engine_for(1, &large_queries());
+    let runtime = Runtime::builder().workers(1).build();
+    for (mode, run) in large_modes(&runtime, &engine, &large) {
+        run(); // warm-up
+        let start = Instant::now();
+        let mut matches = 0u64;
+        for _ in 0..iters {
+            matches = run();
+        }
+        let secs = start.elapsed().as_secs_f64() / iters as f64;
+        rows.push(format!(
+            "    {{\"mode\": \"{mode}\", \"threads\": 1, \"mib_per_s\": {:.2}, \
+             \"matches\": {matches}}}",
+            large_mib / secs
+        ));
+    }
     let json = format!(
         "{{\n  \"bench\": \"wire\",\n  \"dataset\": \"xmark\",\n  \"dataset_bytes\": {},\n  \
+         \"large_dataset\": \"large_elements({LARGE_ELEMS}, {LARGE_ELEM_BYTES})\",\n  \
          \"queries\": {},\n  \"retention_budget\": {RETAIN_BUDGET},\n  \
          \"iters_per_point\": {iters},\n  \"results\": [\n{}\n  ]\n}}\n",
         data.len(),

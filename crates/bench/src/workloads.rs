@@ -29,6 +29,29 @@ pub fn skew(mode: SkewMode, scale: f64, items: usize) -> Vec<u8> {
     SkewConfig { items, scale, mode, seed: 42 }.generate()
 }
 
+/// Generates `count` flat items each carrying one `elem_bytes`-byte `<desc>`
+/// text payload — the large-element egress workload (Treebank deep matches,
+/// XMark descriptions): every `//item/desc` match materializes a payload of
+/// at least `elem_bytes` bytes, so the bench exercises the payload copy (or
+/// its absence) rather than per-frame header overhead.
+pub fn large_elements(count: usize, elem_bytes: usize) -> Vec<u8> {
+    let fill = b"abcdefghijklmnopqrstuvwxyz 0123456789 ";
+    let mut text = Vec::with_capacity(elem_bytes);
+    while text.len() < elem_bytes {
+        let take = fill.len().min(elem_bytes - text.len());
+        text.extend_from_slice(&fill[..take]);
+    }
+    let mut doc = Vec::with_capacity(count * (elem_bytes + 64) + 32);
+    doc.extend_from_slice(b"<catalog>");
+    for i in 0..count {
+        doc.extend_from_slice(format!("<item><id>{i}</id><desc>").as_bytes());
+        doc.extend_from_slice(&text);
+        doc.extend_from_slice(b"</desc></item>");
+    }
+    doc.extend_from_slice(b"</catalog>");
+    doc
+}
+
 /// The thread counts swept by the scaling experiments: 1, 2, 4, … up to
 /// `max` (always including `max` itself).
 pub fn thread_counts(max: usize) -> Vec<usize> {

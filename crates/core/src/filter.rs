@@ -2,7 +2,8 @@
 //! the user's original, possibly predicated, queries.
 //!
 //! For a rewritten query the plan records an *anchor* sub-query (matching the
-//! element the predicate is attached to), a boolean [`PredicateExpr`] over
+//! element the predicate is attached to), a boolean
+//! [`PredicateExpr`](ppt_xpath::PredicateExpr) over
 //! predicate sub-queries and one or more *result* sub-queries. The filter
 //! walks all matches in document order, associates every predicate and result
 //! match with the anchor occurrences that contain it, evaluates the predicate

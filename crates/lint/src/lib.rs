@@ -774,7 +774,7 @@ fn check_one(f: &SourceFile, ffi_names: &BTreeSet<String>, out: &mut Vec<Diagnos
 const SKIP_DIRS: [&str; 5] = ["target", ".git", ".github", "shims", "fixtures"];
 
 /// Recursively collects the workspace's `.rs` files under `root`, skipping
-/// [`SKIP_DIRS`]. Paths come back workspace-relative and sorted.
+/// `SKIP_DIRS`. Paths come back workspace-relative and sorted.
 pub fn workspace_sources(root: &Path) -> std::io::Result<Vec<PathBuf>> {
     let mut out = Vec::new();
     let mut stack = vec![root.to_path_buf()];

@@ -73,6 +73,9 @@
 // `unsafe {}` block with its own `// SAFETY:` rationale (lint rule L1).
 #![deny(unsafe_op_in_unsafe_fn)]
 #![deny(missing_debug_implementations)]
+// PR-9 docs pass: every public item carries rustdoc; CI builds docs with
+// `-D warnings` so broken intra-doc links fail the build too.
+#![deny(missing_docs)]
 
 mod filters;
 mod pool;
@@ -95,15 +98,16 @@ pub use serve::{
 pub use session::{SessionHandle, SessionReport};
 pub use shard::{ForwardReport, HashRing, ShardRouter};
 pub use sink::{
-    CollectPayloadSink, CollectSink, MatchSink, MaterializedMatch, OnlineMatch, PayloadSink,
+    BorrowedMatch, CollectPayloadSink, CollectSink, MatchSink, MaterializedMatch, OnlineMatch,
+    PayloadRef, PayloadSink,
 };
 pub use stats::{ReactorStats, RouterStats, RuntimeStats, ShardStats};
 pub use telemetry::{
     EventJournal, EventKind, Histogram, HistogramSnapshot, MetricKind, Registry, RuntimeTelemetry,
 };
 pub use wire::{
-    Frame, FrameDecoder, HandshakeDecoder, HandshakeError, HandshakeReply, HandshakeRequest,
-    WireError, WireFormat, WireSink,
+    Frame, FrameDecoder, FrameRef, FrameWrite, HandshakeDecoder, HandshakeError, HandshakeReply,
+    HandshakeRequest, WireError, WireFormat, WireSink, JSON_FRAME_TAIL,
 };
 
 use pool::{SessionCore, WorkerPool};

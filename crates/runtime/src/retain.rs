@@ -26,6 +26,29 @@
 //! The ring never evicts the newest window, so a single window larger than
 //! the whole budget still serves in-window spans; retained bytes are bounded
 //! by `max(budget, largest window)`.
+//!
+//! # Borrow-aware frontier and the zero-copy handoff
+//!
+//! Since the vectored-egress PR, delivery *borrows* instead of copying:
+//! [`RetentionRing::collect`] hands refcounted [`SharedWindow`] clones to a
+//! [`crate::PayloadRef`], which rides a frame into the reactor's outbox and
+//! is dropped only when the socket has accepted the frame's last byte. Two
+//! consequences for the memory story:
+//!
+//! * **The resolve frontier stays correct as-is.** The frontier reasons
+//!   about which *matches* may still materialize; once a match is delivered
+//!   its payload's liveness is carried by the `PayloadRef`'s own refcounts,
+//!   not by ring membership. `release_below` dropping the ring's clone of a
+//!   window does not free bytes some in-flight frame still borrows — the
+//!   `Arc` does the right thing — and conversely a drained frame never
+//!   resurrects an evicted range ([`RetentionRing::collect`] misses stay
+//!   misses).
+//! * **Borrowed bytes are bounded by the outbox, not the ring.** The ring
+//!   budget bounds what the *ring* pins; bytes pinned by queued frames are
+//!   bounded separately by `max_outbox_bytes`, whose accounting includes
+//!   borrowed payload bytes precisely so a stalled reader cannot extend a
+//!   session's memory past `ring budget + outbox cap`. A dead connection
+//!   releases all of its borrows at once when the reactor clears its outbox.
 
 use ppt_xmlstream::SharedWindow;
 use std::collections::VecDeque;

@@ -30,7 +30,7 @@
 //!
 //! Shared design points, in the spirit of the paper's serving discipline:
 //!
-//! * **Admission is credit-gated** ([`Gate`] mirrors
+//! * **Admission is credit-gated** (`Gate` mirrors
 //!   `SessionCore::acquire_credit`): at most `max_connections` sessions run
 //!   at once, further clients wait in the listener backlog.
 //! * **A malformed or half-closed connection poisons one session, never the
@@ -539,6 +539,13 @@ pub(crate) struct ServeTelemetry {
     /// How long queued egress bytes sat in a reactor outbox before the
     /// socket drained it empty (nanoseconds).
     pub outbox_residency_nanos: Histogram,
+    /// Egress bytes that were *copied* into an outbox (frame headers, JSON
+    /// fallback frames, handshake replies, thread-mode writes count zero
+    /// here — they never enter a reactor outbox).
+    pub bytes_copied: Counter,
+    /// Egress payload bytes *borrowed* from retention windows and written
+    /// via vectored I/O without an intermediate copy.
+    pub bytes_borrowed: Counter,
     /// Metrics pages served (STATS verb plus admin endpoint).
     pub scrapes: Counter,
     /// Bounded ring of session lifecycle events, dumpable via the admin
@@ -790,6 +797,18 @@ impl Shared {
             "Frame bytes written across all connections.",
             vec![],
             stats.bytes_out,
+        );
+        reg.counter(
+            "ppt_egress_copied_bytes_total",
+            "Egress bytes copied into reactor outboxes (headers, fallbacks).",
+            vec![],
+            self.telemetry.bytes_copied.get(),
+        );
+        reg.counter(
+            "ppt_egress_borrowed_bytes_total",
+            "Egress payload bytes borrowed from retention windows (zero-copy).",
+            vec![],
+            self.telemetry.bytes_borrowed.get(),
         );
         reg.counter(
             "ppt_scrapes_total",

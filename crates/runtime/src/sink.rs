@@ -8,6 +8,8 @@
 //! buffering at every stage.
 
 use crate::pool::SessionCore;
+use ppt_xmlstream::SharedWindow;
+use std::ops::Range;
 use std::sync::atomic::Ordering;
 use std::sync::mpsc::SyncSender;
 use std::sync::Arc;
@@ -114,12 +116,92 @@ pub struct MaterializedMatch {
     pub payload: Option<Vec<u8>>,
 }
 
+/// A payload *borrowed* from the retention ring: a run of [`SharedWindow`]
+/// clones whose bytes cover `range` (absolute stream offsets).
+///
+/// Cloning windows bumps refcounts without copying bytes, so a `PayloadRef`
+/// keeps its payload alive even after the ring evicts those windows — the
+/// bytes are freed when the last holder (ring, in-flight chunk job, or
+/// egress frame) drops. This is the zero-copy handoff the vectored egress
+/// path rides: the reactor outbox holds the `PayloadRef` until the frame has
+/// fully drained to the socket, then drops it, releasing the windows.
+#[derive(Debug, Clone)]
+pub struct PayloadRef {
+    windows: Vec<SharedWindow>,
+    range: Range<usize>,
+}
+
+impl PayloadRef {
+    pub(crate) fn new(windows: Vec<SharedWindow>, range: Range<usize>) -> PayloadRef {
+        PayloadRef { windows, range }
+    }
+
+    /// Payload length in bytes.
+    pub fn len(&self) -> usize {
+        self.range.len()
+    }
+
+    /// `true` when the payload covers no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.range.is_empty()
+    }
+
+    /// The absolute stream range the payload covers.
+    pub fn range(&self) -> Range<usize> {
+        self.range.clone()
+    }
+
+    /// The payload as contiguous byte slices, in stream order — one per
+    /// overlapping window, zero-length overlaps skipped. Concatenated they
+    /// are exactly the `range` bytes; each is a candidate iovec entry.
+    pub fn slices(&self) -> impl Iterator<Item = &[u8]> {
+        let range = self.range.clone();
+        self.windows.iter().map(move |w| w.slice_abs(range.clone())).filter(|s| !s.is_empty())
+    }
+
+    /// Assembles the payload into one owned buffer (the copying path).
+    pub fn to_vec(&self) -> Vec<u8> {
+        crate::retain::assemble(&self.windows, self.range.clone())
+    }
+}
+
+/// An [`OnlineMatch`] whose payload is still *borrowed* from retained
+/// windows — the zero-copy precursor of [`MaterializedMatch`].
+#[derive(Debug, Clone)]
+pub struct BorrowedMatch {
+    /// Stream id of the session (see [`crate::SessionOptions::stream_id`]).
+    pub stream: u64,
+    /// The match itself.
+    pub m: OnlineMatch,
+    /// The borrowed payload; `None` under the same conditions as
+    /// [`MaterializedMatch::payload`].
+    pub payload: Option<PayloadRef>,
+}
+
+impl BorrowedMatch {
+    /// Copies the borrowed payload into an owned [`MaterializedMatch`],
+    /// releasing the window refcounts.
+    pub fn materialize(self) -> MaterializedMatch {
+        let BorrowedMatch { stream, m, payload } = self;
+        MaterializedMatch { stream, m, payload: payload.map(|p| p.to_vec()) }
+    }
+}
+
 /// Receives materialized matches (offsets + payload bytes) from a session
 /// whose retention ring is enabled. The return contract matches
 /// [`MatchSink::on_match`].
 pub trait PayloadSink: Send {
     /// Called once per query match. `false` = discarded, counted as dropped.
     fn on_match(&mut self, m: MaterializedMatch) -> bool;
+
+    /// Zero-copy delivery: the payload arrives as a [`PayloadRef`] borrowing
+    /// retained windows instead of an owned copy. The default materializes
+    /// (one copy) and delegates to [`PayloadSink::on_match`], so ordinary
+    /// in-process sinks are unaffected; vectored egress sinks override this
+    /// to hand the borrowed windows down to the outbox.
+    fn on_match_borrowed(&mut self, m: BorrowedMatch) -> bool {
+        self.on_match(m.materialize())
+    }
 }
 
 impl<F: FnMut(MaterializedMatch) + Send> PayloadSink for F {
@@ -133,11 +215,19 @@ impl PayloadSink for Box<dyn PayloadSink> {
     fn on_match(&mut self, m: MaterializedMatch) -> bool {
         (**self).on_match(m)
     }
+
+    fn on_match_borrowed(&mut self, m: BorrowedMatch) -> bool {
+        (**self).on_match_borrowed(m)
+    }
 }
 
 impl PayloadSink for &mut dyn PayloadSink {
     fn on_match(&mut self, m: MaterializedMatch) -> bool {
         (**self).on_match(m)
+    }
+
+    fn on_match_borrowed(&mut self, m: BorrowedMatch) -> bool {
+        (**self).on_match_borrowed(m)
     }
 }
 
@@ -172,14 +262,17 @@ pub(crate) struct Materializer<S> {
     pub inner: S,
 }
 
-/// Materializes one match and delivers it.
+/// Slices one match's payload out of the ring (refcounts only, no copy) and
+/// delivers it. Whether the payload bytes are ever copied is now the sink's
+/// call: [`PayloadSink::on_match_borrowed`] either materializes (default) or
+/// forwards the borrowed windows to a vectored egress queue.
 fn deliver(core: &SessionCore, inner: &mut dyn PayloadSink, m: OnlineMatch) -> bool {
     let payload = match (&core.ring, m.end) {
         // No end offset to slice to (span resolution off): nothing to
         // extract — not a miss, there never was a payload to serve.
         (Some(_), usize::MAX) | (None, _) => None,
         (Some(ring), end) => {
-            // Take refcounts under the lock, copy the bytes outside it: the
+            // Take refcounts under the lock, touch the bytes outside it: the
             // feeder contends on this lock every window push, and a payload
             // can be megabytes.
             let (guard, poisoned) = crate::pool::lock_recover(ring);
@@ -195,7 +288,7 @@ fn deliver(core: &SessionCore, inner: &mut dyn PayloadSink, m: OnlineMatch) -> b
                 let windows = guard.collect(m.start..end);
                 drop(guard);
                 match windows {
-                    Some(windows) => Some(crate::retain::assemble(&windows, m.start..end)),
+                    Some(windows) => Some(PayloadRef::new(windows, m.start..end)),
                     None => {
                         // RELAXED-OK: monotonic stat counter; orders nothing.
                         core.counters.payload_misses.fetch_add(1, Ordering::Relaxed);
@@ -205,7 +298,7 @@ fn deliver(core: &SessionCore, inner: &mut dyn PayloadSink, m: OnlineMatch) -> b
             }
         }
     };
-    inner.on_match(MaterializedMatch { stream: core.stream_id, m, payload })
+    inner.on_match_borrowed(BorrowedMatch { stream: core.stream_id, m, payload })
 }
 
 impl<S: PayloadSink> MatchSink for Materializer<S> {

@@ -39,20 +39,24 @@ pub const HISTOGRAM_BUCKETS: usize = 65;
 pub struct Counter(AtomicU64);
 
 impl Counter {
+    /// Creates a counter at zero.
     pub fn new() -> Counter {
         Counter(AtomicU64::new(0))
     }
 
+    /// Adds one.
     #[inline]
     pub fn inc(&self) {
         self.0.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Adds `n`.
     #[inline]
     pub fn add(&self, n: u64) {
         self.0.fetch_add(n, Ordering::Relaxed);
     }
 
+    /// The current value.
     pub fn get(&self) -> u64 {
         self.0.load(Ordering::Relaxed)
     }
@@ -63,10 +67,12 @@ impl Counter {
 pub struct Gauge(AtomicU64);
 
 impl Gauge {
+    /// Creates a gauge at zero.
     pub fn new() -> Gauge {
         Gauge(AtomicU64::new(0))
     }
 
+    /// Overwrites the value.
     #[inline]
     pub fn set(&self, v: u64) {
         self.0.store(v, Ordering::Relaxed);
@@ -78,6 +84,7 @@ impl Gauge {
         self.0.fetch_max(v, Ordering::Relaxed);
     }
 
+    /// The current value.
     pub fn get(&self) -> u64 {
         self.0.load(Ordering::Relaxed)
     }
@@ -123,6 +130,7 @@ impl Default for Histogram {
 }
 
 impl Histogram {
+    /// Creates an empty histogram (all buckets zero).
     pub fn new() -> Histogram {
         Histogram {
             buckets: std::array::from_fn(|_| AtomicU64::new(0)),
@@ -170,8 +178,11 @@ impl Histogram {
 /// An owned copy of a [`Histogram`], mergeable and queryable.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct HistogramSnapshot {
+    /// Observation count per log₂ bucket (see [`bucket_bound`]).
     pub buckets: [u64; HISTOGRAM_BUCKETS],
+    /// Sum of every recorded value (exact, not bucket-approximated).
     pub sum: u64,
+    /// Total observations.
     pub count: u64,
 }
 
@@ -182,6 +193,7 @@ impl Default for HistogramSnapshot {
 }
 
 impl HistogramSnapshot {
+    /// An all-zero snapshot (the merge identity).
     pub fn empty() -> HistogramSnapshot {
         HistogramSnapshot::default()
     }
@@ -240,6 +252,7 @@ pub struct RuntimeTelemetry {
 }
 
 impl RuntimeTelemetry {
+    /// Creates a telemetry block with every histogram empty.
     pub fn new() -> RuntimeTelemetry {
         RuntimeTelemetry::default()
     }
@@ -271,6 +284,7 @@ pub enum EventKind {
 }
 
 impl EventKind {
+    /// The journal-text form of the kind.
     pub fn as_str(&self) -> &'static str {
         match self {
             EventKind::Registered => "registered",
@@ -288,7 +302,9 @@ pub struct Event {
     /// Microseconds since the journal (= the server) started — monotonic,
     /// comparable across entries.
     pub at_micros: u64,
+    /// What happened.
     pub kind: EventKind,
+    /// The stream the event belongs to.
     pub stream_id: u64,
     /// The shard the stream lives on (0 on an unsharded server).
     pub shard: usize,
@@ -316,6 +332,7 @@ impl Default for EventJournal {
 }
 
 impl EventJournal {
+    /// Creates an empty journal holding at most `capacity` entries.
     pub fn new(capacity: usize) -> EventJournal {
         let capacity = capacity.max(1);
         EventJournal {
@@ -378,8 +395,11 @@ impl EventJournal {
 /// The kind of a metric family, for the `# TYPE` exposition line.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum MetricKind {
+    /// A monotonically increasing total.
     Counter,
+    /// An instantaneous value.
     Gauge,
+    /// A log₂-bucketed distribution.
     Histogram,
 }
 
@@ -399,7 +419,9 @@ pub type Label = (&'static str, String);
 /// One labelled scalar sample.
 #[derive(Debug, Clone)]
 pub struct Sample {
+    /// Label pairs identifying the series.
     pub labels: Vec<Label>,
+    /// The sample value.
     pub value: f64,
 }
 
@@ -408,18 +430,26 @@ pub struct Sample {
 /// nanoseconds into exposed seconds, `1.0` leaves bytes as bytes).
 #[derive(Debug, Clone)]
 pub struct HistogramSeries {
+    /// Label pairs identifying the series.
     pub labels: Vec<Label>,
+    /// The point-in-time distribution.
     pub snapshot: HistogramSnapshot,
+    /// Multiplier applied to bucket bounds and the sum when rendering.
     pub scale: f64,
 }
 
 /// A named metric with help text and its samples.
 #[derive(Debug, Clone)]
 pub struct MetricFamily {
+    /// The exposition name (e.g. `ppt_frames_out_total`).
     pub name: String,
+    /// The `# HELP` line.
     pub help: &'static str,
+    /// The `# TYPE` line.
     pub kind: MetricKind,
+    /// Scalar samples (counters, gauges).
     pub samples: Vec<Sample>,
+    /// Histogram series.
     pub histograms: Vec<HistogramSeries>,
 }
 
@@ -432,6 +462,7 @@ pub struct Registry {
 }
 
 impl Registry {
+    /// Creates an empty registry.
     pub fn new() -> Registry {
         Registry::default()
     }

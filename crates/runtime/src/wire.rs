@@ -42,7 +42,7 @@
 //! budget allows payloads beyond that must raise its own ceiling with
 //! [`FrameDecoder::with_max_frame`].
 
-use crate::sink::MaterializedMatch;
+use crate::sink::{BorrowedMatch, MaterializedMatch, PayloadRef};
 use crate::PayloadSink;
 use std::io::Write;
 
@@ -92,13 +92,7 @@ impl Frame {
 
     /// Appends the JSON-lines encoding (including the trailing newline).
     pub fn encode_json(&self, out: &mut Vec<u8>) {
-        out.extend_from_slice(
-            format!(
-                "{{\"stream\":{},\"query\":{},\"start\":{},\"end\":{},\"depth\":{},\"payload\":",
-                self.stream, self.query, self.start, self.end, self.depth
-            )
-            .as_bytes(),
-        );
+        self.encode_json_prefix(out);
         match &self.payload {
             None => out.extend_from_slice(b"null"),
             Some(bytes) => {
@@ -108,6 +102,21 @@ impl Frame {
             }
         }
         out.extend_from_slice(b"}\n");
+    }
+
+    /// Appends the JSON-lines encoding up to (and excluding) the payload
+    /// value — everything before `"payload":`'s value. The split half of the
+    /// vectored JSON encoding: follow with `"`, the raw payload bytes (only
+    /// when every byte is JSON-clean, see [`PayloadRef`] borrowing in
+    /// [`WireSink`]), and the [`JSON_FRAME_TAIL`].
+    pub fn encode_json_prefix(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(
+            format!(
+                "{{\"stream\":{},\"query\":{},\"start\":{},\"end\":{},\"depth\":{},\"payload\":",
+                self.stream, self.query, self.start, self.end, self.depth
+            )
+            .as_bytes(),
+        );
     }
 
     /// The JSON-lines encoding as a `String` (including the trailing
@@ -193,10 +202,27 @@ impl Frame {
     /// beyond any sane retention budget); a loud panic beats silently
     /// emitting a truncated length that would desync the peer's decoder.
     pub fn encode_binary(&self, out: &mut Vec<u8>) {
-        let payload_len = self.payload.as_ref().map(|p| p.len()).unwrap_or(0);
+        self.encode_binary_header(self.payload.as_ref().map(|p| p.len()), out);
+        if let Some(p) = &self.payload {
+            out.extend_from_slice(p);
+        }
+    }
+
+    /// Appends the binary length prefix and fixed header for a payload of
+    /// `payload_len` bytes (`None` = no payload) that will be appended
+    /// *separately* — the header half of the split/vectored binary encoding.
+    /// `self.payload` is ignored; the length prefix and payload flag are
+    /// derived from `payload_len` alone.
+    ///
+    /// # Panics
+    ///
+    /// Same contract as [`Frame::encode_binary`]: a payload that does not
+    /// fit the `u32` length prefix panics loudly rather than desyncing the
+    /// peer's decoder.
+    pub fn encode_binary_header(&self, payload_len: Option<usize>, out: &mut Vec<u8>) {
         // UNWRAP-OK: documented panic contract (see `# Panics` above) —
         // a ≥ 4 GiB payload must fail loudly, not desync the peer.
-        let len = u32::try_from(BIN_HEADER + payload_len)
+        let len = u32::try_from(BIN_HEADER + payload_len.unwrap_or(0))
             .expect("frame payload exceeds the u32 length prefix");
         out.extend_from_slice(&len.to_le_bytes());
         out.extend_from_slice(&self.stream.to_le_bytes());
@@ -204,11 +230,60 @@ impl Frame {
         out.extend_from_slice(&self.start.to_le_bytes());
         out.extend_from_slice(&self.end.to_le_bytes());
         out.extend_from_slice(&self.depth.to_le_bytes());
-        out.push(u8::from(self.payload.is_some()));
-        if let Some(p) = &self.payload {
-            out.extend_from_slice(p);
-        }
+        out.push(u8::from(payload_len.is_some()));
     }
+}
+
+/// The bytes that close a vectored JSON frame after its raw payload: the
+/// closing string quote, the object brace, and the line terminator.
+pub const JSON_FRAME_TAIL: &[u8] = b"\"}\n";
+
+/// A frame split into already-encoded header bytes and a payload still
+/// *borrowed* from retained windows — the scatter-gather unit of the
+/// zero-copy egress path.
+///
+/// The header (and, for JSON, the [`JSON_FRAME_TAIL`]) is a handful of
+/// bytes the destination copies; the payload travels as a [`PayloadRef`]
+/// whose `SharedWindow` refcounts the destination holds until the frame has
+/// fully drained to the socket. Frames whose payload cannot be borrowed
+/// (absent, or JSON needing escapes) simply carry the complete encoding in
+/// `head`.
+#[derive(Debug)]
+pub struct FrameRef<'a> {
+    /// Encoded bytes preceding the payload — or the entire frame when
+    /// `payload` is `None`.
+    pub head: &'a [u8],
+    /// The borrowed payload bytes, written between `head` and `tail`.
+    pub payload: Option<PayloadRef>,
+    /// Encoded bytes following the payload ([`JSON_FRAME_TAIL`] for JSON,
+    /// empty for binary).
+    pub tail: &'static [u8],
+}
+
+impl FrameRef<'_> {
+    /// Total encoded frame length in bytes (head + payload + tail).
+    pub fn len(&self) -> usize {
+        self.head.len() + self.payload.as_ref().map(|p| p.len()).unwrap_or(0) + self.tail.len()
+    }
+
+    /// `true` when the frame encodes to no bytes at all (never the case for
+    /// frames built by [`WireSink`]).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Destination of split frames for the zero-copy egress path — the
+/// reactor's per-connection outbox implements it.
+///
+/// Contract: the destination takes ownership of the frame's borrowed
+/// payload windows and must keep them alive (refcounts held) until the
+/// frame's bytes have fully reached the socket, then drop them — that drop
+/// is what releases the retained windows. Queueing is all-or-nothing: an
+/// error means no bytes of the frame were queued.
+pub trait FrameWrite: Send + std::fmt::Debug {
+    /// Queues one split frame for writing.
+    fn write_frame(&mut self, frame: FrameRef<'_>) -> std::io::Result<()>;
 }
 
 /// A malformed frame.
@@ -534,23 +609,56 @@ pub enum WireFormat {
 /// runtime counts as dropped. Backpressure is inherited from the writer: a
 /// slow socket blocks the joiner, which stalls the splitter through the
 /// credit scheme.
+///
+/// # Zero-copy egress
+///
+/// [`WireSink::new`] copies: each frame is encoded contiguously into a
+/// scratch buffer and written with a single `write_all` — the right shape
+/// for blocking sockets and in-process writers. [`WireSink::new_vectored`]
+/// instead splits each frame into header bytes plus a [`PayloadRef`]
+/// borrowing the retained windows, and queues it on a [`FrameWrite`]
+/// destination (the reactor outbox) — the payload bytes are never copied;
+/// the destination writes them straight out of the retention windows with
+/// vectored I/O. Binary frames always borrow; JSON frames borrow when every
+/// payload byte encodes as itself in a JSON string (printable ASCII minus
+/// `"` and `\`), and fall back to the escaping copy otherwise.
 #[derive(Debug)]
 pub struct WireSink<W: Write> {
     writer: W,
+    /// The zero-copy destination; `None` = the copying path through
+    /// `writer`.
+    frame_queue: Option<Box<dyn FrameWrite>>,
     format: WireFormat,
     scratch: Vec<u8>,
     /// Frames successfully written.
     pub frames: u64,
-    /// Bytes successfully written.
+    /// Bytes successfully written (or queued, on the vectored path).
     pub bytes_out: u64,
     /// The first write error, if any (no frames are written after it).
     pub io_error: Option<std::io::Error>,
 }
 
 impl<W: Write> WireSink<W> {
-    /// Wraps `writer` with the given framing.
+    /// Wraps `writer` with the given framing (the copying path).
     pub fn new(writer: W, format: WireFormat) -> WireSink<W> {
-        WireSink { writer, format, scratch: Vec::new(), frames: 0, bytes_out: 0, io_error: None }
+        WireSink {
+            writer,
+            frame_queue: None,
+            format,
+            scratch: Vec::new(),
+            frames: 0,
+            bytes_out: 0,
+            io_error: None,
+        }
+    }
+
+    /// Wraps `writer` with the given framing, routing every frame through
+    /// `queue` as a split [`FrameRef`] instead of a contiguous write —
+    /// payload bytes stay borrowed from the retention windows until the
+    /// queue drains them (see the type-level docs). `writer` is kept only
+    /// for [`WireSink::into_parts`]; all frame traffic goes to `queue`.
+    pub fn new_vectored(writer: W, format: WireFormat, queue: Box<dyn FrameWrite>) -> WireSink<W> {
+        WireSink { frame_queue: Some(queue), ..WireSink::new(writer, format) }
     }
 
     /// Flushes the writer and returns it together with the latched write
@@ -563,6 +671,36 @@ impl<W: Write> WireSink<W> {
         }
         (self.writer, self.io_error)
     }
+
+    /// Writes the fully-encoded frame sitting in `self.scratch`, through the
+    /// frame queue when vectored, else through the writer. Updates counters
+    /// and latches errors.
+    fn write_scratch(&mut self) -> bool {
+        let write = match self.frame_queue.as_mut() {
+            Some(queue) => {
+                queue.write_frame(FrameRef { head: &self.scratch, payload: None, tail: b"" })
+            }
+            None => self.writer.write_all(&self.scratch),
+        };
+        match write {
+            Ok(()) => {
+                self.frames += 1;
+                self.bytes_out += self.scratch.len() as u64;
+                true
+            }
+            Err(e) => {
+                self.io_error = Some(e);
+                false
+            }
+        }
+    }
+}
+
+/// `true` when every payload byte encodes as itself inside a JSON string
+/// (printable ASCII minus `"` and `\`) — the condition for borrowing the
+/// raw bytes into a vectored JSON frame instead of escaping a copy.
+fn json_clean(payload: &PayloadRef) -> bool {
+    payload.slices().all(|s| s.iter().all(|&b| matches!(b, 0x20..=0x7e) && b != b'"' && b != b'\\'))
 }
 
 impl<W: Write + Send> PayloadSink for WireSink<W> {
@@ -585,10 +723,67 @@ impl<W: Write + Send> PayloadSink for WireSink<W> {
             WireFormat::JsonLines => frame.encode_json(&mut self.scratch),
             WireFormat::Binary => frame.encode_binary(&mut self.scratch),
         }
-        match self.writer.write_all(&self.scratch) {
+        self.write_scratch()
+    }
+
+    fn on_match_borrowed(&mut self, m: BorrowedMatch) -> bool {
+        if self.frame_queue.is_none() {
+            // Copying path: materialize and deliver exactly as before.
+            return self.on_match(m.materialize());
+        }
+        if self.io_error.is_some() {
+            return false;
+        }
+        let BorrowedMatch { stream, m, payload } = m;
+        let frame = match Frame::try_from_match(MaterializedMatch { stream, m, payload: None }) {
+            Ok(frame) => frame,
+            Err(e) => {
+                self.io_error = Some(std::io::Error::new(std::io::ErrorKind::InvalidData, e));
+                return false;
+            }
+        };
+        self.scratch.clear();
+        let payload = match (self.format, payload) {
+            (WireFormat::Binary, Some(p)) => {
+                frame.encode_binary_header(Some(p.len()), &mut self.scratch);
+                Some(p)
+            }
+            (WireFormat::JsonLines, Some(p)) if json_clean(&p) => {
+                frame.encode_json_prefix(&mut self.scratch);
+                self.scratch.push(b'"');
+                Some(p)
+            }
+            (WireFormat::JsonLines, Some(p)) => {
+                // Needs escaping: encode the whole frame (one copy), no
+                // borrowed payload.
+                Frame { payload: Some(p.to_vec()), ..frame }.encode_json(&mut self.scratch);
+                None
+            }
+            (WireFormat::Binary, None) => {
+                frame.encode_binary(&mut self.scratch);
+                None
+            }
+            (WireFormat::JsonLines, None) => {
+                frame.encode_json(&mut self.scratch);
+                None
+            }
+        };
+        let tail: &'static [u8] = if payload.is_some() && self.format == WireFormat::JsonLines {
+            JSON_FRAME_TAIL
+        } else {
+            b""
+        };
+        let frame_ref = FrameRef { head: &self.scratch, payload, tail };
+        let len = frame_ref.len() as u64;
+        let write = match self.frame_queue.as_mut() {
+            Some(queue) => queue.write_frame(frame_ref),
+            // Unreachable (checked at entry); refuse defensively.
+            None => return false,
+        };
+        match write {
             Ok(()) => {
                 self.frames += 1;
-                self.bytes_out += self.scratch.len() as u64;
+                self.bytes_out += len;
                 true
             }
             Err(e) => {

@@ -335,6 +335,72 @@ fn mid_stream_hangup_poisons_only_that_session() {
     assert_eq!(stats.active, 0);
 }
 
+/// A poisoned session must release every borrowed egress refcount: a client
+/// requests MiB-scale payloads, stalls without reading a byte (so the outbox
+/// queues frames *borrowing* retention windows), then vanishes. The abort
+/// path clears the outbox — dropping the borrows — before poisoning, so
+/// retention stays bounded (`peak_retained` under budget) instead of the
+/// dead outbox pinning evicted windows, and the server keeps serving.
+#[test]
+fn poisoned_session_releases_borrowed_egress_refcounts() {
+    // 8 elements of ~256 KiB each: every frame borrows multiple windows.
+    let elem = "y".repeat(256 << 10);
+    let mut doc = Vec::new();
+    doc.extend_from_slice(b"<stream>");
+    for _ in 0..8 {
+        doc.extend_from_slice(format!("<item><k>{elem}</k></item>").as_bytes());
+    }
+    doc.extend_from_slice(b"</stream>");
+    let doc = Arc::new(doc);
+    let retain_budget = 4 << 20;
+
+    let runtime = Arc::new(Runtime::builder().workers(2).inflight_chunks(4).build());
+    let server = TcpServer::builder()
+        .mode(ServerMode::Reactor)
+        .max_outbox_bytes(1 << 20)
+        .chunk_size(64 << 10)
+        .window_size(64 << 10)
+        .bind("127.0.0.1:0", runtime)
+        .expect("bind");
+    let addr = server.local_addr();
+
+    {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        let request = HandshakeRequest::new(WireFormat::Binary)
+            .query("//item/k")
+            .retain_bytes(retain_budget as u64);
+        register(&mut stream, &request).expect("handshake accepted");
+        // Stream everything but never read a frame: borrowed payloads pile
+        // up in the outbox until its cap (which counts borrowed bytes)
+        // parks the fold.
+        let _ = stream.write_all(&doc);
+        std::thread::sleep(Duration::from_millis(200));
+        drop(stream); // vanish abruptly: no half-close, frames unread
+    }
+
+    // The server must remain fully serviceable afterwards.
+    let expected = batch_reference(&["//item/k"], &doc);
+    let request = HandshakeRequest::new(WireFormat::Binary)
+        .query("//item/k")
+        .retain_bytes(retain_budget as u64);
+    let frames = run_client(addr, request, Arc::clone(&doc), 64 << 10, None);
+    assert_frames_match(&frames, expected, Some(&doc));
+
+    let stats = server.shutdown();
+    assert_eq!(stats.accepted, 2);
+    assert_eq!(stats.sessions_completed, 1);
+    assert_eq!(stats.sessions_failed, 1, "the stalled client failed alone: {stats:?}");
+    assert_eq!(stats.active, 0);
+    for conn in &stats.connections {
+        let Some(report) = conn.report.as_ref() else { continue };
+        assert!(
+            report.stats.peak_retained_bytes <= retain_budget,
+            "borrowed frames must not pin retention past the budget: {} > {retain_budget}",
+            report.stats.peak_retained_bytes
+        );
+    }
+}
+
 /// The shutdown regression: the old wake-up was a self-connect, which can
 /// block against a saturated backlog exactly when the server is at
 /// `max_connections`. Both modes now wake the accept side through the

@@ -95,6 +95,16 @@ impl SharedWindow {
         self.base..self.end()
     }
 
+    /// Number of live clones sharing this window's bytes (including `self`).
+    ///
+    /// Observational only — the count is racy the instant it is read when
+    /// other holders run concurrently. It exists so tests can assert the
+    /// refcount lifecycle (e.g. that a zero-copy egress queue releases its
+    /// hold once a frame drains).
+    pub fn strong_count(&self) -> usize {
+        Arc::strong_count(&self.bytes)
+    }
+
     /// The part of `range` (absolute stream offsets) that falls inside this
     /// window — empty when they do not overlap.
     pub fn slice_abs(&self, range: std::ops::Range<usize>) -> &[u8] {
