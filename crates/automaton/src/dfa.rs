@@ -7,9 +7,41 @@
 //! state; the transducer construction turns entry into such a state into an
 //! output symbol.
 
-use crate::nfa::Nfa;
+use crate::nfa::{Label, Nfa};
 use ppt_xmlstream::Symbol;
 use std::collections::HashMap;
+use std::fmt;
+
+/// The subset construction was abandoned because it materialised more DFA
+/// states than the configured ceiling allows.
+///
+/// Merging hundreds of queries into one automaton can blow the subset
+/// construction up (the worst case is exponential in NFA states); before this
+/// ceiling existed, a hostile or merely very large query set would OOM the
+/// process during compilation. Callers receiving this error fall back to
+/// [`crate::exec::run_sequential_nfa`] (direct NFA execution, no table
+/// materialisation) or refuse the query set with a structured error.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StateBudgetExceeded {
+    /// DFA states already materialised when the construction was abandoned
+    /// (always `budget + 1`: the first state past the ceiling trips it).
+    pub states: usize,
+    /// The configured ceiling it tripped over.
+    pub budget: usize,
+}
+
+impl fmt::Display for StateBudgetExceeded {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "subset construction exceeded the automaton state budget \
+             ({} states materialised, budget {})",
+            self.states, self.budget
+        )
+    }
+}
+
+impl std::error::Error for StateBudgetExceeded {}
 
 /// Deterministic finite automaton over the interned symbol alphabet.
 #[derive(Debug, Clone)]
@@ -27,9 +59,36 @@ pub struct Dfa {
 }
 
 impl Dfa {
-    /// Runs the subset construction over `nfa`.
+    /// Runs the subset construction over `nfa` with no state ceiling.
+    ///
+    /// Prefer [`Dfa::from_nfa_bounded`] anywhere the NFA comes from
+    /// caller-controlled input (merged multi-query plans, the serving
+    /// front-end): this unbounded form can allocate without limit.
     pub fn from_nfa(nfa: &Nfa) -> Dfa {
+        // UNWRAP-OK: `len() > usize::MAX` is impossible, so a `usize::MAX`
+        // budget can never trip and the bounded construction is infallible.
+        Self::from_nfa_bounded(nfa, usize::MAX).expect("unbounded subset construction cannot trip")
+    }
+
+    /// Runs the subset construction over `nfa`, abandoning it with
+    /// [`StateBudgetExceeded`] as soon as more than `max_states` DFA states
+    /// materialise — bounded memory instead of a compile-time OOM.
+    pub fn from_nfa_bounded(nfa: &Nfa, max_states: usize) -> Result<Dfa, StateBudgetExceeded> {
         let num_symbols = nfa.symbols.len();
+        // Index the flat edge/accept lists by source state once. `Nfa::moves`
+        // scans every edge per call, which is fine for the sequential
+        // fallback's small live sets but turns the subset construction
+        // quadratic in merged-query count (a 1024-query union took over a
+        // minute; with the index it is milliseconds).
+        let mut adjacency: Vec<Vec<(Label, u32)>> = vec![Vec::new(); nfa.num_states as usize];
+        for e in &nfa.edges {
+            adjacency[e.from as usize].push((e.label, e.to));
+        }
+        let mut accepts_at: Vec<Vec<u32>> = vec![Vec::new(); nfa.num_states as usize];
+        for &(state, q) in &nfa.accepts {
+            accepts_at[state as usize].push(q);
+        }
+
         let mut subsets: Vec<Vec<u32>> = Vec::new();
         let mut index: HashMap<Vec<u32>, u32> = HashMap::new();
         let mut delta: Vec<u32> = Vec::new();
@@ -44,7 +103,8 @@ impl Dfa {
                 return id;
             }
             let id = subsets.len() as u32;
-            let mut accepted: Vec<u32> = subset.iter().flat_map(|&s| nfa.accepted(s)).collect();
+            let mut accepted: Vec<u32> =
+                subset.iter().flat_map(|&s| accepts_at[s as usize].iter().copied()).collect();
             accepted.sort_unstable();
             accepted.dedup();
             index.insert(subset.clone(), id);
@@ -55,16 +115,37 @@ impl Dfa {
 
         let initial = add_subset(vec![0], &mut subsets, &mut index, &mut matches);
         let mut work = 0usize;
+        let mut buckets: Vec<Vec<u32>> = vec![Vec::new(); num_symbols];
+        let mut any_targets: Vec<u32> = Vec::new();
         while work < subsets.len() {
             let subset = subsets[work].clone();
-            for sym_idx in 0..num_symbols {
+            // One pass over the subset's outgoing edges fills every symbol's
+            // successor bucket; `AnyElement` targets are shared by all
+            // element symbols and folded in per symbol below.
+            for bucket in &mut buckets {
+                bucket.clear();
+            }
+            any_targets.clear();
+            for &s in &subset {
+                for &(label, to) in &adjacency[s as usize] {
+                    match label {
+                        Label::Symbol(sym) => buckets[sym.index()].push(to),
+                        Label::AnyElement => any_targets.push(to),
+                    }
+                }
+            }
+            for (sym_idx, bucket) in buckets.iter().enumerate() {
                 let sym = Symbol(sym_idx as u32);
-                let is_element = nfa.is_element_symbol(sym);
-                let mut next: Vec<u32> =
-                    subset.iter().flat_map(|&s| nfa.moves(s, sym, is_element)).collect();
+                let mut next: Vec<u32> = bucket.clone();
+                if nfa.is_element_symbol(sym) {
+                    next.extend_from_slice(&any_targets);
+                }
                 next.sort_unstable();
                 next.dedup();
                 let next_id = add_subset(next, &mut subsets, &mut index, &mut matches);
+                if subsets.len() > max_states {
+                    return Err(StateBudgetExceeded { states: subsets.len(), budget: max_states });
+                }
                 delta.push(next_id);
             }
             work += 1;
@@ -72,7 +153,7 @@ impl Dfa {
 
         // `delta` was filled in discovery order which equals state id order.
         debug_assert_eq!(delta.len(), subsets.len() * num_symbols);
-        Dfa { num_states: subsets.len() as u32, initial, delta, num_symbols, matches }
+        Ok(Dfa { num_states: subsets.len() as u32, initial, delta, num_symbols, matches })
     }
 
     /// The successor of `state` on `sym`.
@@ -177,6 +258,31 @@ mod tests {
         let via_c = dfa.step(s, c);
         let done2 = dfa.step(via_c, c);
         assert_eq!(dfa.state_matches(done2), &[0]);
+    }
+
+    #[test]
+    fn state_budget_trips_on_exploding_query_sets() {
+        // k independent `//a_i//b_i` queries make the subset construction
+        // track which a_i contexts are active — exponentially many subsets.
+        let queries: Vec<String> = (0..10).map(|i| format!("//a{i}//b{i}")).collect();
+        let refs: Vec<&str> = queries.iter().map(|s| s.as_str()).collect();
+        let nfa = Nfa::from_plan(&compile_queries(&refs).unwrap());
+        let err = Dfa::from_nfa_bounded(&nfa, 256).unwrap_err();
+        assert_eq!(err.budget, 256);
+        assert_eq!(err.states, 257, "abandoned at the first state past the ceiling");
+        assert!(err.to_string().contains("state budget"));
+    }
+
+    #[test]
+    fn bounded_construction_equals_unbounded_when_under_budget() {
+        let queries: Vec<String> = (0..4).map(|i| format!("//a{i}//b{i}")).collect();
+        let refs: Vec<&str> = queries.iter().map(|s| s.as_str()).collect();
+        let nfa = Nfa::from_plan(&compile_queries(&refs).unwrap());
+        let bounded = Dfa::from_nfa_bounded(&nfa, 1 << 12).unwrap();
+        let unbounded = Dfa::from_nfa(&nfa);
+        assert_eq!(bounded.num_states, unbounded.num_states);
+        assert_eq!(bounded.delta, unbounded.delta);
+        assert_eq!(bounded.matches, unbounded.matches);
     }
 
     #[test]

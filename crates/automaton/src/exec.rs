@@ -9,6 +9,7 @@
 //! * its transition count is the denominator of the §3.3 convergence-overhead
 //!   metric (out-of-order transitions ÷ in-order transitions).
 
+use crate::nfa::Nfa;
 use crate::transducer::{StateId, SubQueryId, Transducer};
 use ppt_xmlstream::{Lexer, XmlEvent};
 
@@ -144,6 +145,98 @@ pub fn run_sequential_with_stats(t: &Transducer, data: &[u8]) -> (Vec<Match>, Se
     (matches, stats)
 }
 
+/// Runs the query NFA *directly* — no subset construction, no transition
+/// tables — returning the same matches [`run_sequential`] produces for the
+/// determinised automaton of the same plan.
+///
+/// This is the structured fallback behind [`crate::dfa::StateBudgetExceeded`]:
+/// when determinising a (typically merged, many-query) plan would exceed the
+/// DFA state budget, the stream can still be evaluated in one in-order pass by
+/// simulating the NFA state *set*. Per tag event the cost is proportional to
+/// the live set times the edge fan-out instead of O(1), so this path trades
+/// throughput for bounded memory.
+pub fn run_sequential_nfa(nfa: &Nfa, data: &[u8]) -> Vec<Match> {
+    let mut matches = Vec::new();
+    // The live NFA state set (sorted, deduplicated), and the per-open stack
+    // of predecessor sets — the set-valued analogue of the pushdown stack.
+    let mut current: Vec<u32> = vec![0];
+    let mut stack: Vec<Vec<u32>> = Vec::with_capacity(64);
+
+    let advance = |set: &[u32], sym: ppt_xmlstream::Symbol| -> Vec<u32> {
+        let is_element = nfa.is_element_symbol(sym);
+        let mut next: Vec<u32> = set.iter().flat_map(|&s| nfa.moves(s, sym, is_element)).collect();
+        next.sort_unstable();
+        next.dedup();
+        next
+    };
+    let accepted_of = |set: &[u32]| -> Vec<u32> {
+        let mut acc: Vec<u32> = set.iter().flat_map(|&s| nfa.accepted(s)).collect();
+        acc.sort_unstable();
+        acc.dedup();
+        acc
+    };
+    let open = |name: &[u8],
+                pos: usize,
+                current: &mut Vec<u32>,
+                stack: &mut Vec<Vec<u32>>,
+                matches: &mut Vec<Match>| {
+        let next = advance(current, nfa.symbols.lookup(name));
+        stack.push(std::mem::replace(current, next));
+        for q in accepted_of(current) {
+            matches.push(Match { pos, depth: stack.len() as u32, subquery: q });
+        }
+    };
+
+    let needs_full = !nfa.attr_symbols.is_empty() || !nfa.text_symbols.is_empty();
+    if needs_full {
+        for ev in Lexer::new(data) {
+            match ev {
+                XmlEvent::Open { name, pos } => {
+                    open(name, pos, &mut current, &mut stack, &mut matches)
+                }
+                XmlEvent::Close { .. } => {
+                    if let Some(prev) = stack.pop() {
+                        current = prev;
+                    }
+                }
+                XmlEvent::Attr { name, pos, .. } => {
+                    if let Some(&sym) = nfa.attr_symbols.get(name) {
+                        for q in accepted_of(&advance(&current, sym)) {
+                            matches.push(Match { pos, depth: stack.len() as u32 + 1, subquery: q });
+                        }
+                    }
+                }
+                XmlEvent::Text { text, pos } => {
+                    let trimmed = trim_ws(text);
+                    if trimmed.is_empty() {
+                        continue;
+                    }
+                    if let Some(&sym) = nfa.text_symbols.get(trimmed) {
+                        for q in accepted_of(&advance(&current, sym)) {
+                            matches.push(Match { pos, depth: stack.len() as u32 + 1, subquery: q });
+                        }
+                    }
+                }
+            }
+        }
+    } else {
+        for ev in Lexer::tags_only(data) {
+            match ev {
+                XmlEvent::Open { name, pos } => {
+                    open(name, pos, &mut current, &mut stack, &mut matches)
+                }
+                XmlEvent::Close { .. } => {
+                    if let Some(prev) = stack.pop() {
+                        current = prev;
+                    }
+                }
+                _ => unreachable!("tags_only lexer emits only tag events"),
+            }
+        }
+    }
+    matches
+}
+
 /// Trims ASCII whitespace from both ends of a byte slice.
 pub fn trim_ws(mut s: &[u8]) -> &[u8] {
     while let [first, rest @ ..] = s {
@@ -268,5 +361,54 @@ mod tests {
         let t = Transducer::from_queries(&["/a/*"]).unwrap();
         let m = run_sequential(&t, b"<a><x/><y/><z><w/></z></a>");
         assert_eq!(m.len(), 3, "only direct children of the root");
+    }
+
+    /// Asserts the direct-NFA fallback produces the exact match list of the
+    /// determinised transducer for the same query set over `data`.
+    fn assert_nfa_equals_dfa(queries: &[&str], data: &[u8]) {
+        let plan = ppt_xpath::compile_queries(queries).unwrap();
+        let nfa = Nfa::from_plan(&plan);
+        let t = Transducer::from_plan(&plan);
+        assert_eq!(
+            run_sequential_nfa(&nfa, data),
+            run_sequential(&t, data),
+            "NFA fallback diverged from DFA execution for {queries:?}"
+        );
+    }
+
+    #[test]
+    fn nfa_fallback_matches_dfa_on_structural_queries() {
+        let doc = b"<a><b><c/><d><c/></d></b><k><x/><k><x/></k></k><q id=\"7\"/></a>";
+        assert_nfa_equals_dfa(&["/a/b/c"], doc);
+        assert_nfa_equals_dfa(&["//k", "/a//c", "/a/b", "//k/x", "/a/*/c"], doc);
+        assert_nfa_equals_dfa(&["//x"], doc);
+    }
+
+    #[test]
+    fn nfa_fallback_matches_dfa_on_attr_and_text_queries() {
+        let doc = br#"<a><b id="1">hello</b><b x="2">world</b><c id="3"> hello </c></a>"#;
+        assert_nfa_equals_dfa(&["/a/b/@id", "//c/@id", "/a/b/text(hello)", "//b"], doc);
+    }
+
+    #[test]
+    fn nfa_fallback_matches_dfa_on_malformed_input() {
+        assert_nfa_equals_dfa(&["/a/b", "//b"], b"</x></y><a><b/></a></a></a><b/>");
+        assert_nfa_equals_dfa(&["/a"], b"");
+    }
+
+    #[test]
+    fn nfa_fallback_handles_plans_over_the_dfa_budget() {
+        // The exact query family that trips the subset-construction budget
+        // (see dfa.rs tests): the NFA path must still evaluate it, in bounded
+        // memory, with the same semantics as the (expensive) full DFA.
+        let queries: Vec<String> = (0..10).map(|i| format!("//a{i}//b{i}")).collect();
+        let refs: Vec<&str> = queries.iter().map(|s| s.as_str()).collect();
+        let plan = ppt_xpath::compile_queries(&refs).unwrap();
+        let nfa = Nfa::from_plan(&plan);
+        assert!(crate::dfa::Dfa::from_nfa_bounded(&nfa, 256).is_err());
+
+        let doc = b"<r><a0><b0/><a1><b1/><b0/></a1></a0><a9><x/><b9/></a9></r>";
+        let t = Transducer::from_plan(&plan);
+        assert_eq!(run_sequential_nfa(&nfa, doc), run_sequential(&t, doc));
     }
 }

@@ -29,7 +29,9 @@ pub mod exec;
 pub mod nfa;
 pub mod transducer;
 
-pub use dfa::Dfa;
-pub use exec::{run_sequential, run_sequential_with_stats, Match, SequentialStats};
+pub use dfa::{Dfa, StateBudgetExceeded};
+pub use exec::{
+    run_sequential, run_sequential_nfa, run_sequential_with_stats, Match, SequentialStats,
+};
 pub use nfa::Nfa;
 pub use transducer::{StateId, SubQueryId, Transducer};

@@ -6,9 +6,10 @@
 //! wildcard self-loop so that any number of intermediate elements may be
 //! traversed before the step's test matches.
 
-use ppt_xmlstream::{Symbol, SymbolTable};
+use ppt_xmlstream::{Symbol, SymbolTable, OTHER_SYMBOL};
 use ppt_xpath::{BasicAxis, BasicTest, QueryPlan};
 use std::collections::HashMap;
+use std::ops::Range;
 
 /// Edge label: a concrete symbol or "any element".
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -54,6 +55,18 @@ pub struct Nfa {
 impl Nfa {
     /// Builds the NFA for every sub-query in `plan`.
     pub fn from_plan(plan: &QueryPlan) -> Nfa {
+        Self::from_plan_range(plan, 0..plan.subqueries.len())
+    }
+
+    /// Builds the NFA for the sub-queries `range` of `plan` only, with accept
+    /// labels carrying the sub-queries' *plan-global* indices.
+    ///
+    /// This is the incremental half of [`Nfa::union`]: when a merged plan
+    /// grows append-only (old sub-queries keep their indices, new ones are
+    /// appended), `old.union(&Nfa::from_plan_range(&new_plan, old_len..new_len))`
+    /// reproduces `Nfa::from_plan(&new_plan)` exactly — states, symbols and
+    /// accepts — without re-walking the old sub-queries.
+    pub fn from_plan_range(plan: &QueryPlan, range: Range<usize>) -> Nfa {
         let mut symbols = SymbolTable::new();
         let mut attr_symbols = HashMap::new();
         let mut text_symbols = HashMap::new();
@@ -70,7 +83,7 @@ impl Nfa {
             };
 
         // First pass: intern all symbols so that the table is stable.
-        for sq in &plan.subqueries {
+        for sq in &plan.subqueries[range.clone()] {
             for step in &sq.steps {
                 match &step.test {
                     BasicTest::Name(n) => {
@@ -109,7 +122,9 @@ impl Nfa {
             element_symbol,
         };
 
-        for (qid, sq) in plan.subqueries.iter().enumerate() {
+        for (qid, sq) in
+            plan.subqueries[range.clone()].iter().enumerate().map(|(i, sq)| (range.start + i, sq))
+        {
             let mut current = 0u32; // shared root-context state
             for step in &sq.steps {
                 let label = match &step.test {
@@ -142,6 +157,60 @@ impl Nfa {
             nfa.accepts.push((current, qid as u32));
         }
         nfa
+    }
+
+    /// Unions two NFAs into one automaton sharing the root-context state.
+    ///
+    /// Append-stable by construction: `self`'s state numbers, symbol ids and
+    /// accept labels are unchanged in the result; `other`'s symbols are
+    /// re-interned by name (equal names collapse onto `self`'s ids, new names
+    /// are appended in `other`'s order) and `other`'s non-root states are
+    /// renumbered to follow `self`'s.
+    ///
+    /// Sub-query ids on `other`'s accepting states are preserved **verbatim**
+    /// — the caller owns the id space. Build `other` with
+    /// [`Nfa::from_plan_range`] over the appended tail of a merged
+    /// [`QueryPlan`] and the union equals `Nfa::from_plan` of the whole plan.
+    pub fn union(&self, other: &Nfa) -> Nfa {
+        let mut merged = self.clone();
+
+        // Re-intern `other`'s symbols by name; the table iterates in id order
+        // (excluding the catch-all) so new names append in `other`'s original
+        // interning order.
+        let mut sym_map: Vec<Symbol> = Vec::with_capacity(other.symbols.len());
+        sym_map.push(OTHER_SYMBOL);
+        for (sym, name) in other.symbols.iter() {
+            let before = merged.symbols.len();
+            let mapped = merged.symbols.intern(name);
+            if merged.symbols.len() > before {
+                merged
+                    .element_symbol
+                    .push(other.element_symbol.get(sym.index()).copied().unwrap_or(true));
+            }
+            sym_map.push(mapped);
+        }
+        for (name, sym) in &other.attr_symbols {
+            merged.attr_symbols.insert(name.clone(), sym_map[sym.index()]);
+        }
+        for (name, sym) in &other.text_symbols {
+            merged.text_symbols.insert(name.clone(), sym_map[sym.index()]);
+        }
+
+        // State 0 is the shared root context; every other state shifts up.
+        let state_base = merged.num_states;
+        let map_state = |s: u32| if s == 0 { 0 } else { state_base + s - 1 };
+        merged.num_states += other.num_states.saturating_sub(1);
+        for e in &other.edges {
+            let label = match e.label {
+                Label::Symbol(s) => Label::Symbol(sym_map[s.index()]),
+                Label::AnyElement => Label::AnyElement,
+            };
+            merged.edges.push(NfaEdge { from: map_state(e.from), label, to: map_state(e.to) });
+        }
+        for &(state, subquery) in &other.accepts {
+            merged.accepts.push((map_state(state), subquery));
+        }
+        merged
     }
 
     fn new_state(&mut self) -> u32 {
@@ -250,5 +319,77 @@ mod tests {
         let nfa = build(&["/a/b", "/b/a"]);
         // OTHER + a + b
         assert_eq!(nfa.symbols.len(), 3);
+    }
+
+    /// Structural equality check: same states, same symbol table, same edge
+    /// set, same accepts — the renumbering-free form of NFA equivalence the
+    /// union contract promises.
+    fn assert_same_nfa(a: &Nfa, b: &Nfa) {
+        assert_eq!(a.num_states, b.num_states, "state counts differ");
+        assert_eq!(a.symbols.len(), b.symbols.len(), "symbol counts differ");
+        for (sym, name) in a.symbols.iter() {
+            assert_eq!(b.symbols.name(sym), name, "symbol {sym:?} renamed");
+        }
+        assert_eq!(a.element_symbol, b.element_symbol);
+        assert_eq!(a.attr_symbols, b.attr_symbols);
+        assert_eq!(a.text_symbols, b.text_symbols);
+        let edge_set = |n: &Nfa| {
+            let mut e = n.edges.clone();
+            e.sort_by_key(|e| (e.from, e.to, format!("{:?}", e.label)));
+            e
+        };
+        assert_eq!(edge_set(a), edge_set(b), "edge sets differ");
+        let accept_set = |n: &Nfa| {
+            let mut acc = n.accepts.clone();
+            acc.sort_unstable();
+            acc
+        };
+        assert_eq!(accept_set(a), accept_set(b), "accept sets differ");
+    }
+
+    #[test]
+    fn union_of_plan_split_equals_full_plan() {
+        // Overlapping names and shared sub-queries across the split point.
+        let old: &[&str] = &["/a/b/c", "//k", "/a//d"];
+        let new: &[&str] = &["//k/x", "/a/b", "/q/@id", "//m/text(t)"];
+        let all: Vec<&str> = old.iter().chain(new).copied().collect();
+        let full_plan = compile_queries(&all).unwrap();
+        let old_plan = compile_queries(old).unwrap();
+        let old_nfa = Nfa::from_plan(&old_plan);
+        let tail =
+            Nfa::from_plan_range(&full_plan, old_plan.subqueries.len()..full_plan.subqueries.len());
+        let merged = old_nfa.union(&tail);
+        assert_same_nfa(&merged, &Nfa::from_plan(&full_plan));
+    }
+
+    #[test]
+    fn union_preserves_self_ids_and_remaps_other() {
+        let a = build(&["/a/b"]);
+        let b = build(&["/x//y"]);
+        let u = a.union(&b);
+        // Self's states and accepts are byte-identical prefixes.
+        assert_eq!(&u.accepts[..a.accepts.len()], &a.accepts[..]);
+        assert_eq!(&u.edges[..a.edges.len()], &a.edges[..]);
+        for (sym, name) in a.symbols.iter() {
+            assert_eq!(u.symbols.name(sym), name);
+        }
+        // Other's states moved past self's; the shared root stayed shared.
+        assert_eq!(u.num_states, a.num_states + b.num_states - 1);
+        assert!(u.edges[a.edges.len()..].iter().all(|e| e.from == 0 || e.from >= a.num_states));
+        // Other's sub-query ids are preserved verbatim (caller's id space).
+        assert_eq!(u.accepts[a.accepts.len()..].iter().map(|(_, q)| *q).collect::<Vec<_>>(), {
+            let mut ids: Vec<u32> = b.accepts.iter().map(|(_, q)| *q).collect();
+            ids.sort_unstable();
+            ids
+        });
+    }
+
+    #[test]
+    fn union_with_empty_tail_is_identity() {
+        let a = build(&["/a/b/c", "//k"]);
+        let plan = compile_queries(&["/z"]).unwrap();
+        let empty_tail = Nfa::from_plan_range(&plan, 1..1);
+        let u = a.union(&empty_tail);
+        assert_same_nfa(&u, &a);
     }
 }

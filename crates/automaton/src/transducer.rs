@@ -18,7 +18,7 @@
 //! domain — it is what `funknown` of the PP-Transducer enumerates when a pop
 //! happens with an unknown stack (§4.1).
 
-use crate::dfa::Dfa;
+use crate::dfa::{Dfa, StateBudgetExceeded};
 use crate::nfa::Nfa;
 use ppt_xmlstream::{Symbol, SymbolTable, OTHER_SYMBOL};
 use ppt_xpath::{compile_queries, QueryPlan, XPathError};
@@ -62,6 +62,36 @@ impl Transducer {
     pub fn from_plan(plan: &QueryPlan) -> Transducer {
         let nfa = Nfa::from_plan(plan);
         let dfa = Dfa::from_nfa(&nfa);
+        Self::assemble(nfa, dfa)
+    }
+
+    /// Like [`Transducer::from_plan`] but bounds the subset construction:
+    /// compilation is abandoned with [`StateBudgetExceeded`] instead of
+    /// materialising more than `max_states` DFA states.
+    pub fn from_plan_bounded(
+        plan: &QueryPlan,
+        max_states: usize,
+    ) -> Result<Transducer, StateBudgetExceeded> {
+        let nfa = Nfa::from_plan(plan);
+        let dfa = Dfa::from_nfa_bounded(&nfa, max_states)?;
+        Ok(Self::assemble(nfa, dfa))
+    }
+
+    /// Determinises an already-built NFA under a state budget. This is the
+    /// entry point for incrementally merged automata: the caller keeps the
+    /// union NFA around (cheap to extend) and re-determinises it here when
+    /// the query set grows.
+    pub fn from_nfa_bounded(
+        nfa: &Nfa,
+        max_states: usize,
+    ) -> Result<Transducer, StateBudgetExceeded> {
+        let dfa = Dfa::from_nfa_bounded(nfa, max_states)?;
+        Ok(Self::assemble(nfa.clone(), dfa))
+    }
+
+    /// Lifts a determinised automaton into pushdown-transducer form (builds
+    /// the `pop_sources` inverse index and adopts the NFA's symbol tables).
+    fn assemble(nfa: Nfa, dfa: Dfa) -> Transducer {
         let num_symbols = dfa.num_symbols;
         let num_states = dfa.num_states;
 

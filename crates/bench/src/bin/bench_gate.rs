@@ -14,9 +14,11 @@
 //! (`"results": [{"mode": ..., "threads": ..., "mib_per_s": ..., "matches":
 //! ...}]`); unknown top-level fields are ignored so baselines can carry
 //! extra metadata. The serving bench sweeps *connections* rather than
-//! worker threads and the shard bench sweeps *shards*, so `"conns"`
-//! (`BENCH_serve.json`) and `"shards"` (`BENCH_shard.json`) are accepted as
-//! aliases for the `"threads"` point key.
+//! worker threads, the shard bench sweeps *shards* and the multi-query
+//! bench sweeps registered *queries*, so `"conns"` (`BENCH_serve.json`),
+//! `"shards"` (`BENCH_shard.json`) and `"queries"`
+//! (`BENCH_multiquery.json`) are accepted as aliases for the `"threads"`
+//! point key.
 
 use std::process::ExitCode;
 
@@ -63,11 +65,13 @@ fn parse_points(json: &str) -> Result<Vec<Point>, String> {
             .ok_or_else(|| "unterminated result object".to_string())?;
         let obj = &rest[obj_open + 1..obj_close];
         // "threads" is the point key for the pipeline benches; the serving
-        // bench sweeps connections ("conns") and the shard bench sweeps
-        // shard counts ("shards").
+        // bench sweeps connections ("conns"), the shard bench sweeps shard
+        // counts ("shards") and the multi-query bench sweeps registered
+        // query counts ("queries").
         let key = field_num(obj, "threads")
             .or_else(|_| field_num(obj, "conns"))
-            .or_else(|_| field_num(obj, "shards"))?;
+            .or_else(|_| field_num(obj, "shards"))
+            .or_else(|_| field_num(obj, "queries"))?;
         points.push(Point {
             mode: field_str(obj, "mode")?,
             threads: key.round() as u64,
@@ -295,6 +299,25 @@ mod tests {
         assert_eq!(points.len(), 1);
         assert_eq!(points[0].threads, 4);
         assert_eq!(points[0].matches, Some(320));
+        assert!(gate(&points, &points, 0.25).is_empty());
+    }
+
+    #[test]
+    fn accepts_queries_as_the_point_key() {
+        // The multi-query bench sweeps registered query counts; shared and
+        // independent points gate against the committed baseline per count.
+        let report = r#"{
+  "bench": "multiquery",
+  "results": [
+    {"mode": "shared", "queries": 256, "mib_per_s": 1.74, "matches": 1264},
+    {"mode": "independent", "queries": 256, "mib_per_s": 0.19, "matches": 1264}
+  ]
+}"#;
+        let points = parse_points(report).unwrap();
+        assert_eq!(points.len(), 2);
+        assert_eq!(points[0].threads, 256);
+        assert_eq!(points[0].mode, "shared");
+        assert_eq!(points[1].matches, Some(1264));
         assert!(gate(&points, &points, 0.25).is_empty());
     }
 

@@ -160,6 +160,25 @@ impl Engine {
         Ok(Engine { plan, transducer, config })
     }
 
+    /// Wraps an already-compiled plan + transducer pair into an engine.
+    ///
+    /// This is the assembly point for *incrementally merged* automata (the
+    /// subscription layer unions NFAs across attach events and re-determinises
+    /// under a state budget, rather than recompiling from query strings). The
+    /// caller is responsible for `transducer` actually being the compilation
+    /// of `plan`; the usual invariant — predicated queries force span
+    /// resolution — is applied here exactly as in [`Engine::with_config`].
+    pub fn from_compiled(
+        plan: QueryPlan,
+        transducer: Transducer,
+        mut config: EngineConfig,
+    ) -> Engine {
+        if plan.queries.iter().any(|q| q.filter.is_some()) {
+            config.resolve_spans = true;
+        }
+        Engine { plan, transducer, config }
+    }
+
     /// The compiled query plan.
     pub fn plan(&self) -> &QueryPlan {
         &self.plan

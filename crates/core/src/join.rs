@@ -132,6 +132,44 @@ impl PrefixFolder {
         PrefixFolder { initial: transducer.initial(), accumulated: None, depth: 0, chunks: 0 }
     }
 
+    /// Creates a folder whose state is what [`PrefixFolder::new`] +folding the
+    /// already-consumed prefix *would* have produced under `transducer`, given
+    /// only the prefix's open-tag path (outermost first).
+    ///
+    /// This is the mid-stream engine-swap primitive of the subscription layer:
+    /// because the transducer is deterministic and pops always restore the
+    /// pushed state, the `(initial, ε)` entry after any prefix is a pure
+    /// function of the still-open tag path — so a *new* (merged) transducer
+    /// can take over an in-flight stream by replaying that path alone. Matches
+    /// completed by the prefix are deliberately not reconstructed: outputs
+    /// start empty, which gives attach-time semantics (a subscriber sees
+    /// matches whose element opens at or after the swap point).
+    ///
+    /// `chunks` seeds the folded-chunk counter (purely informational).
+    pub fn resume<'a, I>(transducer: &Transducer, open_path: I, chunks: usize) -> PrefixFolder
+    where
+        I: IntoIterator<Item = &'a [u8]>,
+    {
+        let initial = transducer.initial();
+        let mut state = initial;
+        let mut stack: Vec<StateId> = Vec::new();
+        for name in open_path {
+            stack.push(state);
+            state = transducer.step(state, transducer.classify_name(name));
+        }
+        let depth = stack.len() as i64;
+        let accumulated = Mapping {
+            entries: vec![MapEntry {
+                start_state: initial,
+                start_stack: Vec::new(),
+                finish_state: state,
+                finish_stack: stack,
+                outputs: Vec::new(),
+            }],
+        };
+        PrefixFolder { initial, accumulated: Some(accumulated), depth, chunks }
+    }
+
     /// Absolute element depth at the end of the folded prefix.
     pub fn depth(&self) -> i64 {
         self.depth
@@ -385,6 +423,51 @@ mod tests {
         // </a> closes an element opened in the first chunk: one ladder event at
         // the end of the document, returning to absolute depth 0.
         assert_eq!(d2.ladder, vec![(doc.len(), 0)]);
+    }
+
+    #[test]
+    fn resumed_folder_equals_a_folder_that_saw_the_prefix() {
+        use crate::chunk::{process_chunk, EngineKind};
+        let t = Transducer::from_queries(&["/a/b", "//d", "//b/c"]).unwrap();
+        let doc: &[u8] = b"<a><b><d></d></b><b><c></c></b><d></d></a>";
+        let split = 17; // the '<' of the second <b>; open path is [a]
+        let resume_path: Vec<&[u8]> = vec![b"a"];
+
+        let mut resumed = PrefixFolder::resume(&t, resume_path.iter().copied(), 1);
+        assert_eq!(resumed.depth(), 1);
+        assert_eq!(resumed.chunks(), 1);
+
+        // Fold the suffix into the resumed folder; it must drain exactly the
+        // sequential matches whose opening tag sits at/after the split.
+        let out = process_chunk(&t, &doc[split..], split, 1, false, EngineKind::Tree, false);
+        let delta = resumed.fold(out.mapping, out.depth_delta, out.ladder);
+        let drained: Vec<(usize, u32, i64)> =
+            delta.matches.iter().map(|m| (m.pos, m.subquery, m.rel_depth)).collect();
+        let expected: Vec<(usize, u32, i64)> = ppt_automaton::run_sequential(&t, doc)
+            .iter()
+            .filter(|m| m.pos >= split)
+            .map(|m| (m.pos, m.subquery, m.depth as i64))
+            .collect();
+        assert!(!expected.is_empty());
+        assert_eq!(drained, expected);
+        assert_eq!(resumed.depth(), 0, "suffix closes the document");
+    }
+
+    #[test]
+    fn resume_with_empty_path_matches_a_fresh_folder_semantics() {
+        use crate::chunk::{process_chunk, EngineKind};
+        let t = Transducer::from_queries(&["/a/b"]).unwrap();
+        let doc: &[u8] = b"<a><b></b></a>";
+        let out = process_chunk(&t, doc, 0, 0, true, EngineKind::Tree, false);
+        let mut fresh = PrefixFolder::new(&t);
+        let from_fresh = fresh.fold(out.mapping.clone(), out.depth_delta, out.ladder.clone());
+        let mut resumed = PrefixFolder::resume(&t, std::iter::empty(), 0);
+        let from_resumed = resumed.fold(out.mapping, out.depth_delta, out.ladder);
+        let key = |d: &FoldDelta| {
+            d.matches.iter().map(|m| (m.pos, m.subquery, m.rel_depth)).collect::<Vec<_>>()
+        };
+        assert_eq!(key(&from_fresh), key(&from_resumed));
+        assert_eq!(from_fresh.ladder, from_resumed.ladder);
     }
 
     #[test]

@@ -131,6 +131,64 @@ impl FilterBank {
         }
     }
 
+    /// Extends the bank for an *append-only grown* plan: `plan` must contain
+    /// the queries this bank was built from as a prefix, with the same
+    /// sub-query ids (the subscription layer's merge guarantees this — old
+    /// queries and sub-queries keep their indices when new ones are
+    /// appended). Existing per-query state — open scopes, buffered matches,
+    /// counts — carries over untouched; new queries start with empty state,
+    /// which is exactly right: they attached mid-stream and see only what
+    /// happens after their swap boundary.
+    ///
+    /// Old queries never reference newly appended sub-queries, so their
+    /// sub-query-indexed vectors need no resizing; only the `interested`
+    /// index grows (new sub-queries, plus new queries interested in old
+    /// shared sub-queries).
+    pub fn extend(&mut self, plan: &QueryPlan) {
+        let old_queries = self.queries.len();
+        debug_assert!(plan.queries.len() >= old_queries, "plans only grow");
+        let n_sub = plan.subqueries.len();
+        for q in &plan.queries[old_queries..] {
+            let mut submatch_multiplicity = vec![0u32; n_sub];
+            for &s in &q.all_subqueries {
+                submatch_multiplicity[s] += 1;
+            }
+            let mode = match &q.filter {
+                None => {
+                    let mut result = vec![false; n_sub];
+                    for &s in &q.result_subqueries {
+                        result[s] = true;
+                    }
+                    QueryMode::Plain { result, last_pos: None }
+                }
+                Some(filter) => {
+                    let mut member = vec![false; n_sub];
+                    for &s in &q.all_subqueries {
+                        member[s] = true;
+                    }
+                    QueryMode::Scoped {
+                        anchor: filter.anchor,
+                        member,
+                        open_anchors: 0,
+                        buffer: Vec::new(),
+                        open_indices: Vec::new(),
+                    }
+                }
+            };
+            self.queries.push(QueryState { mode, submatch_multiplicity });
+        }
+        self.interested.resize_with(n_sub, Vec::new);
+        for (qi, q) in plan.queries.iter().enumerate().skip(old_queries) {
+            for &s in &q.all_subqueries {
+                if self.interested[s].last() != Some(&qi) {
+                    self.interested[s].push(qi);
+                }
+            }
+        }
+        self.submatch_counts.resize(plan.queries.len(), 0);
+        self.match_counts.resize(plan.queries.len(), 0);
+    }
+
     /// Earliest match offset still buffered in an unclosed anchor scope
     /// (`None` when every scope is flushed). Scope buffers fill in event —
     /// i.e. position — order, so each buffer's first entry is its minimum;

@@ -88,6 +88,7 @@ mod session;
 pub mod shard;
 mod sink;
 mod stats;
+pub mod subscribe;
 pub mod telemetry;
 pub mod wire;
 
@@ -102,6 +103,10 @@ pub use sink::{
     PayloadRef, PayloadSink,
 };
 pub use stats::{ReactorStats, RouterStats, RuntimeStats, ShardStats};
+pub use subscribe::{
+    AttachError, CollectSubscriber, SharedStreamHandle, StreamControl, SubscriberDelivery,
+    SubscriberId, SubscriberReport, SubscriberSink,
+};
 pub use telemetry::{
     EventJournal, EventKind, Histogram, HistogramSnapshot, MetricKind, Registry, RuntimeTelemetry,
 };
@@ -146,6 +151,11 @@ pub struct SessionOptions {
     /// chunks fold; a budget below that evicts windows before their own
     /// matches can be materialized.
     pub retention_budget: Option<usize>,
+    /// Maintain the stream's open-tag path in the feeder (one extra
+    /// tags-only lex per window). Required for mid-stream engine swaps — the
+    /// shared-stream subscription layer sets it so subscribers can attach
+    /// new queries while the stream is live. Default off.
+    pub track_open_path: bool,
 }
 
 impl SessionOptions {
@@ -163,6 +173,13 @@ impl SessionOptions {
     /// Enables payload retention with the given byte budget.
     pub fn retain_bytes(mut self, budget: usize) -> SessionOptions {
         self.retention_budget = Some(budget.max(1));
+        self
+    }
+
+    /// Enables open-tag path tracking (the prerequisite for mid-stream
+    /// engine swaps; see [`SessionOptions::track_open_path`]).
+    pub fn track_open_path(mut self, enable: bool) -> SessionOptions {
+        self.track_open_path = enable;
         self
     }
 }

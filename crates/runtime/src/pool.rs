@@ -58,6 +58,12 @@ pub(crate) fn wait_recover<'a, T>(
 /// One unit of worker work: a chunk of one session's window.
 pub(crate) struct Job {
     pub session: Arc<SessionCore>,
+    /// The engine whose transducer processes this chunk. Stamped by the
+    /// feeder at submission time: after a mid-stream engine swap (a
+    /// subscriber attached new queries to a shared stream) chunks before the
+    /// swap boundary still run on the old automaton while later chunks run
+    /// on the merged one — the two interleave freely in the queue.
+    pub engine: Arc<Engine>,
     /// The window the chunk slices into (refcount-shared by all of its
     /// chunks, and by the retention ring when payload retention is on).
     pub window: SharedWindow,
@@ -70,11 +76,29 @@ pub(crate) struct Job {
     pub first: bool,
 }
 
+/// A mid-stream engine replacement, scheduled at a chunk-sequence boundary.
+///
+/// The subscription layer merges a newly attached subscriber's queries into
+/// the session's automaton and swaps the engine *between* chunks: every chunk
+/// at or past the boundary is transduced (and folded) by `engine`, while
+/// in-flight chunks before it finish on the old one. `open_path` is the
+/// stream's open-tag path at the boundary, from which the joiner reconstructs
+/// the new transducer's fold state ([`ppt_core::join::PrefixFolder::resume`]).
+pub(crate) struct EngineSwap {
+    pub engine: Arc<Engine>,
+    /// Open (unclosed) element names at the swap boundary, outermost first.
+    pub open_path: Vec<Vec<u8>>,
+}
+
 /// Reorder buffer between the workers and a session's joiner.
 #[derive(Default)]
 pub(crate) struct Mailbox {
     /// Completed chunk outputs keyed by sequence number.
     pub ready: BTreeMap<u64, ChunkOutput>,
+    /// Engine swaps keyed by the first chunk sequence they apply to. A
+    /// second swap scheduled at the same boundary overwrites the first —
+    /// merged engines only ever grow, so the later one subsumes it.
+    pub swaps: BTreeMap<u64, EngineSwap>,
     /// Total number of chunks the feeder will submit, once known (set by
     /// `finish`).
     pub total: Option<u64>,
@@ -128,6 +152,9 @@ pub(crate) struct SessionCore {
     pub dead: AtomicBool,
     /// Caller-assigned stream id, stamped on every wire frame.
     pub stream_id: u64,
+    /// Whether the feeder maintains the open-tag path (the prerequisite for
+    /// mid-stream engine swaps; see [`crate::SessionOptions::track_open_path`]).
+    pub track_open_path: bool,
     /// The payload retention ring, when the session materializes matches.
     /// Locked briefly by the feeder (push) and the joiner (extract/release);
     /// never held across a blocking wait.
@@ -161,6 +188,7 @@ impl SessionCore {
             credits_cv: Condvar::new(),
             dead: AtomicBool::new(false),
             stream_id: opts.stream_id,
+            track_open_path: opts.track_open_path,
             ring: opts.retention_budget.map(|budget| Mutex::new(RetentionRing::new(budget))),
             counters: Counters::new(),
             telemetry,
@@ -266,6 +294,39 @@ impl SessionCore {
         drop(mb);
         self.mailbox_cv.notify_all();
         self.fire_deliverable();
+    }
+
+    /// Schedules an engine swap: every chunk with sequence `>= seq` must be
+    /// folded by `swap.engine`. Called by the feeder (which stamps the same
+    /// engine on the jobs it submits from that boundary on) before any such
+    /// chunk can reach the joiner, so the joiner can never fold a post-swap
+    /// chunk with the pre-swap automaton.
+    pub fn schedule_swap(&self, seq: u64, swap: EngineSwap) {
+        let (mut mb, poisoned) = lock_recover(&self.mailbox);
+        if poisoned {
+            drop(mb);
+            self.poison("mailbox lock poisoned by a panicking pipeline stage".to_string());
+            return;
+        }
+        mb.swaps.insert(seq, swap);
+    }
+
+    /// Joiner side: removes and returns the latest engine swap scheduled at
+    /// or before chunk `seq` (earlier ones are subsumed — merged engines only
+    /// grow). Call before folding chunk `seq`.
+    pub fn take_swap_through(&self, seq: u64) -> Option<EngineSwap> {
+        let (mut mb, poisoned) = lock_recover(&self.mailbox);
+        if poisoned {
+            drop(mb);
+            self.poison("mailbox lock poisoned by a panicking pipeline stage".to_string());
+            return None;
+        }
+        let due: Vec<u64> = mb.swaps.range(..=seq).map(|(&k, _)| k).collect();
+        let mut latest = None;
+        for key in due {
+            latest = mb.swaps.remove(&key);
+        }
+        latest
     }
 
     /// Announces that exactly `total` chunks were submitted (stream ended).
@@ -486,7 +547,7 @@ fn worker_loop(shared: &PoolShared) {
         // arrive: catch it and poison the session instead.
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             process_chunk(
-                core.engine.transducer(),
+                job.engine.transducer(),
                 &job.window.bytes()[job.range.clone()],
                 job.window.base() + job.range.start,
                 seq_index,
@@ -569,6 +630,7 @@ mod tests {
         let core = test_core();
         pool.submit(Job {
             session: Arc::clone(&core),
+            engine: Arc::clone(&core.engine),
             window: SharedWindow::new(0, b"<a></a>".to_vec()),
             range: 0..7,
             seq: 0,

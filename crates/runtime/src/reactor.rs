@@ -49,8 +49,12 @@
 use crate::pool::{lock_recover, panic_message, SessionCore, SessionEvents, TryTake, WorkerPool};
 use crate::serve::{ConnectionReport, ServeTelemetry, Shared};
 use crate::session::{Feeder, JoinerState, SessionReport};
-use crate::sink::{Materializer, PayloadRef};
-use crate::stats::ReactorStats;
+use crate::sink::{BorrowedMatch, Materializer, PayloadRef, PayloadSink};
+use crate::stats::{ReactorStats, RuntimeStats};
+use crate::subscribe::{
+    shared_stream_parts, AttachError, FanoutSink, StreamControl, SubscriberDelivery, SubscriberId,
+    SubscriberReport, SubscriberSink,
+};
 use crate::wire::{FrameRef, FrameWrite, HandshakeDecoder, HandshakeReply, WireFormat, WireSink};
 use std::collections::VecDeque;
 use std::io::{Read, Write};
@@ -569,6 +573,86 @@ impl FrameWrite for OutboxWriter {
 }
 
 // ---------------------------------------------------------------------------
+// Shared-stream subscriber sinks
+// ---------------------------------------------------------------------------
+
+/// What a connection's accounting needs back from its boxed-away subscriber
+/// sink once the stream ends (the reactor twin of the blocking mode's
+/// `OwnerDone`).
+#[derive(Default)]
+struct SinkDone {
+    frames: u64,
+    bytes_out: u64,
+    write_error: Option<std::io::Error>,
+    report: Option<SubscriberReport>,
+}
+
+/// A subscriber whose frames go straight into a connection's outbox — used
+/// for the stream owner (lossless: the join executor parks on the owner's
+/// full outbox before folding, so nothing is ever shed) and for late
+/// attachers (shedding: a subscriber whose client stops draining loses *its
+/// own* matches, never stalls the shared pipeline).
+///
+/// Runs on the stream's join-executor thread, which may not be the
+/// connection's ingest thread: every delivery wakes the connection's poll
+/// loop so POLLOUT arms for the freshly queued frame.
+struct OutboxSubscriber {
+    sink: Option<WireSink<OutboxWriter>>,
+    outbox: Arc<OutboxShared>,
+    done: Arc<Mutex<SinkDone>>,
+    signal: Arc<ConnSignal>,
+    /// `true` for late attachers: a full outbox drops the match instead of
+    /// letting the fold park on it.
+    shed_when_full: bool,
+}
+
+impl SubscriberSink for OutboxSubscriber {
+    fn deliver(&mut self, m: BorrowedMatch) -> SubscriberDelivery {
+        let Some(sink) = self.sink.as_mut() else { return SubscriberDelivery::Dropped };
+        if self.shed_when_full && self.outbox.over_cap() {
+            return SubscriberDelivery::Dropped;
+        }
+        let accepted = sink.on_match_borrowed(m);
+        self.signal.wake.wake();
+        if accepted {
+            SubscriberDelivery::Delivered
+        } else if self.shed_when_full {
+            // The outbox latched closed (dead socket): stop fanning out to
+            // this subscriber entirely.
+            SubscriberDelivery::Detach
+        } else {
+            // Owner semantics mirror the direct path: a dead client's
+            // frames count as drops while its session runs to completion
+            // unobserved.
+            SubscriberDelivery::Dropped
+        }
+    }
+
+    fn end(&mut self, report: SubscriberReport) {
+        let (mut done, _) = lock_recover(&self.done);
+        if let Some(sink) = self.sink.take() {
+            done.frames = sink.frames;
+            done.bytes_out = sink.bytes_out;
+            let (_writer, err) = sink.into_parts();
+            done.write_error = err;
+        }
+        done.report = Some(report);
+        drop(done);
+        self.signal.done.store(true, Ordering::Release);
+        self.signal.wake.wake();
+    }
+}
+
+/// A connection attached to another connection's shared stream: no feeder,
+/// no join task — just a subscriber registration whose frames land in this
+/// connection's outbox.
+struct SubscriberConn {
+    control: Arc<StreamControl>,
+    id: SubscriberId,
+    done: Arc<Mutex<SinkDone>>,
+}
+
+// ---------------------------------------------------------------------------
 // The join executor
 // ---------------------------------------------------------------------------
 
@@ -589,7 +673,14 @@ pub(crate) struct JoinTask {
 struct JoinTaskInner {
     /// `None` once finalized.
     state: Option<JoinerState>,
-    sink: Materializer<WireSink<OutboxWriter>>,
+    /// Every reactor stream is a shared stream (exactly as in the blocking
+    /// mode): the joiner fans matches out through the subscription layer,
+    /// and the owner connection is subscriber 0 with a lossless
+    /// outbox-writing sink.
+    sink: Materializer<FanoutSink>,
+    /// The stream's control half — finalizing must flush every subscriber's
+    /// report through [`StreamControl::finish_stream`].
+    control: Arc<StreamControl>,
     report: Option<SessionReport>,
 }
 
@@ -721,12 +812,18 @@ fn run_join_task(task: &Arc<JoinTask>) {
         // may be inconsistent, so only the report shell is produced.
         let mut inner = lock_recover(&task.inner).0;
         if inner.report.is_none() {
-            inner.report = Some(SessionReport {
+            let report = SessionReport {
                 stats: core.counters.snapshot(),
                 match_counts: Vec::new(),
                 submatch_counts: Vec::new(),
                 error: core.poison_message(),
-            });
+            };
+            // Subscribers (the owner included) still get their final
+            // accounting, carrying the stream's poison message. Idempotent:
+            // a panic *inside* a subscriber's `end` re-enters here with the
+            // stream already ended and no subscribers left to flush.
+            inner.control.finish_stream(&report);
+            inner.report = Some(report);
         }
         inner.state = None;
         drop(inner);
@@ -754,6 +851,12 @@ fn join_steps(task: &Arc<JoinTask>) {
             TryTake::Pending => return,
             TryTake::Ended => {
                 let report = state.finalize(&task.core, &mut inner.sink);
+                // Flush every subscriber's report through its sink (the
+                // owner's harvests its frame accounting) before the done
+                // signal can close the connection — `close_conn` serializes
+                // on this task's lock, so the report is always complete by
+                // the time it is read.
+                inner.control.finish_stream(&report);
                 inner.report = Some(report);
                 inner.state = None;
                 task.signal.done.store(true, Ordering::Release);
@@ -790,6 +893,12 @@ struct ConnSession {
     /// The worker pool of the shard this stream was placed on: chunk jobs
     /// go here, not to a global pool.
     pool: Arc<WorkerPool>,
+    /// The stream's subscription-layer control: engine swaps scheduled by
+    /// mid-stream attaches land at the feeder's next chunk boundary.
+    control: Arc<StreamControl>,
+    /// The owner's frame accounting, harvested by its subscriber sink's
+    /// `end` when the stream finishes.
+    done: Arc<Mutex<SinkDone>>,
 }
 
 struct Conn {
@@ -799,6 +908,13 @@ struct Conn {
     outbox: Arc<OutboxShared>,
     signal: Arc<ConnSignal>,
     session: Option<ConnSession>,
+    /// Set instead of `session` when this connection attached to another
+    /// connection's live shared stream.
+    subscription: Option<SubscriberConn>,
+    /// The control this owner connection published in the server's hub for
+    /// late attaches; taken back (and the hub entry removed) the moment the
+    /// stream stops accepting bytes.
+    hub_published: Option<Arc<StreamControl>>,
     meta: Option<ConnMeta>,
     read_error: Option<String>,
     write_error: Option<String>,
@@ -827,7 +943,10 @@ impl Conn {
     fn idle_eligible(&self) -> bool {
         match self.phase {
             Phase::Handshaking { .. } => false,
-            Phase::Streaming => true,
+            // A subscriber is passive — it sends nothing, and a quiet stream
+            // proves nothing about its liveness. Its clock runs only while
+            // queued frames wait on it to read (the same rule as Draining).
+            Phase::Streaming => self.subscription.is_none() || !self.outbox.is_empty(),
             Phase::Draining | Phase::Rejecting => !self.outbox.is_empty(),
         }
     }
@@ -842,7 +961,10 @@ impl Conn {
             Phase::Streaming => {
                 let mut events = 0;
                 let blocked = self.session.as_ref().is_some_and(|s| s.feeder.is_blocked());
-                if !blocked {
+                // A subscriber never reads: bytes an attacher sends after GO
+                // are ignored (per the wire contract), so POLLIN stays off —
+                // its socket matters only as a frame drain.
+                if !blocked && self.subscription.is_none() {
                     events |= POLLIN;
                 }
                 if writable {
@@ -858,6 +980,18 @@ impl Conn {
                 }
             }
         }
+    }
+}
+
+/// Removes an owner connection's hub entry the moment its stream stops
+/// accepting bytes, so a late attach cannot land on a stream that is already
+/// finishing (it opens a fresh one instead). Removes only this connection's
+/// own registration — a raced owner's entry is not ours to drop.
+fn unpublish_stream(shared: &Shared, conn: &mut Conn) {
+    let Some(control) = conn.hub_published.take() else { return };
+    let (mut hub, _) = lock_recover(&shared.hub);
+    if hub.get(&control.stream_id()).is_some_and(|c| Arc::ptr_eq(c, &control)) {
+        hub.remove(&control.stream_id());
     }
 }
 
@@ -1209,6 +1343,8 @@ impl Reactor {
                 wake: Arc::clone(self.wake()),
             }),
             session: None,
+            subscription: None,
+            hub_published: None,
             meta: None,
             read_error: None,
             write_error: None,
@@ -1286,18 +1422,27 @@ impl Reactor {
             conn.phase = Phase::Rejecting;
             return;
         }
-        let engine = match crate::serve::build_engine(&self.shared.config, &request.queries) {
-            Ok(engine) => engine,
-            Err(message) => {
-                self.reject(slot, &message);
-                return;
-            }
-        };
         // The stream id is the partition key: the client's requested one, or
         // a process-unique assignment (a default of 0 for everyone would put
         // every default stream on one shard and make their frames
         // indistinguishable to an aggregating consumer).
         let stream_id = request.stream_id.unwrap_or_else(crate::serve::assign_stream_id);
+
+        // --- Attach: a handshake naming a live shared stream joins it ------
+        // Only explicitly named ids can match (assignments are
+        // process-unique), and the race where the stream ends between lookup
+        // and attach falls through to serving this connection as a fresh
+        // stream owner.
+        if request.stream_id.is_some() {
+            let target = lock_recover(&self.shared.hub).0.get(&stream_id).cloned();
+            if let Some(control) = target {
+                if self.attach_subscriber(slot, &request, stream_id, &control) {
+                    return;
+                }
+            }
+        }
+
+        // --- Owner path: open a shared stream this connection feeds --------
         let shard = self.shared.place_stream(stream_id);
         let runtime = Arc::clone(self.shared.router.shard(shard));
         let Some(conn) = self.conns.get_mut(slot).and_then(Option::as_mut) else { return };
@@ -1311,6 +1456,37 @@ impl Reactor {
             format: request.format,
         });
         self.shared.telemetry.handshake_nanos.record_duration(conn.accepted_at.elapsed());
+        // The owner is subscriber 0 of its own stream: its frames are framed
+        // straight into its outbox from the stream's joiner (lossless — the
+        // fold parks on the owner's full outbox, exactly the pre-subscription
+        // backpressure); only *co*-subscribers shed.
+        let done: Arc<Mutex<SinkDone>> = Arc::default();
+        let owner = OutboxSubscriber {
+            sink: Some(WireSink::new_vectored(
+                OutboxWriter { outbox: Arc::clone(&conn.outbox) },
+                request.format,
+                Box::new(OutboxWriter { outbox: Arc::clone(&conn.outbox) }),
+            )),
+            outbox: Arc::clone(&conn.outbox),
+            done: Arc::clone(&done),
+            signal: Arc::clone(&conn.signal),
+            shed_when_full: false,
+        };
+        let (engine, control) = match shared_stream_parts(
+            stream_id,
+            crate::serve::engine_config(&self.shared.config),
+            self.shared.config.max_automaton_states,
+            runtime.telemetry(),
+            &request.queries,
+            Box::new(owner),
+        ) {
+            Ok(parts) => parts,
+            Err(e) => {
+                self.reject(slot, &crate::serve::attach_reject_message(&e));
+                return;
+            }
+        };
+        let Some(conn) = self.conns.get_mut(slot).and_then(Option::as_mut) else { return };
         // CAST-OK: query count is admission-capped (max_queries) far below
         // 2^32 by the handshake decoder.
         let ids: Vec<u32> = (0..request.queries.len() as u32).collect();
@@ -1319,21 +1495,30 @@ impl Reactor {
             self.abort_conn(slot, "handshake reply failed: outbox closed");
             return;
         }
-        let opts = crate::serve::session_options(&self.shared.config, &request, stream_id);
+        // Publish for late attaches — before this thread returns to its poll
+        // loop, so the reply cannot reach the wire first. A racing owner
+        // with the same explicit id may have registered already; this stream
+        // then simply serves unshared — first registration wins the id.
+        {
+            let (mut hub, _) = lock_recover(&self.shared.hub);
+            let entry = hub.entry(stream_id).or_insert_with(|| Arc::clone(&control));
+            if Arc::ptr_eq(entry, &control) {
+                conn.hub_published = Some(Arc::clone(&control));
+            }
+        }
+        // `track_open_path` lets mid-stream engine swaps (scheduled by
+        // attaches with novel queries) replay the open-tag path on resume.
+        let opts = crate::serve::session_options(&self.shared.config, &request, stream_id)
+            .track_open_path(true);
         let core = runtime.new_session_core(Arc::clone(&engine), &opts);
-        let sink = Materializer {
-            core: Arc::clone(&core),
-            inner: WireSink::new_vectored(
-                OutboxWriter { outbox: Arc::clone(&conn.outbox) },
-                request.format,
-                Box::new(OutboxWriter { outbox: Arc::clone(&conn.outbox) }),
-            ),
-        };
+        let sink =
+            Materializer { core: Arc::clone(&core), inner: FanoutSink::new(Arc::clone(&control)) };
         let task = Arc::new(JoinTask {
             core: Arc::clone(&core),
             inner: Mutex::new(JoinTaskInner {
                 state: Some(JoinerState::new(&core)),
                 sink,
+                control: Arc::clone(&control),
                 report: None,
             }),
             queued: AtomicBool::new(false),
@@ -1356,7 +1541,79 @@ impl Reactor {
         if !remainder.is_empty() {
             feeder.feed_nonblocking(&pool, &remainder);
         }
-        conn.session = Some(ConnSession { feeder, task, pool });
+        conn.session = Some(ConnSession { feeder, task, pool, control, done });
+    }
+
+    /// Attaches a connection to a live shared stream: registers its queries
+    /// (merging them into the stream's automaton) with an outbox-writing
+    /// subscriber sink, and queues the `OK ATTACH` reply *under the stream's
+    /// state lock* so no frame can precede it. Returns `false` when the
+    /// stream ended before the attach landed — the caller then serves the
+    /// connection as a fresh owner.
+    fn attach_subscriber(
+        &mut self,
+        slot: usize,
+        request: &crate::wire::HandshakeRequest,
+        stream_id: u64,
+        control: &Arc<StreamControl>,
+    ) -> bool {
+        let Some(conn) = self.conns.get_mut(slot).and_then(Option::as_mut) else { return true };
+        let outbox = Arc::clone(&conn.outbox);
+        let signal = Arc::clone(&conn.signal);
+        let done: Arc<Mutex<SinkDone>> = Arc::default();
+        let sub = OutboxSubscriber {
+            sink: Some(WireSink::new_vectored(
+                OutboxWriter { outbox: Arc::clone(&outbox) },
+                request.format,
+                Box::new(OutboxWriter { outbox: Arc::clone(&outbox) }),
+            )),
+            outbox: Arc::clone(&outbox),
+            done: Arc::clone(&done),
+            signal,
+            shed_when_full: true,
+        };
+        // CAST-OK: query count is admission-capped (max_queries) far below
+        // 2^32 by the handshake decoder.
+        let ids: Vec<u32> = (0..request.queries.len() as u32).collect();
+        let reply = HandshakeReply::Attached { stream: stream_id, queries: ids }.encode();
+        let mut reply_failed = false;
+        let id = match control.attach_with(&request.queries, Box::new(sub), |_| {
+            reply_failed = outbox.push(reply.as_bytes()).is_err();
+        }) {
+            Ok(id) => id,
+            Err(AttachError::Ended) => return false,
+            Err(e) => {
+                self.reject(slot, &crate::serve::attach_reject_message(&e));
+                return true;
+            }
+        };
+        if reply_failed {
+            let _ = control.detach(id);
+            self.abort_conn(slot, "handshake reply failed: outbox closed");
+            return true;
+        }
+        // Subscribers account on the stream's shard — same placement as the
+        // owner (the ring is deterministic in the id), so co-subscribers of
+        // one stream never scatter across shards.
+        let shard = self.shared.place_stream(stream_id);
+        let Some(conn) = self.conns.get_mut(slot).and_then(Option::as_mut) else {
+            let _ = control.detach(id);
+            self.shared.shard_closed(shard);
+            return true;
+        };
+        conn.meta = Some(ConnMeta {
+            stream_id,
+            shard,
+            queries: request.queries.clone(),
+            format: request.format,
+        });
+        self.shared.telemetry.handshake_nanos.record_duration(conn.accepted_at.elapsed());
+        // Bytes an attacher sends after GO are ignored: the handshake
+        // decoder's remainder is discarded with it, and `interest` keeps
+        // POLLIN off for the connection's whole life.
+        conn.phase = Phase::Streaming;
+        conn.subscription = Some(SubscriberConn { control: Arc::clone(control), id, done });
+        true
     }
 
     fn stream_readable(&mut self, slot: usize, buf: &mut [u8]) {
@@ -1364,6 +1621,12 @@ impl Reactor {
         let Some(session) = conn.session.as_mut() else { return };
         if session.feeder.is_blocked() {
             return; // backpressured: leave the bytes in the kernel buffer
+        }
+        // A concurrent attach with novel queries scheduled a merged engine:
+        // land the swap before the next bytes (or the finish) so it takes
+        // effect at the attacher's chunk boundary.
+        if let Some(engine) = session.control.take_pending_engine() {
+            session.feeder.swap_engine(engine);
         }
         let pool = Arc::clone(&session.pool);
         match conn.stream.read(buf) {
@@ -1374,6 +1637,7 @@ impl Reactor {
                 session.feeder.request_finish();
                 session.feeder.pump_nonblocking(&pool);
                 conn.phase = Phase::Draining;
+                unpublish_stream(&self.shared, conn);
             }
             Ok(n) => {
                 conn.last_progress = Instant::now();
@@ -1390,6 +1654,7 @@ impl Reactor {
                 session.feeder.request_finish();
                 session.feeder.pump_nonblocking(&pool);
                 conn.phase = Phase::Draining;
+                unpublish_stream(&self.shared, conn);
             }
         }
     }
@@ -1424,6 +1689,13 @@ impl Reactor {
                     if session.task.stalled_on_outbox.swap(false, Ordering::SeqCst) {
                         enqueue_task(&session.task);
                     }
+                }
+                // A dead subscriber stops receiving its share of the fan-out
+                // right away; `end` (from the detach) sets the done signal,
+                // and the cleared outbox lets the sweep close the slot.
+                if let Some(sub) = &conn.subscription {
+                    let _ = sub.control.detach(sub.id);
+                    conn.phase = Phase::Draining;
                 }
             }
         }
@@ -1510,6 +1782,16 @@ impl Reactor {
                 }
                 conn.read_error.get_or_insert(reason);
                 conn.phase = Phase::Draining;
+                unpublish_stream(&self.shared, conn);
+            } else if let Some(sub) = &conn.subscription {
+                // A subscriber with queued frames nobody drained: the
+                // dead-but-open shape. Detaching it ends only this
+                // subscriber — the shared stream keeps serving everyone
+                // else.
+                conn.outbox.close_and_clear();
+                let _ = sub.control.detach(sub.id);
+                conn.write_error.get_or_insert(reason);
+                conn.phase = Phase::Draining;
             } else {
                 // A rejecting connection that never read its ERR line.
                 self.close_conn(slot, false);
@@ -1533,7 +1815,16 @@ impl Reactor {
                     // The session ended under the client (a worker panic
                     // poisoned it): stop reading, flush what's queued.
                     conn.phase = Phase::Draining;
+                    unpublish_stream(&self.shared, conn);
                 }
+            } else if conn.subscription.is_some()
+                && conn.signal.done.load(Ordering::Acquire)
+                && matches!(conn.phase, Phase::Streaming)
+            {
+                // The shared stream this connection subscribed to ended (its
+                // sink's `end` set the signal): flush the queued tail, then
+                // close.
+                conn.phase = Phase::Draining;
             }
             match conn.phase {
                 Phase::Draining
@@ -1568,6 +1859,12 @@ impl Reactor {
             }
             conn.write_error.get_or_insert_with(|| reason.to_string());
             conn.phase = Phase::Draining;
+            unpublish_stream(&self.shared, conn);
+        } else if let Some(sub) = &conn.subscription {
+            conn.outbox.close_and_clear();
+            let _ = sub.control.detach(sub.id);
+            conn.write_error.get_or_insert_with(|| reason.to_string());
+            conn.phase = Phase::Draining;
         } else {
             // RELAXED-OK: monotonic stat counter; orders nothing.
             self.shared.handshake_rejects.fetch_add(1, Ordering::Relaxed);
@@ -1580,19 +1877,49 @@ impl Reactor {
     fn close_conn(&mut self, slot: usize, record: bool) {
         let Some(mut conn) = self.conns[slot].take() else { return };
         self.free.push(slot);
+        unpublish_stream(&self.shared, &mut conn);
         if let Some(meta) = conn.meta.take() {
             if record {
-                let (report, frames, bytes_out, sink_error) = match conn.session.take() {
-                    Some(session) => {
-                        let mut inner = lock_recover(&session.task.inner).0;
-                        let report = inner.report.take();
-                        let frames = inner.sink.inner.frames;
-                        let bytes = inner.sink.inner.bytes_out;
-                        let sink_error = inner.sink.inner.io_error.take().map(|e| e.to_string());
-                        (report, frames, bytes, sink_error)
-                    }
-                    None => (None, 0, 0, None),
-                };
+                let (report, frames, bytes_out, sink_error) =
+                    match (conn.session.take(), conn.subscription.take()) {
+                        (Some(session), _) => {
+                            // The owner's frame accounting was harvested by its
+                            // subscriber sink's `end` when the stream finalized
+                            // (`finish_stream` runs under the task lock taken
+                            // here, so the hand-off is complete).
+                            let mut inner = lock_recover(&session.task.inner).0;
+                            let report = inner.report.take();
+                            drop(inner);
+                            let mut done = lock_recover(&session.done).0;
+                            let sink_error = done.write_error.take().map(|e| e.to_string());
+                            (report, done.frames, done.bytes_out, sink_error)
+                        }
+                        (None, Some(sub)) => {
+                            // No-op when the stream (or a delivery failure)
+                            // already detached this subscriber; otherwise the
+                            // client hung up first and this ends it.
+                            let _ = sub.control.detach(sub.id);
+                            let mut done = lock_recover(&sub.done).0;
+                            let sink_error = done.write_error.take().map(|e| e.to_string());
+                            // The subscriber's report becomes the connection's
+                            // session report: its local per-query counts, its
+                            // delivered/dropped totals, its (or the stream's)
+                            // terminal error — the same synthesis as the
+                            // blocking mode.
+                            let report = done.report.take().map(|r| SessionReport {
+                                stats: RuntimeStats {
+                                    matches: r.delivered,
+                                    dropped_matches: r.dropped,
+                                    ..RuntimeStats::default()
+                                },
+                                match_counts: r.match_counts,
+                                submatch_counts: Vec::new(),
+                                error: r.error,
+                            });
+                            (report, done.frames, done.bytes_out, sink_error)
+                        }
+                        (None, None) => (None, 0, 0, None),
+                    };
                 // `record` balances the shard placement accounting.
                 self.shared.record(ConnectionReport {
                     peer: conn.peer,
@@ -1875,6 +2202,8 @@ mod tests {
                 wake,
             }),
             session: None,
+            subscription: None,
+            hub_published: None,
             meta: None,
             read_error: None,
             write_error: None,

@@ -62,15 +62,19 @@
 
 use crate::pool::{lock_recover, wait_recover};
 use crate::shard::ShardRouter;
+use crate::sink::{BorrowedMatch, PayloadSink};
 use crate::stats::{ReactorStats, RouterStats, ShardStats};
+use crate::subscribe::{
+    AttachError, StreamControl, SubscriberDelivery, SubscriberReport, SubscriberSink,
+};
 use crate::telemetry::{Counter, EventJournal, EventKind, Histogram, Registry};
 use crate::wire::{
     HandshakeDecoder, HandshakeReply, HandshakeRequest, WireFormat, WireSink,
     DEFAULT_MAX_HANDSHAKE_LINE, DEFAULT_MAX_QUERIES,
 };
-use crate::{Runtime, SessionOptions, SessionReport};
-use ppt_core::Engine;
-use std::collections::VecDeque;
+use crate::{Runtime, RuntimeStats, SessionOptions, SessionReport};
+use ppt_core::EngineConfig;
+use std::collections::{HashMap, VecDeque};
 use std::io::{Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -170,6 +174,7 @@ pub struct TcpServerBuilder {
     pub(crate) max_outbox_bytes: usize,
     pub(crate) shard: ShardSpec,
     pub(crate) admin_addr: Option<String>,
+    pub(crate) max_automaton_states: usize,
 }
 
 impl Default for TcpServerBuilder {
@@ -189,6 +194,7 @@ impl Default for TcpServerBuilder {
             max_outbox_bytes: 1 << 20,
             shard: ShardSpec::default(),
             admin_addr: None,
+            max_automaton_states: 1 << 16,
         }
     }
 }
@@ -349,6 +355,16 @@ impl TcpServerBuilder {
     /// `curl` or bare `nc` (a non-HTTP request gets the metrics page raw).
     /// It renders from the same [`crate::telemetry::Registry`] assembly as
     /// the in-band `STATS` verb, so both surfaces always agree. Serving is
+    /// State-count ceiling for each stream's merged automaton (default
+    /// 65 536). A late attach whose query merge would determinize past this
+    /// budget is refused with a structured `ERR` — existing subscribers of
+    /// the stream are never degraded by a co-tenant's pathological query
+    /// set.
+    pub fn max_automaton_states(mut self, states: usize) -> TcpServerBuilder {
+        self.max_automaton_states = states;
+        self
+    }
+
     /// serial — one scrape at a time, each bounded by a short read timeout —
     /// because a metrics plane must never compete with the data plane for
     /// threads.
@@ -395,6 +411,7 @@ impl TcpServerBuilder {
             bytes_out: AtomicU64::new(0),
             active: AtomicUsize::new(0),
             reports: Mutex::new(VecDeque::new()),
+            hub: Mutex::new(HashMap::new()),
             telemetry: Arc::new(ServeTelemetry::default()),
             record_epoch: AtomicU64::new(0),
             #[cfg(unix)]
@@ -569,6 +586,12 @@ pub(crate) struct Shared {
     bytes_out: AtomicU64,
     pub(crate) active: AtomicUsize,
     reports: Mutex<VecDeque<ConnectionReport>>,
+    /// Live shared streams by stream id: a later connection whose handshake
+    /// names one of these ids *attaches* to the running stream (one
+    /// transducer pass fans out to every subscriber) instead of opening a
+    /// second session. Entries are registered by the owning connection and
+    /// removed when its stream finishes.
+    pub(crate) hub: Mutex<HashMap<u64, Arc<StreamControl>>>,
     pub(crate) telemetry: Arc<ServeTelemetry>,
     /// Seqlock epoch over [`Shared::record`]'s multi-counter update: odd
     /// while a record is mid-flight, bumped even when it settles. Snapshot
@@ -947,6 +970,37 @@ impl Shared {
                 telemetry.ring_occupancy_bytes.snapshot(),
                 1.0,
             );
+            reg.histogram(
+                "ppt_automaton_states",
+                "DFA states of every (merged) automaton the subscription layer compiled, by shard.",
+                vec![("shard", idx.to_string())],
+                telemetry.automaton_states.snapshot(),
+                1.0,
+            );
+        }
+        {
+            let (hub, _) = lock_recover(&self.hub);
+            reg.gauge(
+                "ppt_shared_streams",
+                "Live shared streams registered for late attach.",
+                vec![],
+                hub.len() as f64,
+            );
+            for (id, control) in hub.iter() {
+                let label = |key| vec![(key, id.to_string())];
+                reg.gauge(
+                    "ppt_stream_subscribers",
+                    "Live subscribers, by shared stream.",
+                    label("stream"),
+                    control.subscriber_count() as f64,
+                );
+                reg.gauge(
+                    "ppt_stream_merged_queries",
+                    "Distinct queries in the stream's merged automaton.",
+                    label("stream"),
+                    control.merged_query_count() as f64,
+                );
+            }
         }
         let serve = &self.telemetry;
         reg.histogram(
@@ -985,20 +1039,17 @@ impl Shared {
     }
 }
 
-/// Builds the per-connection engine from the registered queries. The error
-/// is the structured wire message for the `ERR` reply.
-pub(crate) fn build_engine(
-    cfg: &TcpServerBuilder,
-    queries: &[String],
-) -> Result<Arc<Engine>, String> {
-    let mut builder = Engine::builder().add_queries(queries).map_err(|e| e.wire_message())?;
+/// The merged-engine config the server's knobs map to (chunk and window
+/// overrides for the shared stream every connection opens or joins).
+pub(crate) fn engine_config(cfg: &TcpServerBuilder) -> EngineConfig {
+    let mut config = EngineConfig::default();
     if let Some(bytes) = cfg.chunk_size {
-        builder = builder.chunk_size(bytes);
+        config.chunk_size = bytes;
     }
     if let Some(bytes) = cfg.window_size {
-        builder = builder.window_size(bytes);
+        config.window_size = bytes;
     }
-    builder.build().map(Arc::new).map_err(|e| e.wire_message())
+    config
 }
 
 /// The session options a handshake request maps to. `stream_id` is the
@@ -1442,27 +1493,33 @@ fn serve_connection(shared: &Shared, mut stream: TcpStream, peer: SocketAddr) {
     let _ = stream.set_read_timeout(cfg.idle_timeout);
     let _ = stream.set_write_timeout(cfg.idle_timeout);
 
-    // --- Engine build (query parse errors go back over the wire) -----------
-    let engine = match build_engine(cfg, &request.queries) {
-        Ok(engine) => engine,
-        Err(message) => {
-            reject(shared, &mut stream, &message);
-            return;
-        }
-    };
-
-    // --- Accept: per-query ids, in registration order -----------------------
-    // From here on the handshake *succeeded*: failures are session failures
-    // (recorded with a report, counted in `sessions_failed`), not handshake
-    // rejects — an operator watching `handshake_rejects` for protocol abuse
-    // must not see phantom rejects from clients that vanished post-accept.
-    //
     // The stream id is resolved here — the client's requested one, or a
     // process-unique assignment (two default handshakes used to both get 0,
     // making their frames indistinguishable to an aggregating consumer) —
     // and it is the partition key: the connection runs on the pools of the
     // shard its id hashes to.
     let stream_id = request.stream_id.unwrap_or_else(assign_stream_id);
+
+    // --- Attach: a handshake naming a live shared stream joins it ----------
+    // Only explicitly named ids can match (assignments are process-unique),
+    // and the race where the stream ends between lookup and attach falls
+    // through to serving this connection as a fresh stream owner.
+    if request.stream_id.is_some() {
+        let target = lock_recover(&shared.hub).0.get(&stream_id).cloned();
+        if let Some(control) = target {
+            if serve_attached(shared, &mut stream, peer, &control, &request, stream_id) {
+                return;
+            }
+        }
+    }
+
+    // --- Owner path: open a shared stream this connection feeds ------------
+    // From here on the handshake *succeeded*: failures are session failures
+    // (recorded with a report, counted in `sessions_failed`), not handshake
+    // rejects — an operator watching `handshake_rejects` for protocol abuse
+    // must not see phantom rejects from clients that vanished post-accept.
+    // (Query parse errors still go back over the wire as `ERR`, exactly as
+    // they always did.)
     let shard = shared.place_stream(stream_id);
     let runtime = Arc::clone(shared.router.shard(shard));
     let session_setup_failed = |error: String| {
@@ -1479,14 +1536,6 @@ fn serve_connection(shared: &Shared, mut stream: TcpStream, peer: SocketAddr) {
             read_error: None,
         });
     };
-    // CAST-OK: query count is admission-capped (max_queries) far below
-    // 2^32 by the handshake decoder before we get here.
-    let ids: Vec<u32> = (0..request.queries.len() as u32).collect();
-    let reply = HandshakeReply::Accepted { stream: stream_id, queries: ids };
-    if let Err(e) = stream.write_all(reply.encode().as_bytes()) {
-        session_setup_failed(format!("handshake reply failed: {e}"));
-        return;
-    }
     let writer = match stream.try_clone() {
         Ok(writer) => writer,
         Err(e) => {
@@ -1496,20 +1545,75 @@ fn serve_connection(shared: &Shared, mut stream: TcpStream, peer: SocketAddr) {
     };
 
     // --- Session ------------------------------------------------------------
+    // The connection's own frames are written straight onto the socket from
+    // the stream's joiner — the single-subscriber case keeps the legacy
+    // lossless backpressure; only *co*-subscribers ride bounded queues.
     let opts = session_options(cfg, &request, stream_id);
+    let done: Arc<Mutex<OwnerDone>> = Arc::default();
+    let owner = OwnerSubscriber {
+        sink: Some(WireSink::new(writer, request.format)),
+        done: Arc::clone(&done),
+    };
+    let mut handle = match runtime.open_shared_stream(
+        &opts,
+        engine_config(cfg),
+        cfg.max_automaton_states,
+        &request.queries,
+        Box::new(owner),
+    ) {
+        Ok(handle) => handle,
+        Err(e) => {
+            reject(shared, &mut stream, &attach_reject_message(&e));
+            shared.shard_closed(shard);
+            return;
+        }
+    };
+    let control = handle.control();
+    // Publish for late attaches. A racing owner with the same explicit id
+    // may have registered first; this stream then simply serves unshared
+    // (its own subscriber only) — first registration wins the id.
+    lock_recover(&shared.hub).0.entry(stream_id).or_insert_with(|| Arc::clone(&control));
+
+    // CAST-OK: query count is admission-capped (max_queries) far below
+    // 2^32 by the handshake decoder before we get here.
+    let ids: Vec<u32> = (0..request.queries.len() as u32).collect();
+    let reply = HandshakeReply::Accepted { stream: stream_id, queries: ids };
+    let reply_failed = stream.write_all(reply.encode().as_bytes()).err();
+
+    // --- Feed loop ----------------------------------------------------------
     // Bytes that arrived in the same reads as the handshake are the head of
-    // the stream; chain them in front of the socket.
-    let remainder = decoder.take_remainder();
-    let reader = std::io::Cursor::new(remainder).chain(&stream);
-    // Own the sink (rather than `serve_reader`) so the report and the write
-    // error survive even when the *reader* side of the connection dies.
-    let mut sink = WireSink::new(writer, request.format);
-    let result = runtime.process_materialized(engine, &opts, reader, &mut sink);
-    let (frames, bytes_out) = (sink.frames, sink.bytes_out);
-    let (writer, write_error) = sink.into_parts();
-    // Half-close so the client's frame reader sees EOF even if the client
-    // keeps its write half open.
-    let _ = writer.shutdown(Shutdown::Write);
+    // the stream.
+    let mut read_error: Option<std::io::Error> = None;
+    if reply_failed.is_none() {
+        let remainder = decoder.take_remainder();
+        if !remainder.is_empty() {
+            handle.feed(&remainder);
+        }
+        let mut buf = [0u8; 64 << 10];
+        while !handle.is_dead() {
+            match stream.read(&mut buf) {
+                Ok(0) => break,
+                Ok(n) => handle.feed(&buf[..n]),
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => {
+                    read_error = Some(e);
+                    break;
+                }
+            }
+        }
+    }
+
+    // Unpublish before draining so a late attach cannot land on a stream
+    // that is already finishing (it opens a fresh one instead); remove only
+    // our own registration (a raced owner's entry is not ours to drop).
+    {
+        let (mut hub, _) = lock_recover(&shared.hub);
+        if hub.get(&stream_id).is_some_and(|c| Arc::ptr_eq(c, &control)) {
+            hub.remove(&stream_id);
+        }
+    }
+    let report = handle.finish();
+
     // A socket-deadline expiry on either side *is* the liveness verdict in
     // this mode: name it as such instead of leaking the kernel's
     // would-block phrasing into the report.
@@ -1519,23 +1623,212 @@ fn serve_connection(shared: &Shared, mut stream: TcpStream, peer: SocketAddr) {
         }
         _ => e.to_string(),
     };
-    let (report, read_error) = match result {
-        Ok(report) => (Some(report), None),
-        Err(e) => (None, Some(name_verdict(e))),
+    let owner_done = std::mem::take(&mut *lock_recover(&done).0);
+    let write_error = match reply_failed {
+        Some(e) => Some(format!("handshake reply failed: {e}")),
+        None => owner_done.write_error.map(name_verdict),
     };
-    let write_error = write_error.map(name_verdict);
     shared.record(ConnectionReport {
         peer,
         stream_id,
         shard,
         queries: request.queries,
         format: request.format,
-        frames,
-        bytes_out,
-        report,
+        frames: owner_done.frames,
+        bytes_out: owner_done.bytes_out,
+        report: Some(report),
         write_error,
-        read_error,
+        read_error: read_error.map(name_verdict),
     });
+}
+
+/// Frames a subscriber's bounded queue holds before the stream starts
+/// shedding that subscriber's matches: the slow co-tenant's isolation
+/// boundary — a subscriber that stops draining costs drops on *its own*
+/// connection, never a stall of the shared pipeline.
+const SUBSCRIBER_QUEUE_FRAMES: usize = 1024;
+
+/// The `ERR` text an attach/open failure maps to (query parse errors keep
+/// the exact `wire_message` shape the non-shared handshake always used).
+pub(crate) fn attach_reject_message(err: &AttachError) -> String {
+    match err {
+        AttachError::Query(e) => e.wire_message(),
+        other => other.to_string(),
+    }
+}
+
+/// What the owner connection's accounting needs back from its boxed-away
+/// subscriber sink once the stream ends.
+#[derive(Default)]
+struct OwnerDone {
+    frames: u64,
+    bytes_out: u64,
+    write_error: Option<std::io::Error>,
+    report: Option<SubscriberReport>,
+}
+
+/// The stream owner's subscriber: writes its frames straight onto the
+/// connection socket from the stream's joiner (lossless, exactly the
+/// pre-subscription serving discipline) and hands the accounting back
+/// through `done` when the stream ends.
+struct OwnerSubscriber {
+    sink: Option<WireSink<TcpStream>>,
+    done: Arc<Mutex<OwnerDone>>,
+}
+
+impl SubscriberSink for OwnerSubscriber {
+    fn deliver(&mut self, m: BorrowedMatch) -> SubscriberDelivery {
+        // `WireSink` latches the first write error and refuses further
+        // frames; the latched error surfaces in `end`.
+        match self.sink.as_mut() {
+            Some(sink) => {
+                if sink.on_match_borrowed(m) {
+                    SubscriberDelivery::Delivered
+                } else {
+                    SubscriberDelivery::Dropped
+                }
+            }
+            None => SubscriberDelivery::Dropped,
+        }
+    }
+
+    fn end(&mut self, report: SubscriberReport) {
+        let (mut done, _) = lock_recover(&self.done);
+        if let Some(sink) = self.sink.take() {
+            done.frames = sink.frames;
+            done.bytes_out = sink.bytes_out;
+            let (writer, err) = sink.into_parts();
+            done.write_error = err;
+            // Half-close so the client's frame reader sees EOF even if the
+            // client keeps its write half open.
+            let _ = writer.shutdown(Shutdown::Write);
+        }
+        done.report = Some(report);
+    }
+}
+
+/// A late subscriber's sink: matches hop a bounded queue from the shared
+/// stream's joiner to the subscriber's own connection thread, which does the
+/// (potentially slow) socket writes. `try_send` keeps delivery non-blocking:
+/// a full queue sheds *this* subscriber's match, a hung-up drainer detaches
+/// it — the shared pipeline never waits.
+struct ChannelSubscriber {
+    tx: Option<std::sync::mpsc::SyncSender<BorrowedMatch>>,
+    report: Arc<Mutex<Option<SubscriberReport>>>,
+}
+
+impl SubscriberSink for ChannelSubscriber {
+    fn deliver(&mut self, m: BorrowedMatch) -> SubscriberDelivery {
+        match &self.tx {
+            Some(tx) => match tx.try_send(m) {
+                Ok(()) => SubscriberDelivery::Delivered,
+                Err(std::sync::mpsc::TrySendError::Full(_)) => SubscriberDelivery::Dropped,
+                Err(std::sync::mpsc::TrySendError::Disconnected(_)) => SubscriberDelivery::Detach,
+            },
+            None => SubscriberDelivery::Detach,
+        }
+    }
+
+    fn end(&mut self, report: SubscriberReport) {
+        *lock_recover(&self.report).0 = Some(report);
+        // Dropping the sender disconnects the receiver once the queued
+        // frames drain: the connection thread writes out the tail and
+        // closes.
+        self.tx = None;
+    }
+}
+
+/// Serves a connection that attached to a live shared stream: registers its
+/// queries (merging them into the stream's automaton), replies `OK ATTACH`,
+/// then drains the subscriber's frame queue onto the socket until the stream
+/// ends or the socket dies. Returns `false` when the stream ended before the
+/// attach landed — the caller then serves the connection as a fresh owner.
+fn serve_attached(
+    shared: &Shared,
+    stream: &mut TcpStream,
+    peer: SocketAddr,
+    control: &Arc<StreamControl>,
+    request: &HandshakeRequest,
+    stream_id: u64,
+) -> bool {
+    let (tx, rx) = std::sync::mpsc::sync_channel::<BorrowedMatch>(SUBSCRIBER_QUEUE_FRAMES);
+    let slot: Arc<Mutex<Option<SubscriberReport>>> = Arc::default();
+    let sub = ChannelSubscriber { tx: Some(tx), report: Arc::clone(&slot) };
+    let id = match control.attach(&request.queries, Box::new(sub)) {
+        Ok(id) => id,
+        Err(AttachError::Ended) => return false,
+        Err(e) => {
+            reject(shared, stream, &attach_reject_message(&e));
+            return true;
+        }
+    };
+    // Subscribers account on the stream's shard — same placement as the
+    // owner (the ring is deterministic in the id), so co-subscribers of one
+    // stream never scatter across shards.
+    let shard = shared.place_stream(stream_id);
+    let record = |frames: u64,
+                  bytes_out: u64,
+                  report: Option<SessionReport>,
+                  write_error: Option<String>| {
+        shared.record(ConnectionReport {
+            peer,
+            stream_id,
+            shard,
+            queries: request.queries.clone(),
+            format: request.format,
+            frames,
+            bytes_out,
+            report,
+            write_error,
+            read_error: None,
+        });
+    };
+    // CAST-OK: query count is admission-capped (max_queries) far below
+    // 2^32 by the handshake decoder before we get here.
+    let ids: Vec<u32> = (0..request.queries.len() as u32).collect();
+    let reply = HandshakeReply::Attached { stream: stream_id, queries: ids };
+    if let Err(e) = stream.write_all(reply.encode().as_bytes()) {
+        let _ = control.detach(id);
+        record(0, 0, None, Some(format!("handshake reply failed: {e}")));
+        return true;
+    }
+    let writer = match stream.try_clone() {
+        Ok(writer) => writer,
+        Err(e) => {
+            let _ = control.detach(id);
+            record(0, 0, None, Some(format!("socket clone failed: {e}")));
+            return true;
+        }
+    };
+
+    // Drain queue → socket. The payload refs still borrow the stream's
+    // retention windows — the fan-out stayed zero-copy across the thread
+    // hop; the bytes are first copied (if ever) by the kernel here.
+    let mut sink = WireSink::new(writer, request.format);
+    while let Ok(m) = rx.recv() {
+        if !sink.on_match_borrowed(m) {
+            break; // write died: stop draining, detach below
+        }
+    }
+    let _ = control.detach(id); // no-op when the stream ended first
+    let (frames, bytes_out) = (sink.frames, sink.bytes_out);
+    let (writer, write_error) = sink.into_parts();
+    let _ = writer.shutdown(Shutdown::Write);
+    // The subscriber's report becomes the connection's session report: its
+    // local per-query counts, its delivered/dropped totals, its (or the
+    // stream's) terminal error.
+    let session_report = lock_recover(&slot).0.take().map(|r| SessionReport {
+        stats: RuntimeStats {
+            matches: r.delivered,
+            dropped_matches: r.dropped,
+            ..RuntimeStats::default()
+        },
+        match_counts: r.match_counts,
+        submatch_counts: Vec::new(),
+        error: r.error,
+    });
+    record(frames, bytes_out, session_report, write_error.map(|e| e.to_string()));
+    true
 }
 
 /// Writes a structured `ERR` reply (best effort — the client may already be
@@ -1679,6 +1972,10 @@ pub struct Registration {
     pub stream_id: u64,
     /// Per-query ids, in registration order.
     pub query_ids: Vec<u32>,
+    /// `true` when the server replied `OK ATTACH`: this connection joined an
+    /// already-live shared stream and receives frames from its attach point
+    /// onward, not from the stream's beginning.
+    pub attached: bool,
 }
 
 /// Client-side helper: writes `request`'s handshake onto `stream` and reads
@@ -1713,7 +2010,10 @@ pub fn register(
     let text = String::from_utf8_lossy(&line);
     match HandshakeReply::decode(&text) {
         Ok(HandshakeReply::Accepted { stream, queries }) => {
-            Ok(Registration { stream_id: stream, query_ids: queries })
+            Ok(Registration { stream_id: stream, query_ids: queries, attached: false })
+        }
+        Ok(HandshakeReply::Attached { stream, queries }) => {
+            Ok(Registration { stream_id: stream, query_ids: queries, attached: true })
         }
         Ok(HandshakeReply::Rejected(reason)) => Err(ClientError::Rejected(reason)),
         Err(_) => Err(ClientError::BadReply(text.into())),

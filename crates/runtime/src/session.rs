@@ -17,7 +17,7 @@
 //! feeder rather than growing queues.
 
 use crate::filters::FilterBank;
-use crate::pool::{Job, SessionCore, WorkerPool};
+use crate::pool::{EngineSwap, Job, SessionCore, WorkerPool};
 use crate::resolver::{SpanEvent, SpanResolver};
 use crate::sink::{MatchSink, OnlineMatch};
 use crate::stats::RuntimeStats;
@@ -48,12 +48,48 @@ pub struct SessionReport {
 struct PendingChunk {
     window: SharedWindow,
     range: Range<usize>,
+    /// The engine in force when the chunk was produced. Captured at enqueue
+    /// time so a later [`Feeder::swap_engine`] cannot retroactively move
+    /// already-windowed chunks onto the new automaton (their fold state
+    /// belongs to the old one).
+    engine: Arc<ppt_core::Engine>,
     /// First chunk of its window: submitting it is the moment the window is
     /// pushed into the retention ring. Retaining at *submission* (not when
     /// the splitter popped the window) keeps the ring's occupancy coupled to
     /// the credit scheme — a deep pending queue must not flood the ring with
     /// windows whose chunks cannot fold yet.
     first_of_window: bool,
+}
+
+/// Tracks the stream's open-tag path across the windows the feeder has
+/// enqueued — the replay seed for a mid-stream engine swap.
+///
+/// Mirrors the transducer's stack discipline exactly: an opening tag pushes
+/// its name, a closing tag pops *if the stack is non-empty* (a stray close on
+/// an empty stack leaves the sequential execution's state unchanged, so it
+/// must leave the path unchanged too). Only maintained for sessions that opt
+/// into engine swaps ([`crate::SessionOptions::track_open_path`]) — it costs
+/// one extra tags-only lex per window.
+struct TagPathTracker {
+    path: Vec<Vec<u8>>,
+}
+
+impl TagPathTracker {
+    fn new() -> TagPathTracker {
+        TagPathTracker { path: Vec::new() }
+    }
+
+    fn consume(&mut self, bytes: &[u8]) {
+        for ev in ppt_xmlstream::Lexer::tags_only(bytes) {
+            match ev {
+                ppt_xmlstream::XmlEvent::Open { name, .. } => self.path.push(name.to_vec()),
+                ppt_xmlstream::XmlEvent::Close { .. } => {
+                    self.path.pop();
+                }
+                _ => {}
+            }
+        }
+    }
 }
 
 /// The splitter stage: windows the byte stream and submits chunk jobs.
@@ -78,6 +114,12 @@ pub(crate) struct Feeder {
     pending: VecDeque<PendingChunk>,
     finish_requested: bool,
     announced: bool,
+    /// The engine stamped on newly enqueued chunks (starts as the session's
+    /// compile-time engine, replaced by [`Feeder::swap_engine`]).
+    engine: Arc<ppt_core::Engine>,
+    /// Open-tag path over the enqueued windows; `None` unless the session
+    /// opted into engine swaps.
+    path: Option<TagPathTracker>,
 }
 
 /// Whether a non-blocking feed landed every chunk or left some pending.
@@ -94,6 +136,8 @@ impl Feeder {
     pub fn new(core: Arc<SessionCore>) -> Feeder {
         let config = core.engine.config();
         let (window_size, chunk_size) = (config.window_size, config.chunk_size);
+        let engine = Arc::clone(&core.engine);
+        let path = core.track_open_path.then(TagPathTracker::new);
         Feeder {
             core,
             splitter: WindowSplitter::new(window_size),
@@ -102,11 +146,34 @@ impl Feeder {
             pending: VecDeque::new(),
             finish_requested: false,
             announced: false,
+            engine,
+            path,
         }
     }
 
     pub fn core(&self) -> &Arc<SessionCore> {
         &self.core
+    }
+
+    /// Replaces the session's engine at the next chunk boundary: chunks not
+    /// yet windowed (including splitter tail bytes) run on `engine`, chunks
+    /// already enqueued or in flight finish on the old one, and the joiner is
+    /// told where the boundary falls and which tags are open there so it can
+    /// reconstruct the new automaton's fold state.
+    ///
+    /// Requires [`crate::SessionOptions::track_open_path`]; panics otherwise
+    /// (the boundary path would be unknown).
+    pub fn swap_engine(&mut self, engine: Arc<ppt_core::Engine>) {
+        // UNWRAP-OK: documented contract — the only callers are shared
+        // streams, which force `track_open_path` at open time.
+        let tracker =
+            self.path.as_ref().expect("swap_engine requires SessionOptions::track_open_path");
+        let swap_seq = self.next_seq + self.pending.len() as u64;
+        self.core.schedule_swap(
+            swap_seq,
+            EngineSwap { engine: Arc::clone(&engine), open_path: tracker.path.clone() },
+        );
+        self.engine = engine;
     }
 
     /// Pushes stream bytes, submitting every window that completes. May block
@@ -181,12 +248,16 @@ impl Feeder {
         counters.windows.fetch_add(1, Ordering::Relaxed);
         // RELAXED-OK: same mutex-chain ordering as `windows` above.
         counters.bytes_in.fetch_add(window.len() as u64, Ordering::Relaxed);
+        if let Some(tracker) = &mut self.path {
+            tracker.consume(window.bytes());
+        }
         let mut first = true;
         for chunk in split_chunks(window.bytes(), self.chunk_size) {
             self.core.telemetry.chunk_bytes.record(chunk.range.len() as u64);
             self.pending.push_back(PendingChunk {
                 window: window.clone(),
                 range: chunk.range,
+                engine: Arc::clone(&self.engine),
                 first_of_window: first,
             });
             first = false;
@@ -255,6 +326,7 @@ impl Feeder {
             self.core.counters.chunks_submitted.fetch_add(1, Ordering::Release);
             pool.submit(Job {
                 session: Arc::clone(&self.core),
+                engine: chunk.engine,
                 window: chunk.window,
                 range: chunk.range,
                 seq: self.next_seq,
@@ -308,6 +380,10 @@ pub(crate) fn joiner_guarded(
 ///   with [`SessionCore::try_take`] — hundreds of sessions, a handful of
 ///   threads, nothing ever blocked.
 pub(crate) struct JoinerState {
+    /// The engine currently folding the stream. Starts as the session's
+    /// compile-time engine; replaced when an [`EngineSwap`] boundary is
+    /// crossed (a subscriber attached new queries to a shared stream).
+    engine: Arc<ppt_core::Engine>,
     folder: PrefixFolder,
     resolver: SpanResolver,
     bank: FilterBank,
@@ -317,13 +393,14 @@ pub(crate) struct JoinerState {
 
 impl JoinerState {
     pub fn new(core: &SessionCore) -> JoinerState {
-        let engine = &core.engine;
+        let engine = Arc::clone(&core.engine);
         JoinerState {
             folder: PrefixFolder::new(engine.transducer()),
             resolver: SpanResolver::new(core.resolve_spans),
             bank: FilterBank::new(engine.plan(), core.resolve_spans),
             events: Vec::new(),
             seq: 0,
+            engine,
         }
     }
 
@@ -332,10 +409,29 @@ impl JoinerState {
         self.seq
     }
 
+    /// Crosses an engine-swap boundary: rebuild the fold state for the new
+    /// (merged) transducer by replaying the open-tag path — states and
+    /// stacks of the old automaton mean nothing to the new one — and extend
+    /// the filter bank with the appended queries. The span resolver carries
+    /// over untouched (it tracks byte offsets, not automaton state), so
+    /// spans opened before the swap still resolve for pre-swap subscribers.
+    fn apply_swap(&mut self, swap: EngineSwap) {
+        self.folder = PrefixFolder::resume(
+            swap.engine.transducer(),
+            swap.open_path.iter().map(|name| name.as_slice()),
+            self.folder.chunks(),
+        );
+        self.bank.extend(swap.engine.plan());
+        self.engine = swap.engine;
+    }
+
     /// Folds one **in-order** chunk output: fold, resolve, filter, emit,
     /// release the retained windows below the new frontier, and return the
     /// chunk's credit.
     pub fn fold_one(&mut self, core: &SessionCore, sink: &mut dyn MatchSink, out: ChunkOutput) {
+        if let Some(swap) = core.take_swap_through(self.seq) {
+            self.apply_swap(swap);
+        }
         let fold_started = std::time::Instant::now();
         let folded_upto = out.end_offset;
         let mut delta = self.folder.fold(out.mapping, out.depth_delta, out.ladder);
@@ -382,6 +478,13 @@ impl JoinerState {
     /// once, after the mailbox reported the stream ended or the session died.
     pub fn finalize(&mut self, core: &SessionCore, sink: &mut dyn MatchSink) -> SessionReport {
         let finalize_started = std::time::Instant::now();
+        // A swap scheduled at the very end of the stream (a subscriber that
+        // attached after the last byte) never sees a chunk fold; apply it
+        // here so the final report's per-query counts cover every query the
+        // stream ended with.
+        if let Some(swap) = core.take_swap_through(u64::MAX) {
+            self.apply_swap(swap);
+        }
         let error = core.poison_message();
         if error.is_none() {
             // Stream ended cleanly: cap unclosed elements at the stream
@@ -416,7 +519,7 @@ impl JoinerState {
     /// the steady-state fold and the finish step so the accounting cannot
     /// diverge.
     fn drain_events(&mut self, core: &SessionCore, sink: &mut dyn MatchSink, flush: bool) {
-        let plan = core.engine.plan();
+        let plan = self.engine.plan();
         let counters = &core.counters;
         let bank = &mut self.bank;
         let mut emit = |m: OnlineMatch| {

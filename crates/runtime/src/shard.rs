@@ -249,7 +249,7 @@ pub fn forward<A: ToSocketAddrs, R: Read + Send, W: Write>(
 ) -> Result<ForwardReport, ClientError> {
     let mut stream = TcpStream::connect(addr)?;
     let _ = stream.set_nodelay(true);
-    let Registration { stream_id, query_ids } = register(&mut stream, request)?;
+    let Registration { stream_id, query_ids, .. } = register(&mut stream, request)?;
     let upstream = stream.try_clone()?;
     let (bytes_down, bytes_up) =
         std::thread::scope(|scope| -> Result<(u64, std::io::Result<u64>), ClientError> {

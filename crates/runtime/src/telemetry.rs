@@ -249,6 +249,11 @@ pub struct RuntimeTelemetry {
     pub finalize_nanos: Histogram,
     /// Retention-ring occupancy sampled at each window retention (bytes).
     pub ring_occupancy_bytes: Histogram,
+    /// DFA state count of every automaton compiled by the subscription
+    /// layer (initial compiles and attach-time merges). Watch this against
+    /// the configured state budget: merges refused with
+    /// [`ppt_automaton::StateBudgetExceeded`] never record here.
+    pub automaton_states: Histogram,
 }
 
 impl RuntimeTelemetry {

@@ -1247,6 +1247,19 @@ pub enum HandshakeReply {
         /// Per-query ids, in registration order.
         queries: Vec<u32>,
     },
+    /// The queries were registered *onto an already-live shared stream*:
+    /// the server merged them into the stream's automaton and this
+    /// connection now receives that stream's frames from the attach point
+    /// onward (not from the beginning). Query ids are scoped to this
+    /// connection — local registration order, exactly as `Accepted` ids are
+    /// — regardless of how the shared automaton numbers them internally.
+    Attached {
+        /// The shared stream's id (always the requested id: attaching
+        /// requires naming the stream).
+        stream: u64,
+        /// Per-query ids local to this connection, in registration order.
+        queries: Vec<u32>,
+    },
     /// The handshake was rejected; the message is the structured reason and
     /// the server closes after sending it.
     Rejected(String),
@@ -1270,6 +1283,15 @@ impl HandshakeReply {
                 line.push('\n');
                 line
             }
+            HandshakeReply::Attached { stream, queries } => {
+                let mut line = format!("OK ATTACH {stream}");
+                for id in queries {
+                    line.push(' ');
+                    line.push_str(&id.to_string());
+                }
+                line.push('\n');
+                line
+            }
             HandshakeReply::Rejected(msg) => {
                 let flat: String =
                     msg.chars().map(|c| if c.is_control() { ' ' } else { c }).collect();
@@ -1285,7 +1307,8 @@ impl HandshakeReply {
         let line = line.trim_end_matches(['\n', '\r']);
         if let Some(rest) = line.strip_prefix("OK") {
             let mut tokens = rest.split_whitespace().peekable();
-            let stream = if tokens.peek() == Some(&"STREAM") {
+            let attached = tokens.peek() == Some(&"ATTACH");
+            let stream = if attached || tokens.peek() == Some(&"STREAM") {
                 tokens.next();
                 tokens
                     .next()
@@ -1299,7 +1322,11 @@ impl HandshakeReply {
                     tok.parse::<u32>().map_err(|_| HandshakeError::BadReply(line.to_string()))
                 })
                 .collect::<Result<Vec<u32>, HandshakeError>>()?;
-            return Ok(HandshakeReply::Accepted { stream, queries });
+            return Ok(if attached {
+                HandshakeReply::Attached { stream, queries }
+            } else {
+                HandshakeReply::Accepted { stream, queries }
+            });
         }
         if let Some(rest) = line.strip_prefix("ERR ") {
             return Ok(HandshakeReply::Rejected(rest.to_string()));
@@ -1607,10 +1634,22 @@ mod tests {
             HandshakeReply::Rejected("bad query".into())
         );
 
+        let attach = HandshakeReply::Attached { stream: 42, queries: vec![0, 1] };
+        assert_eq!(attach.encode(), "OK ATTACH 42 0 1\n");
+        assert_eq!(HandshakeReply::decode(&attach.encode()).unwrap(), attach);
+        // Attaching with zero queries is not a thing, but the line form is
+        // symmetric with STREAM and must still round-trip.
+        assert_eq!(
+            HandshakeReply::decode("OK ATTACH 7").unwrap(),
+            HandshakeReply::Attached { stream: 7, queries: Vec::new() }
+        );
+
         assert!(HandshakeReply::decode("HELLO").is_err());
         assert!(HandshakeReply::decode("OK one two").is_err());
         assert!(HandshakeReply::decode("OK STREAM").is_err());
         assert!(HandshakeReply::decode("OK STREAM nope 0").is_err());
+        assert!(HandshakeReply::decode("OK ATTACH").is_err());
+        assert!(HandshakeReply::decode("OK ATTACH x 0").is_err());
     }
 
     #[test]

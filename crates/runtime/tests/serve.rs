@@ -619,3 +619,194 @@ proptest! {
         prop_assert_eq!(decoder.take_remainder(), tail);
     }
 }
+
+// --- Shared streams over real sockets (PR 9) --------------------------------
+
+/// Reads a connection to EOF and decodes every frame in `format`.
+fn read_frames(mut stream: TcpStream, format: WireFormat) -> Vec<Frame> {
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).expect("read to EOF");
+    match format {
+        WireFormat::JsonLines => {
+            let text = std::str::from_utf8(&raw).expect("wire JSON is ASCII");
+            text.lines().map(|l| Frame::decode_json(l).expect("every line parses")).collect()
+        }
+        WireFormat::Binary => {
+            let mut decoder = FrameDecoder::new();
+            decoder.push(&raw);
+            let mut frames = Vec::new();
+            while let Some(frame) = decoder.next_frame().expect("well-formed frames") {
+                frames.push(frame);
+            }
+            decoder.finish().expect("no truncated tail on a clean close");
+            frames
+        }
+    }
+}
+
+/// One owner feeds, a second connection names the same stream id and rides
+/// the owner's transducer pass: `OK ATTACH`, connection-local query ids, and
+/// frames byte-identical to what a private engine over the same queries
+/// would have produced — including retained payload slices.
+fn late_attacher_shares_the_stream_and_gets_byte_identical_frames(mode: ServerMode) {
+    let owner_queries = ["//item/k", "/stream/item/id"];
+    // Overlaps the owner on one query, adds one of its own, and numbers them
+    // in its own order: local ids, not the merged automaton's.
+    let sub_queries = ["/stream/item/id", "//item"];
+    let doc = Arc::new(make_doc(200));
+    let owner_expected = batch_reference(&owner_queries, &doc);
+    let sub_expected = batch_reference(&sub_queries, &doc);
+
+    let runtime = Arc::new(Runtime::builder().workers(2).inflight_chunks(8).build());
+    let server = TcpServer::builder()
+        .mode(mode)
+        .chunk_size(512)
+        .window_size(4096)
+        .bind("127.0.0.1:0", runtime)
+        .expect("bind");
+    let addr = server.local_addr();
+
+    // The owner registers stream 42 but holds its bytes until the subscriber
+    // is attached, so both see the whole stream and the frame multisets are
+    // exactly the batch reference.
+    let mut owner = TcpStream::connect(addr).expect("owner connect");
+    let owner_req = HandshakeRequest::new(WireFormat::JsonLines)
+        .query(owner_queries[0])
+        .query(owner_queries[1])
+        .retain_bytes(1 << 20)
+        .stream_id(42);
+    let reg = register(&mut owner, &owner_req).expect("owner accepted");
+    assert!(!reg.attached, "the first connection owns the stream");
+    assert_eq!(reg.stream_id, 42);
+
+    let sub = {
+        let mut sub = TcpStream::connect(addr).expect("subscriber connect");
+        let sub_req = HandshakeRequest::new(WireFormat::Binary)
+            .query(sub_queries[0])
+            .query(sub_queries[1])
+            .stream_id(42);
+        let sub_reg = register(&mut sub, &sub_req).expect("attach accepted");
+        assert!(sub_reg.attached, "naming a live stream id attaches to it");
+        assert_eq!(sub_reg.stream_id, 42);
+        assert_eq!(sub_reg.query_ids, vec![0, 1], "ids are connection-local");
+        sub
+    };
+    let sub_reader = std::thread::spawn(move || read_frames(sub, WireFormat::Binary));
+
+    for piece in doc.chunks(4096) {
+        owner.write_all(piece).expect("owner write");
+    }
+    owner.shutdown(Shutdown::Write).expect("owner half-close");
+    let owner_frames = read_frames(owner, WireFormat::JsonLines);
+    assert_frames_match(&owner_frames, owner_expected, Some(&doc));
+
+    // The owner's EOF finishes the shared stream, which closes the
+    // subscriber connection too — no explicit teardown from the subscriber.
+    let sub_frames = sub_reader.join().expect("subscriber reader");
+    assert!(!sub_frames.is_empty());
+    assert!(sub_frames.iter().all(|f| f.stream == 42), "frames carry the shared stream id");
+    assert_frames_match(&sub_frames, sub_expected, Some(&doc));
+
+    let stats = server.shutdown();
+    assert_eq!(stats.connections.len(), 2, "both connections were recorded");
+    let attached = stats.connections.iter().find(|c| c.format == WireFormat::Binary).unwrap();
+    assert!(attached.write_error.is_none(), "{:?}", attached.write_error);
+    let report = attached.report.as_ref().expect("attached connections report too");
+    assert!(report.error.is_none());
+    assert_eq!(report.stats.dropped_matches, 0, "a draining subscriber sheds nothing");
+}
+
+#[test]
+fn late_attacher_shares_the_stream_reactor() {
+    late_attacher_shares_the_stream_and_gets_byte_identical_frames(ServerMode::default());
+}
+
+#[test]
+fn late_attacher_shares_the_stream_thread_per_conn() {
+    late_attacher_shares_the_stream_and_gets_byte_identical_frames(ServerMode::ThreadPerConn);
+}
+
+/// An attach batch with a malformed query is refused with the same `ERR`
+/// shape a fresh handshake would get, and the incumbent stream is unharmed.
+fn attach_with_a_bad_query_is_rejected_without_harming_the_stream(mode: ServerMode) {
+    let queries = ["//item/k"];
+    let doc = Arc::new(make_doc(60));
+    let expected = batch_reference(&queries, &doc);
+
+    let runtime = Arc::new(Runtime::builder().workers(1).build());
+    let server = TcpServer::builder().mode(mode).bind("127.0.0.1:0", runtime).expect("bind");
+    let addr = server.local_addr();
+
+    let mut owner = TcpStream::connect(addr).expect("owner connect");
+    let owner_req = HandshakeRequest::new(WireFormat::JsonLines)
+        .query(queries[0])
+        .retain_bytes(1 << 20)
+        .stream_id(43);
+    register(&mut owner, &owner_req).expect("owner accepted");
+
+    let mut bad = TcpStream::connect(addr).expect("bad connect");
+    let bad_req = HandshakeRequest::new(WireFormat::JsonLines).query("//item[").stream_id(43);
+    let err = register(&mut bad, &bad_req).expect_err("malformed query refused");
+    match err {
+        ClientError::Rejected(reason) => assert!(!reason.is_empty()),
+        other => panic!("expected a structured rejection, got {other:?}"),
+    }
+
+    // The stream the reject bounced off still serves its owner losslessly.
+    for piece in doc.chunks(4096) {
+        owner.write_all(piece).expect("owner write");
+    }
+    owner.shutdown(Shutdown::Write).expect("owner half-close");
+    let owner_frames = read_frames(owner, WireFormat::JsonLines);
+    assert_frames_match(&owner_frames, expected, Some(&doc));
+    server.shutdown();
+}
+
+#[test]
+fn attach_with_a_bad_query_is_rejected_reactor() {
+    attach_with_a_bad_query_is_rejected_without_harming_the_stream(ServerMode::default());
+}
+
+#[test]
+fn attach_with_a_bad_query_is_rejected_thread_per_conn() {
+    attach_with_a_bad_query_is_rejected_without_harming_the_stream(ServerMode::ThreadPerConn);
+}
+
+/// Once the owner finishes, the id names nothing: the next connection with
+/// the same id is a fresh owner, not an attacher.
+fn a_finished_stream_id_is_reusable_by_a_fresh_owner(mode: ServerMode) {
+    let queries = ["//item/k"];
+    let doc = Arc::new(make_doc(40));
+    let expected = batch_reference(&queries, &doc);
+
+    let runtime = Arc::new(Runtime::builder().workers(1).build());
+    let server = TcpServer::builder().mode(mode).bind("127.0.0.1:0", runtime).expect("bind");
+    let addr = server.local_addr();
+
+    for round in 0..2 {
+        let request = HandshakeRequest::new(WireFormat::JsonLines)
+            .query(queries[0])
+            .retain_bytes(1 << 20)
+            .stream_id(44);
+        let mut conn = TcpStream::connect(addr).expect("connect");
+        let reg = register(&mut conn, &request).expect("accepted");
+        assert!(!reg.attached, "round {round}: a dead id makes a fresh owner");
+        for piece in doc.chunks(4096) {
+            conn.write_all(piece).expect("write");
+        }
+        conn.shutdown(Shutdown::Write).expect("half-close");
+        let frames = read_frames(conn, WireFormat::JsonLines);
+        assert_frames_match(&frames, expected.clone(), Some(&doc));
+    }
+    server.shutdown();
+}
+
+#[test]
+fn a_finished_stream_id_is_reusable_reactor() {
+    a_finished_stream_id_is_reusable_by_a_fresh_owner(ServerMode::default());
+}
+
+#[test]
+fn a_finished_stream_id_is_reusable_thread_per_conn() {
+    a_finished_stream_id_is_reusable_by_a_fresh_owner(ServerMode::ThreadPerConn);
+}

@@ -353,3 +353,65 @@ fn forward_relays_a_stream_byte_identically() {
     let stats = remote.shutdown();
     assert_eq!(stats.sessions_completed, 3);
 }
+
+// ---------------------------------------------------------------------------
+// Shared-stream placement stability
+// ---------------------------------------------------------------------------
+
+/// Subscribers of one shared stream account on the same shard as the stream's
+/// owner: placement is deterministic in the stream id, so an attach never
+/// scatters a stream's connections across shards.
+#[test]
+fn shared_stream_subscribers_place_on_the_owners_shard() {
+    let doc = make_doc(80);
+
+    let runtime = Arc::new(Runtime::builder().workers(1).inflight_chunks(4).build());
+    let server = TcpServer::builder()
+        .mode(ServerMode::ThreadPerConn)
+        .shards(4)
+        .shard_workers(1)
+        .chunk_size(512)
+        .window_size(4096)
+        .bind("127.0.0.1:0", runtime)
+        .expect("bind");
+    let addr = server.local_addr();
+
+    // Owner registers but holds its bytes until both subscribers attached.
+    let mut owner = TcpStream::connect(addr).expect("owner connect");
+    let owner_req = HandshakeRequest::new(WireFormat::JsonLines).query("//item/k").stream_id(21);
+    let reg = register(&mut owner, &owner_req).expect("owner accepted");
+    assert!(!reg.attached);
+
+    let mut readers = Vec::new();
+    for _ in 0..2 {
+        let mut sub = TcpStream::connect(addr).expect("subscriber connect");
+        let sub_req =
+            HandshakeRequest::new(WireFormat::JsonLines).query("/stream/item/id").stream_id(21);
+        let sub_reg = register(&mut sub, &sub_req).expect("attach accepted");
+        assert!(sub_reg.attached, "same live id attaches");
+        readers.push(std::thread::spawn(move || {
+            let mut raw = Vec::new();
+            sub.read_to_end(&mut raw).expect("drain subscriber");
+            decode_frames(WireFormat::JsonLines, &raw).len()
+        }));
+    }
+
+    owner.write_all(&doc).expect("owner stream");
+    owner.shutdown(Shutdown::Write).expect("owner half-close");
+    let mut raw = Vec::new();
+    owner.read_to_end(&mut raw).expect("drain owner");
+    assert!(!decode_frames(WireFormat::JsonLines, &raw).is_empty());
+    for reader in readers {
+        assert!(reader.join().expect("subscriber reader") > 0);
+    }
+
+    let stats = server.shutdown();
+    assert_eq!(stats.connections.len(), 3, "owner + two subscribers recorded");
+    let shards: Vec<usize> = stats.connections.iter().map(|c| c.shard).collect();
+    assert!(
+        shards.iter().all(|&s| s == shards[0]),
+        "all connections of stream 21 share one shard, got {shards:?}"
+    );
+    // Exactly one placement per connection, all on the owner's shard.
+    assert_eq!(stats.router.placements, 3);
+}

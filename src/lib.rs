@@ -90,12 +90,14 @@ pub mod prelude {
     pub use ppt_core::engine::{Engine, EngineBuilder, EngineConfig, QueryResult};
     pub use ppt_core::stats::RunStats;
     pub use ppt_runtime::{
-        CollectPayloadSink, CollectSink, ConnectionReport, ForwardReport, Frame, FrameDecoder,
-        HandshakeDecoder, HandshakeError, HandshakeReply, HandshakeRequest, HashRing, MatchSink,
-        MatchStream, MaterializedMatch, OnlineMatch, PayloadSink, ReactorStats, Registration,
-        RouterStats, Runtime, RuntimeStats, ServerMode, ServerStats, SessionHandle, SessionManager,
-        SessionOptions, SessionReport, ShardRouter, ShardStats, TcpServer, TcpServerBuilder,
-        WireFormat, WireServed, WireSink,
+        AttachError, BorrowedMatch, CollectPayloadSink, CollectSink, CollectSubscriber,
+        ConnectionReport, ForwardReport, Frame, FrameDecoder, HandshakeDecoder, HandshakeError,
+        HandshakeReply, HandshakeRequest, HashRing, MatchSink, MatchStream, MaterializedMatch,
+        OnlineMatch, PayloadSink, ReactorStats, Registration, RouterStats, Runtime, RuntimeStats,
+        ServerMode, ServerStats, SessionHandle, SessionManager, SessionOptions, SessionReport,
+        ShardRouter, ShardStats, SharedStreamHandle, StreamControl, SubscriberDelivery,
+        SubscriberId, SubscriberReport, SubscriberSink, TcpServer, TcpServerBuilder, WireFormat,
+        WireServed, WireSink,
     };
     pub use ppt_xpath::{Query, QueryPlan};
 }
